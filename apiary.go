@@ -1,0 +1,165 @@
+// Package apiary is the public API of the Apiary FPGA operating system
+// reproduction (HotOS '25, "Apiary: An OS for the Modern FPGA").
+//
+// Apiary is a hardware microkernel for direct-attached FPGAs: every tile of
+// a Network-on-Chip hosts an untrusted accelerator behind a trusted per-tile
+// monitor; all communication is capability-checked message passing; memory
+// isolation uses segments; faults fail-stop a tile (or, for preemptible
+// accelerators, kill one context). This package assembles a full simulated
+// board — fabric, NoC, monitors, kernel, system services — and runs real
+// accelerator workloads on it.
+//
+// A minimal program:
+//
+//	sys, _ := apiary.NewSystem(apiary.SystemConfig{})
+//	sum := apiary.NewChecksum()
+//	client := apiary.NewRequester(apiary.FirstUserService, 100, 50,
+//		func(i int) []byte { return []byte("hello") }, nil)
+//	sys.Kernel.LoadApp(apiary.AppSpec{
+//		Name: "quick",
+//		Accels: []apiary.AppAccel{
+//			{Name: "sum", New: func() apiary.Accelerator { return sum },
+//				Service: apiary.FirstUserService},
+//			{Name: "client", New: func() apiary.Accelerator { return client },
+//				Connect: []apiary.ServiceID{apiary.FirstUserService}},
+//		},
+//	})
+//	sys.RunUntil(client.Done, 1_000_000)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package apiary
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/monitor"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+// System assembly.
+type (
+	// System is a booted Apiary board.
+	System = core.System
+	// SystemConfig parameterizes NewSystem.
+	SystemConfig = core.SystemConfig
+	// AppSpec is an application manifest.
+	AppSpec = core.AppSpec
+	// AppAccel is one accelerator instance in a manifest.
+	AppAccel = core.AppAccel
+	// App is a loaded application.
+	App = core.App
+	// Dims is the NoC mesh size.
+	Dims = noc.Dims
+	// RateLimit is a tile egress limit.
+	RateLimit = monitor.RateLimit
+)
+
+// Accelerator programming model.
+type (
+	// Accelerator is implemented by tile logic.
+	Accelerator = accel.Accelerator
+	// Preemptible is implemented by accelerators with externalized
+	// per-context state.
+	Preemptible = accel.Preemptible
+	// Port is an accelerator's window onto the system.
+	Port = accel.Port
+	// Message is one unit of communication.
+	Message = msg.Message
+	// ServiceID is a logical service name.
+	ServiceID = msg.ServiceID
+	// TileID is a physical tile.
+	TileID = msg.TileID
+	// ErrCode is a system error code.
+	ErrCode = msg.ErrCode
+	// Cycle is simulated time.
+	Cycle = sim.Cycle
+)
+
+// Networking.
+type (
+	// NetFabric is the simulated datacenter network.
+	NetFabric = netsim.Fabric
+	// NetNodeID addresses a node on it.
+	NetNodeID = netsim.NodeID
+	// LinkConfig describes a node's attachment.
+	LinkConfig = netsim.LinkConfig
+	// SoftEndpoint is a software client/peer on the network.
+	SoftEndpoint = netstack.SoftEndpoint
+)
+
+// Re-exported well-known identifiers.
+const (
+	SvcKernel        = msg.SvcKernel
+	SvcMemory        = msg.SvcMemory
+	SvcNet           = msg.SvcNet
+	FirstUserService = msg.FirstUserService
+)
+
+// Message types and error codes most applications touch.
+const (
+	TRequest  = msg.TRequest
+	TReply    = msg.TReply
+	TError    = msg.TError
+	TMemRead  = msg.TMemRead
+	TMemWrite = msg.TMemWrite
+	TMemReply = msg.TMemReply
+	TNetSend  = msg.TNetSend
+	TNetRecv  = msg.TNetRecv
+
+	EOK          = msg.EOK
+	ENoCap       = msg.ENoCap
+	ERateLimited = msg.ERateLimited
+	EFailStopped = msg.EFailStopped
+	EBounds      = msg.EBounds
+)
+
+// NewSystem boots a simulated Apiary board.
+func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
+
+// NewNetFabric creates a datacenter network to attach boards and software
+// endpoints to (pass it via SystemConfig.ExtFabric with WithNet).
+func NewNetFabric(s *System) *NetFabric {
+	return netsim.New(s.Engine, s.Stats)
+}
+
+// Library accelerators (see internal/apps for their behaviour).
+var (
+	// NewEncoder is the DCT video encoder; pass the compression service to
+	// compose with, or 0 to reply directly.
+	NewEncoder = apps.NewEncoder
+	// NewCompressor is the LZ77-style compression accelerator.
+	NewCompressor = apps.NewCompressor
+	// NewChecksum is the FNV-1a checksum accelerator.
+	NewChecksum = apps.NewChecksum
+	// NewMatVec is the int8 matrix-vector (inference) accelerator.
+	NewMatVec = apps.NewMatVec
+	// NewKVStore is the multi-tenant, preemptible key-value store.
+	NewKVStore = apps.NewKVStore
+	// NewLoadBalancer spreads one service over replica services.
+	NewLoadBalancer = apps.NewLoadBalancer
+	// NewRequester is the synthetic client accelerator.
+	NewRequester = apps.NewRequester
+	// NewNetBridge exposes an on-board service on a network flow.
+	NewNetBridge = apps.NewNetBridge
+	// NewFaulty wraps an accelerator with fault injection.
+	NewFaulty = apps.NewFaulty
+	// NewStage builds a custom single-kernel pipeline accelerator.
+	NewStage = apps.NewStage
+	// NewRemoteProxy serves a local service from a remote CPU over the
+	// network (the paper's §6 "avoid the on-node CPU" pattern).
+	NewRemoteProxy = apps.NewRemoteProxy
+)
+
+// StageConfig configures NewStage.
+type StageConfig = apps.StageConfig
+
+// NewSoftClient attaches a software endpoint (e.g. a synthetic client) to a
+// board's network fabric. The board must have been built WithNet.
+func NewSoftClient(s *System, node NetNodeID, link LinkConfig) *SoftEndpoint {
+	return netstack.NewSoftEndpoint(s.Engine, s.Stats, s.Fabric, node, link)
+}

@@ -1,0 +1,68 @@
+package apiary_test
+
+import (
+	"testing"
+
+	"apiary"
+)
+
+// TestPublicAPIQuickstart runs the package-doc example verbatim through the
+// public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := apiary.NewSystem(apiary.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := apiary.NewChecksum()
+	client := apiary.NewRequester(apiary.FirstUserService, 100, 50,
+		func(i int) []byte { return []byte("hello") }, nil)
+	_, err = sys.Kernel.LoadApp(apiary.AppSpec{
+		Name: "quick",
+		Accels: []apiary.AppAccel{
+			{Name: "sum", New: func() apiary.Accelerator { return sum },
+				Service: apiary.FirstUserService},
+			{Name: "client", New: func() apiary.Accelerator { return client },
+				Connect: []apiary.ServiceID{apiary.FirstUserService}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunUntil(client.Done, 5_000_000) {
+		t.Fatalf("quickstart incomplete: %d/%d", client.Responses(), 100)
+	}
+	if client.Errors() != 0 {
+		t.Fatalf("errors: %d", client.Errors())
+	}
+}
+
+func TestPublicAPINetworkPath(t *testing.T) {
+	sys, err := apiary.NewSystem(apiary.SystemConfig{WithNet: true, NodeID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bridge := apiary.NewNetBridge(8080)
+	bridge.Process = func(in []byte) ([]byte, apiary.ErrCode) {
+		return append([]byte("echo:"), in...), apiary.EOK
+	}
+	if _, err := sys.Kernel.LoadApp(apiary.AppSpec{
+		Name: "echo",
+		Accels: []apiary.AppAccel{
+			{Name: "b", New: func() apiary.Accelerator { return bridge }, WantNet: true},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client := apiary.NewSoftClient(sys, 50, apiary.LinkConfig{Gbps: 100})
+	var got []byte
+	client.OnDatagram(func(_ apiary.NetNodeID, _ uint16, data []byte) { got = data })
+	if err := client.Send(1, 8080, []byte("net")); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunUntil(func() bool { return got != nil }, 5_000_000) {
+		t.Fatal("no network echo")
+	}
+	if string(got) != "echo:net" {
+		t.Fatalf("echo = %q", got)
+	}
+}

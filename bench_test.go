@@ -1,0 +1,254 @@
+// Benchmarks: one testing.B per experiment in EXPERIMENTS.md (E1-E13), each
+// regenerating its table and reporting headline metrics, plus
+// microbenchmarks of the hot substrate paths (NoC, monitor, allocators,
+// codecs, transport).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE4 -benchtime=1x   # one full E4 run
+package apiary_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"apiary"
+	"apiary/internal/apps"
+	"apiary/internal/bench"
+	"apiary/internal/memseg"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+// runExperiment executes an experiment b.N times and lets report extract
+// custom metrics from the last result.
+func runExperiment(b *testing.B, id string, report func(r bench.Result, b *testing.B)) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		last = e.Run()
+	}
+	if report != nil {
+		report(last, b)
+	}
+}
+
+// metric parses a float out of a result cell (strips trailing unit junk).
+func metric(r bench.Result, row int, col string) float64 {
+	s := r.Cell(row, col)
+	s = strings.TrimSuffix(strings.Split(s, "/")[0], "x")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func BenchmarkE1Table1(b *testing.B) {
+	runExperiment(b, "e1", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 3, "LogicCells"), "VU29P_cells")
+	})
+}
+
+func BenchmarkE2Figure1(b *testing.B) {
+	runExperiment(b, "e2", nil)
+}
+
+func BenchmarkE3MonitorOverhead(b *testing.B) {
+	runExperiment(b, "e3", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, len(r.Rows)-1, "Overhead%"), "VU29P_64tile_ovh_%")
+	})
+}
+
+func BenchmarkE4Latency(b *testing.B) {
+	runExperiment(b, "e4", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 0, "Direct-p50us"), "direct_64B_p50_us")
+		b.ReportMetric(metric(r, 0, "Hosted-p50us"), "hosted_64B_p50_us")
+		b.ReportMetric(metric(r, 0, "Speedup-p50"), "speedup_64B")
+	})
+}
+
+func BenchmarkE5Energy(b *testing.B) {
+	runExperiment(b, "e5", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 0, "Hosted/Direct"), "energy_ratio_64B")
+	})
+}
+
+func BenchmarkE6IPC(b *testing.B) {
+	runExperiment(b, "e6", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 0, "RTT-p50cy"), "ipc_8B_rtt_cycles")
+		b.ReportMetric(metric(r, 0, "CheckOverhead%"), "cap_overhead_%")
+	})
+}
+
+func BenchmarkE7RateLimit(b *testing.B) {
+	runExperiment(b, "e7", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 1, "VictimOK"), "victim_ok_limited")
+	})
+}
+
+func BenchmarkE8FailStop(b *testing.B) {
+	runExperiment(b, "e8", nil)
+}
+
+func BenchmarkE9Preemption(b *testing.B) {
+	runExperiment(b, "e9", nil)
+}
+
+func BenchmarkE10SegVsPage(b *testing.B) {
+	runExperiment(b, "e10", func(r bench.Result, b *testing.B) {
+		last := len(r.Rows) - 1 // paged row
+		b.ReportMetric(metric(r, last, "WastedMB"), "paged_wasted_MB")
+		b.ReportMetric(metric(r, last, "XlateEntries"), "paged_entries")
+		b.ReportMetric(metric(r, 0, "XlateEntries"), "segment_entries")
+	})
+}
+
+func BenchmarkE11Scenario(b *testing.B) {
+	runExperiment(b, "e11", nil)
+}
+
+func BenchmarkE12ScaleOut(b *testing.B) {
+	runExperiment(b, "e12", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 2, "Speedup"), "speedup_4_replicas")
+	})
+}
+
+func BenchmarkE13Portability(b *testing.B) {
+	runExperiment(b, "e13", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 0, "RTT-p50us"), "v7_10g_rtt_us")
+		b.ReportMetric(metric(r, 1, "RTT-p50us"), "usp_100g_rtt_us")
+	})
+}
+
+func BenchmarkE14RemoteService(b *testing.B) {
+	runExperiment(b, "e14", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 0, "p50us"), "local_p50_us")
+		b.ReportMetric(metric(r, 1, "p50us"), "remote_cpu_p50_us")
+	})
+}
+
+// --- substrate microbenchmarks ---
+
+// BenchmarkNoCMessage measures one 64-byte message crossing a 4x4 mesh
+// corner to corner, including simulation overhead per delivered message.
+func BenchmarkNoCMessage(b *testing.B) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: 4, H: 4}})
+	delivered := 0
+	n.NI(15).SetDeliver(func(*msg.Message, sim.Cycle) { delivered++ })
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &msg.Message{Type: msg.TRequest, SrcTile: 0, DstTile: 15, Payload: payload}
+		if err := n.NI(0).Send(m); err != nil {
+			b.Fatal(err)
+		}
+		target := i + 1
+		for delivered < target {
+			e.Step()
+		}
+	}
+}
+
+// BenchmarkSystemCycle measures the cost of one simulated cycle of a full
+// 9-tile board with an idle workload loaded.
+func BenchmarkSystemCycle(b *testing.B) {
+	sys, err := apiary.NewSystem(apiary.SystemConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := apiary.NewChecksum()
+	if _, err := sys.Kernel.LoadApp(apiary.AppSpec{
+		Name: "idle",
+		Accels: []apiary.AppAccel{
+			{Name: "s", New: func() apiary.Accelerator { return sum },
+				Service: apiary.FirstUserService},
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sys.Run(apiary.Cycle(b.N))
+}
+
+func BenchmarkSegmentAlloc(b *testing.B) {
+	a := memseg.NewAllocator(1<<30, memseg.FirstFit)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := a.Alloc(4096, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(s.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPagedAlloc(b *testing.B) {
+	p := memseg.NewPagedAllocator(1<<30, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := p.Alloc(4096, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Free(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeFrame4K(b *testing.B) {
+	frame := make([]byte, 4096)
+	for i := range frame {
+		frame[i] = byte(120 + i%32)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps.EncodeFrame(frame)
+	}
+}
+
+func BenchmarkCompress4K(b *testing.B) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i % 97)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps.Compress(data)
+	}
+}
+
+func BenchmarkChecksum4K(b *testing.B) {
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apps.Checksum64(data)
+	}
+}
+
+func BenchmarkMessageEncodeDecode(b *testing.B) {
+	m := &msg.Message{
+		Type: msg.TRequest, SrcTile: 1, DstTile: 2, DstSvc: 16,
+		Seq: 9, Payload: make([]byte, 256),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := msg.Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

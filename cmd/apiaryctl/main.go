@@ -1,0 +1,144 @@
+// Command apiaryctl is the operator tool: validate manifests, dry-run
+// placement, and inspect the board catalog.
+//
+//	apiaryctl boards                     # list known boards
+//	apiaryctl kinds                      # list accelerator kinds
+//	apiaryctl validate apps.json         # parse + dry-run placement
+//	apiaryctl validate -board v7-10g -w 4 -h 4 apps.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apiary/internal/core"
+	"apiary/internal/fabric"
+	"apiary/internal/manifest"
+	"apiary/internal/noc"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: apiaryctl <boards|kinds|cdg|validate> [flags] [manifest.json]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "boards":
+		for name, b := range fabric.Boards {
+			fmt.Printf("%-10s device=%-10s cells=%-8d eth=%s pcie=gen%d\n",
+				name, b.Device.PartNumber, b.Device.LogicCells,
+				b.NewEthernet().CoreName(), b.PCIeGen)
+		}
+	case "kinds":
+		for _, k := range manifest.Kinds() {
+			fmt.Println(k)
+		}
+	case "cdg":
+		cdg(os.Args[2:])
+	case "validate":
+		validate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// cdg certifies routing functions deadlock-free on a given mesh via the
+// channel-dependency-graph check.
+func cdg(args []string) {
+	fs := flag.NewFlagSet("cdg", flag.ExitOnError)
+	w := fs.Int("w", 4, "mesh width")
+	h := fs.Int("h", 4, "mesh height")
+	_ = fs.Parse(args)
+	routes := []struct {
+		name string
+		fn   noc.RouteFunc
+	}{
+		{"xy", noc.RouteXY},
+		{"yx", noc.RouteYX},
+		{"west-first", noc.RouteWestFirst},
+	}
+	bad := false
+	for _, r := range routes {
+		ok, cycle := noc.CheckDeadlockFree(noc.Dims{W: *w, H: *h}, r.fn)
+		if ok {
+			fmt.Printf("%-12s %dx%d: deadlock-free (CDG acyclic)\n", r.name, *w, *h)
+		} else {
+			bad = true
+			fmt.Printf("%-12s %dx%d: CDG CYCLE: %v\n", r.name, *w, *h, cycle)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func validate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	board := fs.String("board", "usp-100g", "board name")
+	w := fs.Int("w", 3, "NoC mesh width")
+	h := fs.Int("h", 3, "NoC mesh height")
+	withNet := fs.Bool("net", false, "install the network service")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "apiaryctl validate: need exactly one manifest file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apiaryctl: %v\n", err)
+		os.Exit(1)
+	}
+	specs, err := manifest.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apiaryctl: %v\n", err)
+		os.Exit(1)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Board: *board, Dims: noc.Dims{W: *w, H: *h}, WithNet: *withNet,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apiaryctl: boot: %v\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, spec := range specs {
+		app, err := sys.Kernel.LoadApp(spec)
+		if err != nil {
+			fmt.Printf("app %-14s INVALID: %v\n", spec.Name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("app %-14s ok (%d accelerators)\n", spec.Name, len(app.Placed))
+	}
+
+	fmt.Printf("\ntile map (%dx%d on %s):\n", *w, *h, *board)
+	dims := sys.Noc.Dims()
+	for y := 0; y < dims.H; y++ {
+		for x := 0; x < dims.W; x++ {
+			id := dims.TileID(noc.Coord{X: x, Y: y})
+			label := "."
+			switch id {
+			case core.KernelTile:
+				label = "KERNEL"
+			case core.MemTile:
+				label = "MEM"
+			default:
+				if *withNet && id == core.NetTile {
+					label = "NET"
+				} else if sh := sys.Kernel.Shell(id); sh != nil {
+					label = sh.Accelerator().Name()
+				}
+			}
+			fmt.Printf("%-12s", label)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

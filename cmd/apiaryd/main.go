@@ -1,0 +1,127 @@
+// Command apiaryd boots a simulated Apiary board, loads application
+// manifests, and runs them — the host-side daemon of the system. It can
+// expose stats over HTTP while the simulation runs.
+//
+//	apiaryd -manifest video.json -cycles 10000000
+//	apiaryd -board v7-10g -w 4 -h 4 -net -manifest apps.json -http :8091
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+
+	"apiary/internal/core"
+	"apiary/internal/manifest"
+	"apiary/internal/netsim"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+func main() {
+	board := flag.String("board", "usp-100g", "board name (v7-10g, usp-100g)")
+	w := flag.Int("w", 3, "NoC mesh width")
+	h := flag.Int("h", 3, "NoC mesh height")
+	withNet := flag.Bool("net", false, "install the network service")
+	node := flag.Uint("node", 1, "datacenter-network node id (with -net)")
+	manifestPath := flag.String("manifest", "", "JSON app manifest (object or array)")
+	cycles := flag.Uint64("cycles", 5_000_000, "cycles to simulate")
+	statsEvery := flag.Uint64("stats-every", 0, "print stats every N cycles (0 = only at end)")
+	httpAddr := flag.String("http", "", "serve /stats, /procs, /trace.json on this address")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	sys, err := core.NewSystem(core.SystemConfig{
+		Board: *board, Dims: noc.Dims{W: *w, H: *h}, Seed: *seed,
+		WithNet: *withNet, NodeID: netsim.NodeID(*node),
+	})
+	if err != nil {
+		log.Fatalf("apiaryd: boot: %v", err)
+	}
+	log.Printf("apiaryd: booted %s (%s, %d logic cells), %dx%d mesh, framework overhead %.1f%%",
+		*board, sys.Board.Device.PartNumber, sys.Board.Device.LogicCells,
+		*w, *h, sys.MonitorOverhead(64)*100)
+
+	if *manifestPath != "" {
+		data, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			log.Fatalf("apiaryd: %v", err)
+		}
+		specs, err := manifest.Parse(data)
+		if err != nil {
+			log.Fatalf("apiaryd: %v", err)
+		}
+		for _, spec := range specs {
+			app, err := sys.Kernel.LoadApp(spec)
+			if err != nil {
+				log.Fatalf("apiaryd: load %q: %v", spec.Name, err)
+			}
+			for _, p := range app.Placed {
+				log.Printf("apiaryd: placed %s/%s on tile %d", spec.Name, p.Name, p.Tile)
+			}
+		}
+	}
+
+	var mu sync.Mutex // guards the engine and everything hanging off it
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(rw, "cycle %d\n%s", sys.Engine.Now(), sys.Stats.String())
+		})
+		mux.HandleFunc("/procs", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range sys.Kernel.Procs() {
+				fmt.Fprintf(rw, "%-12s %-12s tile=%d ctx=%d state=%s\n",
+					p.App, p.Accel, p.Tile, p.Ctx, sys.Kernel.Shell(p.Tile).State())
+			}
+		})
+		mux.HandleFunc("/matrix", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprint(rw, sys.Tracer.MatrixString())
+		})
+		mux.HandleFunc("/trace.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = sys.Tracer.ExportChrome(rw, float64(sys.Engine.ClockMHz())/1000)
+		})
+		go func() {
+			log.Printf("apiaryd: serving stats on %s", *httpAddr)
+			log.Fatal(http.ListenAndServe(*httpAddr, mux))
+		}()
+	}
+
+	chunk := sim.Cycle(100_000)
+	for done := sim.Cycle(0); done < sim.Cycle(*cycles); done += chunk {
+		step := chunk
+		if remaining := sim.Cycle(*cycles) - done; remaining < step {
+			step = remaining
+		}
+		mu.Lock()
+		sys.Run(step)
+		now := sys.Engine.Now()
+		mu.Unlock()
+		if *statsEvery > 0 && uint64(now)%*statsEvery < uint64(chunk) {
+			mu.Lock()
+			log.Printf("apiaryd: cycle %d (%.2f ms simulated)", now, sys.Engine.Micros(now)/1000)
+			mu.Unlock()
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("apiaryd: finished at cycle %d (%.2f ms simulated)\n",
+		sys.Engine.Now(), sys.Engine.Micros(sys.Engine.Now())/1000)
+	fmt.Print(sys.Stats.String())
+	fmt.Print(sys.Tracer.Summary())
+	if n := len(sys.Kernel.Faults()); n > 0 {
+		fmt.Printf("faults: %d (see trace)\n", n)
+	}
+}

@@ -1,0 +1,114 @@
+// Faulttolerance: the paper's §4.4 fault model, live.
+//
+// Act 1 — fail-stop: a concurrent-only accelerator panics mid-run. Its
+// monitor drains the tile, NACKs senders with EFailStopped, reports to the
+// kernel, and the kernel (restart policy) reconfigures the region and
+// resumes it after the partial-reconfiguration delay. An unrelated app on
+// the same board never notices.
+//
+// Act 2 — preemption: a multi-tenant preemptible KV store faults in one
+// tenant's context; only that context dies, the other tenants keep serving.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"apiary"
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+)
+
+const (
+	svcCrashy  = apiary.FirstUserService
+	svcHealthy = apiary.FirstUserService + 1
+	svcKV      = apiary.FirstUserService + 2
+)
+
+func main() {
+	sys, err := apiary.NewSystem(apiary.SystemConfig{Dims: apiary.Dims{W: 4, H: 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Act 1.
+	crashy := apiary.NewFaulty(apiary.NewChecksum(), 25) // panics at request 25
+	cClient := apiary.NewRequester(svcCrashy, 200, 300,
+		func(int) []byte { return make([]byte, 64) }, nil)
+	app, err := sys.Kernel.LoadApp(apiary.AppSpec{
+		Name: "crashy", Restart: true,
+		Accels: []apiary.AppAccel{
+			{Name: "svc", New: func() apiary.Accelerator { return crashy }, Service: svcCrashy},
+			{Name: "client", New: func() apiary.Accelerator { return cClient },
+				Connect: []apiary.ServiceID{svcCrashy}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hClient := apiary.NewRequester(svcHealthy, 200, 300,
+		func(int) []byte { return make([]byte, 64) }, nil)
+	if _, err := sys.Kernel.LoadApp(apiary.AppSpec{
+		Name: "bystander",
+		Accels: []apiary.AppAccel{
+			{Name: "svc", New: func() apiary.Accelerator { return apiary.NewChecksum() }, Service: svcHealthy},
+			{Name: "client", New: func() apiary.Accelerator { return hClient },
+				Connect: []apiary.ServiceID{svcHealthy}},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	crashyTile := app.Placed[0].Tile
+	sys.RunUntil(func() bool {
+		return sys.Kernel.Shell(crashyTile).State() != accel.Running
+	}, 50_000_000)
+	fmt.Printf("act 1: tile %d fail-stopped after injected panic (state: %s)\n",
+		crashyTile, sys.Kernel.Shell(crashyTile).State())
+	faultAt := sys.Engine.Now()
+
+	sys.RunUntil(func() bool {
+		return sys.Kernel.Shell(crashyTile).State() == accel.Running
+	}, 50_000_000)
+	fmt.Printf("act 1: kernel reconfigured and resumed the tile %.2f ms later\n",
+		sys.Engine.Micros(sys.Engine.Now()-faultAt)/1000)
+
+	sys.RunUntil(func() bool { return cClient.Done() && hClient.Done() }, 100_000_000)
+	fmt.Printf("act 1: crashy app finished %d ok / %d errors (errors = NACKs while stopped)\n",
+		cClient.Responses(), cClient.Errors())
+	fmt.Printf("act 1: bystander app finished %d ok / %d errors — unaffected\n",
+		hClient.Responses(), hClient.Errors())
+	fmt.Printf("act 1: kernel fault reports: %d, restarts: %d\n",
+		len(sys.Kernel.Faults()), sys.Kernel.App("crashy").Restarts)
+
+	// Act 2.
+	kv := apiary.NewKVStore(3)
+	kvApp, err := sys.Kernel.LoadApp(apiary.AppSpec{
+		Name:   "tenants",
+		Accels: []apiary.AppAccel{{Name: "kv", New: func() apiary.Accelerator { return kv }, Service: svcKV}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kvTile := kvApp.Placed[0].Tile
+	// Seed two tenants out of band, then fault tenant 0's context.
+	seed := func(ctx uint8, k, v string) {
+		st, _ := kv.SaveContext(ctx)
+		rec := apps.EncodeKVReq(0, k, v)[1:]
+		_ = kv.RestoreContext(ctx, append(st, rec...))
+	}
+	seed(0, "who", "tenant-zero")
+	seed(1, "who", "tenant-one")
+	sys.Run(10)
+	sys.Kernel.Monitor(kvTile).ForceFault(0, accel.FaultExplicit)
+	sys.Run(1000)
+
+	fmt.Printf("act 2: faulted context 0 of the preemptible KV store\n")
+	fmt.Printf("act 2: tile state: %s (still running)\n", sys.Kernel.Shell(kvTile).State())
+	fmt.Printf("act 2: context 0 dead: %v, context 1 dead: %v\n",
+		sys.Kernel.Shell(kvTile).CtxDead(0), sys.Kernel.Shell(kvTile).CtxDead(1))
+	fmt.Printf("act 2: tenant 1 keys intact: %d\n", kv.Len(1))
+	fmt.Print("\n", sys.Tracer.Summary())
+}

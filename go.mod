@@ -1,0 +1,3 @@
+module apiary
+
+go 1.22

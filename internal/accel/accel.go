@@ -1,0 +1,323 @@
+// Package accel defines Apiary's accelerator framework: the interface
+// untrusted logic implements, the trusted Shell that wraps each accelerator
+// and connects it to the tile's monitor, and the fault model (paper §4.2,
+// §4.4).
+//
+// Process granularity follows the paper: one user context running on one
+// accelerator is a process. An accelerator may host several contexts;
+// contexts on the same tile are mutually trusting but should be
+// fault-isolated from each other when the accelerator is preemptible.
+package accel
+
+import (
+	"fmt"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// FaultReason classifies why a process faulted.
+type FaultReason uint8
+
+// Fault reasons.
+const (
+	FaultNone     FaultReason = iota
+	FaultPanic                // accelerator logic panicked (hardware: error strobe)
+	FaultExplicit             // accelerator declared an unrecoverable error
+	FaultWatchdog             // stopped consuming input (hang detector)
+)
+
+func (f FaultReason) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultExplicit:
+		return "explicit"
+	case FaultWatchdog:
+		return "watchdog"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// Port is the accelerator's window onto the rest of the system — the only
+// way logic inside a tile can observe or affect anything outside it. The
+// Shell implements it; every Send goes through the monitor.
+type Port interface {
+	// Now reports the current cycle.
+	Now() sim.Cycle
+	// Recv pops one delivered message, if any.
+	Recv() (*msg.Message, bool)
+	// Send submits a message. The returned code reflects *local* denials
+	// (no capability, rate limit, fail-stop); remote errors arrive later as
+	// TError messages.
+	Send(m *msg.Message) msg.ErrCode
+	// Fault declares that the given context has failed irrecoverably.
+	Fault(ctx uint8, reason FaultReason)
+}
+
+// Accelerator is implemented by untrusted tile logic. Tick is called once
+// per cycle; all I/O happens through the Port. Implementations must be
+// deterministic given the same message sequence.
+type Accelerator interface {
+	// Name identifies the accelerator kind (for manifests and logs).
+	Name() string
+	// Reset returns the accelerator to its power-on state.
+	Reset()
+	// Contexts reports how many process contexts the accelerator hosts
+	// (>= 1).
+	Contexts() int
+	// Tick advances the accelerator one cycle.
+	Tick(p Port)
+}
+
+// Preemptible is implemented by accelerators that externalize per-context
+// architectural state (paper §4.4: SYNERGY-style). A preemptible
+// accelerator lets the monitor kill or swap a single faulting context while
+// the others keep running.
+type Preemptible interface {
+	Accelerator
+	// SaveContext serializes one context's state.
+	SaveContext(ctx uint8) ([]byte, error)
+	// RestoreContext reinstates previously saved state.
+	RestoreContext(ctx uint8, state []byte) error
+	// KillContext resets one context to a dead state without touching the
+	// others.
+	KillContext(ctx uint8)
+}
+
+// State is the shell's lifecycle state.
+type State uint8
+
+// Shell states. Draining and Stopped together implement the fail-stop model:
+// a Draining tile's monitor discards its outgoing messages and NACKs
+// incoming ones; once quiet it is Stopped until the kernel resumes it.
+const (
+	Running State = iota
+	Draining
+	Stopped
+)
+
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Draining:
+		return "draining"
+	case Stopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// InQDepth is the shell's inbound message queue depth. A full queue pushes
+// back with EBusy — bounded buffering is what makes resource exhaustion
+// attacks answerable (paper §4.5).
+const InQDepth = 16
+
+// WatchdogCycles is how long the inbound queue may remain full without a
+// single dequeue before the shell declares a watchdog fault.
+const WatchdogCycles = 10000
+
+// FaultFunc is the monitor's fault hook: called by the shell when a context
+// faults.
+type FaultFunc func(ctx uint8, reason FaultReason)
+
+// SendFunc is the monitor's egress hook.
+type SendFunc func(m *msg.Message) msg.ErrCode
+
+// Shell wraps one accelerator and mediates all its interaction with the
+// tile's monitor. The shell is trusted; the accelerator is not. In
+// particular the shell converts panics in accelerator code into fail-stop
+// faults instead of letting them take down the system — the hardware
+// analogue is an error strobe from the wrapped region.
+type Shell struct {
+	acc     Accelerator
+	state   State
+	inq     []*msg.Message
+	ctxDead []bool
+
+	send  SendFunc
+	fault FaultFunc
+	now   sim.Cycle
+
+	fullSince  sim.Cycle
+	wasFull    bool
+	delivered  *sim.Counter
+	dropped    *sim.Counter
+	faultCount *sim.Counter
+}
+
+// NewShell wraps acc. The monitor installs its hooks with Bind before the
+// first tick.
+func NewShell(acc Accelerator, st *sim.Stats) *Shell {
+	if acc.Contexts() < 1 {
+		panic("accel: accelerator with zero contexts")
+	}
+	return &Shell{
+		acc:        acc,
+		ctxDead:    make([]bool, acc.Contexts()),
+		delivered:  st.Counter("shell.delivered"),
+		dropped:    st.Counter("shell.dropped"),
+		faultCount: st.Counter("shell.faults"),
+	}
+}
+
+// Bind installs the monitor's egress and fault hooks.
+func (s *Shell) Bind(send SendFunc, fault FaultFunc) {
+	s.send = send
+	s.fault = fault
+}
+
+// Accelerator returns the wrapped accelerator.
+func (s *Shell) Accelerator() Accelerator { return s.acc }
+
+// State reports the shell's lifecycle state.
+func (s *Shell) State() State { return s.state }
+
+// SetState is used by the monitor to drive the fail-stop lifecycle.
+func (s *Shell) SetState(st State) { s.state = st }
+
+// CtxDead reports whether a context has been killed.
+func (s *Shell) CtxDead(ctx uint8) bool {
+	return int(ctx) < len(s.ctxDead) && s.ctxDead[ctx]
+}
+
+// KillContext marks a context dead and, when the accelerator is
+// preemptible, resets just that context. It reports whether per-context
+// isolation was possible — if not, the caller must fail-stop the whole
+// tile (paper §4.4: "If an accelerator is only concurrent, then the best
+// Apiary ... can achieve is a fail-stop model").
+func (s *Shell) KillContext(ctx uint8) bool {
+	if int(ctx) >= len(s.ctxDead) {
+		return false
+	}
+	p, ok := s.acc.(Preemptible)
+	if !ok {
+		return false
+	}
+	p.KillContext(ctx)
+	s.ctxDead[ctx] = true
+	// Drop queued messages for the dead context.
+	kept := s.inq[:0]
+	for _, m := range s.inq {
+		if m.DstCtx != ctx {
+			kept = append(kept, m)
+		} else {
+			s.dropped.Inc()
+		}
+	}
+	s.inq = kept
+	return true
+}
+
+// Reset returns the accelerator and shell to a clean Running state. The
+// kernel calls this after reconfiguring a fail-stopped tile.
+func (s *Shell) Reset() {
+	s.acc.Reset()
+	s.inq = nil
+	s.state = Running
+	s.wasFull = false
+	for i := range s.ctxDead {
+		s.ctxDead[i] = false
+	}
+}
+
+// Deliver hands an inbound message to the shell (called by the monitor).
+func (s *Shell) Deliver(m *msg.Message) msg.ErrCode {
+	if s.state != Running {
+		return msg.EFailStopped
+	}
+	if int(m.DstCtx) >= len(s.ctxDead) {
+		return msg.ENoContext
+	}
+	if s.ctxDead[m.DstCtx] {
+		return msg.ENoContext
+	}
+	if len(s.inq) >= InQDepth {
+		s.dropped.Inc()
+		return msg.EBusy
+	}
+	s.inq = append(s.inq, m)
+	s.delivered.Inc()
+	return msg.EOK
+}
+
+// QueueLen reports the inbound queue occupancy.
+func (s *Shell) QueueLen() int { return len(s.inq) }
+
+// Tick advances the accelerator one cycle with panic containment and the
+// watchdog.
+func (s *Shell) Tick(now sim.Cycle) {
+	if s.state != Running {
+		return
+	}
+	s.now = now
+	before := len(s.inq)
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.faultCount.Inc()
+				if s.fault != nil {
+					s.fault(0, FaultPanic)
+				}
+			}
+		}()
+		s.acc.Tick(s)
+	}()
+
+	// Watchdog: a full queue that is never drained means the accelerator
+	// hung while peers keep piling work onto it.
+	if before >= InQDepth && len(s.inq) >= before {
+		if !s.wasFull {
+			s.wasFull = true
+			s.fullSince = now
+		} else if now-s.fullSince > WatchdogCycles {
+			s.faultCount.Inc()
+			s.wasFull = false
+			if s.fault != nil {
+				s.fault(0, FaultWatchdog)
+			}
+		}
+	} else {
+		s.wasFull = false
+	}
+}
+
+// Port implementation (the shell is the accelerator's Port).
+
+// Now implements Port.
+func (s *Shell) Now() sim.Cycle { return s.now }
+
+// Recv implements Port.
+func (s *Shell) Recv() (*msg.Message, bool) {
+	if len(s.inq) == 0 {
+		return nil, false
+	}
+	m := s.inq[0]
+	copy(s.inq, s.inq[1:])
+	s.inq[len(s.inq)-1] = nil
+	s.inq = s.inq[:len(s.inq)-1]
+	return m, true
+}
+
+// Send implements Port.
+func (s *Shell) Send(m *msg.Message) msg.ErrCode {
+	if s.state != Running {
+		return msg.EFailStopped
+	}
+	if s.send == nil {
+		return msg.ENoRoute
+	}
+	return s.send(m)
+}
+
+// Fault implements Port.
+func (s *Shell) Fault(ctx uint8, reason FaultReason) {
+	s.faultCount.Inc()
+	if s.fault != nil {
+		s.fault(ctx, reason)
+	}
+}

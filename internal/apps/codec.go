@@ -1,0 +1,285 @@
+// Package apps provides the accelerators used by Apiary's examples and
+// experiments: the §2 video-encoding pipeline (DCT encoder + third-party
+// compressor), a multi-tenant key-value store, checksum and matrix-vector
+// kernels, a load-balancing splitter for scale-out, a synthetic requester,
+// and a fault-injection wrapper.
+//
+// The kernels do real computation — the encoder is a genuine 8x8 integer
+// DCT with quantization and run-length coding, the compressor a real
+// LZ77-style codec — so experiments exercise true dataflow, not stubs.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// dctBlock is the 8x8 block size of the encoder.
+const dctBlock = 8
+
+// quantTable is a JPEG-luma-like quantization table (flattened 8x8).
+var quantTable = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag maps scan order to block positions.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// dct1d is an integer 8-point DCT-II with fixed-point cosine factors,
+// scaled by 1<<10.
+var cosTab [8][8]int32
+
+func init() {
+	// cos((2x+1) u pi / 16) in Q10, computed from an integer-safe table to
+	// keep determinism across platforms: round(cos * 1024).
+	vals := [8][8]int32{
+		{1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024},
+		{1004, 851, 569, 200, -200, -569, -851, -1004},
+		{946, 392, -392, -946, -946, -392, 392, 946},
+		{851, -200, -1004, -569, 569, 1004, 200, -851},
+		{724, -724, -724, 724, 724, -724, -724, 724},
+		{569, -1004, 200, 851, -851, -200, 1004, -569},
+		{392, -946, 946, -392, -392, 946, -946, 392},
+		{200, -569, 851, -1004, 1004, -851, 569, -200},
+	}
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosTab[u][x] = vals[u][x]
+		}
+	}
+}
+
+// fdct8x8 computes a scaled forward DCT of an 8x8 block of centred samples
+// (in[i] in [-128,127]) into out.
+func fdct8x8(in *[64]int32, out *[64]int32) {
+	var tmp [64]int32
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s int32
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * cosTab[u][x]
+			}
+			tmp[y*8+u] = s >> 10
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s int32
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * cosTab[v][y]
+			}
+			// Normalize by 4 (2D DCT-II scale) after Q10 shift.
+			out[v*8+u] = (s >> 10) / 4
+		}
+	}
+}
+
+// EncodeFrame DCT-encodes a frame chunk: the input is treated as a sequence
+// of 64-byte blocks (8x8 samples); each block is transformed, quantized,
+// zigzag-scanned and run-length coded. The output begins with the original
+// length (u32) so decoders and tests can validate framing. Input length is
+// padded up to a block multiple internally.
+func EncodeFrame(frame []byte) []byte {
+	nBlocks := (len(frame) + 63) / 64
+	out := make([]byte, 4, 4+len(frame)/2+16)
+	binary.LittleEndian.PutUint32(out, uint32(len(frame)))
+	var in, coef [64]int32
+	for b := 0; b < nBlocks; b++ {
+		for i := 0; i < 64; i++ {
+			idx := b*64 + i
+			var v byte
+			if idx < len(frame) {
+				v = frame[idx]
+			}
+			in[i] = int32(v) - 128
+		}
+		fdct8x8(&in, &coef)
+		// Quantize + zigzag + RLE of zeros: pairs (run u8, level i16).
+		run := 0
+		for s := 0; s < 64; s++ {
+			q := coef[zigzag[s]] / quantTable[zigzag[s]]
+			if q == 0 && run < 255 {
+				run++
+				continue
+			}
+			out = append(out, byte(run))
+			var lv [2]byte
+			binary.LittleEndian.PutUint16(lv[:], uint16(int16(q)))
+			out = append(out, lv[0], lv[1])
+			run = 0
+		}
+		// End-of-block marker: run=255, level=0x7FFF.
+		out = append(out, 255, 0xFF, 0x7F)
+	}
+	return out
+}
+
+// DecodeFrameHeader returns the original frame length recorded by
+// EncodeFrame.
+func DecodeFrameHeader(enc []byte) (int, error) {
+	if len(enc) < 4 {
+		return 0, fmt.Errorf("apps: truncated encoded frame")
+	}
+	return int(binary.LittleEndian.Uint32(enc)), nil
+}
+
+// CountBlocks reports the number of encoded blocks (by EOB markers).
+func CountBlocks(enc []byte) int {
+	n := 0
+	for i := 4; i+2 < len(enc); i += 3 {
+		if enc[i] == 255 && enc[i+1] == 0xFF && enc[i+2] == 0x7F {
+			n++
+		}
+	}
+	return n
+}
+
+// Compress is an LZ77-style compressor with a 4 KiB window: output is a
+// token stream of literals (0x00 len byte data) and matches (0x01 dist u16
+// len u8). Small, real, deterministic.
+func Compress(src []byte) []byte {
+	const window = 4096
+	const minMatch = 4
+	const maxMatch = 255
+	out := make([]byte, 4, len(src)/2+16)
+	binary.LittleEndian.PutUint32(out, uint32(len(src)))
+
+	var lit []byte
+	flushLit := func() {
+		for len(lit) > 0 {
+			n := len(lit)
+			if n > 255 {
+				n = 255
+			}
+			out = append(out, 0x00, byte(n))
+			out = append(out, lit[:n]...)
+			lit = lit[n:]
+		}
+	}
+
+	// Hash chain on 4-byte prefixes.
+	head := make(map[uint32]int, 1024)
+	hash := func(i int) uint32 {
+		return binary.LittleEndian.Uint32(src[i:]) * 2654435761
+	}
+	i := 0
+	for i < len(src) {
+		if i+minMatch <= len(src) {
+			h := hash(i)
+			if j, ok := head[h]; ok && i-j <= window && j < i {
+				// Verify and extend.
+				n := 0
+				for i+n < len(src) && n < maxMatch && src[j+n] == src[i+n] {
+					n++
+				}
+				if n >= minMatch {
+					flushLit()
+					out = append(out, 0x01)
+					var d [2]byte
+					binary.LittleEndian.PutUint16(d[:], uint16(i-j))
+					out = append(out, d[0], d[1], byte(n))
+					// Update hash heads sparsely inside the match.
+					for k := i; k < i+n && k+minMatch <= len(src); k += 2 {
+						head[hash(k)] = k
+					}
+					i += n
+					continue
+				}
+			}
+			head[h] = i
+		}
+		lit = append(lit, src[i])
+		i++
+	}
+	flushLit()
+	return out
+}
+
+// Decompress inverts Compress.
+func Decompress(comp []byte) ([]byte, error) {
+	if len(comp) < 4 {
+		return nil, fmt.Errorf("apps: truncated compressed data")
+	}
+	want := int(binary.LittleEndian.Uint32(comp))
+	out := make([]byte, 0, want)
+	i := 4
+	for i < len(comp) {
+		switch comp[i] {
+		case 0x00:
+			if i+2 > len(comp) {
+				return nil, fmt.Errorf("apps: bad literal token at %d", i)
+			}
+			n := int(comp[i+1])
+			if i+2+n > len(comp) {
+				return nil, fmt.Errorf("apps: literal overruns input at %d", i)
+			}
+			out = append(out, comp[i+2:i+2+n]...)
+			i += 2 + n
+		case 0x01:
+			if i+4 > len(comp) {
+				return nil, fmt.Errorf("apps: bad match token at %d", i)
+			}
+			dist := int(binary.LittleEndian.Uint16(comp[i+1:]))
+			n := int(comp[i+3])
+			if dist == 0 || dist > len(out) {
+				return nil, fmt.Errorf("apps: bad match distance %d at %d", dist, i)
+			}
+			for k := 0; k < n; k++ {
+				out = append(out, out[len(out)-dist])
+			}
+			i += 4
+		default:
+			return nil, fmt.Errorf("apps: unknown token %#x at %d", comp[i], i)
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("apps: decompressed %d bytes, header says %d", len(out), want)
+	}
+	return out, nil
+}
+
+// Checksum64 is the FNV-1a checksum kernel used by the checksum accelerator.
+func Checksum64(p []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// MatVec8 computes out = W·x over int8 with int32 accumulation; W is rows x
+// cols in row-major order. It is the ML-inference-style kernel.
+func MatVec8(w []int8, rows, cols int, x []int8) ([]int32, error) {
+	if len(w) != rows*cols || len(x) != cols {
+		return nil, fmt.Errorf("apps: matvec shape mismatch")
+	}
+	out := make([]int32, rows)
+	for r := 0; r < rows; r++ {
+		var acc int32
+		row := w[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			acc += int32(row[c]) * int32(x[c])
+		}
+		out[r] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"apiary/internal/sim"
+)
+
+func TestEncodeFrameHeader(t *testing.T) {
+	frame := make([]byte, 300)
+	enc := EncodeFrame(frame)
+	n, err := DecodeFrameHeader(enc)
+	if err != nil || n != 300 {
+		t.Fatalf("header = %d, %v", n, err)
+	}
+	if _, err := DecodeFrameHeader([]byte{1}); err == nil {
+		t.Fatal("short header decoded")
+	}
+}
+
+func TestEncodeFrameBlockCount(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 128, 1000} {
+		enc := EncodeFrame(make([]byte, n))
+		want := (n + 63) / 64
+		if got := CountBlocks(enc); got != want {
+			t.Fatalf("frame of %d bytes: %d blocks, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEncodeFrameCompressesSmoothData(t *testing.T) {
+	// A smooth gradient has little high-frequency energy: the quantized
+	// DCT + RLE output must be much smaller than the input.
+	frame := make([]byte, 4096)
+	for i := range frame {
+		frame[i] = byte(128 + (i%64)/8) // gentle ramp per block row
+	}
+	enc := EncodeFrame(frame)
+	if len(enc) > len(frame)/3 {
+		t.Fatalf("smooth frame encoded to %d bytes from %d — DCT not concentrating energy",
+			len(enc), len(frame))
+	}
+}
+
+func TestEncodeFrameDeterministic(t *testing.T) {
+	rng := sim.NewRNG(1)
+	frame := make([]byte, 512)
+	rng.Bytes(frame)
+	a := EncodeFrame(frame)
+	b := EncodeFrame(frame)
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoder not deterministic")
+	}
+}
+
+func TestDCTDCValue(t *testing.T) {
+	// A constant block has only a DC coefficient.
+	var in, out [64]int32
+	for i := range in {
+		in[i] = 100
+	}
+	fdct8x8(&in, &out)
+	if out[0] == 0 {
+		t.Fatal("DC coefficient zero for constant block")
+	}
+	for i := 1; i < 64; i++ {
+		if out[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d for constant block", i, out[i])
+		}
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRepetitiveData(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 512)
+	comp := Compress(data)
+	if len(comp) > len(data)/4 {
+		t.Fatalf("repetitive data compressed to %d from %d", len(comp), len(data))
+	}
+	got, err := Decompress(comp)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestCompressEmptyAndTiny(t *testing.T) {
+	for _, data := range [][]byte{{}, {1}, {1, 2, 3}} {
+		got, err := Decompress(Compress(data))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("round trip of %v failed: %v", data, err)
+		}
+	}
+}
+
+func TestDecompressMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2},
+		{0, 0, 0, 16, 0x02},         // unknown token
+		{0, 0, 0, 16, 0x00, 10, 1},  // literal overrun
+		{4, 0, 0, 0, 0x01, 9, 0, 4}, // match before start
+		{9, 0, 0, 0, 0x00, 1, 7},    // length mismatch vs header
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Fatalf("case %d: malformed input decompressed", i)
+		}
+	}
+}
+
+func TestChecksum64(t *testing.T) {
+	a := Checksum64([]byte("apiary"))
+	b := Checksum64([]byte("apiarz"))
+	if a == b {
+		t.Fatal("checksum collision on trivially different input")
+	}
+	if Checksum64(nil) != 14695981039346656037 {
+		t.Fatal("empty checksum != FNV offset basis")
+	}
+}
+
+func TestMatVec8(t *testing.T) {
+	w := []int8{1, 2, 3, 4, 5, 6} // 2x3
+	x := []int8{1, 0, -1}
+	y, err := MatVec8(w, 2, 3, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("y = %v", y)
+	}
+	if _, err := MatVec8(w, 2, 2, x); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestKVReqRoundTrip(t *testing.T) {
+	f := func(op byte, key, value string) bool {
+		if len(key) > 60000 || len(value) > 60000 {
+			return true
+		}
+		gotOp, gotK, gotV, ok := DecodeKVReq(EncodeKVReq(op, key, value))
+		return ok && gotOp == op && gotK == key && gotV == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := DecodeKVReq([]byte{1, 2}); ok {
+		t.Fatal("short KV request decoded")
+	}
+}

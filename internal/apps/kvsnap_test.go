@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// pushDriver sends scripted messages one per tick and records replies.
+type pushDriver struct {
+	sends []*msg.Message
+	in    []*msg.Message
+	codes []msg.ErrCode
+}
+
+func (a *pushDriver) Name() string  { return "driver" }
+func (a *pushDriver) Contexts() int { return 1 }
+func (a *pushDriver) Reset()        {}
+func (a *pushDriver) Tick(p accel.Port) {
+	if len(a.sends) > 0 {
+		m := a.sends[0]
+		a.sends = a.sends[1:]
+		a.codes = append(a.codes, p.Send(m))
+	}
+	if m, ok := p.Recv(); ok {
+		a.in = append(a.in, m)
+	}
+}
+
+// TestKVSnapshotSurvivesReconfiguration checkpoints a tenant into the
+// store's memory segment, wipes the accelerator (as a partial
+// reconfiguration would), restores, and reads the data back — the paper's
+// "state that it needs to maintain between invocations".
+func TestKVSnapshotSurvivesReconfiguration(t *testing.T) {
+	s, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := NewKVStore(2)
+	driver := &pushDriver{}
+	app, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "kvsnap",
+		Accels: []core.AppAccel{
+			{Name: "kv", New: func() accel.Accelerator { return kv },
+				Service: svcKV, MemBytes: 16384},
+			{Name: "driver", New: func() accel.Accelerator { return driver },
+				Connect: []msg.ServiceID{svcKV}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.SegRef = uint32(app.Placed[0].SegSlot)
+
+	push := func(seq uint32, payload []byte) {
+		driver.sends = append(driver.sends, &msg.Message{
+			Type: msg.TRequest, DstSvc: svcKV, Seq: seq, Payload: payload,
+		})
+	}
+	push(1, EncodeKVReq(KVPut, "durable", "yes"))
+	push(2, EncodeKVReq(KVSnap, "", ""))
+	if !s.RunUntil(func() bool { return len(driver.in) >= 2 }, 2_000_000) {
+		t.Fatalf("put+snap incomplete: %d replies codes=%v", len(driver.in), driver.codes)
+	}
+	if driver.in[1].Type != msg.TReply || driver.in[1].Payload[0] != 0 {
+		t.Fatalf("snap reply = %v", driver.in[1])
+	}
+
+	// "Reconfigure" the tile: accelerator state is wiped.
+	kv.Reset()
+	if kv.Len(0) != 0 {
+		t.Fatal("reset did not wipe state")
+	}
+
+	// Restore, then GET only after the restore completes — the store
+	// bounces requests with EBusy while a checkpoint op is in flight.
+	push(3, EncodeKVReq(KVRestore, "", ""))
+	if !s.RunUntil(func() bool { return len(driver.in) >= 3 }, 2_000_000) {
+		t.Fatalf("restore incomplete: %d replies", len(driver.in))
+	}
+	if driver.in[2].Payload[0] != 0 {
+		t.Fatalf("restore failed: %v", driver.in[2])
+	}
+	push(4, EncodeKVReq(KVGet, "durable", ""))
+	if !s.RunUntil(func() bool { return len(driver.in) >= 4 }, 2_000_000) {
+		t.Fatalf("get incomplete: %d replies", len(driver.in))
+	}
+	if string(driver.in[3].Payload) != "\x00yes" {
+		t.Fatalf("restored GET = %q", driver.in[3].Payload)
+	}
+}
+
+// TestKVSnapWithoutSegmentFails: persistence needs a segment capability.
+func TestKVSnapWithoutSegmentFails(t *testing.T) {
+	s, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := NewKVStore(1) // no SegRef configured
+	driver := &pushDriver{}
+	if _, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "noseg",
+		Accels: []core.AppAccel{
+			{Name: "kv", New: func() accel.Accelerator { return kv }, Service: svcKV},
+			{Name: "driver", New: func() accel.Accelerator { return driver },
+				Connect: []msg.ServiceID{svcKV}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	driver.sends = append(driver.sends, &msg.Message{
+		Type: msg.TRequest, DstSvc: svcKV, Seq: 1,
+		Payload: EncodeKVReq(KVSnap, "", ""),
+	})
+	if !s.RunUntil(func() bool { return len(driver.in) >= 1 }, 2_000_000) {
+		t.Fatal("no reply")
+	}
+	if driver.in[0].Type != msg.TError || driver.in[0].Err != msg.ENoCap {
+		t.Fatalf("snap without segment = %v", driver.in[0])
+	}
+}
+
+// TestKVTenantsSnapshotIndependently: each tenant has its own slot.
+func TestKVTenantsSnapshotIndependently(t *testing.T) {
+	s, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := NewKVStore(2)
+	driver := &pushDriver{}
+	app, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "multi",
+		Accels: []core.AppAccel{
+			{Name: "kv", New: func() accel.Accelerator { return kv },
+				Service: svcKV, MemBytes: 16384},
+			{Name: "driver", New: func() accel.Accelerator { return driver },
+				Connect: []msg.ServiceID{svcKV}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.SegRef = uint32(app.Placed[0].SegSlot)
+
+	// Seed both tenants directly, snapshot both (ctx via DstCtx). Ops are
+	// sequenced: the store serializes checkpoint operations.
+	kvPutDirect(kv, 0, "who", "zero")
+	kvPutDirect(kv, 1, "who", "one")
+	step := 0
+	doOp := func(ctx uint8, op byte) {
+		t.Helper()
+		driver.sends = append(driver.sends, &msg.Message{
+			Type: msg.TRequest, DstSvc: svcKV, DstCtx: ctx, Seq: uint32(10 + step),
+			Payload: EncodeKVReq(op, "", ""),
+		})
+		step++
+		if !s.RunUntil(func() bool { return len(driver.in) >= step }, 2_000_000) {
+			t.Fatalf("op %d incomplete", step)
+		}
+		if r := driver.in[step-1]; r.Type != msg.TReply || r.Payload[0] != 0 {
+			t.Fatalf("op %d failed: %v", step, r)
+		}
+	}
+	doOp(0, KVSnap)
+	doOp(1, KVSnap)
+	kv.Reset()
+	doOp(0, KVRestore)
+	doOp(1, KVRestore)
+	if kv.tenants[0]["who"] != "zero" || kv.tenants[1]["who"] != "one" {
+		t.Fatalf("tenant slots mixed: %v / %v", kv.tenants[0], kv.tenants[1])
+	}
+}
+
+// kvPutDirect seeds a tenant map out of band.
+func kvPutDirect(kv *KVStore, ctx uint8, k, v string) {
+	kv.tenants[ctx][k] = v
+}

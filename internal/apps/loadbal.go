@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+)
+
+// LoadBalancer is the scale-out splitter (paper §3 "Scalability": elements
+// are "scaled out to meet the specific use case ... without manual
+// optimization"). It exposes one service and spreads requests round-robin
+// over N replica services, routing each reply back to its original
+// requester.
+type LoadBalancer struct {
+	replicas []msg.ServiceID
+	rr       int
+	nextSeq  uint32
+	pend     map[uint32]pendEntry
+	out      outQ
+
+	// PerReplica counts requests dispatched to each replica.
+	PerReplica []uint64
+}
+
+// NewLoadBalancer builds a balancer over the given replica services.
+func NewLoadBalancer(replicas []msg.ServiceID) *LoadBalancer {
+	return &LoadBalancer{
+		replicas:   append([]msg.ServiceID(nil), replicas...),
+		pend:       make(map[uint32]pendEntry),
+		PerReplica: make([]uint64, len(replicas)),
+	}
+}
+
+// Name implements accel.Accelerator.
+func (l *LoadBalancer) Name() string { return "loadbal" }
+
+// Contexts implements accel.Accelerator.
+func (l *LoadBalancer) Contexts() int { return 1 }
+
+// Reset implements accel.Accelerator.
+func (l *LoadBalancer) Reset() {
+	l.pend = make(map[uint32]pendEntry)
+	l.out = outQ{}
+	l.rr = 0
+}
+
+// Tick implements accel.Accelerator. The balancer is wiring, not compute:
+// it moves up to 4 messages per cycle.
+func (l *LoadBalancer) Tick(p accel.Port) {
+	for i := 0; i < 4; i++ {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		l.handle(p, m)
+	}
+	l.out.flush(p)
+}
+
+func (l *LoadBalancer) handle(p accel.Port, m *msg.Message) {
+	now := p.Now()
+	switch m.Type {
+	case msg.TRequest:
+		if len(l.replicas) == 0 {
+			l.out.push(now, m.ErrorReply(msg.ENoService))
+			return
+		}
+		idx := l.rr % len(l.replicas)
+		l.rr++
+		l.PerReplica[idx]++
+		seq := l.nextSeq
+		l.nextSeq++
+		l.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
+		l.out.push(now, &msg.Message{
+			Type: msg.TRequest, DstSvc: l.replicas[idx], Seq: seq, Payload: m.Payload,
+		})
+	case msg.TReply, msg.TError:
+		pe, ok := l.pend[m.Seq]
+		if !ok {
+			return
+		}
+		delete(l.pend, m.Seq)
+		l.out.push(now, &msg.Message{
+			Type: m.Type, Err: m.Err, DstTile: pe.tile, DstCtx: pe.ctx,
+			Seq: pe.seq, Payload: m.Payload,
+		})
+	}
+}
+
+// Faulty wraps an accelerator and injects a panic after the wrapped logic
+// has received the given number of messages — the fault-injection harness
+// for E8/E9.
+type Faulty struct {
+	accel.Accelerator
+	// PanicAfter is the message count that triggers the fault.
+	PanicAfter int
+
+	seen int
+}
+
+// NewFaulty wraps a.
+func NewFaulty(a accel.Accelerator, panicAfter int) *Faulty {
+	return &Faulty{Accelerator: a, PanicAfter: panicAfter}
+}
+
+// faultyPort counts Recv results so the wrapper knows when to blow up.
+type faultyPort struct {
+	accel.Port
+	f *Faulty
+}
+
+func (fp *faultyPort) Recv() (*msg.Message, bool) {
+	m, ok := fp.Port.Recv()
+	if ok {
+		fp.f.seen++
+	}
+	return m, ok
+}
+
+// Tick implements accel.Accelerator.
+func (f *Faulty) Tick(p accel.Port) {
+	if f.PanicAfter > 0 && f.seen >= f.PanicAfter {
+		panic("apps: injected fault")
+	}
+	f.Accelerator.Tick(&faultyPort{Port: p, f: f})
+}
+
+// Reset implements accel.Accelerator; the wrapped accelerator restarts
+// clean and the trigger re-arms.
+func (f *Faulty) Reset() {
+	f.seen = 0
+	f.Accelerator.Reset()
+}

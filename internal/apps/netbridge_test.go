@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/noc"
+)
+
+// bootNet boots a board with the network service and returns an external
+// software client attached to the same fabric.
+func bootNet(t *testing.T) (*core.System, *netstack.SoftEndpoint) {
+	t.Helper()
+	s, err := core.NewSystem(core.SystemConfig{
+		Dims: noc.Dims{W: 3, H: 3}, WithNet: true, NodeID: 1,
+		LinkLatencyNs: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := netstack.NewSoftEndpoint(s.Engine, s.Stats, s.Fabric, 100,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: 500})
+	return s, client
+}
+
+// TestDirectAttachedRoundTrip is the paper's headline path: an external
+// client reaches an accelerator with no CPU anywhere — NIC, hardware
+// netstack tile, NoC, compute tile, and back.
+func TestDirectAttachedRoundTrip(t *testing.T) {
+	s, client := bootNet(t)
+	bridge := NewNetBridge(80)
+	bridge.Process = func(in []byte) ([]byte, msg.ErrCode) {
+		h := Checksum64(in)
+		out := make([]byte, 8)
+		for i := 0; i < 8; i++ {
+			out[i] = byte(h >> (8 * i))
+		}
+		return out, msg.EOK
+	}
+	if _, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "svc",
+		Accels: []core.AppAccel{
+			{Name: "b", New: func() accel.Accelerator { return bridge }, WantNet: true},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	req := []byte("direct-attached request")
+	if err := client.Send(1, 80, req); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(func() bool { return got != nil }, 5_000_000) {
+		t.Fatal("no reply over the network")
+	}
+	want := Checksum64(req)
+	var gotSum uint64
+	for i := 0; i < 8; i++ {
+		gotSum |= uint64(got[i]) << (8 * i)
+	}
+	if gotSum != want {
+		t.Fatalf("checksum over network = %x, want %x", gotSum, want)
+	}
+	if bridge.Served != 1 {
+		t.Fatalf("bridge served = %d", bridge.Served)
+	}
+}
+
+// TestNetBridgeForwardsToService checks the composed form: datagram ->
+// bridge -> on-board KV service -> bridge -> network.
+func TestNetBridgeForwardsToService(t *testing.T) {
+	s, client := bootNet(t)
+	bridge := NewNetBridge(81)
+	bridge.Target = svcKV
+	kv := NewKVStore(1)
+	if _, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "kvnet",
+		Accels: []core.AppAccel{
+			{Name: "b", New: func() accel.Accelerator { return bridge }, WantNet: true,
+				Connect: []msg.ServiceID{svcKV}},
+			{Name: "kv", New: func() accel.Accelerator { return kv }, Service: svcKV},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var replies [][]byte
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) {
+		replies = append(replies, data)
+	})
+	_ = client.Send(1, 81, EncodeKVReq(KVPut, "city", "banff"))
+	if !s.RunUntil(func() bool { return len(replies) >= 1 }, 5_000_000) {
+		t.Fatal("no PUT reply")
+	}
+	_ = client.Send(1, 81, EncodeKVReq(KVGet, "city", ""))
+	if !s.RunUntil(func() bool { return len(replies) >= 2 }, 5_000_000) {
+		t.Fatal("no GET reply")
+	}
+	if string(replies[1]) != "\x00banff" {
+		t.Fatalf("GET over network = %q", replies[1])
+	}
+}
+
+// TestNetBridgeErrorsSurfaceToClient: a bridge forwarding to a
+// fail-stopped service returns an error datagram, not silence.
+func TestNetBridgeErrorsSurfaceToClient(t *testing.T) {
+	s, client := bootNet(t)
+	bridge := NewNetBridge(82)
+	bridge.Target = svcKV
+	kv := NewKVStore(1)
+	app, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "kvnet",
+		Accels: []core.AppAccel{
+			{Name: "b", New: func() accel.Accelerator { return bridge }, WantNet: true,
+				Connect: []msg.ServiceID{svcKV}},
+			{Name: "kv", New: func() accel.Accelerator { return kv }, Service: svcKV},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1000)
+	s.Kernel.Monitor(app.Placed[1].Tile).ForceFault(0, accel.FaultExplicit)
+	var got []byte
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	_ = client.Send(1, 82, EncodeKVReq(KVGet, "k", ""))
+	if !s.RunUntil(func() bool { return got != nil }, 5_000_000) {
+		t.Fatal("client hung on fail-stopped backend")
+	}
+	// The KV store is preemptible, so the fault killed only context 0 and
+	// the tile stayed up: the client sees ENoContext. (A concurrent-only
+	// accelerator would have produced EFailStopped instead.)
+	if len(got) != 2 || got[0] != 0xFF || msg.ErrCode(got[1]) != msg.ENoContext {
+		t.Fatalf("error datagram = %v", got)
+	}
+}

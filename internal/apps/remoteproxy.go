@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// RemoteProxy answers the paper's §6 question "Can we reasonably completely
+// avoid an on-node hosting CPU?": functionality that is "either rarely used
+// or exceptionally complex" is not built in hardware at all — a proxy tile
+// registers the service locally and forwards each request over the
+// datacenter network to a CPU *somewhere else*, keeping the FPGA
+// independent of its on-node host. On-board clients are oblivious: they
+// hold an ordinary endpoint capability for an ordinary service.
+//
+// Wire format on the network flow: [seq u32][payload]; the remote service
+// echoes the seq with its reply.
+type RemoteProxy struct {
+	// Remote is the CPU service's network address.
+	Remote msg.NetAddr
+	// Flow is the local flow replies arrive on.
+	Flow uint16
+
+	listened bool
+	nextSeq  uint32
+	pend     map[uint32]pendEntry
+	out      outQ
+
+	// Forwarded counts requests sent to the remote CPU.
+	Forwarded uint64
+}
+
+// NewRemoteProxy builds a proxy for the CPU service at remote; replies are
+// received on replyFlow.
+func NewRemoteProxy(remote msg.NetAddr, replyFlow uint16) *RemoteProxy {
+	return &RemoteProxy{Remote: remote, Flow: replyFlow, pend: make(map[uint32]pendEntry)}
+}
+
+// EncodeProxyFrame frames a proxied request/reply datagram.
+func EncodeProxyFrame(seq uint32, payload []byte) []byte {
+	b := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(b, seq)
+	copy(b[4:], payload)
+	return b
+}
+
+// DecodeProxyFrame parses a proxied datagram.
+func DecodeProxyFrame(b []byte) (seq uint32, payload []byte, ok bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], true
+}
+
+// Name implements accel.Accelerator.
+func (r *RemoteProxy) Name() string { return "remoteproxy" }
+
+// Contexts implements accel.Accelerator.
+func (r *RemoteProxy) Contexts() int { return 1 }
+
+// Reset implements accel.Accelerator.
+func (r *RemoteProxy) Reset() {
+	r.listened = false
+	r.pend = make(map[uint32]pendEntry)
+	r.out = outQ{}
+}
+
+// Tick implements accel.Accelerator.
+func (r *RemoteProxy) Tick(p accel.Port) {
+	now := p.Now()
+	if !r.listened {
+		code := p.Send(&msg.Message{
+			Type: msg.TNetListen, DstSvc: msg.SvcNet, Seq: 0xFFFFFFFF,
+			Payload: msg.EncodeNetListenReq(msg.NetListenReq{Flow: r.Flow}),
+		})
+		if code == msg.EOK {
+			r.listened = true
+		}
+		return
+	}
+	for i := 0; i < 4; i++ {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		r.handle(m, now)
+	}
+	r.out.flush(p)
+}
+
+func (r *RemoteProxy) handle(m *msg.Message, now sim.Cycle) {
+	switch m.Type {
+	case msg.TRequest:
+		seq := r.nextSeq
+		r.nextSeq++
+		r.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
+		r.Forwarded++
+		r.out.push(now, &msg.Message{
+			Type: msg.TNetSend, DstSvc: msg.SvcNet,
+			Payload: msg.EncodeNetSendReq(msg.NetSendReq{
+				Remote: r.Remote,
+				Data:   EncodeProxyFrame(seq, m.Payload),
+			}),
+		})
+	case msg.TNetRecv:
+		ind, err := msg.DecodeNetRecvInd(m.Payload)
+		if err != nil {
+			return
+		}
+		seq, payload, ok := DecodeProxyFrame(ind.Data)
+		if !ok {
+			return
+		}
+		pe, found := r.pend[seq]
+		if !found {
+			return
+		}
+		delete(r.pend, seq)
+		r.out.push(now, &msg.Message{
+			Type: msg.TReply, DstTile: pe.tile, DstCtx: pe.ctx, Seq: pe.seq,
+			Payload: append([]byte(nil), payload...),
+		})
+	case msg.TReply, msg.TError:
+		// Listen ack or netstack error; nothing to correlate.
+	}
+}

@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+)
+
+const proxySvc = msg.FirstUserService + 9
+
+// TestRemoteCPUService: an on-board client calls an ordinary service that
+// is actually served by a remote CPU, through the RemoteProxy tile —
+// the §6 "avoid the on-node CPU" pattern.
+func TestRemoteCPUService(t *testing.T) {
+	s, _ := bootNet(t)
+
+	// The "remote CPU" is a software endpoint running an uppercase service.
+	cpu := newCPUService(t, s)
+
+	proxy := NewRemoteProxy(msg.NetAddr{Node: uint32(cpu), Flow: 9000}, 9001)
+	lat := s.Stats.Histogram("proxy.lat")
+	client := NewRequester(proxySvc, 20, 50,
+		func(i int) []byte { return []byte("hello remote cpu") }, lat)
+	if _, err := s.Kernel.LoadApp(core.AppSpec{
+		Name: "proxied",
+		Accels: []core.AppAccel{
+			{Name: "proxy", New: func() accel.Accelerator { return proxy },
+				Service: proxySvc, WantNet: true},
+			{Name: "client", New: func() accel.Accelerator { return client },
+				Connect: []msg.ServiceID{proxySvc}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(client.Done, 50_000_000) {
+		t.Fatalf("proxied requests incomplete: %d ok %d err",
+			client.Responses(), client.Errors())
+	}
+	if client.Errors() != 0 {
+		t.Fatalf("errors: %d", client.Errors())
+	}
+	if !bytes.Equal(client.LastReply(), []byte("HELLO REMOTE CPU")) {
+		t.Fatalf("remote service reply = %q", client.LastReply())
+	}
+	if proxy.Forwarded != 20 {
+		t.Fatalf("forwarded = %d", proxy.Forwarded)
+	}
+	// The network round trip must be visible in the latency: far more than
+	// an on-chip IPC (tens of cycles).
+	if lat.Median() < 500 {
+		t.Fatalf("proxied latency %v cycles implausibly low for a network hop", lat.Median())
+	}
+}
+
+// newCPUService attaches a software uppercase service to the board's fabric
+// on flow 9000 and returns its node id.
+func newCPUService(t *testing.T, s *core.System) netsim.NodeID {
+	t.Helper()
+	const node = netsim.NodeID(77)
+	ep := newSoft(t, s, node)
+	ep.OnDatagram(func(remote netsim.NodeID, flow uint16, data []byte) {
+		seq, payload, ok := DecodeProxyFrame(data)
+		if !ok {
+			return
+		}
+		out := []byte(strings.ToUpper(string(payload)))
+		// Reply to the proxy's listen flow.
+		_ = ep.Send(remote, 9001, EncodeProxyFrame(seq, out))
+	})
+	return node
+}
+
+// newSoft attaches one more software endpoint to the board's fabric.
+func newSoft(t *testing.T, s *core.System, node netsim.NodeID) *netstack.SoftEndpoint {
+	t.Helper()
+	return netstack.NewSoftEndpoint(s.Engine, s.Stats, s.Fabric, node,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: 500})
+}
+
+func TestProxyFrameRoundTrip(t *testing.T) {
+	b := EncodeProxyFrame(42, []byte("x"))
+	seq, payload, ok := DecodeProxyFrame(b)
+	if !ok || seq != 42 || string(payload) != "x" {
+		t.Fatalf("frame round trip: %v %v %v", seq, payload, ok)
+	}
+	if _, _, ok := DecodeProxyFrame([]byte{1, 2}); ok {
+		t.Fatal("short frame decoded")
+	}
+}

@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// Requester is the synthetic closed/open-loop client accelerator used by
+// experiments: it issues requests to a target service at a configured gap,
+// matches replies by sequence number and records end-to-end latency.
+type Requester struct {
+	Target msg.ServiceID
+	// Payload generates the i-th request body.
+	Payload func(i int) []byte
+	// Total requests to issue (0 = unlimited).
+	Total int
+	// GapCycles between issues (closed loop if InFlight bound hit).
+	GapCycles sim.Cycle
+	// MaxInFlight bounds outstanding requests (default 8).
+	MaxInFlight int
+	// TimeoutCycles expires an unanswered request (counted as an error).
+	// Requests can vanish without a NACK — e.g. they were queued in a
+	// shell that fail-stopped — so a client without timeouts deadlocks
+	// exactly when the system it measures misbehaves. Default 100000.
+	TimeoutCycles sim.Cycle
+
+	sent      int
+	inFlight  int
+	nextAt    sim.Cycle
+	sentAt    map[uint32]sim.Cycle
+	latency   *sim.Histogram
+	errs      int
+	responses int
+	lastReply []byte
+}
+
+// NewRequester builds a client for target issuing total requests.
+func NewRequester(target msg.ServiceID, total int, gap sim.Cycle,
+	payload func(i int) []byte, lat *sim.Histogram) *Requester {
+	return &Requester{
+		Target: target, Total: total, GapCycles: gap, Payload: payload,
+		MaxInFlight: 8, TimeoutCycles: 100_000,
+		sentAt: make(map[uint32]sim.Cycle), latency: lat,
+	}
+}
+
+// Done reports whether every request has been answered.
+func (r *Requester) Done() bool {
+	return r.Total > 0 && r.responses+r.errs >= r.Total
+}
+
+// Responses reports successful replies received.
+func (r *Requester) Responses() int { return r.responses }
+
+// Errors reports TError replies received.
+func (r *Requester) Errors() int { return r.errs }
+
+// LastReply returns the most recent reply payload.
+func (r *Requester) LastReply() []byte { return r.lastReply }
+
+// Name implements accel.Accelerator.
+func (r *Requester) Name() string { return "requester" }
+
+// Contexts implements accel.Accelerator.
+func (r *Requester) Contexts() int { return 1 }
+
+// Reset implements accel.Accelerator.
+func (r *Requester) Reset() {
+	r.sentAt = make(map[uint32]sim.Cycle)
+	r.inFlight = 0
+}
+
+// Tick implements accel.Accelerator.
+func (r *Requester) Tick(p accel.Port) {
+	now := p.Now()
+	for {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		at, known := r.sentAt[m.Seq]
+		if !known {
+			continue
+		}
+		delete(r.sentAt, m.Seq)
+		r.inFlight--
+		switch m.Type {
+		case msg.TReply, msg.TMemReply:
+			r.responses++
+			r.lastReply = m.Payload
+			if r.latency != nil {
+				r.latency.Observe(float64(now - at))
+			}
+		case msg.TError:
+			r.errs++
+		}
+	}
+
+	// Expire lost requests (scan sparsely; in-flight counts are tiny).
+	if r.TimeoutCycles > 0 && r.inFlight > 0 && now%512 == 0 {
+		for seq, at := range r.sentAt {
+			if now-at > r.TimeoutCycles {
+				delete(r.sentAt, seq)
+				r.inFlight--
+				r.errs++
+			}
+		}
+	}
+
+	if (r.Total == 0 || r.sent < r.Total) && now >= r.nextAt && r.inFlight < r.MaxInFlight {
+		seq := uint32(r.sent)
+		m := &msg.Message{
+			Type: msg.TRequest, DstSvc: r.Target, Seq: seq,
+			Payload: r.Payload(r.sent),
+		}
+		code := p.Send(m)
+		switch code {
+		case msg.EOK:
+			r.sentAt[seq] = now
+			r.sent++
+			r.inFlight++
+			r.nextAt = now + r.GapCycles
+		case msg.ERateLimited, msg.EBusy:
+			// Retry next tick.
+		default:
+			// Hard denial (no capability, no service): count as error so
+			// experiments observe it, and move on.
+			r.errs++
+			r.sent++
+		}
+	}
+}

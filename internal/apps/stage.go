@@ -1,0 +1,241 @@
+package apps
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// ProcessFunc transforms one request payload into an output payload. err
+// (as an Apiary error code) aborts the request with a TError to the caller.
+type ProcessFunc func(in []byte) (out []byte, code msg.ErrCode)
+
+// StageConfig parameterizes a Stage accelerator.
+type StageConfig struct {
+	Name string
+	// Process is the stage's kernel.
+	Process ProcessFunc
+	// Next, when nonzero, forwards the processed output as a new request
+	// to another service (pipeline composition, paper §2); the downstream
+	// reply is routed back to the original requester. When zero the stage
+	// replies directly.
+	Next msg.ServiceID
+	// BaseCycles + CyclesPerByte model the hardware pipeline's occupancy
+	// per request.
+	BaseCycles    sim.Cycle
+	CyclesPerByte float64
+}
+
+// pendEntry remembers the original requester while a downstream call is in
+// flight.
+type pendEntry struct {
+	tile msg.TileID
+	ctx  uint8
+	seq  uint32
+}
+
+// timedMsg is a message that becomes sendable at a given cycle.
+type timedMsg struct {
+	at sim.Cycle
+	m  *msg.Message
+}
+
+// outQ is a time-ordered send queue honouring monitor backpressure.
+type outQ struct{ items []timedMsg }
+
+func (q *outQ) push(at sim.Cycle, m *msg.Message) {
+	q.items = append(q.items, timedMsg{at, m})
+}
+
+// flush sends every due message; stops on backpressure (ERateLimited/EBusy)
+// and drops on hard errors (the destination will have NACKed or is gone).
+func (q *outQ) flush(p accel.Port) {
+	for len(q.items) > 0 {
+		it := q.items[0]
+		if it.at > p.Now() {
+			return
+		}
+		code := p.Send(it.m)
+		if code == msg.ERateLimited || code == msg.EBusy {
+			return // retry next tick
+		}
+		q.items = q.items[1:]
+	}
+}
+
+// Stage is a generic single-context pipeline accelerator: consume a
+// request, run the kernel, occupy the pipeline for the modelled time, then
+// reply or forward. It is the workhorse behind the encoder, compressor,
+// checksum and matvec accelerators.
+type Stage struct {
+	cfg     StageConfig
+	busyTil sim.Cycle
+	nextSeq uint32
+	pend    map[uint32]pendEntry
+	out     outQ
+
+	processed uint64
+	errors    uint64
+}
+
+// NewStage builds a Stage accelerator.
+func NewStage(cfg StageConfig) *Stage {
+	return &Stage{cfg: cfg, pend: make(map[uint32]pendEntry)}
+}
+
+// Processed reports requests completed by the kernel.
+func (s *Stage) Processed() uint64 { return s.processed }
+
+// Name implements accel.Accelerator.
+func (s *Stage) Name() string { return s.cfg.Name }
+
+// Contexts implements accel.Accelerator.
+func (s *Stage) Contexts() int { return 1 }
+
+// Reset implements accel.Accelerator.
+func (s *Stage) Reset() {
+	s.busyTil = 0
+	s.pend = make(map[uint32]pendEntry)
+	s.out = outQ{}
+}
+
+// cost models pipeline occupancy for n payload bytes.
+func (s *Stage) cost(n int) sim.Cycle {
+	return s.cfg.BaseCycles + sim.Cycle(s.cfg.CyclesPerByte*float64(n))
+}
+
+// Tick implements accel.Accelerator.
+func (s *Stage) Tick(p accel.Port) {
+	now := p.Now()
+	// Accept one new request per tick when the pipeline is free.
+	if now >= s.busyTil {
+		if m, ok := p.Recv(); ok {
+			s.handle(p, m, now)
+		}
+	}
+	s.out.flush(p)
+}
+
+func (s *Stage) handle(p accel.Port, m *msg.Message, now sim.Cycle) {
+	switch m.Type {
+	case msg.TRequest, msg.TOneway:
+		out, code := s.cfg.Process(m.Payload)
+		if code != msg.EOK {
+			s.errors++
+			if m.Type == msg.TRequest {
+				s.out.push(now, m.ErrorReply(code))
+			}
+			return
+		}
+		s.processed++
+		done := now + s.cost(len(m.Payload))
+		s.busyTil = done
+		if s.cfg.Next == 0 {
+			if m.Type == msg.TRequest {
+				s.out.push(done, m.Reply(msg.TReply, out))
+			}
+			return
+		}
+		// Forward downstream; remember who asked.
+		seq := s.nextSeq
+		s.nextSeq++
+		s.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
+		s.out.push(done, &msg.Message{
+			Type: msg.TRequest, DstSvc: s.cfg.Next, Seq: seq, Payload: out,
+		})
+	case msg.TReply, msg.TError:
+		pe, ok := s.pend[m.Seq]
+		if !ok {
+			return
+		}
+		delete(s.pend, m.Seq)
+		r := &msg.Message{
+			Type: m.Type, Err: m.Err, DstTile: pe.tile, DstCtx: pe.ctx,
+			Seq: pe.seq, Payload: m.Payload,
+		}
+		s.out.push(now, r)
+	}
+}
+
+// NewEncoder builds the §2 video-encoder accelerator. next is the
+// compression service to compose with (0 = reply directly).
+func NewEncoder(next msg.ServiceID) *Stage {
+	return NewStage(StageConfig{
+		Name: "videoenc",
+		Process: func(in []byte) ([]byte, msg.ErrCode) {
+			if len(in) == 0 {
+				return nil, msg.EBadMsg
+			}
+			return EncodeFrame(in), msg.EOK
+		},
+		Next:          next,
+		BaseCycles:    32,
+		CyclesPerByte: 0.5, // 2 samples/cycle through the DCT pipe
+	})
+}
+
+// NewCompressor builds the third-party compression accelerator.
+func NewCompressor() *Stage {
+	return NewStage(StageConfig{
+		Name: "compress",
+		Process: func(in []byte) ([]byte, msg.ErrCode) {
+			return Compress(in), msg.EOK
+		},
+		BaseCycles:    16,
+		CyclesPerByte: 0.25,
+	})
+}
+
+// NewChecksum builds a checksum accelerator returning the FNV-1a digest.
+func NewChecksum() *Stage {
+	return NewStage(StageConfig{
+		Name: "checksum",
+		Process: func(in []byte) ([]byte, msg.ErrCode) {
+			h := Checksum64(in)
+			out := make([]byte, 8)
+			for i := 0; i < 8; i++ {
+				out[i] = byte(h >> (8 * i))
+			}
+			return out, msg.EOK
+		},
+		BaseCycles:    8,
+		CyclesPerByte: 0.0625, // 16 bytes/cycle
+	})
+}
+
+// NewMatVec builds an inference-style accelerator with fixed internal
+// weights of the given shape; requests carry x (int8), replies carry the
+// int32 result vector little-endian.
+func NewMatVec(rows, cols int, seed uint64) *Stage {
+	w := make([]int8, rows*cols)
+	rng := sim.NewRNG(seed)
+	for i := range w {
+		w[i] = int8(rng.Intn(256) - 128)
+	}
+	return NewStage(StageConfig{
+		Name: "matvec",
+		Process: func(in []byte) ([]byte, msg.ErrCode) {
+			if len(in) != cols {
+				return nil, msg.EBadMsg
+			}
+			x := make([]int8, cols)
+			for i, b := range in {
+				x[i] = int8(b)
+			}
+			y, err := MatVec8(w, rows, cols, x)
+			if err != nil {
+				return nil, msg.EBadMsg
+			}
+			out := make([]byte, 4*rows)
+			for i, v := range y {
+				out[4*i] = byte(v)
+				out[4*i+1] = byte(v >> 8)
+				out[4*i+2] = byte(v >> 16)
+				out[4*i+3] = byte(v >> 24)
+			}
+			return out, msg.EOK
+		},
+		BaseCycles:    sim.Cycle(rows), // one row per cycle with full unroll
+		CyclesPerByte: 0,
+	})
+}

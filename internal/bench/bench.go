@@ -1,0 +1,113 @@
+// Package bench implements the experiment harness: one entry per
+// table/figure/claim in EXPERIMENTS.md. Each experiment builds its systems
+// from scratch (fresh engine, fresh seed), runs the workload, and returns a
+// Result whose rows are what cmd/apiary-bench prints and what bench_test.go
+// asserts shape properties on.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's output table.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-text note.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell returns the named column of row i ("" if missing).
+func (r *Result) Cell(i int, col string) string {
+	for j, h := range r.Header {
+		if h == col && i < len(r.Rows) && j < len(r.Rows[i]) {
+			return r.Rows[i][j]
+		}
+	}
+	return ""
+}
+
+// String renders an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() Result
+}
+
+// All lists every experiment in EXPERIMENTS.md order.
+var All = []Experiment{
+	{"e1", "Table 1: FPGA logic-cell scaling", E1Table1},
+	{"e2", "Figure 1: tiled architecture with two isolated apps", E2Figure1},
+	{"e3", "Monitor/framework area overhead vs tile count", E3MonitorOverhead},
+	{"e4", "Direct-attached vs host-mediated request latency", E4Latency},
+	{"e5", "Energy per request: Apiary vs host-mediated", E5Energy},
+	{"e6", "IPC latency & monitor interposition overhead", E6IPC},
+	{"e7", "Rate limiting under a flooding accelerator", E7RateLimit},
+	{"e8", "Fail-stop fault containment", E8FailStop},
+	{"e9", "Concurrent fail-stop vs preemptible context kill", E9Preemption},
+	{"e10", "Segments vs pages: fragmentation and translation state", E10SegVsPage},
+	{"e11", "Section 2 scenario: video pipeline + multi-tenant KV", E11Scenario},
+	{"e12", "Scale-out throughput of replicated encoders", E12ScaleOut},
+	{"e13", "Portability: one manifest on 10G and 100G boards", E13Portability},
+	{"e14", "Service placement: hardware tile vs remote CPU proxy", E14RemoteService},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func u(v uint64) string   { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse helpers for asserting on rendered cells.
+func cellF(t *testing.T, r Result, row int, col string) float64 {
+	t.Helper()
+	s := r.Cell(row, col)
+	if s == "" {
+		t.Fatalf("%s: missing cell (%d, %s)", r.ID, row, col)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%s)=%q not numeric", r.ID, row, col, s)
+	}
+	return v
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := Result{ID: "X", Title: "t", Header: []string{"A", "B"}}
+	r.AddRow("1", "2")
+	r.Note("n %d", 3)
+	out := r.String()
+	for _, want := range []string{"== X: t ==", "A", "1", "note: n 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if r.Cell(0, "B") != "2" || r.Cell(0, "Z") != "" || r.Cell(5, "A") != "" {
+		t.Fatal("Cell accessor wrong")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e1"); !ok {
+		t.Fatal("e1 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestE1MatchesPaperTable(t *testing.T) {
+	r := E1Table1()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Cell(3, "Part") != "VU29P" || r.Cell(3, "LogicCells") != "3780000" {
+		t.Fatalf("VU29P row wrong: %v", r.Rows[3])
+	}
+	if r.Cell(0, "LogicCells") != "582720" {
+		t.Fatalf("XC7V585T row wrong: %v", r.Rows[0])
+	}
+}
+
+func TestE2TwoAppsIsolated(t *testing.T) {
+	r := E2Figure1()
+	if len(r.Rows) != 9 {
+		t.Fatalf("tile rows = %d, want 9", len(r.Rows))
+	}
+	joined := strings.Join(r.Notes, "\n")
+	if !strings.Contains(joined, "app1 completed 20/20") ||
+		!strings.Contains(joined, "app2 20/20") {
+		t.Fatalf("apps did not complete:\n%s", joined)
+	}
+	if !strings.Contains(joined, "probe into app1's encoder: 1 errors, 0 successes") {
+		t.Fatalf("isolation probe not denied:\n%s", joined)
+	}
+}
+
+func TestE3OverheadShape(t *testing.T) {
+	r := E3MonitorOverhead()
+	if len(r.Rows) != 4*5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Overhead grows with tiles within a part and shrinks with part size.
+	if cellF(t, r, 0, "Overhead%") >= cellF(t, r, 4, "Overhead%") {
+		t.Fatal("overhead not increasing with tiles")
+	}
+	// 64 tiles on VU29P (last row) must still be modest (< 30%).
+	last := len(r.Rows) - 1
+	if v := cellF(t, r, last, "Overhead%"); v <= 0 || v >= 30 {
+		t.Fatalf("VU29P 64-tile overhead = %v%%", v)
+	}
+}
+
+func TestE4DirectWins(t *testing.T) {
+	r := E4Latency()
+	if len(r.Rows) != len(e45Sizes) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := range r.Rows {
+		dp50 := cellF(t, r, i, "Direct-p50us")
+		hp50 := cellF(t, r, i, "Hosted-p50us")
+		if dp50 <= 0 || hp50 <= dp50 {
+			t.Fatalf("row %d: direct %v us, hosted %v us — direct must win", i, dp50, hp50)
+		}
+	}
+	// The advantage is largest for small requests.
+	if cellF(t, r, 0, "Speedup-p50") <= cellF(t, r, len(r.Rows)-1, "Speedup-p50")*0.8 {
+		t.Fatal("small-request speedup should not be dwarfed by large-request speedup")
+	}
+}
+
+func TestE5EnergyShape(t *testing.T) {
+	r := E5Energy()
+	for i := range r.Rows {
+		ratio := cellF(t, r, i, "Hosted/Direct")
+		if ratio <= 2 {
+			t.Fatalf("row %d: hosted/direct energy = %v, want > 2", i, ratio)
+		}
+		if cellF(t, r, i, "HostedCPU%") < 50 {
+			t.Fatalf("row %d: CPU should dominate hosted energy", i)
+		}
+	}
+}
+
+func TestE6IPCShape(t *testing.T) {
+	r := E6IPC()
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// RTT grows with payload (serialization).
+	if cellF(t, r, 0, "RTT-p50cy") >= cellF(t, r, 4, "RTT-p50cy") {
+		t.Fatal("RTT not increasing with payload")
+	}
+	// Capability overhead is small (<15% at any size).
+	for i := range r.Rows {
+		if ovh := cellF(t, r, i, "CheckOverhead%"); ovh > 15 {
+			t.Fatalf("row %d: capability overhead %v%%", i, ovh)
+		}
+	}
+}
+
+func TestE7RateLimitProtects(t *testing.T) {
+	r := E7RateLimit()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	okOf := func(row int) float64 {
+		s := strings.Split(r.Cell(row, "VictimOK"), "/")[0]
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	if okOf(1) < 45 {
+		t.Fatalf("victim under limited flooder completed only %v/50", okOf(1))
+	}
+	if okOf(0) >= okOf(1) {
+		t.Fatalf("rate limit gave no benefit: %v vs %v successes", okOf(0), okOf(1))
+	}
+	if r.Cell(1, "FloodLimited") == "0" {
+		t.Fatal("no flood messages were rate limited")
+	}
+}
+
+func TestE8Containment(t *testing.T) {
+	r := E8FailStop()
+	m := map[string]string{}
+	for _, row := range r.Rows {
+		m[row[0]] = row[1]
+	}
+	if m["healthy app completed"] != "400/400" {
+		t.Fatalf("healthy app affected: %v", m)
+	}
+	if m["victim errors (EFailStopped NACKs)"] == "0" {
+		t.Fatal("victim clients saw no errors")
+	}
+	if m["fault reports at kernel"] == "0" {
+		t.Fatal("kernel unaware of fault")
+	}
+	pre, _ := strconv.ParseFloat(m["healthy app p50 before fault (cycles)"], 64)
+	post, _ := strconv.ParseFloat(m["healthy app p50 after fault (cycles)"], 64)
+	if post > pre*1.5+50 {
+		t.Fatalf("neighbour latency degraded: %v -> %v", pre, post)
+	}
+}
+
+func TestE9BlastRadius(t *testing.T) {
+	r := E9Preemption()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Cell(0, "Model") != "concurrent-only" || r.Cell(0, "Tenant1Alive") != "false" {
+		t.Fatalf("concurrent row wrong: %v", r.Rows[0])
+	}
+	if r.Cell(1, "Model") != "preemptible" || r.Cell(1, "Tenant1Alive") != "true" {
+		t.Fatalf("preemptible row wrong: %v", r.Rows[1])
+	}
+	if r.Cell(1, "Tenant1Keys") != "2" {
+		t.Fatal("surviving tenant lost data")
+	}
+}
+
+func TestE10Tradeoffs(t *testing.T) {
+	r := E10SegVsPage()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Pages (last row) waste held memory; segments waste none; buddy sits
+	// in between with power-of-two rounding waste.
+	last := len(r.Rows) - 1
+	if cellF(t, r, last, "WastedMB") <= 0 {
+		t.Fatal("paged allocator shows no internal fragmentation")
+	}
+	if r.Cell(0, "WastedMB") != "0.0" {
+		t.Fatal("segments should waste nothing inside allocations")
+	}
+	if cellF(t, r, 2, "WastedMB") <= cellF(t, r, last, "WastedMB") {
+		t.Fatal("buddy rounding waste should exceed 4K-page rounding waste on this trace")
+	}
+	// Pages need far more translation state.
+	segEntries := cellF(t, r, 0, "XlateEntries")
+	pageEntries := cellF(t, r, last, "XlateEntries")
+	if pageEntries < 10*segEntries {
+		t.Fatalf("paged entries (%v) should dwarf segment entries (%v)",
+			pageEntries, segEntries)
+	}
+}
+
+func TestE11ScenarioRuns(t *testing.T) {
+	r := E11Scenario()
+	m := map[string]string{}
+	for _, row := range r.Rows {
+		m[row[0]] = row[1]
+	}
+	if m["video requests completed"] != "200/200" || m["kv requests completed"] != "200/200" {
+		t.Fatalf("scenario incomplete: %v", m)
+	}
+	if m["kv->video snoop attempts denied"] != "50/50" {
+		t.Fatalf("snoop not fully denied: %v", m["kv->video snoop attempts denied"])
+	}
+	if m["encoder replica split"] != "100/100" {
+		t.Fatalf("replica split = %v", m["encoder replica split"])
+	}
+}
+
+func TestE12Scales(t *testing.T) {
+	r := E12ScaleOut()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	s1 := cellF(t, r, 0, "Speedup")
+	s2 := cellF(t, r, 1, "Speedup")
+	s4 := cellF(t, r, 2, "Speedup")
+	if s1 != 1 {
+		t.Fatalf("baseline speedup = %v", s1)
+	}
+	if s2 < 1.5 || s4 < 2.5 {
+		t.Fatalf("replication does not scale: x2=%v x4=%v", s2, s4)
+	}
+}
+
+func TestE14RemotePlacement(t *testing.T) {
+	r := E14RemoteService()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Cell(0, "Completed") != "100" || r.Cell(1, "Completed") != "100" {
+		t.Fatalf("placements incomplete: %v", r.Rows)
+	}
+	local := cellF(t, r, 0, "p50us")
+	remote := cellF(t, r, 1, "p50us")
+	if remote < 10*local {
+		t.Fatalf("remote CPU placement (%v us) should cost much more than local (%v us)",
+			remote, local)
+	}
+}
+
+func TestE13BothBoardsWork(t *testing.T) {
+	r := E13Portability()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Cell(0, "EthCore") == r.Cell(1, "EthCore") {
+		t.Fatal("boards should carry different vendor cores")
+	}
+	for i := range r.Rows {
+		if r.Cell(i, "Served") != "100" {
+			t.Fatalf("board %s served %s/100", r.Cell(i, "Board"), r.Cell(i, "Served"))
+		}
+	}
+	// 10G board pays more serialization for the same requests.
+	if cellF(t, r, 0, "RTT-p50us") <= cellF(t, r, 1, "RTT-p50us") {
+		t.Fatal("10G board should have higher RTT than 100G")
+	}
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+// E8FailStop injects a fault into one application mid-run and measures
+// (a) that an unrelated application's throughput is unaffected and (b) how
+// quickly the faulted app's clients get errors instead of hanging
+// (paper §4.4: fail-stop plus "returning an error to any accelerator that
+// tries to communicate with it").
+func E8FailStop() Result {
+	r := Result{
+		ID: "E8", Title: "Fail-stop containment: fault one app, watch its neighbour",
+		Header: []string{"Metric", "Value"},
+	}
+	sys, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		panic(err)
+	}
+	const (
+		svcVictim  = msg.FirstUserService
+		svcHealthy = msg.FirstUserService + 1
+	)
+	// The app that will fault after 50 requests.
+	vClient := apps.NewRequester(svcVictim, 400, 200,
+		func(int) []byte { return make([]byte, 128) }, nil)
+	faulty := apps.NewFaulty(echoStage(), 50)
+	if _, err := sys.Kernel.LoadApp(core.AppSpec{
+		Name: "victimapp",
+		Accels: []core.AppAccel{
+			{Name: "c", New: func() accel.Accelerator { return vClient }, Connect: []msg.ServiceID{svcVictim}},
+			{Name: "s", New: func() accel.Accelerator { return faulty }, Service: svcVictim},
+		},
+	}); err != nil {
+		panic(err)
+	}
+	// The unrelated app.
+	hLat := sys.Stats.Histogram("healthy.lat")
+	hClient := apps.NewRequester(svcHealthy, 400, 200,
+		func(int) []byte { return make([]byte, 128) }, hLat)
+	if _, err := sys.Kernel.LoadApp(core.AppSpec{
+		Name: "healthyapp",
+		Accels: []core.AppAccel{
+			{Name: "c", New: func() accel.Accelerator { return hClient }, Connect: []msg.ServiceID{svcHealthy}},
+			{Name: "s", New: func() accel.Accelerator { return echoStage() }, Service: svcHealthy},
+		},
+	}); err != nil {
+		panic(err)
+	}
+
+	// Phase 1: before the fault (first ~40 healthy responses).
+	sys.RunUntil(func() bool { return hClient.Responses() >= 40 }, 10_000_000)
+	preP50 := hLat.Median()
+	hLat.Reset()
+
+	// Run to the fault and past it.
+	var faultCycle sim.Cycle
+	sys.RunUntil(func() bool {
+		if len(sys.Kernel.Faults()) > 0 && faultCycle == 0 {
+			faultCycle = sys.Engine.Now()
+		}
+		return hClient.Done()
+	}, 50_000_000)
+	postP50 := hLat.Median()
+
+	// Victim clients must observe errors, not silence.
+	sys.RunUntil(func() bool { return vClient.Errors() > 0 }, 10_000_000)
+
+	r.AddRow("fault injected after victim requests", "50")
+	r.AddRow("healthy app p50 before fault (cycles)", f1(preP50))
+	r.AddRow("healthy app p50 after fault (cycles)", f1(postP50))
+	r.AddRow("healthy app completed", fmt.Sprintf("%d/400", hClient.Responses()))
+	r.AddRow("victim successes before stop", d(vClient.Responses()))
+	r.AddRow("victim errors (EFailStopped NACKs)", d(vClient.Errors()))
+	r.AddRow("fault reports at kernel", d(len(sys.Kernel.Faults())))
+	r.Note("fail-stop drains the faulted tile only; the neighbour's latency is unchanged and the victim's clients unblock with errors")
+	return r
+}
+
+// E9Preemption contrasts the two fault models of §4.4 on the same
+// multi-tenant KV store: a concurrent-only accelerator fail-stops the whole
+// tile (all tenants down); a preemptible one loses only the faulting
+// context.
+func E9Preemption() Result {
+	r := Result{
+		ID: "E9", Title: "Fault blast radius: concurrent-only vs preemptible accelerator",
+		Header: []string{"Model", "FaultedCtx", "TileState", "Tenant1Alive", "Tenant1Keys"},
+	}
+
+	run := func(preemptible bool) {
+		sys, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+		if err != nil {
+			panic(err)
+		}
+		kv := apps.NewKVStore(2)
+		var logic accel.Accelerator = kv
+		if !preemptible {
+			// concurrentKV hides the Preemptible methods.
+			logic = &concurrentKV{kv}
+		}
+		app, err := sys.Kernel.LoadApp(core.AppSpec{
+			Name:   "kv",
+			Accels: []core.AppAccel{{Name: "kv", New: func() accel.Accelerator { return logic }, Service: msg.FirstUserService}},
+		})
+		if err != nil {
+			panic(err)
+		}
+		tile := app.Placed[0].Tile
+
+		// Seed tenant 1 with data via direct context injection, then fault
+		// context 0.
+		kvPut(kv, 1, "alpha", "1")
+		kvPut(kv, 1, "beta", "2")
+
+		sys.Run(10)
+		sys.Kernel.Monitor(tile).ForceFault(0, accel.FaultExplicit)
+		sys.Run(1000)
+
+		state := sys.Kernel.Shell(tile).State().String()
+		alive := sys.Kernel.Shell(tile).State() == accel.Running &&
+			!sys.Kernel.Shell(tile).CtxDead(1)
+		model := "concurrent-only"
+		if preemptible {
+			model = "preemptible"
+		}
+		r.AddRow(model, "0", state, fmt.Sprintf("%v", alive), d(kv.Len(1)))
+	}
+	run(false)
+	run(true)
+	r.Note("preemptible accelerators externalize per-context state (SYNERGY-style), so the monitor kills only the faulting process; concurrent-only tiles can at best fail-stop")
+	return r
+}
+
+// kvPut seeds a tenant directly (harness-side setup, not the message path).
+func kvPut(kv *apps.KVStore, ctx uint8, k, v string) {
+	st, _ := kv.SaveContext(ctx)
+	// append record
+	rec := apps.EncodeKVReq(0, k, v)[1:] // reuse length-prefixed k/v layout
+	_ = kv.RestoreContext(ctx, append(st, rec...))
+}
+
+// concurrentKV forwards only the base Accelerator interface, modelling an
+// accelerator that did not externalize its per-context state. (It must not
+// embed KVStore: embedding would promote the Preemptible methods too.)
+type concurrentKV struct{ kv *apps.KVStore }
+
+func (c *concurrentKV) Name() string      { return "kv-concurrent" }
+func (c *concurrentKV) Contexts() int     { return c.kv.Contexts() }
+func (c *concurrentKV) Reset()            { c.kv.Reset() }
+func (c *concurrentKV) Tick(p accel.Port) { c.kv.Tick(p) }

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/monitor"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// echoStage builds an identity service stage (no compute cost) for IPC
+// microbenchmarks.
+func echoStage() *apps.Stage {
+	return apps.NewStage(apps.StageConfig{
+		Name:    "echo",
+		Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
+	})
+}
+
+// ipcRTT measures request/reply RTT between two accelerators placed by the
+// kernel on a WxH board, with capability enforcement switched by enforce.
+func ipcRTT(w, h, payload, n int, enforce bool) (med, p99 float64, hops int) {
+	sys, err := core.NewSystem(core.SystemConfig{
+		Dims: noc.Dims{W: w, H: h}, DisableCaps: !enforce,
+	})
+	if err != nil {
+		panic(err)
+	}
+	lat := sys.Stats.Histogram("ipc.rtt")
+	client := apps.NewRequester(msg.FirstUserService, n, 0,
+		func(int) []byte { return make([]byte, payload) }, lat)
+	client.MaxInFlight = 1
+	// Two accelerators; the kernel places them on the first free tiles,
+	// which for a 3-wide mesh are adjacent, and for wider meshes further
+	// apart if we pad with filler tiles.
+	spec := core.AppSpec{Name: "ipc", Accels: []core.AppAccel{
+		{Name: "client", New: func() accel.Accelerator { return client },
+			Connect: []msg.ServiceID{msg.FirstUserService}},
+		{Name: "echo", New: func() accel.Accelerator { return echoStage() },
+			Service: msg.FirstUserService},
+	}}
+	app, err := sys.Kernel.LoadApp(spec)
+	if err != nil {
+		panic(err)
+	}
+	dims := sys.Noc.Dims()
+	hops = noc.Hops(dims.Coord(app.Placed[0].Tile), dims.Coord(app.Placed[1].Tile))
+	if !sys.RunUntil(client.Done, 50_000_000) {
+		panic("ipc bench did not complete")
+	}
+	return lat.Median(), lat.P99(), hops
+}
+
+// E6IPC measures on-chip IPC latency across payload sizes and the cost of
+// monitor capability interposition (paper §4.5; the ablation isolates the
+// monitor check from the transport).
+func E6IPC() Result {
+	r := Result{
+		ID: "E6", Title: "IPC round trip over the NoC; capability-check ablation",
+		Header: []string{"Payload", "RTT-p50cy", "RTT-p99cy", "NoCaps-p50cy", "CheckOverhead%"},
+	}
+	const n = 300
+	for _, payload := range []int{8, 64, 256, 1024, 4096} {
+		on50, on99, _ := ipcRTT(3, 3, payload, n, true)
+		off50, _, _ := ipcRTT(3, 3, payload, n, false)
+		ovh := 0.0
+		if off50 > 0 {
+			ovh = (on50 - off50) / off50 * 100
+		}
+		r.AddRow(d(payload), f1(on50), f1(on99), f1(off50), f1(ovh))
+	}
+	r.Note("capability checks are table lookups in the monitor; the transport (flit serialization) dominates at every size")
+	return r
+}
+
+// E7RateLimit shows monitor token-bucket rate limiting protecting a victim
+// from a flooding co-tenant (paper §4.5: "rate limiting [is] necessary to
+// prevent malicious accelerators from ... causing resource exhaustion").
+func E7RateLimit() Result {
+	r := Result{
+		ID: "E7", Title: "Victim outcome while a co-tenant floods the shared service",
+		Header: []string{"Config", "VictimOK", "VictimBusyErrs", "Victim-p99cy", "FloodLimited"},
+	}
+	for _, limited := range []bool{false, true} {
+		sys, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+		if err != nil {
+			panic(err)
+		}
+		const shared = msg.FirstUserService
+		lat := sys.Stats.Histogram("victim.lat")
+		victim := apps.NewRequester(shared, 50, 300,
+			func(int) []byte { return make([]byte, 64) }, lat)
+		victim.MaxInFlight = 1
+		flooder := apps.NewRequester(shared, 0, 0,
+			func(int) []byte { return make([]byte, 1024) }, nil)
+		flooder.MaxInFlight = 64
+
+		floodAccel := core.AppAccel{
+			Name: "flood", New: func() accel.Accelerator { return flooder },
+			Connect: []msg.ServiceID{shared},
+		}
+		if limited {
+			floodAccel.Rate = monitor.RateLimit{FlitsPerKCycle: 40, BurstFlits: 80}
+		}
+		_, err = sys.Kernel.LoadApp(core.AppSpec{
+			Name: "tenants",
+			Accels: []core.AppAccel{
+				{Name: "svc", New: func() accel.Accelerator { return echoStage() }, Service: shared},
+				{Name: "victim", New: func() accel.Accelerator { return victim },
+					Connect: []msg.ServiceID{shared}},
+				floodAccel,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		sys.RunUntil(victim.Done, 3_000_000)
+		name := "no rate limit"
+		if limited {
+			name = "flooder limited"
+		}
+		limitedCount := sys.Stats.Counter("mon.rate_drops").Value()
+		r.AddRow(name, fmt.Sprintf("%d/50", victim.Responses()),
+			d(victim.Errors()), f1(lat.P99()), u(limitedCount))
+	}
+	r.Note("the victim shares one echo service tile with a flooder; without the token bucket the flooder keeps the service queue full and the victim's requests bounce with EBusy")
+	return r
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/energy"
+	"apiary/internal/hostos"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+// The shared service kernel for the E4/E5 comparison: an FNV checksum with
+// a fixed 16-cycle pipeline occupancy on both deployments, so the *only*
+// difference between the two columns is the path to reach it.
+const computeCycles = 16
+
+func checksumReply(in []byte) []byte {
+	h := apps.Checksum64(in)
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(h >> (8 * i))
+	}
+	return out
+}
+
+// netPairStats is one deployment's measurement.
+type netPairStats struct {
+	p50us, p99us float64
+	njPerReq     float64
+	cpuShare     float64 // fraction of energy spent in the CPU
+}
+
+const (
+	clientNode = netsim.NodeID(100)
+	serverNode = netsim.NodeID(1)
+	reqFlow    = uint16(4000)
+	linkLatNs  = 1000 // one-way per hop: 2 us client<->server propagation
+)
+
+// closedLoop drives n sequential request/response pairs of the given size
+// through ep toward serverNode and records RTTs in cycles.
+func closedLoop(e *sim.Engine, ep *netstack.SoftEndpoint, size, n int) *sim.Histogram {
+	h := &sim.Histogram{Name: "rtt"}
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var t0 sim.Cycle
+	done := 0
+	ep.OnDatagram(func(_ netsim.NodeID, _ uint16, _ []byte) {
+		h.Observe(float64(e.Now() - t0))
+		done++
+		if done < n {
+			t0 = e.Now()
+			_ = ep.Send(serverNode, reqFlow, payload)
+		}
+	})
+	t0 = e.Now()
+	_ = ep.Send(serverNode, reqFlow, payload)
+	e.RunUntil(func() bool { return done >= n }, 50_000_000)
+	return h
+}
+
+// measureDirect runs the Apiary deployment: client -> NIC -> hardware
+// netstack tile -> NoC -> compute tile -> back.
+func measureDirect(size, n int) netPairStats {
+	sys, err := core.NewSystem(core.SystemConfig{
+		Dims: noc.Dims{W: 3, H: 3}, WithNet: true, NodeID: serverNode,
+		LinkLatencyNs: linkLatNs,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bridge := apps.NewNetBridge(reqFlow)
+	bridge.Process = func(in []byte) ([]byte, msg.ErrCode) { return checksumReply(in), msg.EOK }
+	bridge.BaseCycles = computeCycles
+	if _, err := sys.Kernel.LoadApp(core.AppSpec{
+		Name: "svc",
+		Accels: []core.AppAccel{
+			{Name: "b", New: func() accel.Accelerator { return bridge }, WantNet: true},
+		},
+	}); err != nil {
+		panic(err)
+	}
+	client := netstack.NewSoftEndpoint(sys.Engine, sys.Stats, sys.Fabric, clientNode,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: linkLatNs})
+	sys.Run(100) // let the bridge register its listener
+
+	bytes0 := sys.Stats.Counter("netsim.bytes").Value()
+	flits0 := sys.Stats.Counter("noc.flits_routed").Value()
+	checks0 := sys.Stats.Counter("mon.cap_checks").Value()
+
+	h := closedLoop(sys.Engine, client, size, n)
+
+	m := energy.NewMeter()
+	m.MACBytes(sys.Stats.Counter("netsim.bytes").Value() - bytes0)
+	m.FlitHops(sys.Stats.Counter("noc.flits_routed").Value() - flits0)
+	m.MonitorChecks(sys.Stats.Counter("mon.cap_checks").Value() - checks0)
+
+	return netPairStats{
+		p50us:    sys.Engine.Micros(sim.Cycle(h.Median())),
+		p99us:    sys.Engine.Micros(sim.Cycle(h.P99())),
+		njPerReq: m.Total() / float64(n),
+	}
+}
+
+// measureHosted runs the Coyote-style deployment: client -> NIC -> host CPU
+// -> PCIe -> FPGA -> back out through CPU and NIC.
+func measureHosted(size, n int) netPairStats {
+	e := sim.NewEngine(11)
+	st := sim.NewStats()
+	fab := netsim.New(e, st)
+	node := hostos.New(e, st, fab, hostos.Config{
+		Node: serverNode,
+		Link: netsim.LinkConfig{Gbps: 100, LatencyNs: linkLatNs},
+		Compute: func(in []byte) ([]byte, sim.Cycle) {
+			return checksumReply(in), computeCycles
+		},
+	})
+	client := netstack.NewSoftEndpoint(e, st, fab, clientNode,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: linkLatNs})
+
+	h := closedLoop(e, client, size, n)
+
+	total := node.Meter().Total()
+	return netPairStats{
+		p50us:    e.Micros(sim.Cycle(h.Median())),
+		p99us:    e.Micros(sim.Cycle(h.P99())),
+		njPerReq: total / float64(n),
+		cpuShare: node.Meter().Category("cpu") / total,
+	}
+}
+
+// e45Sizes is the request-size sweep. Sizes stay within one Apiary message
+// so the comparison is a single-RPC path either way; bulk transfer belongs
+// to the memory service, not the RPC path.
+var e45Sizes = []int{64, 256, 1024, 4000}
+
+const e45Requests = 200
+
+// E4Latency compares request latency across deployments (paper §1: "By
+// bypassing the CPU, a direct-attached accelerator ... lowers latencies").
+func E4Latency() Result {
+	r := Result{
+		ID: "E4", Title: "Round-trip latency, direct-attached vs host-mediated (closed loop)",
+		Header: []string{"ReqBytes", "Direct-p50us", "Direct-p99us", "Hosted-p50us", "Hosted-p99us", "Speedup-p50"},
+	}
+	for _, size := range e45Sizes {
+		dct := measureDirect(size, e45Requests)
+		hst := measureHosted(size, e45Requests)
+		r.AddRow(d(size), f2(dct.p50us), f2(dct.p99us), f2(hst.p50us), f2(hst.p99us),
+			f2(hst.p50us/dct.p50us))
+	}
+	r.Note("both sides share propagation (2x%dns/way), line rate and the compute kernel; the gap is CPU software time + PCIe crossings", linkLatNs)
+	return r
+}
+
+// E5Energy compares energy per request (paper §1: direct attachment
+// "further reduces energy").
+func E5Energy() Result {
+	r := Result{
+		ID: "E5", Title: "Energy per request, direct-attached vs host-mediated",
+		Header: []string{"ReqBytes", "Direct-nJ", "Hosted-nJ", "Hosted/Direct", "HostedCPU%"},
+	}
+	for _, size := range e45Sizes {
+		dct := measureDirect(size, e45Requests)
+		hst := measureHosted(size, e45Requests)
+		r.AddRow(d(size), f1(dct.njPerReq), f1(hst.njPerReq),
+			f1(hst.njPerReq/dct.njPerReq), f1(hst.cpuShare*100))
+	}
+	r.Note("direct path charges MAC + NoC flit-hops + monitor checks; hosted adds CPU busy time and two PCIe crossings per request")
+	return r
+}

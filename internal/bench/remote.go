@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+// E14RemoteService quantifies the paper's §6 question 3: what does it cost
+// to place an OS service on a *remote* CPU instead of in on-board hardware?
+// The same uppercase kernel is served (a) by a local hardware tile and (b)
+// by a remote CPU behind a RemoteProxy tile; on-board clients are identical
+// and hold an ordinary endpoint capability either way.
+func E14RemoteService() Result {
+	r := Result{
+		ID: "E14", Title: "Service placement: on-board hardware tile vs remote CPU via proxy",
+		Header: []string{"Placement", "p50cy", "p50us", "p99us", "Completed"},
+	}
+
+	const svc = msg.FirstUserService + 5
+	upper := func(in []byte) ([]byte, msg.ErrCode) {
+		return []byte(strings.ToUpper(string(in))), msg.EOK
+	}
+
+	// (a) Local hardware tile.
+	{
+		sys, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+		if err != nil {
+			panic(err)
+		}
+		lat := sys.Stats.Histogram("lat")
+		client := apps.NewRequester(svc, 100, 50,
+			func(int) []byte { return []byte("payload for the service") }, lat)
+		stage := apps.NewStage(apps.StageConfig{Name: "upper", Process: upper, BaseCycles: 8})
+		if _, err := sys.Kernel.LoadApp(core.AppSpec{
+			Name: "local",
+			Accels: []core.AppAccel{
+				{Name: "svc", New: func() accel.Accelerator { return stage }, Service: svc},
+				{Name: "client", New: func() accel.Accelerator { return client },
+					Connect: []msg.ServiceID{svc}},
+			},
+		}); err != nil {
+			panic(err)
+		}
+		sys.RunUntil(client.Done, 50_000_000)
+		r.AddRow("hardware tile", f1(lat.Median()),
+			f2(sys.Engine.Micros(sim.Cycle(lat.Median()))),
+			f2(sys.Engine.Micros(sim.Cycle(lat.P99()))),
+			d(client.Responses()))
+	}
+
+	// (b) Remote CPU via proxy.
+	{
+		sys, err := core.NewSystem(core.SystemConfig{
+			Dims: noc.Dims{W: 3, H: 3}, WithNet: true, NodeID: 1, LinkLatencyNs: linkLatNs,
+		})
+		if err != nil {
+			panic(err)
+		}
+		const cpuNode = netsim.NodeID(77)
+		cpu := netstack.NewSoftEndpoint(sys.Engine, sys.Stats, sys.Fabric, cpuNode,
+			netsim.LinkConfig{Gbps: 100, LatencyNs: linkLatNs})
+		cpu.OnDatagram(func(remote netsim.NodeID, _ uint16, data []byte) {
+			seq, payload, ok := apps.DecodeProxyFrame(data)
+			if !ok {
+				return
+			}
+			out, _ := upper(payload)
+			_ = cpu.Send(remote, 9001, apps.EncodeProxyFrame(seq, out))
+		})
+
+		proxy := apps.NewRemoteProxy(msg.NetAddr{Node: uint32(cpuNode), Flow: 9000}, 9001)
+		lat := sys.Stats.Histogram("lat")
+		client := apps.NewRequester(svc, 100, 50,
+			func(int) []byte { return []byte("payload for the service") }, lat)
+		if _, err := sys.Kernel.LoadApp(core.AppSpec{
+			Name: "remote",
+			Accels: []core.AppAccel{
+				{Name: "proxy", New: func() accel.Accelerator { return proxy },
+					Service: svc, WantNet: true},
+				{Name: "client", New: func() accel.Accelerator { return client },
+					Connect: []msg.ServiceID{svc}},
+			},
+		}); err != nil {
+			panic(err)
+		}
+		sys.RunUntil(client.Done, 100_000_000)
+		r.AddRow("remote CPU (proxy)", f1(lat.Median()),
+			f2(sys.Engine.Micros(sim.Cycle(lat.Median()))),
+			f2(sys.Engine.Micros(sim.Cycle(lat.P99()))),
+			d(client.Responses()))
+	}
+	r.Note("clients are identical either way — placement is a kernel decision, not an application change (§6 Q3)")
+	r.Note("the remote option pays two network traversals; it is the right home only for rarely-used or exceptionally complex services, exactly as the paper suggests")
+	return r
+}

@@ -1,0 +1,275 @@
+// Package cap implements Apiary's capability system (paper §4.6), in the
+// Dennis & Van Horn tradition: unforgeable tokens naming a resource plus a
+// set of rights.
+//
+// Capabilities are stored *partitioned*: the per-tile monitor owns the
+// capability table and the accelerator only ever holds an integer reference
+// (a Ref) into it. Revocation is by generation number — the kernel bumps a
+// resource's generation, and every outstanding capability with the old
+// generation fails closed at its next use.
+package cap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"apiary/internal/msg"
+)
+
+// Kind classifies what a capability names.
+type Kind uint8
+
+// Capability kinds.
+const (
+	KindInvalid  Kind = iota
+	KindEndpoint      // right to send messages to a service/tile
+	KindSegment       // right to access a memory segment
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEndpoint:
+		return "endpoint"
+	case KindSegment:
+		return "segment"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Rights is a bitmask of permitted operations.
+type Rights uint8
+
+// Rights bits.
+const (
+	RSend  Rights = 1 << iota // send requests to an endpoint
+	RRead                     // read a segment
+	RWrite                    // write a segment
+	RGrant                    // delegate (derive) this capability to others
+)
+
+// Has reports whether r includes all bits of want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+func (r Rights) String() string {
+	s := ""
+	if r&RSend != 0 {
+		s += "s"
+	}
+	if r&RRead != 0 {
+		s += "r"
+	}
+	if r&RWrite != 0 {
+		s += "w"
+	}
+	if r&RGrant != 0 {
+		s += "g"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Ref is an accelerator-visible capability reference: an index into the
+// monitor's table. Refs are per-tile; a Ref leaked to another tile is
+// meaningless there, which is exactly the partitioning property the paper
+// wants.
+type Ref uint32
+
+// NilRef is the invalid reference.
+const NilRef Ref = 0xFFFFFFFF
+
+// Capability names a resource and the rights held over it. Object
+// identifies the resource within its kind's namespace (a ServiceID for
+// endpoints, a segment ID for segments). Gen must match the resource's
+// current generation for the capability to be valid.
+type Capability struct {
+	Kind   Kind
+	Rights Rights
+	Object uint32
+	Gen    uint32
+}
+
+// Valid reports whether the capability has a usable kind.
+func (c Capability) Valid() bool {
+	return c.Kind == KindEndpoint || c.Kind == KindSegment
+}
+
+// Derive returns a copy with rights attenuated to (c.Rights & keep).
+// Derivation can only ever remove rights; this is checked by property tests.
+func (c Capability) Derive(keep Rights) Capability {
+	d := c
+	d.Rights = c.Rights & keep
+	return d
+}
+
+func (c Capability) String() string {
+	return fmt.Sprintf("%s:%d rights=%s gen=%d", c.Kind, c.Object, c.Rights, c.Gen)
+}
+
+// encodedLen is the wire size of an encoded capability.
+const encodedLen = 10
+
+// Encode serializes the capability for the kernel->monitor install message.
+func (c Capability) Encode() []byte {
+	b := make([]byte, encodedLen)
+	b[0] = byte(c.Kind)
+	b[1] = byte(c.Rights)
+	binary.LittleEndian.PutUint32(b[2:], c.Object)
+	binary.LittleEndian.PutUint32(b[6:], c.Gen)
+	return b
+}
+
+// Decode parses an encoded capability.
+func Decode(b []byte) (Capability, error) {
+	if len(b) < encodedLen {
+		return Capability{}, msg.EBadMsg.Error()
+	}
+	return Capability{
+		Kind:   Kind(b[0]),
+		Rights: Rights(b[1]),
+		Object: binary.LittleEndian.Uint32(b[2:]),
+		Gen:    binary.LittleEndian.Uint32(b[6:]),
+	}, nil
+}
+
+// Table is a per-tile capability table, owned by the monitor. Slots are
+// stable across the table's lifetime so a Ref stays meaningful until
+// explicitly removed or revoked.
+type Table struct {
+	slots []Capability
+	free  []Ref
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{} }
+
+// Install places c in a free slot and returns its Ref.
+func (t *Table) Install(c Capability) Ref {
+	if n := len(t.free); n > 0 {
+		r := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.slots[r] = c
+		return r
+	}
+	t.slots = append(t.slots, c)
+	return Ref(len(t.slots) - 1)
+}
+
+// InstallAt places c at the given slot, growing the table as needed. The
+// kernel uses fixed slots for well-known capabilities so manifests can name
+// them.
+func (t *Table) InstallAt(r Ref, c Capability) {
+	for int(r) >= len(t.slots) {
+		t.slots = append(t.slots, Capability{})
+	}
+	t.slots[r] = c
+}
+
+// Lookup returns the capability at r, or false if r is out of range or the
+// slot is empty.
+func (t *Table) Lookup(r Ref) (Capability, bool) {
+	if r == NilRef || int(r) >= len(t.slots) {
+		return Capability{}, false
+	}
+	c := t.slots[r]
+	return c, c.Valid()
+}
+
+// Remove clears slot r and recycles it.
+func (t *Table) Remove(r Ref) {
+	if int(r) >= len(t.slots) || !t.slots[r].Valid() {
+		return
+	}
+	t.slots[r] = Capability{}
+	t.free = append(t.free, r)
+}
+
+// RevokeObject invalidates every capability in this table naming (kind,
+// object). Returns the number of slots cleared. The kernel calls this on
+// each tile's table; generation bumps catch refs the kernel does not know
+// about.
+func (t *Table) RevokeObject(kind Kind, object uint32) int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].Kind == kind && t.slots[i].Object == object {
+			t.slots[i] = Capability{}
+			t.free = append(t.free, Ref(i))
+			n++
+		}
+	}
+	return n
+}
+
+// Find searches the table for a capability naming (kind, object) — the
+// hardware analogue is a CAM lookup. It returns the first match.
+func (t *Table) Find(kind Kind, object uint32) (Capability, Ref, bool) {
+	for i, c := range t.slots {
+		if c.Valid() && c.Kind == kind && c.Object == object {
+			return c, Ref(i), true
+		}
+	}
+	return Capability{}, NilRef, false
+}
+
+// Len reports the number of valid capabilities.
+func (t *Table) Len() int {
+	n := 0
+	for _, c := range t.slots {
+		if c.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots reports the table's physical size (for area accounting: a hardware
+// monitor provisions a fixed CAM/BRAM region for this).
+func (t *Table) Slots() int { return len(t.slots) }
+
+// Checker validates capability uses against current resource generations.
+// The kernel owns the generation authority; monitors consult a snapshot
+// (in hardware this is a small table the kernel writes over the management
+// plane — here we share the authority object for simplicity and determinism).
+type Checker struct {
+	gens map[genKey]uint32
+}
+
+type genKey struct {
+	kind   Kind
+	object uint32
+}
+
+// NewChecker returns an empty generation authority.
+func NewChecker() *Checker { return &Checker{gens: make(map[genKey]uint32)} }
+
+// Gen reports the current generation of (kind, object); zero if never
+// revoked.
+func (ck *Checker) Gen(kind Kind, object uint32) uint32 {
+	return ck.gens[genKey{kind, object}]
+}
+
+// Revoke bumps the generation of (kind, object), invalidating all
+// outstanding capabilities minted under earlier generations. It returns the
+// new generation, which the kernel uses when re-minting.
+func (ck *Checker) Revoke(kind Kind, object uint32) uint32 {
+	k := genKey{kind, object}
+	ck.gens[k]++
+	return ck.gens[k]
+}
+
+// Check validates that c is current and holds all rights in need. It
+// returns EOK, ERevoked or ERights.
+func (ck *Checker) Check(c Capability, need Rights) msg.ErrCode {
+	if !c.Valid() {
+		return msg.ENoCap
+	}
+	if c.Gen != ck.Gen(c.Kind, c.Object) {
+		return msg.ERevoked
+	}
+	if !c.Rights.Has(need) {
+		return msg.ERights
+	}
+	return msg.EOK
+}

@@ -1,0 +1,171 @@
+package cap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"apiary/internal/msg"
+)
+
+func TestRightsHas(t *testing.T) {
+	r := RSend | RRead
+	if !r.Has(RSend) || !r.Has(RRead) || !r.Has(RSend|RRead) {
+		t.Fatal("Has failed on present rights")
+	}
+	if r.Has(RWrite) || r.Has(RSend|RWrite) {
+		t.Fatal("Has accepted absent rights")
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	if s := (RSend | RWrite | RGrant).String(); s != "swg" {
+		t.Fatalf("rights string = %q", s)
+	}
+	if s := Rights(0).String(); s != "-" {
+		t.Fatalf("empty rights string = %q", s)
+	}
+}
+
+func TestDeriveOnlyAttenuates(t *testing.T) {
+	f := func(orig, keep uint8) bool {
+		c := Capability{Kind: KindSegment, Rights: Rights(orig), Object: 1}
+		d := c.Derive(Rights(keep))
+		// Property: derived rights are a subset of the original's.
+		return (d.Rights &^ c.Rights) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kind, rights uint8, object, gen uint32) bool {
+		c := Capability{Kind: Kind(kind), Rights: Rights(rights), Object: object, Gen: gen}
+		got, err := Decode(c.Encode())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
+
+func TestTableInstallLookup(t *testing.T) {
+	tb := NewTable()
+	c := Capability{Kind: KindEndpoint, Rights: RSend, Object: 7}
+	r := tb.Install(c)
+	got, ok := tb.Lookup(r)
+	if !ok || got != c {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := tb.Lookup(NilRef); ok {
+		t.Fatal("NilRef lookup succeeded")
+	}
+	if _, ok := tb.Lookup(Ref(99)); ok {
+		t.Fatal("out-of-range lookup succeeded")
+	}
+}
+
+func TestTableRemoveRecyclesSlot(t *testing.T) {
+	tb := NewTable()
+	r1 := tb.Install(Capability{Kind: KindEndpoint, Rights: RSend, Object: 1})
+	tb.Remove(r1)
+	if _, ok := tb.Lookup(r1); ok {
+		t.Fatal("removed cap still visible")
+	}
+	r2 := tb.Install(Capability{Kind: KindSegment, Rights: RRead, Object: 2})
+	if r2 != r1 {
+		t.Fatalf("slot not recycled: got %d want %d", r2, r1)
+	}
+	tb.Remove(Ref(1000)) // out of range: must be a no-op, not a panic
+}
+
+func TestTableInstallAt(t *testing.T) {
+	tb := NewTable()
+	tb.InstallAt(5, Capability{Kind: KindEndpoint, Rights: RSend, Object: 9})
+	got, ok := tb.Lookup(5)
+	if !ok || got.Object != 9 {
+		t.Fatalf("InstallAt lookup = %v,%v", got, ok)
+	}
+	if tb.Slots() != 6 {
+		t.Fatalf("Slots = %d, want 6", tb.Slots())
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestRevokeObject(t *testing.T) {
+	tb := NewTable()
+	tb.Install(Capability{Kind: KindSegment, Rights: RRead, Object: 42})
+	tb.Install(Capability{Kind: KindSegment, Rights: RWrite, Object: 42})
+	keep := tb.Install(Capability{Kind: KindSegment, Rights: RRead, Object: 43})
+	if n := tb.RevokeObject(KindSegment, 42); n != 2 {
+		t.Fatalf("RevokeObject cleared %d, want 2", n)
+	}
+	if _, ok := tb.Lookup(keep); !ok {
+		t.Fatal("revocation hit unrelated capability")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestCheckerLifecycle(t *testing.T) {
+	ck := NewChecker()
+	c := Capability{Kind: KindSegment, Rights: RRead | RWrite, Object: 1, Gen: ck.Gen(KindSegment, 1)}
+
+	if e := ck.Check(c, RRead); e != msg.EOK {
+		t.Fatalf("fresh check = %v", e)
+	}
+	if e := ck.Check(c, RGrant); e != msg.ERights {
+		t.Fatalf("missing-right check = %v, want ERights", e)
+	}
+	ck.Revoke(KindSegment, 1)
+	if e := ck.Check(c, RRead); e != msg.ERevoked {
+		t.Fatalf("stale-gen check = %v, want ERevoked", e)
+	}
+	// Re-minted at the new generation works again.
+	c.Gen = ck.Gen(KindSegment, 1)
+	if e := ck.Check(c, RRead); e != msg.EOK {
+		t.Fatalf("re-minted check = %v", e)
+	}
+}
+
+func TestCheckerInvalidKind(t *testing.T) {
+	ck := NewChecker()
+	if e := ck.Check(Capability{}, RRead); e != msg.ENoCap {
+		t.Fatalf("invalid cap check = %v, want ENoCap", e)
+	}
+}
+
+func TestCheckerRevokeIsPerObject(t *testing.T) {
+	ck := NewChecker()
+	a := Capability{Kind: KindEndpoint, Rights: RSend, Object: 1}
+	b := Capability{Kind: KindEndpoint, Rights: RSend, Object: 2}
+	ck.Revoke(KindEndpoint, 1)
+	if e := ck.Check(b, RSend); e != msg.EOK {
+		t.Fatalf("revoking object 1 broke object 2: %v", e)
+	}
+	if e := ck.Check(a, RSend); e != msg.ERevoked {
+		t.Fatalf("object 1 not revoked: %v", e)
+	}
+}
+
+func TestCheckerKindNamespacesDisjoint(t *testing.T) {
+	ck := NewChecker()
+	seg := Capability{Kind: KindSegment, Rights: RRead, Object: 5}
+	ck.Revoke(KindEndpoint, 5) // same object number, different kind
+	if e := ck.Check(seg, RRead); e != msg.EOK {
+		t.Fatalf("endpoint revocation leaked into segment namespace: %v", e)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	c := Capability{Kind: KindSegment, Rights: RRead, Object: 3, Gen: 1}
+	if c.String() == "" || KindEndpoint.String() == "" || Kind(9).String() == "" {
+		t.Fatal("empty stringer output")
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/cap"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// progAccel is a scriptable accelerator: sends one queued message per tick
+// and collects inbox + send codes.
+type progAccel struct {
+	name  string
+	sends []*msg.Message
+	codes []msg.ErrCode
+	inbox []*msg.Message
+}
+
+func (a *progAccel) Name() string  { return a.name }
+func (a *progAccel) Contexts() int { return 1 }
+func (a *progAccel) Reset()        { a.inbox = nil }
+func (a *progAccel) Tick(p accel.Port) {
+	if len(a.sends) > 0 {
+		m := a.sends[0]
+		a.sends = a.sends[1:]
+		a.codes = append(a.codes, p.Send(m))
+	}
+	if m, ok := p.Recv(); ok {
+		a.inbox = append(a.inbox, m)
+	}
+}
+
+func (a *progAccel) push(m *msg.Message) { a.sends = append(a.sends, m) }
+
+func boot(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBootReservedTiles(t *testing.T) {
+	s := boot(t)
+	if s.Kernel.Monitor(KernelTile) != nil {
+		t.Fatal("kernel tile should have no monitor")
+	}
+	if s.Kernel.Shell(MemTile) == nil {
+		t.Fatal("memory service not installed")
+	}
+	if tile, ok := s.Kernel.ServiceTile(msg.SvcMemory); !ok || tile != MemTile {
+		t.Fatal("memory service not registered")
+	}
+}
+
+func TestLoadAppPlacement(t *testing.T) {
+	s := boot(t)
+	a1 := &progAccel{name: "a1"}
+	a2 := &progAccel{name: "a2"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "demo",
+		Accels: []AppAccel{
+			{Name: "one", New: func() accel.Accelerator { return a1 }, Service: 20},
+			{Name: "two", New: func() accel.Accelerator { return a2 }, Service: 21, Connect: []msg.ServiceID{20}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Placed) != 2 || app.Placed[0].Tile == app.Placed[1].Tile {
+		t.Fatalf("placement = %+v", app.Placed)
+	}
+	for _, p := range app.Placed {
+		if p.Tile == KernelTile || p.Tile == MemTile {
+			t.Fatalf("app placed on reserved tile %d", p.Tile)
+		}
+	}
+	procs := s.Kernel.Procs()
+	if len(procs) != 2 {
+		t.Fatalf("procs = %+v", procs)
+	}
+	if s.Kernel.App("demo") == nil {
+		t.Fatal("app not registered")
+	}
+}
+
+func TestLoadAppErrors(t *testing.T) {
+	s := boot(t)
+	mk := func() accel.Accelerator { return &progAccel{name: "x"} }
+	cases := []AppSpec{
+		{Name: "", Accels: []AppAccel{{Name: "a", New: mk}}},
+		{Name: "apiary", Accels: []AppAccel{{Name: "a", New: mk}}},
+		{Name: "noaccels"},
+		{Name: "dup", Accels: []AppAccel{{Name: "a", New: mk}, {Name: "a", New: mk}}},
+		{Name: "noctor", Accels: []AppAccel{{Name: "a"}}},
+		{Name: "reserved", Accels: []AppAccel{{Name: "a", New: mk, Service: msg.SvcMemory}}},
+		{Name: "toobig", Accels: []AppAccel{
+			{Name: "a", New: mk}, {Name: "b", New: mk}, {Name: "c", New: mk},
+			{Name: "d", New: mk}, {Name: "e", New: mk}, {Name: "f", New: mk},
+			{Name: "g", New: mk}, {Name: "h", New: mk}, // 8 > 7 free
+		}},
+	}
+	for _, spec := range cases {
+		if _, err := s.Kernel.LoadApp(spec); err == nil {
+			t.Fatalf("LoadApp(%q) should have failed", spec.Name)
+		}
+	}
+	// Duplicate app name.
+	if _, err := s.Kernel.LoadApp(AppSpec{Name: "ok", Accels: []AppAccel{{Name: "a", New: mk}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{Name: "ok", Accels: []AppAccel{{Name: "a", New: mk}}}); err == nil {
+		t.Fatal("duplicate app name accepted")
+	}
+}
+
+func TestOversizedBitstreamRejected(t *testing.T) {
+	s := boot(t)
+	_, err := s.Kernel.LoadApp(AppSpec{
+		Name: "huge",
+		Accels: []AppAccel{{
+			Name: "a", Cells: 100_000_000,
+			New: func() accel.Accelerator { return &progAccel{name: "a"} },
+		}},
+	})
+	if err == nil {
+		t.Fatal("implausibly large accelerator placed")
+	}
+}
+
+func TestMemoryServiceEndToEnd(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "memuser"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "memapp",
+		Accels: []AppAccel{{
+			Name: "u", New: func() accel.Accelerator { return a }, MemBytes: 4096,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := app.Placed[0].SegSlot
+	if app.Placed[0].SegID == 0 {
+		t.Fatal("no segment pre-allocated")
+	}
+
+	data := []byte("apiary stores real bytes")
+	a.push(&msg.Message{
+		Type: msg.TMemWrite, DstSvc: msg.SvcMemory, CapRef: uint32(slot), Seq: 1,
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 64, Data: data}),
+	})
+	a.push(&msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(slot), Seq: 2,
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 64, Length: uint32(len(data))}),
+	})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 2 }, 200000) {
+		t.Fatalf("mem ops incomplete: inbox=%d codes=%v", len(a.inbox), a.codes)
+	}
+	if a.inbox[0].Type != msg.TMemReply || a.inbox[0].Seq != 1 {
+		t.Fatalf("write reply = %v", a.inbox[0])
+	}
+	rd := a.inbox[1]
+	if rd.Type != msg.TMemReply || !bytes.Equal(rd.Payload, data) {
+		t.Fatalf("read reply = %v payload=%q", rd, rd.Payload)
+	}
+}
+
+func TestMemoryBoundsEnforced(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "memuser"}
+	app, _ := s.Kernel.LoadApp(AppSpec{
+		Name: "memapp",
+		Accels: []AppAccel{{
+			Name: "u", New: func() accel.Accelerator { return a }, MemBytes: 1024,
+		}},
+	})
+	slot := app.Placed[0].SegSlot
+	a.push(&msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(slot), Seq: 1,
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 1000, Length: 100}),
+	})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 1 }, 200000) {
+		t.Fatal("no reply")
+	}
+	if a.inbox[0].Type != msg.TError || a.inbox[0].Err != msg.EBounds {
+		t.Fatalf("out-of-bounds read reply = %v", a.inbox[0])
+	}
+	if s.Stats.Counter("memsvc.bounds_errors").Value() == 0 {
+		t.Fatal("bounds error not counted")
+	}
+}
+
+func TestSyscallAllocAndUse(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "alloc"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:   "allocapp",
+		Accels: []AppAccel{{Name: "a", New: func() accel.Accelerator { return a }}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 1,
+		Payload: EncodeAllocSeg(2048)})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 1 }, 200000) {
+		t.Fatal("no syscall reply")
+	}
+	rep, err := DecodeAllocSegReply(a.inbox[0].Payload)
+	if err != nil {
+		t.Fatalf("reply %v: %v", a.inbox[0], err)
+	}
+	// Use the returned slot for a write.
+	a.push(&msg.Message{
+		Type: msg.TMemWrite, DstSvc: msg.SvcMemory, CapRef: rep.CapSlot, Seq: 2,
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 0, Data: []byte{1, 2, 3}}),
+	})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 2 }, 200000) {
+		t.Fatal("no write reply")
+	}
+	if a.inbox[1].Type != msg.TMemReply {
+		t.Fatalf("write after syscall alloc = %v", a.inbox[1])
+	}
+}
+
+func TestSyscallFreeRevokes(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "freer"}
+	app, _ := s.Kernel.LoadApp(AppSpec{
+		Name: "freeapp",
+		Accels: []AppAccel{{
+			Name: "a", New: func() accel.Accelerator { return a }, MemBytes: 512,
+		}},
+	})
+	segID := app.Placed[0].SegID
+	slot := app.Placed[0].SegSlot
+	a.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 1,
+		Payload: EncodeFreeSeg(segID)})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 1 }, 200000) {
+		t.Fatal("no free reply")
+	}
+	if a.inbox[0].Type != msg.TReply {
+		t.Fatalf("free reply = %v", a.inbox[0])
+	}
+	// Any further use must fail locally (cap revoked from the table).
+	a.push(&msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(slot), Seq: 2,
+		Payload: msg.EncodeMemReq(msg.MemReq{Length: 8}),
+	})
+	s.Run(100000)
+	last := a.codes[len(a.codes)-1]
+	if last != msg.ENoCap && last != msg.ERevoked {
+		t.Fatalf("use after free code = %v", last)
+	}
+}
+
+func TestSyscallRegisterAndLookup(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "reg"}
+	b := &progAccel{name: "look"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "regapp",
+		Accels: []AppAccel{
+			{Name: "a", New: func() accel.Accelerator { return a }},
+			{Name: "b", New: func() accel.Accelerator { return b }},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 1,
+		Payload: EncodeRegisterSvc(42)})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 1 }, 200000) {
+		t.Fatal("no register reply")
+	}
+	if a.inbox[0].Type != msg.TReply {
+		t.Fatalf("register reply = %v", a.inbox[0])
+	}
+	b.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 2,
+		Payload: EncodeLookupSvc(42)})
+	if !s.RunUntil(func() bool { return len(b.inbox) >= 1 }, 200000) {
+		t.Fatal("no lookup reply")
+	}
+	tile, err := DecodeLookupSvcReply(b.inbox[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Kernel.ServiceTile(42); got != tile {
+		t.Fatalf("lookup tile %d != registry %d", tile, got)
+	}
+	// Reserved IDs cannot be registered.
+	a.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 3,
+		Payload: EncodeRegisterSvc(msg.SvcMemory)})
+	if !s.RunUntil(func() bool { return len(a.inbox) >= 2 }, 200000) {
+		t.Fatal("no reply")
+	}
+	if a.inbox[1].Type != msg.TError {
+		t.Fatal("reserved service registration accepted")
+	}
+}
+
+// TestCrossAppIsolation is the Figure-1 scenario: two mutually distrusting
+// apps on one board; messages between them are denied unless exported.
+func TestCrossAppIsolation(t *testing.T) {
+	s := boot(t)
+	victim := &progAccel{name: "victim"}
+	attacker := &progAccel{name: "attacker"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:   "victimapp",
+		Accels: []AppAccel{{Name: "v", New: func() accel.Accelerator { return victim }, Service: 30}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker declares Connect to the victim's unexported service: load
+	// must fail outright.
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "attackerapp",
+		Accels: []AppAccel{{
+			Name: "x", New: func() accel.Accelerator { return attacker },
+			Connect: []msg.ServiceID{30},
+		}},
+	}); err == nil {
+		t.Fatal("manifest connecting to unexported foreign service accepted")
+	}
+	// Load without the connect, then try at runtime: both the OpConnect
+	// syscall and a raw send must be denied.
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:   "attackerapp",
+		Accels: []AppAccel{{Name: "x", New: func() accel.Accelerator { return attacker }}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	attacker.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 1,
+		Payload: EncodeConnect(30)})
+	if !s.RunUntil(func() bool { return len(attacker.inbox) >= 1 }, 200000) {
+		t.Fatal("no connect reply")
+	}
+	if attacker.inbox[0].Type != msg.TError || attacker.inbox[0].Err != msg.ENoCap {
+		t.Fatalf("cross-app connect reply = %v", attacker.inbox[0])
+	}
+	attacker.push(&msg.Message{Type: msg.TRequest, DstSvc: 30, Seq: 2})
+	s.Run(50000)
+	if len(victim.inbox) != 0 {
+		t.Fatal("unauthorized message reached the victim")
+	}
+	last := attacker.codes[len(attacker.codes)-1]
+	if last != msg.ENoCap {
+		t.Fatalf("raw cross-app send code = %v", last)
+	}
+}
+
+func TestExportedServiceConnectable(t *testing.T) {
+	s := boot(t)
+	provider := &progAccel{name: "prov"}
+	consumer := &progAccel{name: "cons"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:    "provapp",
+		Accels:  []AppAccel{{Name: "p", New: func() accel.Accelerator { return provider }, Service: 31}},
+		Exports: []msg.ServiceID{31},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "consapp",
+		Accels: []AppAccel{{
+			Name: "c", New: func() accel.Accelerator { return consumer },
+			Connect: []msg.ServiceID{31},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	consumer.push(&msg.Message{Type: msg.TRequest, DstSvc: 31, Seq: 9, Payload: []byte("hi")})
+	if !s.RunUntil(func() bool { return len(provider.inbox) >= 1 }, 200000) {
+		t.Fatal("exported service unreachable")
+	}
+}
+
+func TestFaultRestartPolicy(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "crashy"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name:    "crashapp",
+		Restart: true,
+		Accels:  []AppAccel{{Name: "a", New: func() accel.Accelerator { return a }}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := app.Placed[0].Tile
+	s.Run(10)
+	s.Kernel.Monitor(tile).ForceFault(0, accel.FaultPanic)
+	if s.Kernel.Shell(tile).State() == accel.Running {
+		t.Fatal("tile still running after fault")
+	}
+	// Kernel receives the report, waits out PR, resumes.
+	if !s.RunUntil(func() bool {
+		return s.Kernel.Shell(tile).State() == accel.Running
+	}, 2_000_000) {
+		t.Fatal("tile never resumed")
+	}
+	if app.Restarts != 1 {
+		t.Fatalf("restarts = %d", app.Restarts)
+	}
+	if len(s.Kernel.Faults()) != 1 {
+		t.Fatalf("fault reports = %d", len(s.Kernel.Faults()))
+	}
+}
+
+func TestFaultNoRestartPolicy(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "crashy"}
+	app, _ := s.Kernel.LoadApp(AppSpec{
+		Name:   "crashapp",
+		Accels: []AppAccel{{Name: "a", New: func() accel.Accelerator { return a }}},
+	})
+	tile := app.Placed[0].Tile
+	s.Run(10)
+	s.Kernel.Monitor(tile).ForceFault(0, accel.FaultExplicit)
+	s.Run(600_000) // well past the PR delay a restart would have used
+	if s.Kernel.Shell(tile).State() == accel.Running {
+		t.Fatal("no-restart app was resumed")
+	}
+}
+
+func TestGrantSegToService(t *testing.T) {
+	s := boot(t)
+	owner := &progAccel{name: "owner"}
+	svc := &progAccel{name: "svc"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "grantapp",
+		Accels: []AppAccel{
+			{Name: "o", New: func() accel.Accelerator { return owner }, MemBytes: 1024},
+			{Name: "s", New: func() accel.Accelerator { return svc }, Service: 33},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segID := app.Placed[0].SegID
+	svcTile := app.Placed[1].Tile
+	owner.push(&msg.Message{Type: msg.TRequest, DstSvc: msg.SvcKernel, Seq: 1,
+		Payload: EncodeGrantSeg(segID, 33, 0xFF)})
+	if !s.RunUntil(func() bool { return len(owner.inbox) >= 1 }, 200000) {
+		t.Fatal("no grant reply")
+	}
+	if owner.inbox[0].Type != msg.TReply {
+		t.Fatalf("grant reply = %v", owner.inbox[0])
+	}
+	s.Run(1000)
+	// The service tile now holds a segment cap for segID (rights masked to
+	// read|write — RGrant must have been stripped).
+	c, _, found := s.Kernel.Monitor(svcTile).Table().Find(cap.KindSegment, segID)
+	if !found {
+		t.Fatal("granted capability not installed")
+	}
+	if c.Rights.Has(cap.RGrant) {
+		t.Fatal("grant rights not attenuated")
+	}
+}

@@ -1,0 +1,549 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/cap"
+	"apiary/internal/fabric"
+	"apiary/internal/memseg"
+	"apiary/internal/monitor"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+	"apiary/internal/trace"
+)
+
+// Reserved tiles: the kernel occupies tile 0, the memory service tile 1,
+// the network service (when configured) tile 2.
+const (
+	KernelTile msg.TileID = 0
+	MemTile    msg.TileID = 1
+	NetTile    msg.TileID = 2
+)
+
+// Well-known capability slots installed on every application tile.
+const (
+	SlotKernelEP cap.Ref = 0 // endpoint to SvcKernel
+	SlotMemEP    cap.Ref = 1 // endpoint to SvcMemory
+	SlotNetEP    cap.Ref = 2 // endpoint to SvcNet (only when granted)
+	// firstDynamicSlot is where kernel-assigned slots start.
+	firstDynamicSlot = 8
+)
+
+// prBaseCycles and prCyclesPerCell model partial-reconfiguration time: a
+// fixed setup plus per-cell programming cost. ~1 ms + size-dependent part
+// at 250 MHz, in line with published PR throughput.
+const (
+	prBaseCycles    sim.Cycle = 250_000
+	prCyclesPerCell sim.Cycle = 1
+)
+
+// Proc is one process: a user context on a placed accelerator (paper §4.2).
+type Proc struct {
+	App   string
+	Accel string
+	Tile  msg.TileID
+	Ctx   uint8
+}
+
+// grant records a capability the kernel installed somewhere, for revocation.
+type grant struct {
+	tile msg.TileID
+	slot cap.Ref
+	c    cap.Capability
+}
+
+// tileState is the kernel's view of one tile.
+type tileState struct {
+	id     msg.TileID
+	mon    *monitor.Monitor
+	shell  *accel.Shell
+	app    string // owning app ("" = free, "apiary" = system service)
+	accel  string
+	svc    msg.ServiceID
+	slotNo uint32 // next dynamic cap slot
+}
+
+// AppAccel describes one accelerator instance in an application manifest.
+type AppAccel struct {
+	// Name is the instance name, unique within the app.
+	Name string
+	// New constructs the accelerator logic.
+	New func() accel.Accelerator
+	// Service, when nonzero, is registered in the global name table and
+	// bound on all tiles.
+	Service msg.ServiceID
+	// Cells is the logic size used for the synthetic bitstream (defaults
+	// to 20000).
+	Cells int
+	// Connect lists services this accelerator gets endpoint caps for.
+	// Same-app and system services always connect; foreign services must
+	// be exported by their app.
+	Connect []msg.ServiceID
+	// MemBytes, when nonzero, pre-allocates a segment whose capability is
+	// installed at the reply slot recorded in PlacedAccel.
+	MemBytes uint64
+	// Rate is the tile's egress rate limit (zero = unlimited).
+	Rate monitor.RateLimit
+	// WantNet grants an endpoint capability for the network service.
+	WantNet bool
+}
+
+// Placement selects the tile-assignment strategy for an application.
+type Placement int
+
+// Placement strategies.
+const (
+	// PlaceFirstFit assigns free tiles in ID order (default).
+	PlaceFirstFit Placement = iota
+	// PlaceAffinity greedily co-locates accelerators that communicate
+	// (declared via Connect edges), minimizing NoC hops between pipeline
+	// stages — the "without manual optimization" of §3 Scalability.
+	PlaceAffinity
+)
+
+// AppSpec is an application manifest: one or more accelerators plus policy
+// (paper §4.1: "an application is one or more accelerators that communicate
+// with each other to complete a computation").
+type AppSpec struct {
+	Name string
+	// Accels are placed one per tile; distrusting apps never share a tile.
+	Accels []AppAccel
+	// Exports lists services other apps may connect to.
+	Exports []msg.ServiceID
+	// Restart requests automatic reconfigure+resume of fail-stopped tiles.
+	Restart bool
+	// Placement selects the tile-assignment strategy.
+	Placement Placement
+}
+
+// PlacedAccel reports where an accelerator instance landed.
+type PlacedAccel struct {
+	Name    string
+	Tile    msg.TileID
+	SegID   uint32  // pre-allocated segment (0 if none)
+	SegSlot cap.Ref // capability slot of that segment
+}
+
+// App is a loaded application.
+type App struct {
+	Spec   AppSpec
+	Placed []PlacedAccel
+	// Restarts counts fail-stop recoveries performed for this app.
+	Restarts int
+}
+
+// Kernel is the Apiary microkernel instance for one board.
+type Kernel struct {
+	engine  *sim.Engine
+	stats   *sim.Stats
+	net     *noc.Network
+	checker *cap.Checker
+	tracer  *trace.Tracer
+
+	tiles    []*tileState
+	services map[msg.ServiceID]msg.TileID
+	exports  map[msg.ServiceID]string // exporting app per service
+	svcOwner map[msg.ServiceID]string // owning app per service
+	apps     map[string]*App
+	procs    []Proc
+	grants   []grant
+	segOwner map[uint32]msg.TileID // segment ID -> owning tile
+
+	alloc   *memseg.Allocator
+	regions []*fabric.Region
+
+	faults   []msg.FaultReport
+	syscalls *sim.Counter
+	faultsC  *sim.Counter
+	restarts *sim.Counter
+}
+
+// NewKernel boots the microkernel over an existing NoC. Monitors are
+// created for every tile except the kernel's own; system service name
+// bindings are programmed into every monitor (static-region boot state).
+func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
+	checker *cap.Checker, tracer *trace.Tracer, alloc *memseg.Allocator,
+	enforceCaps bool) *Kernel {
+	k := &Kernel{
+		engine:   e,
+		stats:    st,
+		net:      net,
+		checker:  checker,
+		tracer:   tracer,
+		services: make(map[msg.ServiceID]msg.TileID),
+		exports:  make(map[msg.ServiceID]string),
+		svcOwner: make(map[msg.ServiceID]string),
+		apps:     make(map[string]*App),
+		segOwner: make(map[uint32]msg.TileID),
+		alloc:    alloc,
+		syscalls: st.Counter("kernel.syscalls"),
+		faultsC:  st.Counter("kernel.faults"),
+		restarts: st.Counter("kernel.restarts"),
+	}
+	n := net.Dims().Tiles()
+	if n < 2 {
+		panic("core: need at least 2 tiles (kernel + memory)")
+	}
+	for i := 0; i < n; i++ {
+		id := msg.TileID(i)
+		ts := &tileState{id: id, slotNo: firstDynamicSlot}
+		if id != KernelTile {
+			ts.mon = monitor.New(monitor.Config{
+				Tile: id, Kernel: KernelTile, EnforceCaps: enforceCaps,
+			}, e, net.NI(id), nil, checker, tracer, st)
+		}
+		k.tiles = append(k.tiles, ts)
+	}
+	net.NI(KernelTile).SetDeliver(k.deliver)
+
+	k.services[msg.SvcKernel] = KernelTile
+	k.services[msg.SvcMemory] = MemTile
+	k.bindAll(msg.SvcKernel, KernelTile)
+	k.bindAll(msg.SvcMemory, MemTile)
+	k.tiles[KernelTile].app = "apiary"
+	return k
+}
+
+// bindAll writes a name binding into every monitor (boot path: direct;
+// runtime registrations use TCtlSetName messages so they traverse the NoC).
+func (k *Kernel) bindAll(svc msg.ServiceID, tile msg.TileID) {
+	for _, ts := range k.tiles {
+		if ts.mon != nil {
+			ts.mon.BindName(svc, tile)
+		}
+	}
+}
+
+// broadcastName distributes a runtime binding over the management plane.
+func (k *Kernel) broadcastName(svc msg.ServiceID, tile msg.TileID) {
+	for _, ts := range k.tiles {
+		if ts.mon == nil {
+			continue
+		}
+		k.sendCtl(ts.id, msg.TCtlSetName,
+			msg.EncodeSetNameReq(msg.SetNameReq{Svc: svc, Tile: tile}))
+	}
+}
+
+// sendCtl emits a management-plane message from the kernel tile.
+func (k *Kernel) sendCtl(dst msg.TileID, t msg.Type, payload []byte) {
+	_ = k.net.NI(KernelTile).Send(&msg.Message{
+		Type: t, SrcTile: KernelTile, DstTile: dst, Payload: payload,
+	})
+}
+
+// reply answers a syscall request.
+func (k *Kernel) reply(m *msg.Message, payload []byte) {
+	r := m.Reply(msg.TReply, payload)
+	r.SrcTile = KernelTile
+	_ = k.net.NI(KernelTile).Send(r)
+}
+
+func (k *Kernel) replyErr(m *msg.Message, code msg.ErrCode) {
+	r := m.ErrorReply(code)
+	r.SrcTile = KernelTile
+	_ = k.net.NI(KernelTile).Send(r)
+}
+
+// Monitor returns tile t's monitor (nil for the kernel tile).
+func (k *Kernel) Monitor(t msg.TileID) *monitor.Monitor { return k.tiles[t].mon }
+
+// Shell returns tile t's shell (nil when the tile is empty).
+func (k *Kernel) Shell(t msg.TileID) *accel.Shell { return k.tiles[t].shell }
+
+// App returns a loaded application by name.
+func (k *Kernel) App(name string) *App { return k.apps[name] }
+
+// Procs returns the process table.
+func (k *Kernel) Procs() []Proc { return append([]Proc(nil), k.procs...) }
+
+// Faults returns fault reports received so far.
+func (k *Kernel) Faults() []msg.FaultReport {
+	return append([]msg.FaultReport(nil), k.faults...)
+}
+
+// ServiceTile resolves a service in the kernel's global registry.
+func (k *Kernel) ServiceTile(svc msg.ServiceID) (msg.TileID, bool) {
+	t, ok := k.services[svc]
+	return t, ok
+}
+
+// installSystemService places a service accelerator on a reserved tile and
+// registers its name.
+func (k *Kernel) installSystemService(tile msg.TileID, svc msg.ServiceID, a accel.Accelerator) {
+	ts := k.tiles[tile]
+	if ts.app != "" {
+		panic(fmt.Sprintf("core: service tile %d already occupied", tile))
+	}
+	shell := accel.NewShell(a, k.stats)
+	ts.shell = shell
+	ts.app = "apiary"
+	ts.accel = a.Name()
+	ts.svc = svc
+	ts.mon.AttachShell(shell)
+	k.engine.Register(shell)
+	if svc != msg.SvcInvalid {
+		k.services[svc] = tile
+		k.bindAll(svc, tile)
+	}
+	// Service tiles may reply and send to anything reply-class; they also
+	// need kernel and memory endpoints for completeness.
+	k.installCapDirect(tile, SlotKernelEP, k.endpointCap(msg.SvcKernel))
+	k.installCapDirect(tile, SlotMemEP, k.endpointCap(msg.SvcMemory))
+}
+
+// endpointCap mints an endpoint capability at the current generation.
+func (k *Kernel) endpointCap(svc msg.ServiceID) cap.Capability {
+	return cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RSend,
+		Object: uint32(svc), Gen: k.checker.Gen(cap.KindEndpoint, uint32(svc)),
+	}
+}
+
+// segmentCap mints a segment capability.
+func (k *Kernel) segmentCap(segID uint32, rights cap.Rights) cap.Capability {
+	return cap.Capability{
+		Kind: cap.KindSegment, Rights: rights,
+		Object: segID, Gen: k.checker.Gen(cap.KindSegment, segID),
+	}
+}
+
+// installCapDirect writes a capability into a tile's table. Boot/placement
+// path only; runtime installs triggered by syscalls go over TCtlInstallCap
+// so they are visible on the management plane.
+func (k *Kernel) installCapDirect(tile msg.TileID, slot cap.Ref, c cap.Capability) {
+	k.tiles[tile].mon.Table().InstallAt(slot, c)
+	k.grants = append(k.grants, grant{tile: tile, slot: slot, c: c})
+}
+
+// installCapMsg installs a capability via the management plane.
+func (k *Kernel) installCapMsg(tile msg.TileID, slot cap.Ref, c cap.Capability) {
+	k.sendCtl(tile, msg.TCtlInstallCap, msg.EncodeInstallCapReq(msg.InstallCapReq{
+		Slot: uint32(slot), Cap: c.Encode(),
+	}))
+	k.grants = append(k.grants, grant{tile: tile, slot: slot, c: c})
+}
+
+// deliver is the kernel tile's NI handler.
+func (k *Kernel) deliver(m *msg.Message, _ sim.Cycle) {
+	switch m.Type {
+	case msg.TCtlFault:
+		k.handleFault(m)
+	case msg.TRequest:
+		k.handleSyscall(m)
+	case msg.TReply, msg.TError:
+		// Completions of kernel-issued ctl ops; nothing to do.
+	default:
+		k.replyErr(m, msg.EBadMsg)
+	}
+}
+
+// handleFault implements the kernel's fault policy (paper §4.4): record the
+// report; if the owning app asked for restart, reconfigure the tile after
+// the PR delay and resume it.
+func (k *Kernel) handleFault(m *msg.Message) {
+	rep, err := msg.DecodeFaultReport(m.Payload)
+	if err != nil {
+		return
+	}
+	k.faultsC.Inc()
+	k.faults = append(k.faults, rep)
+	ts := k.tiles[rep.Tile]
+	app, ok := k.apps[ts.app]
+	if !ok || !app.Spec.Restart {
+		return
+	}
+	// If the shell contained the fault per-context (preemptible), the tile
+	// is still Running and needs no reconfiguration.
+	if ts.shell != nil && ts.shell.State() == accel.Running {
+		return
+	}
+	app.Restarts++
+	k.restarts.Inc()
+	cells := 20000
+	delay := prBaseCycles + prCyclesPerCell*sim.Cycle(cells)
+	k.engine.After(delay, func(sim.Cycle) {
+		k.sendCtl(rep.Tile, msg.TCtlResume, nil)
+	})
+}
+
+// handleSyscall dispatches a TRequest to SvcKernel.
+func (k *Kernel) handleSyscall(m *msg.Message) {
+	k.syscalls.Inc()
+	if len(m.Payload) == 0 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	switch m.Payload[0] {
+	case OpAllocSeg:
+		k.sysAllocSeg(m)
+	case OpFreeSeg:
+		k.sysFreeSeg(m)
+	case OpRegisterSvc:
+		k.sysRegisterSvc(m)
+	case OpLookupSvc:
+		k.sysLookupSvc(m)
+	case OpConnect:
+		k.sysConnect(m)
+	case OpGrantSeg:
+		k.sysGrantSeg(m)
+	default:
+		k.replyErr(m, msg.EBadMsg)
+	}
+}
+
+func (k *Kernel) sysAllocSeg(m *msg.Message) {
+	if len(m.Payload) < 9 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	size := binary.LittleEndian.Uint64(m.Payload[1:])
+	seg, err := k.alloc.Alloc(size, m.SrcTile)
+	if err != nil {
+		k.replyErr(m, msg.ENoMem)
+		return
+	}
+	ts := k.tiles[m.SrcTile]
+	slot := cap.Ref(ts.slotNo)
+	ts.slotNo++
+	k.segOwner[uint32(seg.ID)] = m.SrcTile
+	k.installCapMsg(m.SrcTile, slot, k.segmentCap(uint32(seg.ID), cap.RRead|cap.RWrite|cap.RGrant))
+	out := make([]byte, 9)
+	out[0] = OpAllocSeg
+	binary.LittleEndian.PutUint32(out[1:], uint32(seg.ID))
+	binary.LittleEndian.PutUint32(out[5:], uint32(slot))
+	k.reply(m, out)
+}
+
+func (k *Kernel) sysFreeSeg(m *msg.Message) {
+	if len(m.Payload) < 5 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	segID := binary.LittleEndian.Uint32(m.Payload[1:])
+	if owner, ok := k.segOwner[segID]; !ok || owner != m.SrcTile {
+		k.replyErr(m, msg.ENoCap)
+		return
+	}
+	if err := k.alloc.Free(memseg.SegID(segID)); err != nil {
+		k.replyErr(m, msg.ENoCap)
+		return
+	}
+	delete(k.segOwner, segID)
+	// Revoke globally: bump the generation, then clear every table slot we
+	// know granted it.
+	k.checker.Revoke(cap.KindSegment, segID)
+	for _, g := range k.grants {
+		if g.c.Kind == cap.KindSegment && g.c.Object == segID {
+			k.sendCtl(g.tile, msg.TCtlRevokeCap,
+				msg.EncodeInstallCapReq(msg.InstallCapReq{Slot: uint32(g.slot)}))
+		}
+	}
+	k.reply(m, []byte{OpFreeSeg})
+}
+
+func (k *Kernel) sysRegisterSvc(m *msg.Message) {
+	if len(m.Payload) < 3 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	svc := msg.ServiceID(binary.LittleEndian.Uint16(m.Payload[1:]))
+	if svc < msg.FirstUserService {
+		k.replyErr(m, msg.ERights)
+		return
+	}
+	if _, taken := k.services[svc]; taken {
+		k.replyErr(m, msg.EBusy)
+		return
+	}
+	k.services[svc] = m.SrcTile
+	k.svcOwner[svc] = k.tiles[m.SrcTile].app
+	k.broadcastName(svc, m.SrcTile)
+	k.reply(m, []byte{OpRegisterSvc})
+}
+
+func (k *Kernel) sysLookupSvc(m *msg.Message) {
+	if len(m.Payload) < 3 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	svc := msg.ServiceID(binary.LittleEndian.Uint16(m.Payload[1:]))
+	tile, ok := k.services[svc]
+	if !ok {
+		k.replyErr(m, msg.ENoService)
+		return
+	}
+	out := make([]byte, 3)
+	out[0] = OpLookupSvc
+	binary.LittleEndian.PutUint16(out[1:], uint16(tile))
+	k.reply(m, out)
+}
+
+// mayConnect applies the connection policy: system services and same-app
+// services always; foreign services only when exported by their app.
+func (k *Kernel) mayConnect(callerApp string, svc msg.ServiceID) bool {
+	if svc == msg.SvcKernel || svc == msg.SvcMemory || svc == msg.SvcNet ||
+		svc == msg.SvcTrace || svc == msg.SvcName {
+		return true
+	}
+	owner := k.svcOwner[svc]
+	if owner == callerApp && owner != "" {
+		return true
+	}
+	if expApp, ok := k.exports[svc]; ok && expApp == owner {
+		return true
+	}
+	return false
+}
+
+func (k *Kernel) sysConnect(m *msg.Message) {
+	if len(m.Payload) < 3 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	svc := msg.ServiceID(binary.LittleEndian.Uint16(m.Payload[1:]))
+	if _, ok := k.services[svc]; !ok {
+		k.replyErr(m, msg.ENoService)
+		return
+	}
+	ts := k.tiles[m.SrcTile]
+	if !k.mayConnect(ts.app, svc) {
+		k.replyErr(m, msg.ENoCap)
+		return
+	}
+	slot := cap.Ref(ts.slotNo)
+	ts.slotNo++
+	k.installCapMsg(m.SrcTile, slot, k.endpointCap(svc))
+	out := make([]byte, 5)
+	out[0] = OpConnect
+	binary.LittleEndian.PutUint32(out[1:], uint32(slot))
+	k.reply(m, out)
+}
+
+func (k *Kernel) sysGrantSeg(m *msg.Message) {
+	if len(m.Payload) < 8 {
+		k.replyErr(m, msg.EBadMsg)
+		return
+	}
+	segID := binary.LittleEndian.Uint32(m.Payload[1:])
+	svc := msg.ServiceID(binary.LittleEndian.Uint16(m.Payload[5:]))
+	rights := cap.Rights(m.Payload[7]) & (cap.RRead | cap.RWrite)
+	owner, ok := k.segOwner[segID]
+	if !ok || owner != m.SrcTile {
+		k.replyErr(m, msg.ENoCap)
+		return
+	}
+	dstTile, ok := k.services[svc]
+	if !ok {
+		k.replyErr(m, msg.ENoService)
+		return
+	}
+	ts := k.tiles[dstTile]
+	slot := cap.Ref(ts.slotNo)
+	ts.slotNo++
+	k.installCapMsg(dstTile, slot, k.segmentCap(segID, rights))
+	k.reply(m, []byte{OpGrantSeg})
+}

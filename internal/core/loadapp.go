@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/cap"
+	"apiary/internal/fabric"
+	"apiary/internal/memseg"
+	"apiary/internal/monitor"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// defaultCells is the synthetic bitstream size when a manifest omits it.
+const defaultCells = 20000
+
+// SetRegions attaches the board floorplan so application loads go through
+// bitstream fit + design-rule checking. Without regions, loads skip the
+// fabric checks (unit-test configurations).
+func (k *Kernel) SetRegions(regions []*fabric.Region) { k.regions = regions }
+
+// LoadApp validates, places and starts an application. Each accelerator
+// lands on its own free tile (paper §4.1: distrusting applications may not
+// share a physical tile; we go further and give every accelerator its own
+// tile). Returns placement information including pre-allocated segments.
+func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
+	if spec.Name == "" || spec.Name == "apiary" {
+		return nil, fmt.Errorf("core: invalid app name %q", spec.Name)
+	}
+	if _, dup := k.apps[spec.Name]; dup {
+		return nil, fmt.Errorf("core: app %q already loaded", spec.Name)
+	}
+	if len(spec.Accels) == 0 {
+		return nil, fmt.Errorf("core: app %q has no accelerators", spec.Name)
+	}
+
+	// Pre-flight: enough free tiles, unique instance names, service IDs
+	// not already claimed.
+	free := k.freeTiles()
+	if len(free) < len(spec.Accels) {
+		return nil, fmt.Errorf("core: app %q needs %d tiles, %d free",
+			spec.Name, len(spec.Accels), len(free))
+	}
+	seen := map[string]bool{}
+	for _, a := range spec.Accels {
+		if a.Name == "" || seen[a.Name] {
+			return nil, fmt.Errorf("core: duplicate or empty accel name %q in %q", a.Name, spec.Name)
+		}
+		seen[a.Name] = true
+		if a.New == nil {
+			return nil, fmt.Errorf("core: accel %q has no constructor", a.Name)
+		}
+		if a.Service != msg.SvcInvalid {
+			if a.Service < msg.FirstUserService {
+				return nil, fmt.Errorf("core: accel %q claims reserved service %d", a.Name, a.Service)
+			}
+			if _, taken := k.services[a.Service]; taken {
+				return nil, fmt.Errorf("core: service %d already registered", a.Service)
+			}
+		}
+	}
+
+	app := &App{Spec: spec}
+	placement := k.chooseTiles(spec, free)
+
+	// Pass 1: place accelerators and register their services so that
+	// same-app Connect lists resolve regardless of declaration order.
+	for i, a := range spec.Accels {
+		tile := placement[i]
+		ts := k.tiles[tile]
+		logic := a.New()
+		if err := k.configureRegion(tile, a, logic); err != nil {
+			k.rollback(app)
+			return nil, err
+		}
+		shell := accel.NewShell(logic, k.stats)
+		ts.shell = shell
+		ts.app = spec.Name
+		ts.accel = a.Name
+		ts.svc = a.Service
+		ts.mon.AttachShell(shell)
+		if a.Rate != (monitor.RateLimit{}) {
+			ts.mon.SetRate(a.Rate)
+		}
+		k.engine.Register(shell)
+		if a.Service != msg.SvcInvalid {
+			k.services[a.Service] = tile
+			k.svcOwner[a.Service] = spec.Name
+			k.bindAll(a.Service, tile)
+		}
+		for c := 0; c < logic.Contexts(); c++ {
+			k.procs = append(k.procs, Proc{
+				App: spec.Name, Accel: a.Name, Tile: tile, Ctx: uint8(c),
+			})
+		}
+		app.Placed = append(app.Placed, PlacedAccel{Name: a.Name, Tile: tile})
+	}
+	for _, svc := range spec.Exports {
+		k.exports[svc] = spec.Name
+	}
+
+	// Pass 2: capabilities and memory.
+	for i, a := range spec.Accels {
+		tile := app.Placed[i].Tile
+		ts := k.tiles[tile]
+		k.installCapDirect(tile, SlotKernelEP, k.endpointCap(msg.SvcKernel))
+		k.installCapDirect(tile, SlotMemEP, k.endpointCap(msg.SvcMemory))
+		if a.WantNet {
+			if _, ok := k.services[msg.SvcNet]; !ok {
+				k.rollback(app)
+				return nil, fmt.Errorf("core: accel %q wants the network service, which is not installed", a.Name)
+			}
+			k.installCapDirect(tile, SlotNetEP, k.endpointCap(msg.SvcNet))
+		}
+		for _, svc := range a.Connect {
+			if !k.mayConnect(spec.Name, svc) {
+				k.rollback(app)
+				return nil, fmt.Errorf("core: app %q may not connect to service %d (not exported)",
+					spec.Name, svc)
+			}
+			slot := cap.Ref(ts.slotNo)
+			ts.slotNo++
+			k.installCapDirect(tile, slot, k.endpointCap(svc))
+		}
+		if a.MemBytes > 0 {
+			seg, err := k.alloc.Alloc(a.MemBytes, tile)
+			if err != nil {
+				k.rollback(app)
+				return nil, fmt.Errorf("core: segment for %q: %w", a.Name, err)
+			}
+			slot := cap.Ref(ts.slotNo)
+			ts.slotNo++
+			k.segOwner[uint32(seg.ID)] = tile
+			k.installCapDirect(tile, slot,
+				k.segmentCap(uint32(seg.ID), cap.RRead|cap.RWrite|cap.RGrant))
+			app.Placed[i].SegID = uint32(seg.ID)
+			app.Placed[i].SegSlot = slot
+		}
+	}
+
+	k.apps[spec.Name] = app
+	return app, nil
+}
+
+// configureRegion runs the fabric path for a placement: synthesize a
+// bitstream of the declared size and load it through the region's DRC.
+func (k *Kernel) configureRegion(tile msg.TileID, a AppAccel, logic accel.Accelerator) error {
+	if k.regions == nil {
+		return nil
+	}
+	cells := a.Cells
+	if cells == 0 {
+		cells = defaultCells
+	}
+	bs := fabric.NewBitstream(logic.Name(), cells)
+	if err := k.regions[tile].Load(bs); err != nil {
+		return fmt.Errorf("core: placing %q on tile %d: %w", a.Name, tile, err)
+	}
+	return nil
+}
+
+// chooseTiles maps each accelerator of spec to a free tile according to the
+// requested placement strategy.
+func (k *Kernel) chooseTiles(spec AppSpec, free []msg.TileID) []msg.TileID {
+	if spec.Placement != PlaceAffinity || len(spec.Accels) < 2 {
+		return free[:len(spec.Accels)]
+	}
+
+	// Build the communication graph: i—j iff i connects to j's service or
+	// vice versa.
+	svcIdx := map[msg.ServiceID]int{}
+	for i, a := range spec.Accels {
+		if a.Service != msg.SvcInvalid {
+			svcIdx[a.Service] = i
+		}
+	}
+	n := len(spec.Accels)
+	adj := make([][]int, n)
+	for i, a := range spec.Accels {
+		for _, svc := range a.Connect {
+			if j, ok := svcIdx[svc]; ok && j != i {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+
+	dims := k.net.Dims()
+	placed := make([]msg.TileID, n)
+	used := make([]bool, len(free))
+	for i := range placed {
+		placed[i] = msg.NoTile
+	}
+
+	// Greedy: place accel 0 on the first free tile; then repeatedly place
+	// the accelerator with the most already-placed neighbours onto the
+	// free tile minimizing total hops to them (ties: lowest tile ID).
+	takeTile := func(idx int) msg.TileID {
+		used[idx] = true
+		return free[idx]
+	}
+	placed[0] = takeTile(0)
+	for placedCount := 1; placedCount < n; placedCount++ {
+		// Pick the next accelerator: most placed neighbours, lowest index.
+		best, bestDeg := -1, -1
+		for i := range spec.Accels {
+			if placed[i] != msg.NoTile {
+				continue
+			}
+			deg := 0
+			for _, j := range adj[i] {
+				if placed[j] != msg.NoTile {
+					deg++
+				}
+			}
+			if deg > bestDeg {
+				best, bestDeg = i, deg
+			}
+		}
+		// Pick its tile.
+		bestTile, bestCost := -1, 1<<30
+		for ti := range free {
+			if used[ti] {
+				continue
+			}
+			cost := 0
+			for _, j := range adj[best] {
+				if placed[j] != msg.NoTile {
+					cost += noc.Hops(dims.Coord(free[ti]), dims.Coord(placed[j]))
+				}
+			}
+			if cost < bestCost {
+				bestTile, bestCost = ti, cost
+			}
+		}
+		placed[best] = takeTile(bestTile)
+	}
+	return placed
+}
+
+// freeTiles lists unoccupied, non-reserved tiles in ID order.
+func (k *Kernel) freeTiles() []msg.TileID {
+	var out []msg.TileID
+	for _, ts := range k.tiles {
+		if ts.app == "" && ts.mon != nil {
+			out = append(out, ts.id)
+		}
+	}
+	return out
+}
+
+// rollback undoes a partial load.
+func (k *Kernel) rollback(app *App) {
+	for _, p := range app.Placed {
+		ts := k.tiles[p.Tile]
+		if ts.svc != msg.SvcInvalid {
+			delete(k.services, ts.svc)
+			delete(k.svcOwner, ts.svc)
+			k.bindAll(ts.svc, msg.NoTile)
+		}
+		ts.mon.DetachShell()
+		ts.shell = nil
+		ts.app, ts.accel, ts.svc = "", "", msg.SvcInvalid
+		if k.regions != nil {
+			k.regions[p.Tile].Clear()
+		}
+		if p.SegID != 0 {
+			_ = k.alloc.Free(memseg.SegID(p.SegID))
+			delete(k.segOwner, p.SegID)
+		}
+		kept := k.procs[:0]
+		for _, pr := range k.procs {
+			if pr.Tile != p.Tile {
+				kept = append(kept, pr)
+			}
+		}
+		k.procs = kept
+	}
+	for _, svc := range app.Spec.Exports {
+		delete(k.exports, svc)
+	}
+}

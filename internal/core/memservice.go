@@ -1,0 +1,192 @@
+package core
+
+import (
+	"apiary/internal/accel"
+	"apiary/internal/cap"
+	"apiary/internal/memseg"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// MemService is Apiary's segment memory service: an accelerator occupying a
+// service tile that owns the board DRAM channel and executes TMemRead /
+// TMemWrite messages against capability-named segments (paper §4.6).
+//
+// Trust model: the *sending* monitor validated the segment capability and
+// rewrote CapRef to the segment ID; the service re-checks liveness (the
+// segment may have been freed while the message was in flight) and bounds.
+// The allocator is shared with the kernel, which performs alloc/free on
+// behalf of syscalls — in hardware this is a table in the static region
+// written only by trusted logic.
+type MemService struct {
+	alloc   *memseg.Allocator
+	dram    *memseg.DRAM
+	checker *cap.Checker
+
+	outbox []*msg.Message
+
+	reads      *sim.Counter
+	writes     *sim.Counter
+	copies     *sim.Counter
+	boundsErrs *sim.Counter
+}
+
+// maxMemLength bounds one read so the reply fits a single message.
+const maxMemLength = msg.MaxPayload
+
+// NewMemService creates the service over the given allocator and DRAM.
+func NewMemService(alloc *memseg.Allocator, dram *memseg.DRAM, checker *cap.Checker, st *sim.Stats) *MemService {
+	return &MemService{
+		alloc:      alloc,
+		dram:       dram,
+		checker:    checker,
+		reads:      st.Counter("memsvc.reads"),
+		writes:     st.Counter("memsvc.writes"),
+		copies:     st.Counter("memsvc.copies"),
+		boundsErrs: st.Counter("memsvc.bounds_errors"),
+	}
+}
+
+// Name implements accel.Accelerator.
+func (s *MemService) Name() string { return "apiary.memory" }
+
+// Contexts implements accel.Accelerator.
+func (s *MemService) Contexts() int { return 1 }
+
+// Reset implements accel.Accelerator.
+func (s *MemService) Reset() { s.outbox = nil }
+
+// Tick implements accel.Accelerator.
+func (s *MemService) Tick(p accel.Port) {
+	for i := 0; i < maxPerTick; i++ {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		s.handle(m)
+	}
+	for len(s.outbox) > 0 {
+		if code := p.Send(s.outbox[0]); code != msg.EOK {
+			break
+		}
+		s.outbox = s.outbox[1:]
+	}
+}
+
+// maxPerTick bounds messages consumed per cycle by service accelerators.
+const maxPerTick = 4
+
+func (s *MemService) fail(m *msg.Message, code msg.ErrCode) {
+	s.outbox = append(s.outbox, m.ErrorReply(code))
+}
+
+func (s *MemService) handle(m *msg.Message) {
+	switch m.Type {
+	case msg.TMemRead, msg.TMemWrite:
+	case msg.TMemCopy:
+		s.handleCopy(m)
+		return
+	default:
+		if m.Type != msg.TReply && m.Type != msg.TError {
+			s.fail(m, msg.EBadMsg)
+		}
+		return
+	}
+	req, err := msg.DecodeMemReq(m.Payload)
+	if err != nil {
+		s.fail(m, msg.EBadMsg)
+		return
+	}
+	segID := memseg.SegID(m.CapRef)
+	seg, ok := s.alloc.Lookup(segID)
+	if !ok {
+		s.fail(m, msg.ENoCap)
+		return
+	}
+	// Liveness: segment IDs are never reused and the kernel bumps the
+	// generation on free, so a revoked-but-somehow-still-live segment is a
+	// kernel bug; reject it rather than serve stale data.
+	if s.checker.Gen(cap.KindSegment, uint32(segID)) != 0 {
+		s.fail(m, msg.ERevoked)
+		return
+	}
+
+	if m.Type == msg.TMemRead {
+		if req.Length > maxMemLength || !seg.Contains(req.Offset, uint64(req.Length)) {
+			s.boundsErrs.Inc()
+			s.fail(m, msg.EBounds)
+			return
+		}
+		s.reads.Inc()
+		reply := m.Reply(msg.TMemReply, nil)
+		if !s.dram.Read(seg.Base+req.Offset, int(req.Length), func(data []byte) {
+			reply.Payload = data
+			s.outbox = append(s.outbox, reply)
+		}) {
+			s.fail(m, msg.EBusy)
+		}
+		return
+	}
+
+	// Write.
+	if !seg.Contains(req.Offset, uint64(len(req.Data))) {
+		s.boundsErrs.Inc()
+		s.fail(m, msg.EBounds)
+		return
+	}
+	s.writes.Inc()
+	reply := m.Reply(msg.TMemReply, nil)
+	if !s.dram.Write(seg.Base+req.Offset, req.Data, func() {
+		s.outbox = append(s.outbox, reply)
+	}) {
+		s.fail(m, msg.EBusy)
+	}
+}
+
+// maxCopyLength bounds one DMA copy; larger copies are issued as several
+// requests (keeps worst-case DRAM occupancy of one op bounded).
+const maxCopyLength = 1 << 20
+
+// handleCopy executes a segment-to-segment DMA: read from the source
+// segment, then write into the destination, both against bounds. The
+// monitor already verified read rights on CapRef (source) and write rights
+// on the payload's destination segment.
+func (s *MemService) handleCopy(m *msg.Message) {
+	req, err := msg.DecodeMemCopyReq(m.Payload)
+	if err != nil {
+		s.fail(m, msg.EBadMsg)
+		return
+	}
+	if req.Length > maxCopyLength {
+		s.fail(m, msg.ETooBig)
+		return
+	}
+	src, ok := s.alloc.Lookup(memseg.SegID(m.CapRef))
+	if !ok {
+		s.fail(m, msg.ENoCap)
+		return
+	}
+	dst, ok := s.alloc.Lookup(memseg.SegID(req.DstRef))
+	if !ok {
+		s.fail(m, msg.ENoCap)
+		return
+	}
+	if !src.Contains(req.SrcOff, uint64(req.Length)) ||
+		!dst.Contains(req.DstOff, uint64(req.Length)) {
+		s.boundsErrs.Inc()
+		s.fail(m, msg.EBounds)
+		return
+	}
+	s.copies.Inc()
+	reply := m.Reply(msg.TMemReply, nil)
+	ok = s.dram.Read(src.Base+req.SrcOff, int(req.Length), func(data []byte) {
+		if !s.dram.Write(dst.Base+req.DstOff, data, func() {
+			s.outbox = append(s.outbox, reply)
+		}) {
+			s.outbox = append(s.outbox, m.ErrorReply(msg.EBusy))
+		}
+	})
+	if !ok {
+		s.fail(m, msg.EBusy)
+	}
+}

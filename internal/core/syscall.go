@@ -1,0 +1,107 @@
+// Package core implements the Apiary microkernel: boot, tile and process
+// tables, the service registry, the syscall protocol, application
+// loading/placement and fault policy (paper §4). The kernel occupies tile 0;
+// like everything else in Apiary it is reached by message passing — there
+// is no privileged side channel for applications.
+package core
+
+import (
+	"encoding/binary"
+
+	"apiary/internal/msg"
+)
+
+// Syscall opcodes. A syscall is a TRequest to SvcKernel whose payload
+// starts with the opcode byte; the reply is a TReply whose payload echoes
+// the opcode followed by result fields, or a TError.
+const (
+	OpAllocSeg    byte = 1 // size u64 -> segID u32, capSlot u32
+	OpFreeSeg     byte = 2 // segID u32 -> ()
+	OpRegisterSvc byte = 3 // svc u16 -> ()
+	OpLookupSvc   byte = 4 // svc u16 -> tile u16
+	OpConnect     byte = 5 // svc u16 -> capSlot u32
+	OpGrantSeg    byte = 6 // segID u32, svc u16, rights u8 -> ()
+)
+
+// EncodeAllocSeg builds an OpAllocSeg payload.
+func EncodeAllocSeg(size uint64) []byte {
+	b := make([]byte, 9)
+	b[0] = OpAllocSeg
+	binary.LittleEndian.PutUint64(b[1:], size)
+	return b
+}
+
+// EncodeFreeSeg builds an OpFreeSeg payload.
+func EncodeFreeSeg(segID uint32) []byte {
+	b := make([]byte, 5)
+	b[0] = OpFreeSeg
+	binary.LittleEndian.PutUint32(b[1:], segID)
+	return b
+}
+
+// EncodeRegisterSvc builds an OpRegisterSvc payload.
+func EncodeRegisterSvc(svc msg.ServiceID) []byte {
+	b := make([]byte, 3)
+	b[0] = OpRegisterSvc
+	binary.LittleEndian.PutUint16(b[1:], uint16(svc))
+	return b
+}
+
+// EncodeLookupSvc builds an OpLookupSvc payload.
+func EncodeLookupSvc(svc msg.ServiceID) []byte {
+	b := make([]byte, 3)
+	b[0] = OpLookupSvc
+	binary.LittleEndian.PutUint16(b[1:], uint16(svc))
+	return b
+}
+
+// EncodeConnect builds an OpConnect payload.
+func EncodeConnect(svc msg.ServiceID) []byte {
+	b := make([]byte, 3)
+	b[0] = OpConnect
+	binary.LittleEndian.PutUint16(b[1:], uint16(svc))
+	return b
+}
+
+// EncodeGrantSeg builds an OpGrantSeg payload.
+func EncodeGrantSeg(segID uint32, svc msg.ServiceID, rights uint8) []byte {
+	b := make([]byte, 8)
+	b[0] = OpGrantSeg
+	binary.LittleEndian.PutUint32(b[1:], segID)
+	binary.LittleEndian.PutUint16(b[5:], uint16(svc))
+	b[7] = rights
+	return b
+}
+
+// AllocSegReply is the decoded result of OpAllocSeg.
+type AllocSegReply struct {
+	SegID   uint32
+	CapSlot uint32
+}
+
+// DecodeAllocSegReply parses an OpAllocSeg TReply payload.
+func DecodeAllocSegReply(b []byte) (AllocSegReply, error) {
+	if len(b) < 9 || b[0] != OpAllocSeg {
+		return AllocSegReply{}, msg.EBadMsg.Error()
+	}
+	return AllocSegReply{
+		SegID:   binary.LittleEndian.Uint32(b[1:]),
+		CapSlot: binary.LittleEndian.Uint32(b[5:]),
+	}, nil
+}
+
+// DecodeLookupSvcReply parses an OpLookupSvc TReply payload.
+func DecodeLookupSvcReply(b []byte) (msg.TileID, error) {
+	if len(b) < 3 || b[0] != OpLookupSvc {
+		return msg.NoTile, msg.EBadMsg.Error()
+	}
+	return msg.TileID(binary.LittleEndian.Uint16(b[1:])), nil
+}
+
+// DecodeConnectReply parses an OpConnect TReply payload.
+func DecodeConnectReply(b []byte) (uint32, error) {
+	if len(b) < 5 || b[0] != OpConnect {
+		return 0, msg.EBadMsg.Error()
+	}
+	return binary.LittleEndian.Uint32(b[1:]), nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"apiary/internal/cap"
+	"apiary/internal/fabric"
+	"apiary/internal/memseg"
+	"apiary/internal/msg"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+	"apiary/internal/trace"
+)
+
+// SystemConfig parameterizes a complete Apiary board instance.
+type SystemConfig struct {
+	// Board names an entry in fabric.Boards. Default "usp-100g".
+	Board string
+	// Dims is the NoC mesh size. Default 3x3.
+	Dims noc.Dims
+	// Seed for the deterministic PRNG. Default 1.
+	Seed uint64
+	// DisableCaps turns off capability enforcement (experiment ablation).
+	DisableCaps bool
+	// ManagedMemBytes is the DRAM the memory service manages. Default
+	// 64 MiB (the board's channel is far larger; the simulator stores real
+	// bytes, so experiments use a window).
+	ManagedMemBytes uint64
+	// MemPolicy selects the segment allocator policy. Default FirstFit.
+	MemPolicy memseg.Policy
+	// WithNet installs the network service on tile 2 and attaches the
+	// board to a datacenter fabric.
+	WithNet bool
+	// ExtFabric, when non-nil, is the datacenter network to join;
+	// otherwise (with WithNet) a private fabric is created.
+	ExtFabric *netsim.Fabric
+	// NodeID is this board's address on the datacenter network. Default 1.
+	NodeID netsim.NodeID
+	// LinkLatencyNs is the board uplink one-way latency. Default 1000.
+	LinkLatencyNs float64
+	// TracerCap bounds the message trace ring. Default 16384.
+	TracerCap int
+	// CapSlots is the per-tile capability table provisioning used for the
+	// area model. Default 64.
+	CapSlots int
+	// SkipFloorplan disables fabric region checks (tiny unit tests).
+	SkipFloorplan bool
+}
+
+// System is a fully assembled Apiary board: engine, NoC, kernel, system
+// services and (optionally) a datacenter network attachment.
+type System struct {
+	Engine  *sim.Engine
+	Stats   *sim.Stats
+	Tracer  *trace.Tracer
+	Checker *cap.Checker
+	Noc     *noc.Network
+	Kernel  *Kernel
+	Board   fabric.Board
+	Regions []*fabric.Region
+	Alloc   *memseg.Allocator
+	DRAM    *memseg.DRAM
+	Fabric  *netsim.Fabric    // nil unless WithNet
+	NetSvc  *netstack.Service // nil unless WithNet
+	NodeID  netsim.NodeID
+}
+
+// NewSystem boots a board.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.Board == "" {
+		cfg.Board = "usp-100g"
+	}
+	if cfg.Dims == (noc.Dims{}) {
+		cfg.Dims = noc.Dims{W: 3, H: 3}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ManagedMemBytes == 0 {
+		cfg.ManagedMemBytes = 64 << 20
+	}
+	if cfg.NodeID == 0 {
+		cfg.NodeID = 1
+	}
+	if cfg.TracerCap == 0 {
+		cfg.TracerCap = 16384
+	}
+	if cfg.CapSlots == 0 {
+		cfg.CapSlots = 64
+	}
+	board, err := fabric.LookupBoard(cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		Engine:  sim.NewEngine(cfg.Seed),
+		Stats:   sim.NewStats(),
+		Checker: cap.NewChecker(),
+		Board:   board,
+		NodeID:  cfg.NodeID,
+	}
+	s.Tracer = trace.New(cfg.TracerCap)
+	s.Noc = noc.NewNetwork(s.Engine, s.Stats, noc.Config{Dims: cfg.Dims})
+
+	if !cfg.SkipFloorplan {
+		regions, err := fabric.Floorplan(board.Device, cfg.Dims.Tiles(),
+			cfg.CapSlots, fabric.DefaultAreaModel)
+		if err != nil {
+			return nil, err
+		}
+		s.Regions = regions
+	}
+
+	// Memory subsystem sized to the board's primary bank characteristics.
+	bank := board.PrimaryMemory()
+	bytesPerCycle := int(bank.GBps * 1e9 / (float64(sim.DefaultFreqMHz) * 1e6))
+	if bytesPerCycle < 1 {
+		bytesPerCycle = 1
+	}
+	s.Alloc = memseg.NewAllocator(cfg.ManagedMemBytes, cfg.MemPolicy)
+	s.DRAM = memseg.NewDRAM(s.Engine, s.Stats, cfg.ManagedMemBytes, memseg.DRAMConfig{
+		LatencyCycles: s.Engine.CyclesForNanos(bank.LatencyNs),
+		BytesPerCycle: bytesPerCycle,
+	})
+
+	s.Kernel = NewKernel(s.Engine, s.Stats, s.Noc, s.Checker, s.Tracer,
+		s.Alloc, !cfg.DisableCaps)
+	if s.Regions != nil {
+		s.Kernel.SetRegions(s.Regions)
+	}
+	s.Kernel.installSystemService(MemTile, msg.SvcMemory,
+		NewMemService(s.Alloc, s.DRAM, s.Checker, s.Stats))
+
+	if cfg.WithNet {
+		if cfg.Dims.Tiles() < 4 {
+			return nil, fmt.Errorf("core: network service needs at least 4 tiles")
+		}
+		s.Fabric = cfg.ExtFabric
+		if s.Fabric == nil {
+			s.Fabric = netsim.New(s.Engine, s.Stats)
+		}
+		port := board.NewEthernet()
+		link := netsim.LinkConfig{Gbps: port.LineRateGbps(), LatencyNs: cfg.LinkLatencyNs}
+		svc, err := netstack.NewService(s.Engine, s.Stats, s.Fabric,
+			cfg.NodeID, port, link)
+		if err != nil {
+			return nil, err
+		}
+		s.NetSvc = svc
+		s.Kernel.installSystemService(NetTile, msg.SvcNet, svc)
+	}
+	return s, nil
+}
+
+// Run advances the board n cycles.
+func (s *System) Run(n sim.Cycle) { s.Engine.Run(n) }
+
+// RunUntil advances until cond holds or the budget expires.
+func (s *System) RunUntil(cond func() bool, budget sim.Cycle) bool {
+	return s.Engine.RunUntil(cond, budget)
+}
+
+// MonitorOverhead reports the fraction of the device's logic cells consumed
+// by Apiary's static framework at this tile count (experiment E3).
+func (s *System) MonitorOverhead(capSlots int) float64 {
+	return fabric.DefaultAreaModel.OverheadFraction(s.Board.Device,
+		s.Noc.Dims().Tiles(), capSlots)
+}

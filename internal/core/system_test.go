@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/memseg"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// runWorkload boots a fixed workload and returns a fingerprint of its
+// final state: every counter value plus the NoC latency histogram moments.
+func runWorkload(t *testing.T, seed uint64) map[string]uint64 {
+	t.Helper()
+	s, err := NewSystem(SystemConfig{Dims: noc.Dims{W: 3, H: 3}, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &progAccel{name: "w"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "w",
+		Accels: []AppAccel{{
+			Name: "a", New: func() accel.Accelerator { return a }, MemBytes: 8192,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := app.Placed[0].SegSlot
+	for i := uint32(0); i < 20; i++ {
+		a.push(&msg.Message{
+			Type: msg.TMemWrite, DstSvc: msg.SvcMemory, CapRef: uint32(slot), Seq: i,
+			Payload: msg.EncodeMemReq(msg.MemReq{Offset: uint64(i) * 64, Data: []byte{byte(i)}}),
+		})
+	}
+	s.Run(100_000)
+	fp := map[string]uint64{}
+	for _, c := range s.Stats.Counters() {
+		fp[c.Name] = c.Value()
+	}
+	fp["__cycles"] = uint64(s.Engine.Now())
+	for _, h := range s.Stats.Histograms() {
+		fp["__h_"+h.Name+"_n"] = uint64(h.Count())
+		fp["__h_"+h.Name+"_sum"] = uint64(h.Mean() * float64(h.Count()) * 1000)
+	}
+	return fp
+}
+
+// TestDeterminism: identical seeds must produce bit-identical simulations —
+// the property every recorded experiment number depends on.
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, 42)
+	b := runWorkload(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("fingerprint sizes differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterminism in %q: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestSystemConfigErrors(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Board: "martian-board"}); err == nil {
+		t.Fatal("unknown board booted")
+	}
+	if _, err := NewSystem(SystemConfig{Dims: noc.Dims{W: 3, H: 1}, WithNet: true}); err == nil {
+		t.Fatal("network service on a 3-tile board accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	s, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Board.Name != "usp-100g" {
+		t.Fatalf("default board = %s", s.Board.Name)
+	}
+	if s.Noc.Dims() != (noc.Dims{W: 3, H: 3}) {
+		t.Fatalf("default dims = %v", s.Noc.Dims())
+	}
+	if s.Alloc.Total() != 64<<20 {
+		t.Fatalf("default managed memory = %d", s.Alloc.Total())
+	}
+	if s.Regions == nil || len(s.Regions) != 9 {
+		t.Fatal("floorplan missing")
+	}
+	if ovh := s.MonitorOverhead(64); ovh <= 0 || ovh > 0.2 {
+		t.Fatalf("overhead accessor = %v", ovh)
+	}
+}
+
+func TestSystemBestFitPolicy(t *testing.T) {
+	s, err := NewSystem(SystemConfig{MemPolicy: memseg.BestFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc.Alloc(1024, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemSkipFloorplan(t *testing.T) {
+	s, err := NewSystem(SystemConfig{SkipFloorplan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Regions != nil {
+		t.Fatal("regions created despite SkipFloorplan")
+	}
+	// Loads skip DRC but still work.
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "x",
+		Accels: []AppAccel{{
+			Name: "a", Cells: 100_000_000, // absurd, but no floorplan to veto it
+			New: func() accel.Accelerator { return &progAccel{name: "a"} },
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

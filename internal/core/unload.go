@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"apiary/internal/accel"
+
+	"apiary/internal/cap"
+	"apiary/internal/memseg"
+	"apiary/internal/msg"
+)
+
+// UnloadApp tears an application down: its services are unbound everywhere,
+// every capability naming them is revoked (generation bump + table sweep),
+// its segments are freed and revoked, its tiles cleared and regions
+// reclaimed. The inverse of LoadApp; the freed tiles are immediately
+// reusable.
+func (k *Kernel) UnloadApp(name string) error {
+	app, ok := k.apps[name]
+	if !ok {
+		return fmt.Errorf("core: app %q not loaded", name)
+	}
+
+	appTiles := map[msg.TileID]bool{}
+	for _, p := range app.Placed {
+		appTiles[p.Tile] = true
+	}
+
+	// 1. Unbind and revoke the app's services so stale endpoint
+	// capabilities anywhere fail closed.
+	for svc, owner := range k.svcOwner {
+		if owner != name {
+			continue
+		}
+		delete(k.services, svc)
+		delete(k.svcOwner, svc)
+		delete(k.exports, svc)
+		k.checker.Revoke(cap.KindEndpoint, uint32(svc))
+		k.bindAll(svc, msg.NoTile)
+		for _, ts := range k.tiles {
+			if ts.mon != nil {
+				ts.mon.Table().RevokeObject(cap.KindEndpoint, uint32(svc))
+			}
+		}
+	}
+	for _, svc := range app.Spec.Exports {
+		delete(k.exports, svc)
+	}
+
+	// 2. Free and revoke segments owned by the app's tiles.
+	for segID, owner := range k.segOwner {
+		if !appTiles[owner] {
+			continue
+		}
+		_ = k.alloc.Free(memseg.SegID(segID))
+		delete(k.segOwner, segID)
+		k.checker.Revoke(cap.KindSegment, segID)
+		for _, ts := range k.tiles {
+			if ts.mon != nil {
+				ts.mon.Table().RevokeObject(cap.KindSegment, segID)
+			}
+		}
+	}
+
+	// 3. Clear the tiles: detach shells, wipe their capability tables,
+	// reclaim regions. The shell stays registered with the engine but a
+	// detached shell has no monitor hooks; mark it stopped so it is inert.
+	for _, p := range app.Placed {
+		ts := k.tiles[p.Tile]
+		if ts.shell != nil {
+			ts.shell.SetState(accel.Stopped)
+		}
+		ts.mon.DetachShell()
+		// Wipe everything this tile held.
+		for i := 0; i < ts.mon.Table().Slots(); i++ {
+			ts.mon.Table().Remove(cap.Ref(i))
+		}
+		ts.shell = nil
+		ts.app, ts.accel, ts.svc = "", "", msg.SvcInvalid
+		ts.slotNo = firstDynamicSlot
+		if k.regions != nil {
+			k.regions[p.Tile].Clear()
+		}
+	}
+
+	// 4. Drop processes and grant records.
+	kept := k.procs[:0]
+	for _, pr := range k.procs {
+		if !appTiles[pr.Tile] {
+			kept = append(kept, pr)
+		}
+	}
+	k.procs = kept
+	keptGrants := k.grants[:0]
+	for _, g := range k.grants {
+		if !appTiles[g.tile] {
+			keptGrants = append(keptGrants, g)
+		}
+	}
+	k.grants = keptGrants
+
+	delete(k.apps, name)
+	return nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+)
+
+func TestUnloadAppFreesEverything(t *testing.T) {
+	s := boot(t)
+	a := &progAccel{name: "a"}
+	liveBefore := s.Alloc.Live()
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "victim",
+		Accels: []AppAccel{
+			{Name: "a", New: func() accel.Accelerator { return a }, Service: 40, MemBytes: 4096},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile := app.Placed[0].Tile
+	if err := s.Kernel.UnloadApp("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Kernel.App("victim") != nil {
+		t.Fatal("app still registered")
+	}
+	if s.Kernel.Shell(tile) != nil {
+		t.Fatal("tile not cleared")
+	}
+	if _, ok := s.Kernel.ServiceTile(40); ok {
+		t.Fatal("service still registered")
+	}
+	if s.Alloc.Live() != liveBefore {
+		t.Fatalf("segments leaked: %d live, want %d", s.Alloc.Live(), liveBefore)
+	}
+	if len(s.Kernel.Procs()) != 0 {
+		t.Fatal("process table not cleaned")
+	}
+	if err := s.Kernel.UnloadApp("victim"); err == nil {
+		t.Fatal("double unload accepted")
+	}
+}
+
+func TestUnloadedTilesReusable(t *testing.T) {
+	s := boot(t)
+	mk := func() accel.Accelerator { return &progAccel{name: "x"} }
+	// Fill every free tile.
+	var accels []AppAccel
+	for i := 0; i < 7; i++ {
+		accels = append(accels, AppAccel{Name: string(rune('a' + i)), New: mk})
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{Name: "big", Accels: accels}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{Name: "one", Accels: accels[:1]}); err == nil {
+		t.Fatal("board should be full")
+	}
+	if err := s.Kernel.UnloadApp("big"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{Name: "again", Accels: accels}); err != nil {
+		t.Fatalf("tiles not reusable after unload: %v", err)
+	}
+}
+
+func TestUnloadRevokesForeignCaps(t *testing.T) {
+	s := boot(t)
+	provider := &progAccel{name: "prov"}
+	consumer := &progAccel{name: "cons"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:    "provapp",
+		Accels:  []AppAccel{{Name: "p", New: func() accel.Accelerator { return provider }, Service: 41}},
+		Exports: []msg.ServiceID{41},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "consapp",
+		Accels: []AppAccel{{Name: "c", New: func() accel.Accelerator { return consumer },
+			Connect: []msg.ServiceID{41}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Works before unload.
+	consumer.push(&msg.Message{Type: msg.TRequest, DstSvc: 41, Seq: 1})
+	if !s.RunUntil(func() bool { return len(provider.inbox) >= 1 }, 1_000_000) {
+		t.Fatal("pre-unload send failed")
+	}
+	if err := s.Kernel.UnloadApp("provapp"); err != nil {
+		t.Fatal(err)
+	}
+	// Denied after: either the name is gone or the capability is revoked.
+	consumer.push(&msg.Message{Type: msg.TRequest, DstSvc: 41, Seq: 2})
+	s.Run(100_000)
+	last := consumer.codes[len(consumer.codes)-1]
+	if last != msg.ENoService && last != msg.ERevoked && last != msg.ENoCap {
+		t.Fatalf("post-unload send code = %v", last)
+	}
+}
+
+func TestReloadSameServiceAfterUnload(t *testing.T) {
+	s := boot(t)
+	mk := func() accel.Accelerator { return &progAccel{name: "x"} }
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:   "v1",
+		Accels: []AppAccel{{Name: "a", New: mk, Service: 42}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Kernel.UnloadApp("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// Same service ID must be claimable again, and fresh caps must work.
+	client := &progAccel{name: "client"}
+	srv := &progAccel{name: "srv"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "v2",
+		Accels: []AppAccel{
+			{Name: "a", New: func() accel.Accelerator { return srv }, Service: 42},
+			{Name: "c", New: func() accel.Accelerator { return client }, Connect: []msg.ServiceID{42}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	client.push(&msg.Message{Type: msg.TRequest, DstSvc: 42, Seq: 1})
+	if !s.RunUntil(func() bool { return len(srv.inbox) >= 1 }, 1_000_000) {
+		t.Fatalf("fresh caps after re-register failed: codes=%v", client.codes)
+	}
+}

@@ -1,0 +1,89 @@
+// Package energy implements event-counting energy accounting for Apiary and
+// its host-mediated baseline (experiment E5). Absolute joules are not the
+// point — the paper claims *relative* savings from removing CPU mediation —
+// so the model charges published-order-of-magnitude energy per event and
+// the experiments compare totals.
+//
+// Constants (sources are order-of-magnitude literature values):
+//   - NoC flit-hop: ~1 pJ/bit on-chip => ~0.13 nJ per 128-bit flit-hop.
+//   - DRAM access: ~20 pJ/bit       => ~2.6 nJ per 16-byte beat.
+//   - NIC/MAC:     ~5 pJ/bit wire+SerDes.
+//   - PCIe:        ~10 pJ/bit per crossing.
+//   - CPU:         ~50 W core power => 50 nJ per busy nanosecond; software
+//     packet handling costs microseconds, which is exactly the
+//     paper's motivation for bypassing the CPU.
+package energy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Per-event energy costs in nanojoules.
+const (
+	FlitHopNJ     = 0.13
+	DRAMBeatNJ    = 2.6  // per 16-byte beat
+	MACByteNJ     = 0.04 // 5 pJ/bit
+	PCIeByteNJ    = 0.08 // 10 pJ/bit
+	CPUBusyNsNJ   = 50.0 // per nanosecond of busy CPU core
+	MonitorChkNJ  = 0.05 // capability check in the monitor CAM
+	FPGAStaticNJx = 0.0  // static power excluded: identical on both sides
+)
+
+// Meter accumulates energy by category.
+type Meter struct {
+	nj map[string]float64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{nj: make(map[string]float64)} }
+
+// Add charges nj nanojoules to a category.
+func (m *Meter) Add(category string, nj float64) { m.nj[category] += nj }
+
+// FlitHops charges n flit-hop traversals.
+func (m *Meter) FlitHops(n uint64) { m.Add("noc", float64(n)*FlitHopNJ) }
+
+// DRAMBytes charges a DRAM transfer of n bytes.
+func (m *Meter) DRAMBytes(n uint64) { m.Add("dram", float64((n+15)/16)*DRAMBeatNJ) }
+
+// MACBytes charges n bytes through the Ethernet MAC/SerDes.
+func (m *Meter) MACBytes(n uint64) { m.Add("mac", float64(n)*MACByteNJ) }
+
+// PCIeBytes charges n bytes across PCIe.
+func (m *Meter) PCIeBytes(n uint64) { m.Add("pcie", float64(n)*PCIeByteNJ) }
+
+// CPUBusyNs charges ns nanoseconds of busy CPU core time.
+func (m *Meter) CPUBusyNs(ns float64) { m.Add("cpu", ns*CPUBusyNsNJ) }
+
+// MonitorChecks charges n capability checks.
+func (m *Meter) MonitorChecks(n uint64) { m.Add("monitor", float64(n)*MonitorChkNJ) }
+
+// Total reports accumulated nanojoules across all categories.
+func (m *Meter) Total() float64 {
+	t := 0.0
+	for _, v := range m.nj {
+		t += v
+	}
+	return t
+}
+
+// Category reports one category's accumulated nanojoules.
+func (m *Meter) Category(c string) float64 { return m.nj[c] }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { m.nj = make(map[string]float64) }
+
+// Breakdown renders categories sorted by descending energy.
+func (m *Meter) Breakdown() string {
+	keys := make([]string, 0, len(m.nj))
+	for k := range m.nj {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m.nj[keys[i]] > m.nj[keys[j]] })
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%-8s %12.1f nJ\n", k, m.nj[k])
+	}
+	return s
+}

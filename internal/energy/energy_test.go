@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.FlitHops(100)
+	m.DRAMBytes(160)
+	m.MACBytes(1000)
+	m.PCIeBytes(1000)
+	m.CPUBusyNs(10)
+	m.MonitorChecks(4)
+	want := 100*FlitHopNJ + 10*DRAMBeatNJ + 1000*MACByteNJ +
+		1000*PCIeByteNJ + 10*CPUBusyNsNJ + 4*MonitorChkNJ
+	if got := m.Total(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+}
+
+func TestDRAMBeatRounding(t *testing.T) {
+	m := NewMeter()
+	m.DRAMBytes(1) // one byte still costs a beat
+	if m.Category("dram") != DRAMBeatNJ {
+		t.Fatalf("dram = %v", m.Category("dram"))
+	}
+}
+
+func TestCategoriesIndependent(t *testing.T) {
+	m := NewMeter()
+	m.MACBytes(10)
+	if m.Category("pcie") != 0 {
+		t.Fatal("category bleed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter()
+	m.FlitHops(5)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBreakdownSorted(t *testing.T) {
+	m := NewMeter()
+	m.CPUBusyNs(1000) // dominant
+	m.FlitHops(1)
+	out := m.Breakdown()
+	if !strings.Contains(out, "cpu") || !strings.Contains(out, "noc") {
+		t.Fatalf("breakdown missing categories:\n%s", out)
+	}
+	if strings.Index(out, "cpu") > strings.Index(out, "noc") {
+		t.Fatal("breakdown not sorted by energy")
+	}
+}
+
+// TestCPUDominatesSmallRequests encodes the paper's energy intuition: for a
+// small request, CPU software handling costs far more than moving the same
+// bytes over wires.
+func TestCPUDominatesSmallRequests(t *testing.T) {
+	hosted := NewMeter()
+	hosted.MACBytes(128)
+	hosted.CPUBusyNs(2000) // ~2 us of software stack
+	hosted.PCIeBytes(128)
+
+	direct := NewMeter()
+	direct.MACBytes(128)
+	direct.FlitHops(40)
+	direct.MonitorChecks(2)
+
+	if hosted.Total() < 10*direct.Total() {
+		t.Fatalf("hosted (%v nJ) should dwarf direct (%v nJ) for small requests",
+			hosted.Total(), direct.Total())
+	}
+}

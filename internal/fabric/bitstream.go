@@ -1,0 +1,78 @@
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Bitstream is a synthetic accelerator image. Real bitstreams are opaque
+// vendor blobs; what matters to Apiary is the metadata the build flow
+// attaches (resource cost, the primitive inventory the design-rule checker
+// inspects) and an integrity checksum.
+type Bitstream struct {
+	Name  string
+	Cells int // logic cells consumed
+
+	// Primitive inventory, filled by the "build flow" (synthetic here).
+	// The DRC inspects these for power-virus structures (paper §3.1: such
+	// attacks "are typically mitigated by the vendor FPGA build tools …
+	// using design rule checking during bitstream creation or bitstream
+	// analysis after the build process").
+	CombinationalLoops int // ring-oscillator style loops
+	LatchCount         int
+	FFCount            int
+
+	sum uint64
+}
+
+// Seal computes the integrity checksum over the metadata. Load paths verify
+// it; any tampering after sealing is detected.
+func (b *Bitstream) Seal() {
+	b.sum = b.digest()
+}
+
+func (b *Bitstream) digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d", b.Name, b.Cells, b.CombinationalLoops,
+		b.LatchCount, b.FFCount)
+	return h.Sum64()
+}
+
+// Verify reports whether the bitstream is sealed and unmodified.
+func (b *Bitstream) Verify() bool { return b.sum != 0 && b.sum == b.digest() }
+
+// MaxCombinationalLoops is the DRC budget for loops; legitimate designs
+// have zero, but allow a margin for async primitives.
+const MaxCombinationalLoops = 0
+
+// maxLatchFraction bounds latch-heavy designs (glitch amplification).
+const maxLatchFraction = 0.25
+
+// DesignRuleCheck validates the bitstream against the power-virus rules.
+func (b *Bitstream) DesignRuleCheck() error {
+	if !b.Verify() {
+		return fmt.Errorf("unsealed or tampered bitstream")
+	}
+	if b.CombinationalLoops > MaxCombinationalLoops {
+		return fmt.Errorf("power-virus risk: %d combinational loops (ring oscillators)",
+			b.CombinationalLoops)
+	}
+	if b.FFCount > 0 {
+		frac := float64(b.LatchCount) / float64(b.LatchCount+b.FFCount)
+		if frac > maxLatchFraction {
+			return fmt.Errorf("power-virus risk: latch fraction %.2f exceeds %.2f",
+				frac, maxLatchFraction)
+		}
+	} else if b.LatchCount > 0 {
+		return fmt.Errorf("power-virus risk: latch-only design")
+	}
+	return nil
+}
+
+// NewBitstream builds and seals a well-formed bitstream for an accelerator
+// of the given logic size.
+func NewBitstream(name string, cells int) *Bitstream {
+	b := &Bitstream{Name: name, Cells: cells, FFCount: cells / 2}
+	b.Seal()
+	return b
+}

@@ -1,0 +1,79 @@
+package fabric
+
+import "fmt"
+
+// MemoryKind classifies on-board memory.
+type MemoryKind string
+
+// Memory kinds present on the modelled boards.
+const (
+	DDR4 MemoryKind = "DDR4"
+	HBM2 MemoryKind = "HBM2"
+)
+
+// MemoryBank describes one on-board memory channel.
+type MemoryBank struct {
+	Kind      MemoryKind
+	Bytes     uint64
+	GBps      float64 // peak bandwidth
+	LatencyNs float64 // closed-row access latency
+}
+
+// Board is a complete FPGA board: a part plus its I/O complement. Boards
+// differ in which vendor Ethernet core they carry — the portability
+// experiment (E13) runs the same manifest on both.
+type Board struct {
+	Name   string
+	Device Device
+	Memory []MemoryBank
+	// NewEthernet constructs the board's (vendor-specific) Ethernet port.
+	NewEthernet func() EthernetPort
+	PCIeGen     int
+	HasCXL      bool
+}
+
+// Boards models two generations of deployment hardware.
+var Boards = map[string]Board{
+	// An older 10G Virtex-7 board (ADM-PCIE-7V3-style).
+	"v7-10g": {
+		Name:   "v7-10g",
+		Device: mustDevice("XC7VH870T"),
+		Memory: []MemoryBank{
+			{Kind: DDR4, Bytes: 8 << 30, GBps: 19.2, LatencyNs: 60},
+		},
+		NewEthernet: func() EthernetPort { return NewTenGbPort(NewTenGbEthCore()) },
+		PCIeGen:     3,
+	},
+	// A current 100G UltraScale+ board (Alveo U55C-style).
+	"usp-100g": {
+		Name:   "usp-100g",
+		Device: mustDevice("VU29P"),
+		Memory: []MemoryBank{
+			{Kind: HBM2, Bytes: 16 << 30, GBps: 460, LatencyNs: 110},
+			{Kind: DDR4, Bytes: 32 << 30, GBps: 19.2, LatencyNs: 60},
+		},
+		NewEthernet: func() EthernetPort { return NewHundredGbPort(NewHundredGbEthCore()) },
+		PCIeGen:     5,
+		HasCXL:      true,
+	},
+}
+
+func mustDevice(part string) Device {
+	d, err := LookupDevice(part)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// LookupBoard finds a board by name.
+func LookupBoard(name string) (Board, error) {
+	b, ok := Boards[name]
+	if !ok {
+		return Board{}, fmt.Errorf("fabric: unknown board %q", name)
+	}
+	return b, nil
+}
+
+// PrimaryMemory returns the board's first (fastest) memory bank.
+func (b Board) PrimaryMemory() MemoryBank { return b.Memory[0] }

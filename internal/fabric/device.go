@@ -1,0 +1,90 @@
+// Package fabric models the FPGA substrate Apiary runs on: devices (parts),
+// boards with their I/O complements, partially reconfigurable regions,
+// synthetic bitstreams with design-rule checking, and a logic-resource model
+// used to account for Apiary's own footprint (paper §6 "What is the overhead
+// of the per-tile monitor?").
+//
+// Nothing here talks to real hardware; the catalog numbers come from the
+// paper's Table 1 and public datasheets, and interfaces are deliberately
+// *divergent* between device families to reproduce the portability problem
+// the paper describes (§2).
+package fabric
+
+import "fmt"
+
+// Family groups parts by device generation.
+type Family string
+
+// Device families used in the paper's Table 1.
+const (
+	Virtex7          Family = "Virtex 7"
+	VirtexUltraScale Family = "Virtex Ultrascale+"
+)
+
+// Device is one FPGA part.
+type Device struct {
+	Family     Family
+	Year       int    // year the family was released
+	PartNumber string // vendor part number
+	LogicCells int    // logic cell count (Table 1)
+	BRAMKb     int    // block RAM kilobits
+	DSPSlices  int
+}
+
+// Catalog is the device catalog. The four parts and their logic cell counts
+// are exactly the paper's Table 1; BRAM/DSP figures are from the public
+// product tables and are used only for secondary resource accounting.
+var Catalog = []Device{
+	{Family: Virtex7, Year: 2010, PartNumber: "XC7V585T", LogicCells: 582720, BRAMKb: 28620, DSPSlices: 1260},
+	{Family: Virtex7, Year: 2010, PartNumber: "XC7VH870T", LogicCells: 876160, BRAMKb: 50760, DSPSlices: 2520},
+	{Family: VirtexUltraScale, Year: 2016, PartNumber: "VU3P", LogicCells: 862000, BRAMKb: 25344, DSPSlices: 2280},
+	{Family: VirtexUltraScale, Year: 2018, PartNumber: "VU29P", LogicCells: 3780000, BRAMKb: 69984, DSPSlices: 5952},
+}
+
+// LookupDevice finds a part by part number.
+func LookupDevice(part string) (Device, error) {
+	for _, d := range Catalog {
+		if d.PartNumber == part {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("fabric: unknown part %q", part)
+}
+
+// FamilySmallest returns the smallest part (by logic cells) of a family.
+func FamilySmallest(f Family) Device {
+	var best Device
+	for _, d := range Catalog {
+		if d.Family != f {
+			continue
+		}
+		if best.PartNumber == "" || d.LogicCells < best.LogicCells {
+			best = d
+		}
+	}
+	return best
+}
+
+// FamilyLargest returns the largest part of a family.
+func FamilyLargest(f Family) Device {
+	var best Device
+	for _, d := range Catalog {
+		if d.Family != f {
+			continue
+		}
+		if d.LogicCells > best.LogicCells {
+			best = d
+		}
+	}
+	return best
+}
+
+// GenerationalScaling reports the smallest-part and largest-part growth
+// factors between two families — the ~1.5x / ~3x observation the paper
+// draws from Table 1.
+func GenerationalScaling(old, new Family) (smallest, largest float64) {
+	os, ol := FamilySmallest(old), FamilyLargest(old)
+	ns, nl := FamilySmallest(new), FamilyLargest(new)
+	return float64(ns.LogicCells) / float64(os.LogicCells),
+		float64(nl.LogicCells) / float64(ol.LogicCells)
+}

@@ -1,0 +1,281 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	// The paper's Table 1, verbatim.
+	want := []struct {
+		part  string
+		cells int
+		year  int
+		fam   Family
+	}{
+		{"XC7V585T", 582720, 2010, Virtex7},
+		{"XC7VH870T", 876160, 2010, Virtex7},
+		{"VU3P", 862000, 2016, VirtexUltraScale},
+		{"VU29P", 3780000, 2018, VirtexUltraScale},
+	}
+	for _, w := range want {
+		d, err := LookupDevice(w.part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.LogicCells != w.cells || d.Year != w.year || d.Family != w.fam {
+			t.Fatalf("%s: got %+v", w.part, d)
+		}
+	}
+	if _, err := LookupDevice("XCNOPE"); err == nil {
+		t.Fatal("unknown part looked up")
+	}
+}
+
+func TestGenerationalScaling(t *testing.T) {
+	// Paper: "the number of logic cells has increased by about 50%, while
+	// the largest parts have scaled up by 3x".
+	smallest, largest := GenerationalScaling(Virtex7, VirtexUltraScale)
+	if smallest < 1.4 || smallest > 1.6 {
+		t.Fatalf("smallest scaling = %.2f, paper says ~1.5", smallest)
+	}
+	if largest < 4.0 || largest > 4.5 {
+		// 3780000/876160 = 4.31; the paper's "3x" rounds the same ratio
+		// computed over slightly different part pairs. We assert the real
+		// ratio of the listed parts.
+		t.Fatalf("largest scaling = %.2f, want ~4.3 (paper rounds to 3x)", largest)
+	}
+}
+
+func TestFamilyExtremes(t *testing.T) {
+	if FamilySmallest(Virtex7).PartNumber != "XC7V585T" {
+		t.Fatal("wrong smallest Virtex7")
+	}
+	if FamilyLargest(VirtexUltraScale).PartNumber != "VU29P" {
+		t.Fatal("wrong largest UltraScale+")
+	}
+}
+
+func TestTenGbBringUpSequence(t *testing.T) {
+	c := NewTenGbEthCore()
+	// PCS before PMA must fail — this is the vendor quirk the HAL hides.
+	if err := c.AssertPCSReset(); err == nil {
+		t.Fatal("PCS reset before PMA accepted")
+	}
+	c.AssertPMAReset()
+	if err := c.AssertPCSReset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseResets(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.BlockLocked() {
+		t.Fatal("no block lock after reset sequence")
+	}
+}
+
+func TestTenGbTxStaging(t *testing.T) {
+	c := NewTenGbEthCore()
+	if err := c.StageTx(MACFrame{}); err == nil {
+		t.Fatal("TX before block lock accepted")
+	}
+	c.AssertPMAReset()
+	_ = c.AssertPCSReset()
+	_ = c.ReleaseResets()
+	if err := c.CommitTx(); err == nil {
+		t.Fatal("commit with empty staging accepted")
+	}
+	if err := c.StageTx(MACFrame{Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StageTx(MACFrame{}); err == nil {
+		t.Fatal("double stage accepted")
+	}
+	if err := c.CommitTx(); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := c.PopTx()
+	if !ok || len(f.Payload) != 1 {
+		t.Fatal("committed frame not on wire")
+	}
+}
+
+func TestHundredGbBringUp(t *testing.T) {
+	c := NewHundredGbEthCore()
+	if err := c.EnableRxTx(); err == nil {
+		t.Fatal("enable before reset accepted")
+	}
+	c.GlobalReset()
+	if err := c.EnableRxTx(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Aligned() {
+		t.Fatal("not aligned after enable")
+	}
+	if err := c.EnqueueTx(MACFrame{Payload: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.PopTx(); !ok {
+		t.Fatal("queued frame not on wire")
+	}
+}
+
+// TestHALUniformity is the portability test: identical driver code works on
+// both vendor cores through the HAL.
+func TestHALUniformity(t *testing.T) {
+	drive := func(p EthernetPort) error {
+		if err := p.BringUp(); err != nil {
+			return err
+		}
+		if !p.Ready() {
+			t.Fatal("port not ready after BringUp")
+		}
+		if err := p.Transmit(MACFrame{Src: 1, Dst: 2, Payload: []byte("hi")}); err != nil {
+			return err
+		}
+		RawRxInject(p)(MACFrame{Src: 2, Dst: 1, Payload: []byte("yo")})
+		f, ok := p.Receive()
+		if !ok || string(f.Payload) != "yo" {
+			t.Fatal("receive through HAL failed")
+		}
+		tx, ok := RawTxDrain(p)()
+		if !ok || string(tx.Payload) != "hi" {
+			t.Fatal("transmit through HAL failed")
+		}
+		return nil
+	}
+	for _, p := range []EthernetPort{
+		NewTenGbPort(NewTenGbEthCore()),
+		NewHundredGbPort(NewHundredGbEthCore()),
+	} {
+		if err := drive(p); err != nil {
+			t.Fatalf("%s: %v", p.CoreName(), err)
+		}
+	}
+}
+
+func TestBoards(t *testing.T) {
+	v7, err := LookupBoard("v7-10g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v7.NewEthernet().LineRateGbps() != 10 {
+		t.Fatal("v7 board should carry 10G")
+	}
+	usp, err := LookupBoard("usp-100g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usp.NewEthernet().LineRateGbps() != 100 {
+		t.Fatal("usp board should carry 100G")
+	}
+	if usp.PrimaryMemory().Kind != HBM2 {
+		t.Fatal("usp primary memory should be HBM")
+	}
+	if _, err := LookupBoard("nope"); err == nil {
+		t.Fatal("unknown board looked up")
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	a := DefaultAreaModel
+	d := mustDevice("VU29P")
+	o8 := a.StaticOverhead(8, 32)
+	o16 := a.StaticOverhead(16, 32)
+	if o16 <= o8 {
+		t.Fatal("overhead must grow with tiles")
+	}
+	if f := a.OverheadFraction(d, 16, 32); f <= 0 || f >= 0.5 {
+		t.Fatalf("16-tile overhead fraction on VU29P = %.3f, want small", f)
+	}
+	small := mustDevice("XC7V585T")
+	fSmall := a.OverheadFraction(small, 16, 32)
+	fBig := a.OverheadFraction(d, 16, 32)
+	if fSmall <= fBig {
+		t.Fatal("relative overhead must be larger on smaller parts")
+	}
+	if per := a.CellsPerTileSlot(d, 16, 32); per <= 0 {
+		t.Fatal("VU29P should host 16 tiles")
+	}
+}
+
+func TestFloorplan(t *testing.T) {
+	d := mustDevice("VU29P")
+	regs, err := Floorplan(d, 9, 32, DefaultAreaModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 9 {
+		t.Fatalf("regions = %d", len(regs))
+	}
+	// A tiny part cannot host many tiles.
+	if _, err := Floorplan(mustDevice("XC7V585T"), 200, 32, DefaultAreaModel); err == nil {
+		t.Fatal("implausible floorplan accepted")
+	}
+}
+
+func TestRegionLoad(t *testing.T) {
+	r := &Region{Index: 0, Cells: 10000}
+	good := NewBitstream("enc", 8000)
+	if err := r.Load(good); err != nil {
+		t.Fatal(err)
+	}
+	if r.Loaded() != good || r.Reconfigurations != 1 {
+		t.Fatal("load bookkeeping wrong")
+	}
+	big := NewBitstream("huge", 20000)
+	if err := r.Load(big); err == nil {
+		t.Fatal("oversized bitstream loaded")
+	}
+	if err := r.Load(nil); err == nil {
+		t.Fatal("nil bitstream loaded")
+	}
+	r.Clear()
+	if r.Loaded() != nil {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestDRCRejectsPowerVirus(t *testing.T) {
+	// Ring-oscillator design: the classic FPGA power virus.
+	virus := &Bitstream{Name: "virus", Cells: 100, CombinationalLoops: 64, FFCount: 10}
+	virus.Seal()
+	err := virus.DesignRuleCheck()
+	if err == nil || !strings.Contains(err.Error(), "power-virus") {
+		t.Fatalf("DRC accepted ring oscillators: %v", err)
+	}
+
+	latchy := &Bitstream{Name: "latchy", Cells: 100, LatchCount: 90, FFCount: 10}
+	latchy.Seal()
+	if latchy.DesignRuleCheck() == nil {
+		t.Fatal("DRC accepted latch-heavy design")
+	}
+
+	latchOnly := &Bitstream{Name: "latchonly", Cells: 100, LatchCount: 5}
+	latchOnly.Seal()
+	if latchOnly.DesignRuleCheck() == nil {
+		t.Fatal("DRC accepted latch-only design")
+	}
+}
+
+func TestDRCRejectsTampered(t *testing.T) {
+	b := NewBitstream("ok", 100)
+	b.CombinationalLoops = 64 // tamper after sealing
+	if b.DesignRuleCheck() == nil {
+		t.Fatal("DRC accepted tampered bitstream")
+	}
+	unsealed := &Bitstream{Name: "raw", Cells: 10, FFCount: 5}
+	if unsealed.DesignRuleCheck() == nil {
+		t.Fatal("DRC accepted unsealed bitstream")
+	}
+}
+
+func TestBitstreamVerify(t *testing.T) {
+	b := NewBitstream("x", 50)
+	if !b.Verify() {
+		t.Fatal("fresh sealed bitstream fails Verify")
+	}
+	if b.DesignRuleCheck() != nil {
+		t.Fatal("well-formed bitstream failed DRC")
+	}
+}

@@ -1,0 +1,106 @@
+package fabric
+
+import "fmt"
+
+// EthernetPort is Apiary's portable Ethernet abstraction: the single
+// interface the network-stack service programs against, regardless of which
+// vendor core sits underneath (paper §3 "Portability", §4.3). Adapting a
+// new board means writing one adapter here — application and service logic
+// never changes.
+type EthernetPort interface {
+	// BringUp performs whatever vendor-specific reset/enable dance the
+	// underlying core needs and returns when the link is ready.
+	BringUp() error
+	// Ready reports link readiness.
+	Ready() bool
+	// Transmit queues one frame.
+	Transmit(f MACFrame) error
+	// Receive pops one received frame, if any.
+	Receive() (MACFrame, bool)
+	// LineRateGbps reports the port speed.
+	LineRateGbps() float64
+	// CoreName identifies the underlying vendor core (for logs/inventory).
+	CoreName() string
+}
+
+// tenGbPort adapts TenGbEthCore to EthernetPort.
+type tenGbPort struct{ c *TenGbEthCore }
+
+// NewTenGbPort wraps a 10G core in the portable interface.
+func NewTenGbPort(c *TenGbEthCore) EthernetPort { return &tenGbPort{c} }
+
+func (p *tenGbPort) BringUp() error {
+	p.c.AssertPMAReset()
+	if err := p.c.AssertPCSReset(); err != nil {
+		return fmt.Errorf("10g bring-up: %w", err)
+	}
+	if err := p.c.ReleaseResets(); err != nil {
+		return fmt.Errorf("10g bring-up: %w", err)
+	}
+	if !p.c.BlockLocked() {
+		return fmt.Errorf("10g bring-up: no block lock")
+	}
+	return nil
+}
+
+func (p *tenGbPort) Ready() bool { return p.c.BlockLocked() }
+
+func (p *tenGbPort) Transmit(f MACFrame) error {
+	if err := p.c.StageTx(f); err != nil {
+		return err
+	}
+	return p.c.CommitTx()
+}
+
+func (p *tenGbPort) Receive() (MACFrame, bool) { return p.c.ReadRx() }
+func (p *tenGbPort) LineRateGbps() float64     { return p.c.LineRateGbps() }
+func (p *tenGbPort) CoreName() string          { return "xil_10g_eth" }
+
+// hundredGbPort adapts HundredGbEthCore to EthernetPort.
+type hundredGbPort struct{ c *HundredGbEthCore }
+
+// NewHundredGbPort wraps a 100G core in the portable interface.
+func NewHundredGbPort(c *HundredGbEthCore) EthernetPort { return &hundredGbPort{c} }
+
+func (p *hundredGbPort) BringUp() error {
+	p.c.GlobalReset()
+	if err := p.c.EnableRxTx(); err != nil {
+		return fmt.Errorf("100g bring-up: %w", err)
+	}
+	if !p.c.Aligned() {
+		return fmt.Errorf("100g bring-up: lanes not aligned")
+	}
+	return nil
+}
+
+func (p *hundredGbPort) Ready() bool               { return p.c.Aligned() }
+func (p *hundredGbPort) Transmit(f MACFrame) error { return p.c.EnqueueTx(f) }
+func (p *hundredGbPort) Receive() (MACFrame, bool) { return p.c.DequeueRx() }
+func (p *hundredGbPort) LineRateGbps() float64     { return p.c.LineRateGbps() }
+func (p *hundredGbPort) CoreName() string          { return "xil_cmac_100g" }
+
+// RawTxDrain exposes the simulation-only drain side of a port, used by the
+// external network simulator to pull transmitted frames off the "wire".
+// Both adapters' cores support it.
+func RawTxDrain(p EthernetPort) func() (MACFrame, bool) {
+	switch q := p.(type) {
+	case *tenGbPort:
+		return q.c.PopTx
+	case *hundredGbPort:
+		return q.c.PopTx
+	default:
+		return func() (MACFrame, bool) { return MACFrame{}, false }
+	}
+}
+
+// RawRxInject exposes the simulation-only inject side of a port.
+func RawRxInject(p EthernetPort) func(MACFrame) {
+	switch q := p.(type) {
+	case *tenGbPort:
+		return q.c.InjectRx
+	case *hundredGbPort:
+		return q.c.InjectRx
+	default:
+		return func(MACFrame) {}
+	}
+}

@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"fmt"
+)
+
+// This file reproduces the paper's §2 portability problem: vendor IP cores
+// for the "same" I/O device expose different interfaces and bring-up
+// protocols between boards and speed grades ("the interface and reset
+// process for Xilinx's 10 Gbit Ethernet IP core and 100 Gbit Ethernet IP
+// core are different"). The divergent cores below are faithful to that
+// *shape*: different method names, different reset sequences, different
+// status registers. The Apiary HAL (hal.go) then presents the uniform
+// interface accelerators program against.
+
+// MACFrame is an Ethernet frame handed to/from a MAC core.
+type MACFrame struct {
+	Dst, Src uint64 // 48-bit MAC addresses
+	Payload  []byte
+}
+
+// TenGbEthCore mimics a 10G Ethernet subsystem: two-step reset
+// (PMA then PCS), block-lock status polling, per-frame TX with an
+// explicit commit strobe.
+type TenGbEthCore struct {
+	pmaReset  bool
+	pcsReset  bool
+	blockLock bool
+	txStaged  *MACFrame
+	txq       []MACFrame
+	rxq       []MACFrame
+	gbps      float64
+}
+
+// NewTenGbEthCore returns a core in the unconfigured state.
+func NewTenGbEthCore() *TenGbEthCore { return &TenGbEthCore{gbps: 10} }
+
+// AssertPMAReset begins the reset sequence.
+func (c *TenGbEthCore) AssertPMAReset() { c.pmaReset = true; c.blockLock = false }
+
+// AssertPCSReset must follow PMA reset.
+func (c *TenGbEthCore) AssertPCSReset() error {
+	if !c.pmaReset {
+		return fmt.Errorf("10g: PCS reset before PMA reset")
+	}
+	c.pcsReset = true
+	return nil
+}
+
+// ReleaseResets completes bring-up; block lock is achieved immediately in
+// simulation.
+func (c *TenGbEthCore) ReleaseResets() error {
+	if !c.pmaReset || !c.pcsReset {
+		return fmt.Errorf("10g: releasing resets before asserting both")
+	}
+	c.pmaReset, c.pcsReset = false, false
+	c.blockLock = true
+	return nil
+}
+
+// BlockLocked reports link readiness.
+func (c *TenGbEthCore) BlockLocked() bool { return c.blockLock }
+
+// StageTx loads a frame into the single TX staging register.
+func (c *TenGbEthCore) StageTx(f MACFrame) error {
+	if !c.blockLock {
+		return fmt.Errorf("10g: TX before block lock")
+	}
+	if c.txStaged != nil {
+		return fmt.Errorf("10g: TX staging register full")
+	}
+	cp := f
+	c.txStaged = &cp
+	return nil
+}
+
+// CommitTx strobes the staged frame onto the wire.
+func (c *TenGbEthCore) CommitTx() error {
+	if c.txStaged == nil {
+		return fmt.Errorf("10g: commit with empty staging register")
+	}
+	c.txq = append(c.txq, *c.txStaged)
+	c.txStaged = nil
+	return nil
+}
+
+// PopTx drains one transmitted frame (simulation back end).
+func (c *TenGbEthCore) PopTx() (MACFrame, bool) {
+	if len(c.txq) == 0 {
+		return MACFrame{}, false
+	}
+	f := c.txq[0]
+	c.txq = c.txq[1:]
+	return f, true
+}
+
+// InjectRx delivers a frame from the wire (simulation back end).
+func (c *TenGbEthCore) InjectRx(f MACFrame) { c.rxq = append(c.rxq, f) }
+
+// ReadRx pops one received frame.
+func (c *TenGbEthCore) ReadRx() (MACFrame, bool) {
+	if len(c.rxq) == 0 {
+		return MACFrame{}, false
+	}
+	f := c.rxq[0]
+	c.rxq = c.rxq[1:]
+	return f, true
+}
+
+// LineRateGbps reports the line rate.
+func (c *TenGbEthCore) LineRateGbps() float64 { return c.gbps }
+
+// HundredGbEthCore mimics a 100G (CMAC-style) subsystem: single global
+// reset, explicit RX/TX enable bits, alignment status instead of block
+// lock, and queue-style TX without a commit strobe. Deliberately *not* the
+// same interface as TenGbEthCore.
+type HundredGbEthCore struct {
+	resetDone bool
+	rxEnable  bool
+	txEnable  bool
+	aligned   bool
+	txq       []MACFrame
+	rxq       []MACFrame
+	gbps      float64
+}
+
+// NewHundredGbEthCore returns a core in the unconfigured state.
+func NewHundredGbEthCore() *HundredGbEthCore { return &HundredGbEthCore{gbps: 100} }
+
+// GlobalReset performs the single-step reset.
+func (c *HundredGbEthCore) GlobalReset() {
+	c.resetDone = true
+	c.aligned = false
+	c.rxEnable, c.txEnable = false, false
+}
+
+// EnableRxTx sets the enable bits; alignment follows.
+func (c *HundredGbEthCore) EnableRxTx() error {
+	if !c.resetDone {
+		return fmt.Errorf("100g: enable before reset")
+	}
+	c.rxEnable, c.txEnable = true, true
+	c.aligned = true
+	return nil
+}
+
+// Aligned reports RX lane alignment (link readiness).
+func (c *HundredGbEthCore) Aligned() bool { return c.aligned }
+
+// EnqueueTx queues a frame for transmission.
+func (c *HundredGbEthCore) EnqueueTx(f MACFrame) error {
+	if !c.txEnable {
+		return fmt.Errorf("100g: TX while disabled")
+	}
+	c.txq = append(c.txq, f)
+	return nil
+}
+
+// PopTx drains one transmitted frame (simulation back end).
+func (c *HundredGbEthCore) PopTx() (MACFrame, bool) {
+	if len(c.txq) == 0 {
+		return MACFrame{}, false
+	}
+	f := c.txq[0]
+	c.txq = c.txq[1:]
+	return f, true
+}
+
+// InjectRx delivers a frame from the wire (simulation back end).
+func (c *HundredGbEthCore) InjectRx(f MACFrame) { c.rxq = append(c.rxq, f) }
+
+// DequeueRx pops one received frame.
+func (c *HundredGbEthCore) DequeueRx() (MACFrame, bool) {
+	if len(c.rxq) == 0 {
+		return MACFrame{}, false
+	}
+	f := c.rxq[0]
+	c.rxq = c.rxq[1:]
+	return f, true
+}
+
+// LineRateGbps reports the line rate.
+func (c *HundredGbEthCore) LineRateGbps() float64 { return c.gbps }

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"fmt"
+)
+
+// This file models Apiary's floorplan (paper §4.1): the static region holds
+// the trusted framework (NoC routers, monitors, I/O shells); the dynamic
+// area is split into partially reconfigurable tile slots that hold
+// untrusted accelerators and can be reprogrammed independently.
+
+// AreaModel gives the logic-cell cost of Apiary's fixed components. The
+// absolute numbers are calibrated to published soft-NoC and shell costs
+// (a 5-port VC router is a few kLUT; a thin shell ~2 kLUT; per the paper's
+// design-goal of *simplicity*, the monitor is datapath-free message
+// inspection and a small CAM, also a few kLUT). Logic cells ≈ LUT count ×
+// 1.6 in Xilinx marketing arithmetic; we keep everything in logic cells.
+type AreaModel struct {
+	RouterCells   int // per-tile NoC router
+	MonitorCells  int // per-tile Apiary monitor (cap CAM + policy FSM)
+	MonitorPerCap int // per capability-table slot
+	IOShellCells  int // static I/O shells (MAC+PCIe+DDR controllers), once
+	KernelCells   int // kernel tile service logic, once
+}
+
+// DefaultAreaModel is used by all experiments unless overridden.
+var DefaultAreaModel = AreaModel{
+	RouterCells:   4800,
+	MonitorCells:  3200,
+	MonitorPerCap: 40,
+	IOShellCells:  90000,
+	KernelCells:   12000,
+}
+
+// StaticOverhead reports the total logic cells Apiary reserves on a device
+// with the given tile count and per-tile capability slots.
+func (a AreaModel) StaticOverhead(tiles, capSlots int) int {
+	perTile := a.RouterCells + a.MonitorCells + a.MonitorPerCap*capSlots
+	return a.IOShellCells + a.KernelCells + perTile*tiles
+}
+
+// OverheadFraction reports StaticOverhead as a fraction of the device.
+func (a AreaModel) OverheadFraction(d Device, tiles, capSlots int) float64 {
+	return float64(a.StaticOverhead(tiles, capSlots)) / float64(d.LogicCells)
+}
+
+// CellsPerTileSlot reports the logic cells available to each accelerator
+// slot after Apiary's overhead, assuming the dynamic area is divided evenly.
+func (a AreaModel) CellsPerTileSlot(d Device, tiles, capSlots int) int {
+	free := d.LogicCells - a.StaticOverhead(tiles, capSlots)
+	if free < 0 || tiles == 0 {
+		return 0
+	}
+	return free / tiles
+}
+
+// Region is one partially reconfigurable tile slot.
+type Region struct {
+	Index int
+	Cells int // logic budget of the slot
+
+	loaded *Bitstream
+	// Reconfigurations counts partial reconfiguration events (PR takes
+	// milliseconds on real parts; the kernel models that cost).
+	Reconfigurations int
+}
+
+// Loaded returns the currently configured bitstream (nil when empty).
+func (r *Region) Loaded() *Bitstream { return r.loaded }
+
+// Load configures bs into the region after checking fit and DRC.
+func (r *Region) Load(bs *Bitstream) error {
+	if bs == nil {
+		return fmt.Errorf("fabric: load nil bitstream into region %d", r.Index)
+	}
+	if bs.Cells > r.Cells {
+		return fmt.Errorf("fabric: bitstream %q needs %d cells, region %d has %d",
+			bs.Name, bs.Cells, r.Index, r.Cells)
+	}
+	if err := bs.DesignRuleCheck(); err != nil {
+		return fmt.Errorf("fabric: DRC rejected %q: %w", bs.Name, err)
+	}
+	r.loaded = bs
+	r.Reconfigurations++
+	return nil
+}
+
+// Clear unloads the region.
+func (r *Region) Clear() { r.loaded = nil }
+
+// Floorplan divides a device into n tile slots under an area model.
+func Floorplan(d Device, n, capSlots int, a AreaModel) ([]*Region, error) {
+	per := a.CellsPerTileSlot(d, n, capSlots)
+	if per <= 0 {
+		return nil, fmt.Errorf("fabric: %s cannot host %d tiles under the area model",
+			d.PartNumber, n)
+	}
+	regions := make([]*Region, n)
+	for i := range regions {
+		regions[i] = &Region{Index: i, Cells: per}
+	}
+	return regions, nil
+}

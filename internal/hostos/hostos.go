@@ -1,0 +1,199 @@
+// Package hostos implements the host-mediated baselines Apiary is compared
+// against (paper §1, §5): a Coyote/AmorphOS-style deployment where the FPGA
+// hangs off a server CPU and every network request crosses the CPU's
+// software stack and the PCIe bus in both directions.
+//
+// The hosted node uses the same reliable transport, the same network
+// fabric and the same accelerator compute model as the Apiary node, so the
+// only difference in an E4/E5 comparison is the path structure — which is
+// the paper's claim.
+package hostos
+
+import (
+	"apiary/internal/energy"
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/sim"
+)
+
+// ComputeFunc is the accelerator kernel shared between the hosted and
+// direct-attached deployments: payload in, reply plus compute-cycle cost
+// out.
+type ComputeFunc func(req []byte) (reply []byte, cycles sim.Cycle)
+
+// Config parameterizes a hosted node. Zero values take the defaults noted.
+type Config struct {
+	Node netsim.NodeID
+	Link netsim.LinkConfig
+
+	// CPUBaseNs is software-stack time per request direction (syscall,
+	// driver, stack traversal). Default 1500 ns — an optimistic kernel
+	// bypass would be lower, a standard stack higher.
+	CPUBaseNs float64
+	// CPUPerByteNs is the per-byte CPU copy/checksum cost. Default 0.05.
+	CPUPerByteNs float64
+	// Cores is the number of CPU cores serving the dataplane. Default 1.
+	Cores int
+	// PCIeLatNs is the one-way PCIe+DMA-setup latency. Default 900 ns.
+	PCIeLatNs float64
+	// PCIeGBps is the DMA bandwidth. Default 12 (Gen3 x16-ish).
+	PCIeGBps float64
+
+	Compute ComputeFunc
+}
+
+func (c *Config) defaults() {
+	if c.CPUBaseNs == 0 {
+		c.CPUBaseNs = 1500
+	}
+	if c.CPUPerByteNs == 0 {
+		c.CPUPerByteNs = 0.05
+	}
+	if c.Cores == 0 {
+		c.Cores = 1
+	}
+	if c.PCIeLatNs == 0 {
+		c.PCIeLatNs = 900
+	}
+	if c.PCIeGBps == 0 {
+		c.PCIeGBps = 12
+	}
+}
+
+// Node is a host-mediated FPGA deployment on the datacenter network.
+type Node struct {
+	cfg    Config
+	engine *sim.Engine
+	ep     *netstack.SoftEndpoint
+	meter  *energy.Meter
+
+	coreBusy  []sim.Cycle // per-core busy horizon
+	pcieBusy  sim.Cycle
+	accelBusy sim.Cycle
+
+	served *sim.Counter
+}
+
+// New attaches a hosted node to the fabric.
+func New(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric, cfg Config) *Node {
+	cfg.defaults()
+	n := &Node{
+		cfg:      cfg,
+		engine:   e,
+		meter:    energy.NewMeter(),
+		coreBusy: make([]sim.Cycle, cfg.Cores),
+		served:   st.Counter("hostos.served"),
+	}
+	n.ep = netstack.NewSoftEndpoint(e, st, fab, cfg.Node, cfg.Link)
+	n.ep.OnDatagram(n.onRequest)
+	return n
+}
+
+// Meter exposes the node's energy accounting.
+func (n *Node) Meter() *energy.Meter { return n.meter }
+
+// reserve books a shared resource and returns the completion cycle.
+func reserve(busy *sim.Cycle, now, dur sim.Cycle) sim.Cycle {
+	start := *busy
+	if start < now {
+		start = now
+	}
+	*busy = start + dur
+	return *busy
+}
+
+// reserveCore books the earliest-free CPU core.
+func (n *Node) reserveCore(now, dur sim.Cycle) sim.Cycle {
+	best := 0
+	for i := 1; i < len(n.coreBusy); i++ {
+		if n.coreBusy[i] < n.coreBusy[best] {
+			best = i
+		}
+	}
+	return reserve(&n.coreBusy[best], now, dur)
+}
+
+func (n *Node) cpuCycles(bytes int) sim.Cycle {
+	ns := n.cfg.CPUBaseNs + n.cfg.CPUPerByteNs*float64(bytes)
+	return n.engine.CyclesForNanos(ns)
+}
+
+func (n *Node) pcieCycles(bytes int) sim.Cycle {
+	ns := n.cfg.PCIeLatNs + float64(bytes)/n.cfg.PCIeGBps
+	return n.engine.CyclesForNanos(ns)
+}
+
+// onRequest walks one request through the host-mediated pipeline:
+// NIC -> CPU(rx) -> PCIe(to FPGA) -> accel -> PCIe(back) -> CPU(tx) -> NIC.
+// Each stage is a shared resource with its own queue horizon, so the model
+// exhibits real queueing under load, not just fixed latency.
+func (n *Node) onRequest(remote netsim.NodeID, flow uint16, data []byte) {
+	now := n.engine.Now()
+	n.meter.MACBytes(uint64(len(data)))
+
+	// CPU receive path.
+	rxCycles := n.cpuCycles(len(data))
+	n.meter.CPUBusyNs(n.engine.Nanos(rxCycles))
+	t := n.reserveCore(now, rxCycles)
+
+	// PCIe to the FPGA.
+	n.meter.PCIeBytes(uint64(len(data)))
+	t = reserve(&n.pcieBusy, t, n.pcieCycles(len(data)))
+
+	// Accelerator compute.
+	reply, compute := n.cfg.Compute(data)
+	t = reserve(&n.accelBusy, t, compute)
+
+	// PCIe back.
+	n.meter.PCIeBytes(uint64(len(reply)))
+	t = reserve(&n.pcieBusy, t, n.pcieCycles(len(reply)))
+
+	// CPU transmit path.
+	txCycles := n.cpuCycles(len(reply))
+	n.meter.CPUBusyNs(n.engine.Nanos(txCycles))
+	t = n.reserveCore(t, txCycles)
+
+	n.meter.MACBytes(uint64(len(reply)))
+	n.engine.Schedule(t+1, func(sim.Cycle) {
+		n.served.Inc()
+		_ = n.ep.Send(remote, flow, reply)
+	})
+}
+
+// AmorphOS-style temporal multiplexing model (paper §5): one accelerator at
+// a time occupies the fabric; switching applications costs a full or
+// partial reconfiguration. Apiary's spatial multiplexing has no switch
+// cost. ReconfigMuxCycles returns the total cycles to serve `perApp`
+// requests from each of `apps` applications round-robin with the given
+// batch size, for the throughput ablation in E12's discussion.
+func ReconfigMuxCycles(apps, perApp, batch int, reqCycles, reconfigCycles sim.Cycle) sim.Cycle {
+	if apps <= 0 || perApp <= 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	total := sim.Cycle(0)
+	remaining := make([]int, apps)
+	for i := range remaining {
+		remaining[i] = perApp
+	}
+	done := false
+	for !done {
+		done = true
+		for i := range remaining {
+			if remaining[i] == 0 {
+				continue
+			}
+			done = false
+			total += reconfigCycles
+			b := batch
+			if remaining[i] < b {
+				b = remaining[i]
+			}
+			remaining[i] -= b
+			total += sim.Cycle(b) * reqCycles
+		}
+	}
+	return total
+}

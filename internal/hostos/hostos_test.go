@@ -1,0 +1,133 @@
+package hostos
+
+import (
+	"testing"
+
+	"apiary/internal/netsim"
+	"apiary/internal/netstack"
+	"apiary/internal/sim"
+)
+
+func echoCompute(req []byte) ([]byte, sim.Cycle) {
+	return req, sim.Cycle(len(req)/8 + 10)
+}
+
+func TestHostedRoundTrip(t *testing.T) {
+	e := sim.NewEngine(3)
+	st := sim.NewStats()
+	fab := netsim.New(e, st)
+	client := netstack.NewSoftEndpoint(e, st, fab, 100,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: 1000})
+	New(e, st, fab, Config{
+		Node: 1, Link: netsim.LinkConfig{Gbps: 100, LatencyNs: 1000},
+		Compute: echoCompute,
+	})
+	var got []byte
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	start := e.Now()
+	_ = client.Send(1, 7, []byte("hosted request"))
+	if !e.RunUntil(func() bool { return got != nil }, 2_000_000) {
+		t.Fatal("no hosted reply")
+	}
+	if string(got) != "hosted request" {
+		t.Fatalf("reply = %q", got)
+	}
+	rtt := e.Now() - start
+	// RTT must include 2x propagation (2x 2us = 1000cy) + CPU (2x 1.5us =
+	// 750cy) + PCIe (2x ~0.9us = 450cy): well over 2000 cycles.
+	if rtt < 2000 {
+		t.Fatalf("hosted RTT = %d cycles, implausibly low", rtt)
+	}
+}
+
+func TestHostedEnergyCharged(t *testing.T) {
+	e := sim.NewEngine(3)
+	st := sim.NewStats()
+	fab := netsim.New(e, st)
+	client := netstack.NewSoftEndpoint(e, st, fab, 100, netsim.LinkConfig{})
+	n := New(e, st, fab, Config{Node: 1, Compute: echoCompute})
+	done := false
+	client.OnDatagram(func(netsim.NodeID, uint16, []byte) { done = true })
+	_ = client.Send(1, 1, make([]byte, 256))
+	e.RunUntil(func() bool { return done }, 2_000_000)
+	m := n.Meter()
+	if m.Category("cpu") == 0 || m.Category("pcie") == 0 || m.Category("mac") == 0 {
+		t.Fatalf("energy categories missing: cpu=%v pcie=%v mac=%v",
+			m.Category("cpu"), m.Category("pcie"), m.Category("mac"))
+	}
+	if m.Category("cpu") < m.Category("mac") {
+		t.Fatal("CPU energy should dominate MAC energy for small requests")
+	}
+}
+
+func TestCPUQueueingUnderLoad(t *testing.T) {
+	// With one core, back-to-back requests must queue: the k-th reply
+	// arrives roughly k CPU-times after the first.
+	e := sim.NewEngine(3)
+	st := sim.NewStats()
+	fab := netsim.New(e, st)
+	client := netstack.NewSoftEndpoint(e, st, fab, 100,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: 100})
+	New(e, st, fab, Config{
+		Node: 1, Cores: 1,
+		Link:    netsim.LinkConfig{Gbps: 100, LatencyNs: 100},
+		Compute: func(b []byte) ([]byte, sim.Cycle) { return b, 1 },
+	})
+	var arrivals []sim.Cycle
+	client.OnDatagram(func(netsim.NodeID, uint16, []byte) {
+		arrivals = append(arrivals, e.Now())
+	})
+	const N = 16
+	for i := 0; i < N; i++ {
+		_ = client.Send(1, 1, make([]byte, 64))
+	}
+	if !e.RunUntil(func() bool { return len(arrivals) == N }, 5_000_000) {
+		t.Fatalf("served %d/%d", len(arrivals), N)
+	}
+	spread1 := arrivals[N-1] - arrivals[0]
+
+	// Same load with 4 cores: the spread must shrink substantially.
+	e2 := sim.NewEngine(3)
+	st2 := sim.NewStats()
+	fab2 := netsim.New(e2, st2)
+	client2 := netstack.NewSoftEndpoint(e2, st2, fab2, 100,
+		netsim.LinkConfig{Gbps: 100, LatencyNs: 100})
+	New(e2, st2, fab2, Config{
+		Node: 1, Cores: 4,
+		Link:    netsim.LinkConfig{Gbps: 100, LatencyNs: 100},
+		Compute: func(b []byte) ([]byte, sim.Cycle) { return b, 1 },
+	})
+	var arrivals2 []sim.Cycle
+	client2.OnDatagram(func(netsim.NodeID, uint16, []byte) {
+		arrivals2 = append(arrivals2, e2.Now())
+	})
+	for i := 0; i < N; i++ {
+		_ = client2.Send(1, 1, make([]byte, 64))
+	}
+	if !e2.RunUntil(func() bool { return len(arrivals2) == N }, 5_000_000) {
+		t.Fatalf("4-core served %d/%d", len(arrivals2), N)
+	}
+	spread4 := arrivals2[N-1] - arrivals2[0]
+	if spread4*2 > spread1 {
+		t.Fatalf("4 cores (spread %d) should be much faster than 1 (spread %d)",
+			spread4, spread1)
+	}
+}
+
+func TestReconfigMuxCycles(t *testing.T) {
+	// 2 apps, 4 reqs each, batch 2, 10 cycles/req, 1000 cycles/reconfig:
+	// rounds: (A:2 B:2)(A:2 B:2) = 4 reconfigs + 8 reqs = 4080.
+	got := ReconfigMuxCycles(2, 4, 2, 10, 1000)
+	if got != 4080 {
+		t.Fatalf("ReconfigMuxCycles = %d, want 4080", got)
+	}
+	if ReconfigMuxCycles(0, 4, 1, 10, 10) != 0 {
+		t.Fatal("zero apps should cost zero")
+	}
+	// Bigger batches amortize reconfiguration.
+	small := ReconfigMuxCycles(4, 100, 1, 10, 1000)
+	big := ReconfigMuxCycles(4, 100, 50, 10, 1000)
+	if big >= small {
+		t.Fatal("batching did not amortize reconfiguration cost")
+	}
+}

@@ -1,0 +1,176 @@
+// Package manifest converts JSON application manifests into kernel
+// AppSpecs. Binaries (apiaryd, apiaryctl) use it to load applications
+// without compiling Go code; the accelerator "kind" names index a registry
+// of the library accelerators.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/monitor"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// AccelSpec is one accelerator entry in a JSON manifest.
+type AccelSpec struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Service  uint16   `json:"service,omitempty"`
+	Cells    int      `json:"cells,omitempty"`
+	Connect  []uint16 `json:"connect,omitempty"`
+	MemBytes uint64   `json:"mem_bytes,omitempty"`
+	WantNet  bool     `json:"want_net,omitempty"`
+	Rate     *struct {
+		FlitsPerKCycle int `json:"flits_per_kcycle"`
+		BurstFlits     int `json:"burst_flits"`
+	} `json:"rate,omitempty"`
+
+	// Kind-specific parameters.
+	Next     uint16   `json:"next,omitempty"`     // encoder: downstream service
+	Tenants  int      `json:"tenants,omitempty"`  // kvstore
+	Replicas []uint16 `json:"replicas,omitempty"` // loadbal
+	Flow     uint16   `json:"flow,omitempty"`     // netbridge
+	Target   uint16   `json:"target,omitempty"`   // netbridge/requester
+	Total    int      `json:"total,omitempty"`    // requester
+	Gap      uint64   `json:"gap,omitempty"`      // requester
+	Size     int      `json:"size,omitempty"`     // requester payload bytes
+	Rows     int      `json:"rows,omitempty"`     // matvec
+	Cols     int      `json:"cols,omitempty"`     // matvec
+}
+
+// AppManifest is a JSON application manifest.
+type AppManifest struct {
+	Name    string      `json:"name"`
+	Restart bool        `json:"restart,omitempty"`
+	Exports []uint16    `json:"exports,omitempty"`
+	Accels  []AccelSpec `json:"accels"`
+}
+
+// Kinds lists the accelerator kinds the registry can build.
+func Kinds() []string {
+	return []string{"encoder", "compressor", "checksum", "matvec", "kvstore",
+		"loadbal", "requester", "netbridge", "echo"}
+}
+
+// build constructs the accelerator for one spec.
+func build(a AccelSpec) (func() accel.Accelerator, error) {
+	mk := func(f func() accel.Accelerator) func() accel.Accelerator { return f }
+	switch a.Kind {
+	case "encoder":
+		return mk(func() accel.Accelerator { return apps.NewEncoder(msg.ServiceID(a.Next)) }), nil
+	case "compressor":
+		return mk(func() accel.Accelerator { return apps.NewCompressor() }), nil
+	case "checksum":
+		return mk(func() accel.Accelerator { return apps.NewChecksum() }), nil
+	case "echo":
+		return mk(func() accel.Accelerator {
+			return apps.NewStage(apps.StageConfig{
+				Name:    "echo",
+				Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
+			})
+		}), nil
+	case "matvec":
+		rows, cols := a.Rows, a.Cols
+		if rows == 0 {
+			rows = 16
+		}
+		if cols == 0 {
+			cols = 64
+		}
+		return mk(func() accel.Accelerator { return apps.NewMatVec(rows, cols, 1) }), nil
+	case "kvstore":
+		t := a.Tenants
+		if t == 0 {
+			t = 4
+		}
+		return mk(func() accel.Accelerator { return apps.NewKVStore(t) }), nil
+	case "loadbal":
+		reps := make([]msg.ServiceID, len(a.Replicas))
+		for i, v := range a.Replicas {
+			reps[i] = msg.ServiceID(v)
+		}
+		return mk(func() accel.Accelerator { return apps.NewLoadBalancer(reps) }), nil
+	case "requester":
+		size := a.Size
+		if size == 0 {
+			size = 64
+		}
+		return mk(func() accel.Accelerator {
+			return apps.NewRequester(msg.ServiceID(a.Target), a.Total,
+				sim.Cycle(a.Gap), func(int) []byte { return make([]byte, size) }, nil)
+		}), nil
+	case "netbridge":
+		return mk(func() accel.Accelerator {
+			b := apps.NewNetBridge(a.Flow)
+			if a.Target != 0 {
+				b.Target = msg.ServiceID(a.Target)
+			} else {
+				b.Process = func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK }
+			}
+			return b
+		}), nil
+	default:
+		return nil, fmt.Errorf("manifest: unknown accelerator kind %q (known: %v)",
+			a.Kind, Kinds())
+	}
+}
+
+// ToAppSpec converts a parsed manifest into a kernel AppSpec.
+func ToAppSpec(m AppManifest) (core.AppSpec, error) {
+	spec := core.AppSpec{Name: m.Name, Restart: m.Restart}
+	for _, e := range m.Exports {
+		spec.Exports = append(spec.Exports, msg.ServiceID(e))
+	}
+	for _, a := range m.Accels {
+		ctor, err := build(a)
+		if err != nil {
+			return core.AppSpec{}, fmt.Errorf("accel %q: %w", a.Name, err)
+		}
+		aa := core.AppAccel{
+			Name:     a.Name,
+			New:      ctor,
+			Service:  msg.ServiceID(a.Service),
+			Cells:    a.Cells,
+			MemBytes: a.MemBytes,
+			WantNet:  a.WantNet,
+		}
+		for _, c := range a.Connect {
+			aa.Connect = append(aa.Connect, msg.ServiceID(c))
+		}
+		if a.Rate != nil {
+			aa.Rate = monitor.RateLimit{
+				FlitsPerKCycle: a.Rate.FlitsPerKCycle,
+				BurstFlits:     a.Rate.BurstFlits,
+			}
+		}
+		spec.Accels = append(spec.Accels, aa)
+	}
+	return spec, nil
+}
+
+// Parse decodes a JSON manifest (a single app object or an array of them)
+// into AppSpecs.
+func Parse(data []byte) ([]core.AppSpec, error) {
+	var many []AppManifest
+	if err := json.Unmarshal(data, &many); err != nil {
+		var one AppManifest
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			return nil, fmt.Errorf("manifest: not a JSON app or app list: %v", err)
+		}
+		many = []AppManifest{one}
+	}
+	var specs []core.AppSpec
+	for _, m := range many {
+		s, err := ToAppSpec(m)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

@@ -1,0 +1,98 @@
+package manifest
+
+import (
+	"testing"
+
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+const videoJSON = `{
+  "name": "video",
+  "restart": true,
+  "accels": [
+    {"name": "client", "kind": "requester", "target": 16, "total": 10, "gap": 50, "size": 512, "connect": [16]},
+    {"name": "enc", "kind": "encoder", "service": 16, "next": 17, "connect": [17]},
+    {"name": "comp", "kind": "compressor", "service": 17,
+     "rate": {"flits_per_kcycle": 1000, "burst_flits": 256}}
+  ]
+}`
+
+func TestParseSingleApp(t *testing.T) {
+	specs, err := Parse([]byte(videoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "video" || !s.Restart || len(s.Accels) != 3 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.Accels[1].Service != 16 || s.Accels[1].Connect[0] != 17 {
+		t.Fatalf("encoder accel = %+v", s.Accels[1])
+	}
+	if s.Accels[2].Rate.FlitsPerKCycle != 1000 {
+		t.Fatal("rate limit not parsed")
+	}
+}
+
+func TestParseArray(t *testing.T) {
+	specs, err := Parse([]byte(`[` + videoJSON + `,{"name":"kv","accels":[{"name":"kv","kind":"kvstore","service":20,"tenants":2}]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1].Name != "kv" {
+		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte(`{nope`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"name":"x","accels":[{"name":"a","kind":"warp-drive"}]}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestManifestRunsEndToEnd loads the JSON manifest into a real system and
+// lets the video pipeline complete.
+func TestManifestRunsEndToEnd(t *testing.T) {
+	specs, err := Parse([]byte(videoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{Dims: noc.Dims{W: 3, H: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Kernel.LoadApp(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// 10 pipeline requests must complete: watch the compressor's monitor
+	// forwarding counter climb.
+	ok := sys.RunUntil(func() bool {
+		return sys.Stats.Counter("mon.forwarded").Value() >= 40
+	}, 10_000_000)
+	if !ok {
+		t.Fatal("manifest-loaded pipeline made no progress")
+	}
+}
+
+func TestAllKindsBuild(t *testing.T) {
+	for _, kind := range Kinds() {
+		spec := AccelSpec{Name: "a", Kind: kind, Replicas: []uint16{20}}
+		ctor, err := build(spec)
+		if err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+		a := ctor()
+		if a.Name() == "" || a.Contexts() < 1 {
+			t.Fatalf("kind %q built invalid accelerator", kind)
+		}
+	}
+	_ = msg.SvcInvalid
+}

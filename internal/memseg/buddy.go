@@ -1,0 +1,198 @@
+package memseg
+
+import (
+	"fmt"
+	"math/bits"
+
+	"apiary/internal/msg"
+)
+
+// BuddyAllocator is the classic power-of-two buddy system — the middle
+// point of the §4.6 design space: cheaper coalescing and bounded external
+// fragmentation compared to arbitrary segments, but internal fragmentation
+// from rounding to powers of two. E10 reports all three designs
+// side-by-side.
+type BuddyAllocator struct {
+	total    uint64
+	minOrder uint // log2 of the smallest block
+	maxOrder uint // log2 of the whole arena
+	// free[k] holds base addresses of free blocks of size 1<<k.
+	free map[uint][]uint64
+	// blockOrder records the order of each allocated block by base.
+	blockOrder map[uint64]uint
+	live       map[SegID]Segment
+	reqSize    map[SegID]uint64
+	nextID     SegID
+	inUse      uint64 // requested bytes
+	heldBytes  uint64 // block bytes
+}
+
+// NewBuddyAllocator manages a power-of-two arena of `size` bytes with the
+// given minimum block size (also a power of two).
+func NewBuddyAllocator(size, minBlock uint64) *BuddyAllocator {
+	if size == 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("memseg: buddy arena size %d not a power of two", size))
+	}
+	if minBlock == 0 || minBlock&(minBlock-1) != 0 || minBlock > size {
+		panic(fmt.Sprintf("memseg: bad buddy min block %d", minBlock))
+	}
+	b := &BuddyAllocator{
+		total:      size,
+		minOrder:   uint(bits.TrailingZeros64(minBlock)),
+		maxOrder:   uint(bits.TrailingZeros64(size)),
+		free:       make(map[uint][]uint64),
+		blockOrder: make(map[uint64]uint),
+		live:       make(map[SegID]Segment),
+		reqSize:    make(map[SegID]uint64),
+		nextID:     1,
+	}
+	b.free[b.maxOrder] = []uint64{0}
+	return b
+}
+
+// orderFor returns the smallest order whose block holds size bytes.
+func (b *BuddyAllocator) orderFor(size uint64) uint {
+	o := b.minOrder
+	for uint64(1)<<o < size {
+		o++
+	}
+	return o
+}
+
+// Alloc reserves a block of at least size bytes.
+func (b *BuddyAllocator) Alloc(size uint64, owner msg.TileID) (Segment, error) {
+	if size == 0 {
+		return Segment{}, msg.EBadMsg.Error()
+	}
+	if size > b.total {
+		return Segment{}, msg.ENoMem.Error()
+	}
+	want := b.orderFor(size)
+	// Find the smallest order >= want with a free block.
+	k := want
+	for k <= b.maxOrder && len(b.free[k]) == 0 {
+		k++
+	}
+	if k > b.maxOrder {
+		return Segment{}, msg.ENoMem.Error()
+	}
+	// Pop and split down to the wanted order.
+	base := b.free[k][len(b.free[k])-1]
+	b.free[k] = b.free[k][:len(b.free[k])-1]
+	for k > want {
+		k--
+		buddy := base + (uint64(1) << k)
+		b.free[k] = append(b.free[k], buddy)
+	}
+	seg := Segment{ID: b.nextID, Base: base, Size: size, Owner: owner}
+	b.nextID++
+	b.blockOrder[base] = want
+	b.live[seg.ID] = seg
+	b.reqSize[seg.ID] = size
+	b.inUse += size
+	b.heldBytes += uint64(1) << want
+	return seg, nil
+}
+
+// Free releases a block, coalescing with its buddy as far as possible.
+func (b *BuddyAllocator) Free(id SegID) error {
+	seg, ok := b.live[id]
+	if !ok {
+		return fmt.Errorf("memseg: buddy free of unknown segment %d", id)
+	}
+	order, ok := b.blockOrder[seg.Base]
+	if !ok {
+		return fmt.Errorf("memseg: buddy metadata missing for segment %d", id)
+	}
+	delete(b.live, id)
+	b.inUse -= b.reqSize[id]
+	b.heldBytes -= uint64(1) << order
+	delete(b.reqSize, id)
+	delete(b.blockOrder, seg.Base)
+
+	base := seg.Base
+	for order < b.maxOrder {
+		buddy := base ^ (uint64(1) << order)
+		idx := -1
+		for i, fb := range b.free[order] {
+			if fb == buddy {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		// Merge: remove buddy from the free list, continue one order up.
+		fl := b.free[order]
+		fl[idx] = fl[len(fl)-1]
+		b.free[order] = fl[:len(fl)-1]
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], base)
+	return nil
+}
+
+// Lookup returns the live segment with the given ID.
+func (b *BuddyAllocator) Lookup(id SegID) (Segment, bool) {
+	s, ok := b.live[id]
+	return s, ok
+}
+
+// Total reports the arena size.
+func (b *BuddyAllocator) Total() uint64 { return b.total }
+
+// InUse reports requested bytes.
+func (b *BuddyAllocator) InUse() uint64 { return b.inUse }
+
+// HeldBytes reports block bytes held (>= InUse).
+func (b *BuddyAllocator) HeldBytes() uint64 { return b.heldBytes }
+
+// Live reports the number of live segments.
+func (b *BuddyAllocator) Live() int { return len(b.live) }
+
+// InternalFragmentation reports rounding waste as a fraction of held bytes.
+func (b *BuddyAllocator) InternalFragmentation() float64 {
+	if b.heldBytes == 0 {
+		return 0
+	}
+	return float64(b.heldBytes-b.inUse) / float64(b.heldBytes)
+}
+
+// LargestFree reports the largest currently allocatable block.
+func (b *BuddyAllocator) LargestFree() uint64 {
+	for k := b.maxOrder; ; k-- {
+		if len(b.free[k]) > 0 {
+			return uint64(1) << k
+		}
+		if k == b.minOrder {
+			return 0
+		}
+	}
+}
+
+// CheckInvariants validates free-list consistency; "" when consistent.
+func (b *BuddyAllocator) CheckInvariants() string {
+	var freeBytes uint64
+	seen := map[uint64]bool{}
+	for k, list := range b.free {
+		for _, base := range list {
+			if base%(uint64(1)<<k) != 0 {
+				return fmt.Sprintf("misaligned free block %d at order %d", base, k)
+			}
+			if seen[base] {
+				return fmt.Sprintf("duplicate free base %d", base)
+			}
+			seen[base] = true
+			freeBytes += uint64(1) << k
+		}
+	}
+	if freeBytes+b.heldBytes != b.total {
+		return fmt.Sprintf("accounting: free %d + held %d != total %d",
+			freeBytes, b.heldBytes, b.total)
+	}
+	return ""
+}

@@ -1,0 +1,150 @@
+package memseg
+
+import (
+	"testing"
+
+	"apiary/internal/sim"
+)
+
+func TestBuddyBasic(t *testing.T) {
+	b := NewBuddyAllocator(1<<16, 64)
+	s, err := b.Alloc(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 bytes rounds to a 128-byte block.
+	if b.HeldBytes() != 128 || b.InUse() != 100 {
+		t.Fatalf("held=%d inuse=%d", b.HeldBytes(), b.InUse())
+	}
+	if got, ok := b.Lookup(s.ID); !ok || got != s {
+		t.Fatal("lookup mismatch")
+	}
+	if err := b.Free(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if b.HeldBytes() != 0 || b.LargestFree() != 1<<16 {
+		t.Fatalf("free did not fully coalesce: held=%d largest=%d",
+			b.HeldBytes(), b.LargestFree())
+	}
+	if v := b.CheckInvariants(); v != "" {
+		t.Fatal(v)
+	}
+}
+
+func TestBuddyErrors(t *testing.T) {
+	b := NewBuddyAllocator(1<<12, 64)
+	if _, err := b.Alloc(0, 1); err == nil {
+		t.Fatal("zero alloc")
+	}
+	if _, err := b.Alloc(1<<13, 1); err == nil {
+		t.Fatal("oversized alloc")
+	}
+	if err := b.Free(99); err == nil {
+		t.Fatal("free of unknown id")
+	}
+	s, _ := b.Alloc(64, 1)
+	_ = b.Free(s.ID)
+	if err := b.Free(s.ID); err == nil {
+		t.Fatal("double free")
+	}
+}
+
+func TestBuddyBadConfigPanics(t *testing.T) {
+	for _, c := range []struct{ size, min uint64 }{{1000, 64}, {1024, 0}, {1024, 100}, {64, 128}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBuddyAllocator(%d,%d) did not panic", c.size, c.min)
+				}
+			}()
+			NewBuddyAllocator(c.size, c.min)
+		}()
+	}
+}
+
+func TestBuddySplitAndCoalesce(t *testing.T) {
+	b := NewBuddyAllocator(1<<12, 64) // 4 KiB arena
+	// Two 64-byte blocks are buddies.
+	s1, _ := b.Alloc(64, 1)
+	s2, _ := b.Alloc(64, 1)
+	if s1.Base^s2.Base != 64 {
+		t.Fatalf("blocks not buddies: %d %d", s1.Base, s2.Base)
+	}
+	if b.LargestFree() >= 1<<12 {
+		t.Fatal("arena should be split")
+	}
+	_ = b.Free(s1.ID)
+	if b.LargestFree() == 1<<12 {
+		t.Fatal("half-freed buddies coalesced prematurely")
+	}
+	_ = b.Free(s2.ID)
+	if b.LargestFree() != 1<<12 {
+		t.Fatal("full free did not coalesce to arena")
+	}
+}
+
+func TestBuddyNoOverlapRandomised(t *testing.T) {
+	rng := sim.NewRNG(77)
+	b := NewBuddyAllocator(1<<20, 64)
+	var live []Segment
+	for step := 0; step < 4000; step++ {
+		if rng.Bool(0.6) || len(live) == 0 {
+			size := uint64(rng.Intn(16384) + 1)
+			s, err := b.Alloc(size, 1)
+			if err == nil {
+				live = append(live, s)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			if err := b.Free(live[i].ID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%400 == 0 {
+			if v := b.CheckInvariants(); v != "" {
+				t.Fatalf("step %d: %s", step, v)
+			}
+		}
+	}
+	// Block-granular overlap check (blocks are power-of-two sized at the
+	// recorded base).
+	for i := range live {
+		for j := i + 1; j < len(live); j++ {
+			a, c := live[i], live[j]
+			aEnd := a.Base + roundPow2(a.Size)
+			cEnd := c.Base + roundPow2(c.Size)
+			if a.Base < cEnd && c.Base < aEnd {
+				t.Fatalf("blocks overlap: %+v %+v", a, c)
+			}
+		}
+	}
+	for _, s := range live {
+		if err := b.Free(s.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.LargestFree() != 1<<20 || b.InUse() != 0 {
+		t.Fatal("full teardown did not restore arena")
+	}
+}
+
+func roundPow2(v uint64) uint64 {
+	p := uint64(64)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+func TestBuddyInternalFragmentation(t *testing.T) {
+	b := NewBuddyAllocator(1<<16, 64)
+	if b.InternalFragmentation() != 0 {
+		t.Fatal("empty buddy should have 0 frag")
+	}
+	_, _ = b.Alloc(65, 1) // rounds to 128: ~49% waste
+	f := b.InternalFragmentation()
+	if f < 0.4 || f > 0.6 {
+		t.Fatalf("frag = %v, want ~0.49", f)
+	}
+}

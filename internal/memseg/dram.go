@@ -1,0 +1,141 @@
+package memseg
+
+import (
+	"apiary/internal/sim"
+)
+
+// DRAM models a memory channel's timing: a fixed access latency plus a
+// bandwidth limit, with a bounded request queue. It stores real bytes so
+// accelerators exercising the memory service read back what they wrote.
+//
+// The numbers default to DDR4-2400-ish behaviour at a 250 MHz fabric clock:
+// ~60 ns closed-row access (15 cycles) and 19.2 GB/s (~76 bytes/cycle).
+type DRAM struct {
+	engine *sim.Engine
+	data   []byte
+
+	LatencyCycles  sim.Cycle // fixed access latency
+	BytesPerCycle  int       // bandwidth cap
+	MaxOutstanding int       // request queue depth
+
+	busyUntil   sim.Cycle // bandwidth bookkeeping: channel busy horizon
+	outstanding int
+
+	reads    *sim.Counter
+	writes   *sim.Counter
+	rejected *sim.Counter
+	lat      *sim.Histogram
+}
+
+// DRAMConfig carries optional overrides for NewDRAM.
+type DRAMConfig struct {
+	LatencyCycles  sim.Cycle
+	BytesPerCycle  int
+	MaxOutstanding int
+}
+
+// NewDRAM creates a channel of the given size attached to the engine.
+func NewDRAM(e *sim.Engine, st *sim.Stats, size uint64, cfg DRAMConfig) *DRAM {
+	d := &DRAM{
+		engine:         e,
+		data:           make([]byte, size),
+		LatencyCycles:  cfg.LatencyCycles,
+		BytesPerCycle:  cfg.BytesPerCycle,
+		MaxOutstanding: cfg.MaxOutstanding,
+	}
+	if d.LatencyCycles == 0 {
+		d.LatencyCycles = 15
+	}
+	if d.BytesPerCycle == 0 {
+		d.BytesPerCycle = 76
+	}
+	if d.MaxOutstanding == 0 {
+		d.MaxOutstanding = 64
+	}
+	d.reads = st.Counter("dram.reads")
+	d.writes = st.Counter("dram.writes")
+	d.rejected = st.Counter("dram.rejected")
+	d.lat = st.Histogram("dram.latency_cycles")
+	return d
+}
+
+// Size reports the channel capacity in bytes.
+func (d *DRAM) Size() uint64 { return uint64(len(d.data)) }
+
+// Outstanding reports queued requests (for tests).
+func (d *DRAM) Outstanding() int { return d.outstanding }
+
+// transferCycles returns the serialization time of n bytes.
+func (d *DRAM) transferCycles(n int) sim.Cycle {
+	c := sim.Cycle((n + d.BytesPerCycle - 1) / d.BytesPerCycle)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// schedule computes this request's completion cycle under the bandwidth
+// model and books the channel.
+func (d *DRAM) schedule(n int) (done sim.Cycle, ok bool) {
+	if d.outstanding >= d.MaxOutstanding {
+		d.rejected.Inc()
+		return 0, false
+	}
+	now := d.engine.Now()
+	start := d.busyUntil
+	if start < now {
+		start = now
+	}
+	d.busyUntil = start + d.transferCycles(n)
+	d.outstanding++
+	return d.busyUntil + d.LatencyCycles, true
+}
+
+// Read fetches data[addr : addr+n) and delivers it via cb when the access
+// completes. Returns false if the request queue is full (caller retries).
+// Bounds are the caller's responsibility — the memory *service* enforces
+// segment bounds; DRAM itself panics on physical overflow, which would be a
+// service bug.
+func (d *DRAM) Read(addr uint64, n int, cb func(data []byte)) bool {
+	if addr+uint64(n) > uint64(len(d.data)) {
+		panic("memseg: physical read out of range")
+	}
+	done, ok := d.schedule(n)
+	if !ok {
+		return false
+	}
+	d.reads.Inc()
+	issued := d.engine.Now()
+	d.engine.Schedule(done, func(now sim.Cycle) {
+		d.outstanding--
+		d.lat.Observe(float64(now - issued))
+		out := make([]byte, n)
+		copy(out, d.data[addr:])
+		cb(out)
+	})
+	return true
+}
+
+// Write stores p at addr and calls cb on completion. Returns false if the
+// queue is full.
+func (d *DRAM) Write(addr uint64, p []byte, cb func()) bool {
+	if addr+uint64(len(p)) > uint64(len(d.data)) {
+		panic("memseg: physical write out of range")
+	}
+	done, ok := d.schedule(len(p))
+	if !ok {
+		return false
+	}
+	d.writes.Inc()
+	issued := d.engine.Now()
+	buf := append([]byte(nil), p...)
+	d.engine.Schedule(done, func(now sim.Cycle) {
+		d.outstanding--
+		d.lat.Observe(float64(now - issued))
+		copy(d.data[addr:], buf)
+		if cb != nil {
+			cb()
+		}
+	})
+	return true
+}

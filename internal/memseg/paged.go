@@ -1,0 +1,129 @@
+package memseg
+
+import (
+	"fmt"
+
+	"apiary/internal/msg"
+)
+
+// PagedAllocator is the baseline the paper's §4.6 argues against: a
+// page-granular allocator with a page-table translation structure, as
+// CPU-attached FPGA shared-VM systems use. It exists so experiment E10 can
+// measure internal fragmentation (allocations round up to pages) and
+// translation state size against the segment design.
+type PagedAllocator struct {
+	pageSize uint64
+	numPages uint64
+	freePgs  []uint64 // free page frame numbers (LIFO)
+	live     map[SegID]pagedAlloc
+	nextID   SegID
+	inUse    uint64 // bytes actually requested
+	pgInUse  uint64 // pages held
+}
+
+type pagedAlloc struct {
+	requested uint64
+	pages     []uint64
+}
+
+// NewPagedAllocator manages size bytes in pages of pageSize (which must
+// divide size).
+func NewPagedAllocator(size, pageSize uint64) *PagedAllocator {
+	if pageSize == 0 || size%pageSize != 0 {
+		panic(fmt.Sprintf("memseg: size %d not a multiple of page size %d", size, pageSize))
+	}
+	n := size / pageSize
+	p := &PagedAllocator{
+		pageSize: pageSize,
+		numPages: n,
+		live:     make(map[SegID]pagedAlloc),
+		nextID:   1,
+	}
+	for i := n; i > 0; i-- {
+		p.freePgs = append(p.freePgs, i-1)
+	}
+	return p
+}
+
+// Alloc reserves enough pages for size bytes. Pages need not be contiguous;
+// that is the paged design's advantage, bought with per-page table state.
+func (p *PagedAllocator) Alloc(size uint64, _ msg.TileID) (SegID, error) {
+	if size == 0 {
+		return 0, msg.EBadMsg.Error()
+	}
+	need := (size + p.pageSize - 1) / p.pageSize
+	if uint64(len(p.freePgs)) < need {
+		return 0, msg.ENoMem.Error()
+	}
+	pages := make([]uint64, need)
+	for i := range pages {
+		pages[i] = p.freePgs[len(p.freePgs)-1]
+		p.freePgs = p.freePgs[:len(p.freePgs)-1]
+	}
+	id := p.nextID
+	p.nextID++
+	p.live[id] = pagedAlloc{requested: size, pages: pages}
+	p.inUse += size
+	p.pgInUse += need
+	return id, nil
+}
+
+// Free releases an allocation's pages.
+func (p *PagedAllocator) Free(id SegID) error {
+	a, ok := p.live[id]
+	if !ok {
+		return fmt.Errorf("memseg: paged free of unknown id %d", id)
+	}
+	delete(p.live, id)
+	p.freePgs = append(p.freePgs, a.pages...)
+	p.inUse -= a.requested
+	p.pgInUse -= uint64(len(a.pages))
+	return nil
+}
+
+// Translate maps (id, offset) to a physical address, modelling a page-table
+// walk. It fails on out-of-bounds offsets.
+func (p *PagedAllocator) Translate(id SegID, off uint64) (uint64, error) {
+	a, ok := p.live[id]
+	if !ok {
+		return 0, msg.ENoCap.Error()
+	}
+	if off >= a.requested {
+		return 0, msg.EBounds.Error()
+	}
+	pg := off / p.pageSize
+	return a.pages[pg]*p.pageSize + off%p.pageSize, nil
+}
+
+// Total reports managed bytes.
+func (p *PagedAllocator) Total() uint64 { return p.numPages * p.pageSize }
+
+// InUse reports bytes requested by live allocations.
+func (p *PagedAllocator) InUse() uint64 { return p.inUse }
+
+// HeldBytes reports bytes held in pages (>= InUse; the difference is
+// internal fragmentation).
+func (p *PagedAllocator) HeldBytes() uint64 { return p.pgInUse * p.pageSize }
+
+// InternalFragmentation reports wasted held bytes as a fraction of held
+// bytes.
+func (p *PagedAllocator) InternalFragmentation() float64 {
+	if p.pgInUse == 0 {
+		return 0
+	}
+	return float64(p.HeldBytes()-p.inUse) / float64(p.HeldBytes())
+}
+
+// TranslationEntries reports the number of page-table entries live — the
+// state a hardware MMU must hold. The segment design's equivalent is one
+// (base, limit) pair per segment.
+func (p *PagedAllocator) TranslationEntries() int {
+	n := 0
+	for _, a := range p.live {
+		n += len(a.pages)
+	}
+	return n
+}
+
+// Live reports the number of live allocations.
+func (p *PagedAllocator) Live() int { return len(p.live) }

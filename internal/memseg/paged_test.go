@@ -1,0 +1,238 @@
+package memseg
+
+import (
+	"testing"
+
+	"apiary/internal/sim"
+)
+
+func TestPagedAllocBasic(t *testing.T) {
+	p := NewPagedAllocator(1<<16, 4096)
+	id, err := p.Alloc(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 bytes needs 2 pages of 4096.
+	if p.HeldBytes() != 8192 {
+		t.Fatalf("HeldBytes = %d, want 8192", p.HeldBytes())
+	}
+	if p.InUse() != 5000 {
+		t.Fatalf("InUse = %d", p.InUse())
+	}
+	frag := p.InternalFragmentation()
+	want := float64(8192-5000) / 8192
+	if frag != want {
+		t.Fatalf("internal frag = %v, want %v", frag, want)
+	}
+	if p.TranslationEntries() != 2 {
+		t.Fatalf("entries = %d, want 2", p.TranslationEntries())
+	}
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if p.HeldBytes() != 0 || p.Live() != 0 {
+		t.Fatal("free did not release pages")
+	}
+}
+
+func TestPagedTranslate(t *testing.T) {
+	p := NewPagedAllocator(1<<16, 4096)
+	id, _ := p.Alloc(10000, 1)
+	seen := map[uint64]bool{}
+	for _, off := range []uint64{0, 4095, 4096, 9999} {
+		pa, err := p.Translate(id, off)
+		if err != nil {
+			t.Fatalf("Translate(%d): %v", off, err)
+		}
+		if pa >= 1<<16 {
+			t.Fatalf("physical address out of range: %d", pa)
+		}
+		if pa%4096 != off%4096 {
+			t.Fatalf("page offset not preserved: off=%d pa=%d", off, pa)
+		}
+		seen[pa/4096] = true
+	}
+	if _, err := p.Translate(id, 10000); err == nil {
+		t.Fatal("out-of-bounds translate succeeded")
+	}
+	if _, err := p.Translate(999, 0); err == nil {
+		t.Fatal("unknown-id translate succeeded")
+	}
+	_ = seen
+}
+
+func TestPagedExhaustion(t *testing.T) {
+	p := NewPagedAllocator(8192, 4096)
+	if _, err := p.Alloc(8192, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(1, 1); err == nil {
+		t.Fatal("alloc from exhausted paged allocator succeeded")
+	}
+}
+
+func TestPagedDoubleFreeAndZero(t *testing.T) {
+	p := NewPagedAllocator(8192, 4096)
+	if _, err := p.Alloc(0, 1); err == nil {
+		t.Fatal("zero paged alloc succeeded")
+	}
+	id, _ := p.Alloc(1, 1)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestPagedBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-multiple size did not panic")
+		}
+	}()
+	NewPagedAllocator(1000, 4096)
+}
+
+// TestPagedNoExternalFragmentation demonstrates the paged design's
+// advantage: a workload that strands a segment allocator succeeds when
+// pages need not be contiguous.
+func TestPagedNoExternalFragmentation(t *testing.T) {
+	const total, pg = 1 << 16, 4096
+	p := NewPagedAllocator(total, pg)
+	seg := NewAllocator(total, FirstFit)
+
+	// Allocate alternating small blocks, free every other one, then ask for
+	// a big allocation equal to the total freed space.
+	var pids []SegID
+	var sids []SegID
+	for i := 0; i < 16; i++ {
+		pid, err := p.Alloc(pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pid)
+		s, err := seg.Alloc(pg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sids = append(sids, s.ID)
+	}
+	for i := 0; i < 16; i += 2 {
+		_ = p.Free(pids[i])
+		_ = seg.Free(sids[i])
+	}
+	if _, err := p.Alloc(8*pg, 1); err != nil {
+		t.Fatalf("paged allocator failed on scattered free pages: %v", err)
+	}
+	if _, err := seg.Alloc(8*pg, 1); err == nil {
+		t.Fatal("segment allocator satisfied contiguous request from shattered space (premise broken)")
+	}
+}
+
+func TestDRAMReadWrite(t *testing.T) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	d := NewDRAM(e, st, 1<<16, DRAMConfig{})
+	wrote := false
+	if !d.Write(100, []byte{1, 2, 3, 4}, func() { wrote = true }) {
+		t.Fatal("write rejected")
+	}
+	if !e.RunUntil(func() bool { return wrote }, 1000) {
+		t.Fatal("write never completed")
+	}
+	var got []byte
+	if !d.Read(100, 4, func(b []byte) { got = b }) {
+		t.Fatal("read rejected")
+	}
+	if !e.RunUntil(func() bool { return got != nil }, 1000) {
+		t.Fatal("read never completed")
+	}
+	if got[0] != 1 || got[3] != 4 {
+		t.Fatalf("read back %v", got)
+	}
+	if d.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", d.Outstanding())
+	}
+}
+
+func TestDRAMWriteBufferCopied(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDRAM(e, sim.NewStats(), 1024, DRAMConfig{})
+	buf := []byte{9, 9}
+	d.Write(0, buf, nil)
+	buf[0] = 0 // mutate after issuing; DRAM must have copied
+	e.Run(100)
+	var got []byte
+	d.Read(0, 2, func(b []byte) { got = b })
+	e.RunUntil(func() bool { return got != nil }, 1000)
+	if got[0] != 9 {
+		t.Fatal("DRAM aliased the caller's write buffer")
+	}
+}
+
+func TestDRAMLatencyModel(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDRAM(e, sim.NewStats(), 1<<20, DRAMConfig{LatencyCycles: 20, BytesPerCycle: 64})
+	var smallDone, bigDone sim.Cycle
+	d.Read(0, 64, func([]byte) { smallDone = e.Now() })
+	e.Run(200)
+	start := e.Now()
+	d.Read(0, 6400, func([]byte) { bigDone = e.Now() })
+	e.Run(500)
+	if smallDone == 0 || bigDone == 0 {
+		t.Fatal("reads did not complete")
+	}
+	smallLat := smallDone // issued at 0
+	bigLat := bigDone - start
+	if smallLat < 20 || smallLat > 25 {
+		t.Fatalf("small read latency = %d, want ~21", smallLat)
+	}
+	if bigLat < 100 {
+		t.Fatalf("big read latency = %d, want >= 100 (serialization)", bigLat)
+	}
+}
+
+func TestDRAMQueueLimit(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDRAM(e, sim.NewStats(), 1<<20, DRAMConfig{MaxOutstanding: 2})
+	ok1 := d.Read(0, 8, func([]byte) {})
+	ok2 := d.Read(0, 8, func([]byte) {})
+	ok3 := d.Read(0, 8, func([]byte) {})
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("queue limit not enforced: %v %v %v", ok1, ok2, ok3)
+	}
+	e.Run(1000)
+	if !d.Read(0, 8, func([]byte) {}) {
+		t.Fatal("queue did not drain")
+	}
+}
+
+func TestDRAMBandwidthSharing(t *testing.T) {
+	// Two back-to-back large transfers must serialize: the second completes
+	// roughly one transfer-time after the first.
+	e := sim.NewEngine(1)
+	d := NewDRAM(e, sim.NewStats(), 1<<20, DRAMConfig{LatencyCycles: 10, BytesPerCycle: 64})
+	var t1, t2 sim.Cycle
+	d.Read(0, 6400, func([]byte) { t1 = e.Now() }) // 100 cycles transfer
+	d.Read(0, 6400, func([]byte) { t2 = e.Now() })
+	e.Run(1000)
+	if t1 == 0 || t2 == 0 {
+		t.Fatal("reads did not complete")
+	}
+	gap := t2 - t1
+	if gap < 90 || gap > 110 {
+		t.Fatalf("bandwidth sharing gap = %d, want ~100", gap)
+	}
+}
+
+func TestDRAMPhysicalOverflowPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := NewDRAM(e, sim.NewStats(), 100, DRAMConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("physical overflow did not panic")
+		}
+	}()
+	d.Read(90, 20, func([]byte) {})
+}

@@ -1,0 +1,236 @@
+package memseg
+
+import (
+	"testing"
+
+	"apiary/internal/sim"
+)
+
+func TestSegmentContains(t *testing.T) {
+	s := Segment{Base: 100, Size: 50}
+	cases := []struct {
+		off, n uint64
+		want   bool
+	}{
+		{0, 50, true}, {0, 51, false}, {49, 1, true}, {50, 1, false},
+		{50, 0, true}, {51, 0, false}, {10, 20, true},
+		{^uint64(0) - 1, 10, false}, // overflow attempt
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.off, c.n); got != c.want {
+			t.Fatalf("Contains(%d,%d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+	if s.End() != 150 {
+		t.Fatalf("End = %d", s.End())
+	}
+}
+
+func TestAllocBasic(t *testing.T) {
+	for _, pol := range []Policy{FirstFit, BestFit} {
+		a := NewAllocator(1024, pol)
+		s1, err := a.Alloc(100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := a.Alloc(200, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.End() > s2.Base && s2.End() > s1.Base {
+			t.Fatalf("%s: segments overlap: %+v %+v", pol, s1, s2)
+		}
+		if a.InUse() != 300 || a.FreeBytes() != 724 {
+			t.Fatalf("%s: accounting: inuse=%d free=%d", pol, a.InUse(), a.FreeBytes())
+		}
+		if got, ok := a.Lookup(s1.ID); !ok || got != s1 {
+			t.Fatalf("%s: lookup mismatch", pol)
+		}
+		if v := a.CheckInvariants(); v != "" {
+			t.Fatalf("%s: %s", pol, v)
+		}
+	}
+}
+
+func TestAllocZeroAndTooBig(t *testing.T) {
+	a := NewAllocator(100, FirstFit)
+	if _, err := a.Alloc(0, 1); err == nil {
+		t.Fatal("zero alloc succeeded")
+	}
+	if _, err := a.Alloc(101, 1); err == nil {
+		t.Fatal("oversized alloc succeeded")
+	}
+	if _, err := a.Alloc(100, 1); err != nil {
+		t.Fatal("exact-fit alloc failed")
+	}
+	if _, err := a.Alloc(1, 1); err == nil {
+		t.Fatal("alloc from full allocator succeeded")
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	a := NewAllocator(300, FirstFit)
+	s1, _ := a.Alloc(100, 1)
+	s2, _ := a.Alloc(100, 1)
+	s3, _ := a.Alloc(100, 1)
+	if err := a.Free(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(s3.ID); err != nil {
+		t.Fatal(err)
+	}
+	if a.Holes() != 2 {
+		t.Fatalf("holes = %d, want 2", a.Holes())
+	}
+	if err := a.Free(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if a.Holes() != 1 || a.LargestHole() != 300 {
+		t.Fatalf("coalescing failed: holes=%d largest=%d", a.Holes(), a.LargestHole())
+	}
+	if v := a.CheckInvariants(); v != "" {
+		t.Fatal(v)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := NewAllocator(100, FirstFit)
+	s, _ := a.Alloc(10, 1)
+	if err := a.Free(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(s.ID); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestSegIDsNeverReused(t *testing.T) {
+	a := NewAllocator(100, FirstFit)
+	seen := map[SegID]bool{}
+	for i := 0; i < 50; i++ {
+		s, err := a.Alloc(10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.ID] {
+			t.Fatalf("segment ID %d reused", s.ID)
+		}
+		seen[s.ID] = true
+		if err := a.Free(s.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBestFitReducesStranding(t *testing.T) {
+	// Holes of 100 and 40 exist; a 40-byte request should take the 40 hole
+	// under best-fit, leaving the 100 hole intact for a later big request.
+	mk := func(pol Policy) *Allocator {
+		a := NewAllocator(240, pol)
+		s1, _ := a.Alloc(100, 1) // [0,100)
+		g1, _ := a.Alloc(50, 1)  // guard [100,150)
+		s2, _ := a.Alloc(40, 1)  // [150,190)
+		g2, _ := a.Alloc(50, 1)  // guard [190,240)
+		_ = g1
+		_ = g2
+		a.Free(s1.ID)
+		a.Free(s2.ID)
+		return a
+	}
+	bf := mk(BestFit)
+	if _, err := bf.Alloc(40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bf.Alloc(100, 2); err != nil {
+		t.Fatal("best-fit stranded the large hole")
+	}
+	ff := mk(FirstFit)
+	if _, err := ff.Alloc(40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Alloc(100, 2); err == nil {
+		t.Fatal("first-fit unexpectedly preserved the large hole (test premise broken)")
+	}
+}
+
+// TestAllocatorRandomised is the allocator property test: random
+// alloc/free sequences must preserve all invariants, never overlap live
+// segments, and fully coalesce when everything is freed.
+func TestAllocatorRandomised(t *testing.T) {
+	for _, pol := range []Policy{FirstFit, BestFit} {
+		rng := sim.NewRNG(1234)
+		a := NewAllocator(1<<20, pol)
+		var liveIDs []SegID
+		for step := 0; step < 5000; step++ {
+			if rng.Bool(0.6) || len(liveIDs) == 0 {
+				size := uint64(rng.Intn(8192) + 1)
+				s, err := a.Alloc(size, 1)
+				if err == nil {
+					liveIDs = append(liveIDs, s.ID)
+				}
+			} else {
+				i := rng.Intn(len(liveIDs))
+				if err := a.Free(liveIDs[i]); err != nil {
+					t.Fatalf("%s: %v", pol, err)
+				}
+				liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+			}
+			if step%500 == 0 {
+				if v := a.CheckInvariants(); v != "" {
+					t.Fatalf("%s step %d: %s", pol, step, v)
+				}
+			}
+		}
+		// Overlap check across all live segments.
+		segs := make([]Segment, 0, len(liveIDs))
+		for _, id := range liveIDs {
+			s, ok := a.Lookup(id)
+			if !ok {
+				t.Fatalf("%s: live ID vanished", pol)
+			}
+			segs = append(segs, s)
+		}
+		for i := range segs {
+			for j := i + 1; j < len(segs); j++ {
+				if segs[i].Base < segs[j].End() && segs[j].Base < segs[i].End() {
+					t.Fatalf("%s: live segments overlap", pol)
+				}
+			}
+		}
+		for _, id := range liveIDs {
+			if err := a.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.Holes() != 1 || a.LargestHole() != 1<<20 || a.InUse() != 0 {
+			t.Fatalf("%s: full free did not restore single hole: holes=%d largest=%d",
+				pol, a.Holes(), a.LargestHole())
+		}
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	a := NewAllocator(400, FirstFit)
+	if a.ExternalFragmentation() != 0 {
+		t.Fatal("fresh allocator should have 0 fragmentation")
+	}
+	s1, _ := a.Alloc(100, 1)
+	_, _ = a.Alloc(100, 1)
+	s3, _ := a.Alloc(100, 1)
+	_, _ = a.Alloc(100, 1)
+	a.Free(s1.ID)
+	a.Free(s3.ID)
+	// Free = 200, largest hole = 100 -> fragmentation = 0.5
+	if f := a.ExternalFragmentation(); f != 0.5 {
+		t.Fatalf("fragmentation = %v, want 0.5", f)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" {
+		t.Fatal("policy stringers wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy empty")
+	}
+}

@@ -1,0 +1,574 @@
+package monitor
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/cap"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+	"apiary/internal/trace"
+)
+
+// echoAccel replies to every TRequest with a TReply carrying the same
+// payload.
+type echoAccel struct{ ctxs int }
+
+func (a *echoAccel) Name() string  { return "echo" }
+func (a *echoAccel) Contexts() int { return a.ctxs }
+func (a *echoAccel) Reset()        {}
+func (a *echoAccel) Tick(p accel.Port) {
+	if m, ok := p.Recv(); ok {
+		if m.Type == msg.TRequest {
+			p.Send(m.Reply(msg.TReply, m.Payload))
+		}
+	}
+}
+
+// driverAccel sends queued messages and collects everything it receives.
+type driverAccel struct {
+	out  []*msg.Message
+	code []msg.ErrCode
+	in   []*msg.Message
+}
+
+func (a *driverAccel) Name() string  { return "driver" }
+func (a *driverAccel) Contexts() int { return 1 }
+func (a *driverAccel) Reset()        {}
+func (a *driverAccel) Tick(p accel.Port) {
+	if len(a.out) > 0 {
+		m := a.out[0]
+		a.out = a.out[1:]
+		a.code = append(a.code, p.Send(m))
+	}
+	if m, ok := p.Recv(); ok {
+		a.in = append(a.in, m)
+	}
+}
+
+// rig is a 2x2 mesh with a driver on tile 0 and an echo on tile 3,
+// kernel notionally on tile 1 (no shell there).
+type rig struct {
+	e       *sim.Engine
+	st      *sim.Stats
+	net     *noc.Network
+	checker *cap.Checker
+	tracer  *trace.Tracer
+	driver  *driverAccel
+	dshell  *accel.Shell
+	dmon    *Monitor
+	eshell  *accel.Shell
+	emon    *Monitor
+	kmon    *Monitor // kernel-tile monitor, no shell
+}
+
+const (
+	driverTile = msg.TileID(0)
+	kernelTile = msg.TileID(1)
+	echoTile   = msg.TileID(3)
+	echoSvc    = msg.FirstUserService
+)
+
+func newRig(t *testing.T, enforce bool, rate RateLimit) *rig {
+	t.Helper()
+	r := &rig{
+		e:       sim.NewEngine(7),
+		st:      sim.NewStats(),
+		checker: cap.NewChecker(),
+		tracer:  trace.New(4096),
+	}
+	r.net = noc.NewNetwork(r.e, r.st, noc.Config{Dims: noc.Dims{W: 2, H: 2}})
+	r.driver = &driverAccel{}
+	r.dshell = accel.NewShell(r.driver, r.st)
+	r.dmon = New(Config{Tile: driverTile, Kernel: kernelTile, EnforceCaps: enforce, Rate: rate},
+		r.e, r.net.NI(driverTile), r.dshell, r.checker, r.tracer, r.st)
+	r.eshell = accel.NewShell(&echoAccel{ctxs: 1}, r.st)
+	r.emon = New(Config{Tile: echoTile, Kernel: kernelTile, EnforceCaps: enforce},
+		r.e, r.net.NI(echoTile), r.eshell, r.checker, r.tracer, r.st)
+	r.kmon = New(Config{Tile: kernelTile, Kernel: kernelTile, EnforceCaps: enforce},
+		r.e, r.net.NI(kernelTile), nil, r.checker, r.tracer, r.st)
+	r.e.Register(r.dshell)
+	r.e.Register(r.eshell)
+	// Both monitors know where the echo service lives.
+	r.dmon.BindName(echoSvc, echoTile)
+	r.emon.BindName(echoSvc, echoTile)
+	return r
+}
+
+// grantEcho installs an endpoint capability for the echo service on the
+// driver tile.
+func (r *rig) grantEcho() {
+	c := cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RSend,
+		Object: uint32(echoSvc), Gen: r.checker.Gen(cap.KindEndpoint, uint32(echoSvc)),
+	}
+	r.dmon.Table().Install(c)
+}
+
+func request(payload string) *msg.Message {
+	return &msg.Message{Type: msg.TRequest, DstSvc: echoSvc, Seq: 1, Payload: []byte(payload)}
+}
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.driver.out = append(r.driver.out, request("ping"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no reply")
+	}
+	got := r.driver.in[0]
+	if got.Type != msg.TReply || string(got.Payload) != "ping" {
+		t.Fatalf("reply = %v", got)
+	}
+	if got.SrcTile != echoTile {
+		t.Fatalf("reply SrcTile = %d, want %d (stamped by echo monitor)", got.SrcTile, echoTile)
+	}
+}
+
+func TestDeniedWithoutCapability(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	// No grant.
+	r.driver.out = append(r.driver.out, request("x"))
+	r.e.Run(2000)
+	if len(r.driver.in) != 0 {
+		t.Fatal("message crossed without a capability")
+	}
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ENoCap {
+		t.Fatalf("send code = %v, want ENoCap", r.driver.code)
+	}
+	if len(r.tracer.Denials()) == 0 {
+		t.Fatal("denial not traced")
+	}
+}
+
+func TestEnforcementOffAblation(t *testing.T) {
+	r := newRig(t, false, RateLimit{})
+	// No grant, but enforcement is off (E6 ablation).
+	r.driver.out = append(r.driver.out, request("x"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no reply with enforcement off")
+	}
+}
+
+func TestRevokedCapabilityDenied(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.checker.Revoke(cap.KindEndpoint, uint32(echoSvc))
+	r.driver.out = append(r.driver.out, request("x"))
+	r.e.Run(2000)
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ERevoked {
+		t.Fatalf("send code = %v, want ERevoked", r.driver.code)
+	}
+}
+
+func TestInsufficientRightsDenied(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	// Endpoint cap without RSend.
+	r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RGrant, Object: uint32(echoSvc),
+	})
+	r.driver.out = append(r.driver.out, request("x"))
+	r.e.Run(2000)
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ERights {
+		t.Fatalf("send code = %v, want ERights", r.driver.code)
+	}
+}
+
+func TestUnknownServiceDenied(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	m := request("x")
+	m.DstSvc = 999
+	r.driver.out = append(r.driver.out, m)
+	r.e.Run(2000)
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ENoService {
+		t.Fatalf("send code = %v, want ENoService", r.driver.code)
+	}
+}
+
+func TestSrcTileStamping(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	m := request("x")
+	m.SrcTile = echoTile // spoof attempt
+	r.driver.out = append(r.driver.out, m)
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no reply")
+	}
+	// If the spoof had worked, the reply would have gone to echoTile itself.
+	if r.driver.in[0].DstTile != driverTile {
+		t.Fatal("spoofed source survived the monitor")
+	}
+}
+
+func TestAcceleratorCannotSendCtl(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	m := &msg.Message{Type: msg.TCtlDrain, DstSvc: echoSvc}
+	r.driver.out = append(r.driver.out, m)
+	r.e.Run(2000)
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ERights {
+		t.Fatalf("ctl send code = %v, want ERights", r.driver.code)
+	}
+	if r.emon.State() != accel.Running {
+		t.Fatal("accelerator managed to drain a peer tile")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	// 64-flit burst, 10 flits/kcycle sustained: a flooder is clamped.
+	r := newRig(t, true, RateLimit{FlitsPerKCycle: 10, BurstFlits: 64})
+	r.grantEcho()
+	for i := 0; i < 100; i++ {
+		r.driver.out = append(r.driver.out, request("flood-payload-xxxx"))
+	}
+	r.e.Run(3000)
+	limited := 0
+	for _, c := range r.driver.code {
+		if c == msg.ERateLimited {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("no sends were rate limited")
+	}
+	if r.st.Counter("mon.rate_drops").Value() == 0 {
+		t.Fatal("rate drops not counted")
+	}
+}
+
+func TestRateLimiterRefills(t *testing.T) {
+	// Burst of 4 flits = two empty requests (2 flits each) back to back;
+	// a third is limited, but after a refill window it succeeds.
+	r := newRig(t, true, RateLimit{FlitsPerKCycle: 100, BurstFlits: 4})
+	r.grantEcho()
+	for i := 0; i < 3; i++ {
+		r.driver.out = append(r.driver.out, request(""))
+	}
+	r.e.Run(10)
+	if len(r.driver.code) != 3 || r.driver.code[0] != msg.EOK ||
+		r.driver.code[1] != msg.EOK || r.driver.code[2] != msg.ERateLimited {
+		t.Fatalf("burst codes = %v, want [ok ok rate-limited]", r.driver.code)
+	}
+	r.e.Run(100) // refill window: 100 flits/kcycle * 100 cycles = 10 flits
+	r.driver.out = append(r.driver.out, request(""))
+	r.e.Run(100)
+	if len(r.driver.code) != 4 || r.driver.code[3] != msg.EOK {
+		t.Fatalf("post-refill codes = %v, want final ok", r.driver.code)
+	}
+}
+
+func TestFailStopNacksSenders(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.emon.ForceFault(0, accel.FaultExplicit)
+	if r.emon.State() != accel.Draining {
+		t.Fatalf("state after fault = %v", r.emon.State())
+	}
+	r.driver.out = append(r.driver.out, request("x"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no NACK from fail-stopped tile")
+	}
+	got := r.driver.in[0]
+	if got.Type != msg.TError || got.Err != msg.EFailStopped {
+		t.Fatalf("NACK = %v", got)
+	}
+}
+
+func TestFaultReportsToKernel(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	// Watch the kernel tile's deliveries by replacing its NI handler —
+	// install a fresh monitor-less sink.
+	var reports []*msg.Message
+	r.net.NI(kernelTile).SetDeliver(func(m *msg.Message, _ sim.Cycle) {
+		if m.Type == msg.TCtlFault {
+			reports = append(reports, m)
+		}
+	})
+	r.emon.ForceFault(0, accel.FaultPanic)
+	if !r.e.RunUntil(func() bool { return len(reports) > 0 }, 5000) {
+		t.Fatal("kernel never received the fault report")
+	}
+	rep, err := msg.DecodeFaultReport(reports[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tile != echoTile || accel.FaultReason(rep.Reason) != accel.FaultPanic {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCtlInstallCapOverNoC(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	c := cap.Capability{Kind: cap.KindEndpoint, Rights: cap.RSend, Object: uint32(echoSvc)}
+	ctl := &msg.Message{
+		Type: msg.TCtlInstallCap, SrcTile: kernelTile, DstTile: driverTile,
+		Payload: msg.EncodeInstallCapReq(msg.InstallCapReq{Slot: 0, Cap: c.Encode()}),
+	}
+	if err := r.net.NI(kernelTile).Send(ctl); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Run(200)
+	got, ok := r.dmon.Table().Lookup(0)
+	if !ok || got.Object != uint32(echoSvc) {
+		t.Fatal("capability not installed via ctl message")
+	}
+	// And the driver can now send.
+	r.driver.out = append(r.driver.out, request("hi"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("send after ctl install failed")
+	}
+}
+
+func TestCtlFromNonKernelIgnored(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	evil := &msg.Message{
+		Type: msg.TCtlDrain, SrcTile: echoTile, DstTile: driverTile,
+	}
+	// Inject directly at the NoC as if a compromised tile forged it.
+	if err := r.net.NI(echoTile).Send(evil); err != nil {
+		t.Fatal(err)
+	}
+	r.e.Run(500)
+	if r.dmon.State() != accel.Running {
+		t.Fatal("non-kernel ctl message drained a tile")
+	}
+}
+
+func TestCtlDrainAndResume(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	drain := &msg.Message{Type: msg.TCtlDrain, SrcTile: kernelTile, DstTile: echoTile}
+	_ = r.net.NI(kernelTile).Send(drain)
+	r.e.Run(200)
+	if r.emon.State() != accel.Draining {
+		t.Fatalf("state = %v after drain", r.emon.State())
+	}
+	resume := &msg.Message{Type: msg.TCtlResume, SrcTile: kernelTile, DstTile: echoTile}
+	_ = r.net.NI(kernelTile).Send(resume)
+	r.e.Run(200)
+	if r.emon.State() != accel.Running {
+		t.Fatalf("state = %v after resume", r.emon.State())
+	}
+	r.driver.out = append(r.driver.out, request("back"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("tile not functional after resume")
+	}
+}
+
+func TestCtlPing(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	var pong *msg.Message
+	r.net.NI(kernelTile).SetDeliver(func(m *msg.Message, _ sim.Cycle) {
+		if m.Type == msg.TReply {
+			pong = m
+		}
+	})
+	ping := &msg.Message{Type: msg.TCtlPing, SrcTile: kernelTile, DstTile: echoTile, Seq: 42}
+	_ = r.net.NI(kernelTile).Send(ping)
+	if !r.e.RunUntil(func() bool { return pong != nil }, 5000) {
+		t.Fatal("no pong")
+	}
+	if pong.Seq != 42 {
+		t.Fatalf("pong seq = %d", pong.Seq)
+	}
+}
+
+func TestNoShellTileNacksRequests(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	// Bind a service name to the kernel tile, which has no shell.
+	r.dmon.BindName(msg.ServiceID(77), kernelTile)
+	r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RSend, Object: 77,
+	})
+	m := &msg.Message{Type: msg.TRequest, DstSvc: 77}
+	r.driver.out = append(r.driver.out, m)
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no NACK from shell-less tile")
+	}
+	if r.driver.in[0].Err != msg.ENoService {
+		t.Fatalf("NACK err = %v", r.driver.in[0].Err)
+	}
+}
+
+func TestMemOpRequiresSegmentCap(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	// Give the driver an endpoint cap for the "memory service" (we point it
+	// at the echo tile; the monitor-side checks are what's under test).
+	r.dmon.BindName(msg.SvcMemory, echoTile)
+	r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RSend, Object: uint32(msg.SvcMemory),
+	})
+	read := &msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(cap.NilRef),
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 0, Length: 8}),
+	}
+	r.driver.out = append(r.driver.out, read)
+	r.e.Run(2000)
+	if len(r.driver.code) == 0 || r.driver.code[0] != msg.ENoCap {
+		t.Fatalf("mem op without segment cap = %v, want ENoCap", r.driver.code)
+	}
+
+	// Now grant a read-only segment cap and check the rewrite + rights.
+	segRef := r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindSegment, Rights: cap.RRead, Object: 1234,
+	})
+	write := &msg.Message{
+		Type: msg.TMemWrite, DstSvc: msg.SvcMemory, CapRef: uint32(segRef),
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 0, Data: []byte{1}}),
+	}
+	r.driver.out = append(r.driver.out, write)
+	r.e.Run(2000)
+	if len(r.driver.code) < 2 || r.driver.code[1] != msg.ERights {
+		t.Fatalf("write with read-only cap = %v, want ERights", r.driver.code)
+	}
+
+	read2 := &msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(segRef),
+		Payload: msg.EncodeMemReq(msg.MemReq{Offset: 0, Length: 8}),
+	}
+	r.driver.out = append(r.driver.out, read2)
+	r.e.Run(2000)
+	if len(r.driver.code) < 3 || r.driver.code[2] != msg.EOK {
+		t.Fatalf("read with cap = %v, want EOK", r.driver.code)
+	}
+}
+
+func TestCtlRevokeCapSlot(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	if _, ok := r.dmon.Table().Lookup(0); !ok {
+		t.Fatal("grant not installed at slot 0")
+	}
+	revoke := &msg.Message{
+		Type: msg.TCtlRevokeCap, SrcTile: kernelTile, DstTile: driverTile,
+		Payload: msg.EncodeInstallCapReq(msg.InstallCapReq{Slot: 0}),
+	}
+	_ = r.net.NI(kernelTile).Send(revoke)
+	r.e.Run(200)
+	if _, ok := r.dmon.Table().Lookup(0); ok {
+		t.Fatal("slot not revoked via ctl")
+	}
+}
+
+func TestCtlSetNameOverNoC(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	set := &msg.Message{
+		Type: msg.TCtlSetName, SrcTile: kernelTile, DstTile: driverTile,
+		Payload: msg.EncodeSetNameReq(msg.SetNameReq{Svc: 99, Tile: echoTile}),
+	}
+	_ = r.net.NI(kernelTile).Send(set)
+	r.e.Run(200)
+	if tile, ok := r.dmon.LookupName(99); !ok || tile != echoTile {
+		t.Fatal("name not bound via ctl")
+	}
+	// Unbind with NoTile.
+	unset := &msg.Message{
+		Type: msg.TCtlSetName, SrcTile: kernelTile, DstTile: driverTile,
+		Payload: msg.EncodeSetNameReq(msg.SetNameReq{Svc: 99, Tile: msg.NoTile}),
+	}
+	_ = r.net.NI(kernelTile).Send(unset)
+	r.e.Run(200)
+	if _, ok := r.dmon.LookupName(99); ok {
+		t.Fatal("name not unbound via ctl")
+	}
+}
+
+func TestCtlStatsReportsState(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	var reply *msg.Message
+	r.net.NI(kernelTile).SetDeliver(func(m *msg.Message, _ sim.Cycle) {
+		if m.Type == msg.TReply {
+			reply = m
+		}
+	})
+	stats := &msg.Message{Type: msg.TCtlStats, SrcTile: kernelTile, DstTile: echoTile, Seq: 3}
+	_ = r.net.NI(kernelTile).Send(stats)
+	if !r.e.RunUntil(func() bool { return reply != nil }, 5000) {
+		t.Fatal("no stats reply")
+	}
+	if len(reply.Payload) != 1 || accel.State(reply.Payload[0]) != accel.Running {
+		t.Fatalf("stats payload = %v", reply.Payload)
+	}
+}
+
+func TestCtlMalformedPayloadsIgnored(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	for _, typ := range []msg.Type{msg.TCtlInstallCap, msg.TCtlRevokeCap, msg.TCtlSetName} {
+		m := &msg.Message{Type: typ, SrcTile: kernelTile, DstTile: driverTile, Payload: []byte{1}}
+		_ = r.net.NI(kernelTile).Send(m)
+	}
+	r.e.Run(500) // must not panic or change state
+	if r.dmon.State() != accel.Running {
+		t.Fatal("malformed ctl changed tile state")
+	}
+}
+
+func TestDetachShellMakesTileServiceless(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.emon.DetachShell()
+	r.driver.out = append(r.driver.out, request("x"))
+	if !r.e.RunUntil(func() bool { return len(r.driver.in) > 0 }, 5000) {
+		t.Fatal("no NACK from detached tile")
+	}
+	if r.driver.in[0].Err != msg.ENoService {
+		t.Fatalf("detached tile NACK = %v", r.driver.in[0].Err)
+	}
+}
+
+func TestSetRateResetsBucket(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.dmon.SetRate(RateLimit{FlitsPerKCycle: 1, BurstFlits: 2})
+	r.driver.out = append(r.driver.out, request(""), request(""))
+	r.e.Run(100)
+	limited := 0
+	for _, c := range r.driver.code {
+		if c == msg.ERateLimited {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("SetRate limit not applied")
+	}
+}
+
+func TestIngressReplyToFailStoppedDropped(t *testing.T) {
+	// Replies arriving at a fail-stopped tile are dropped silently (no
+	// NACK storm), requests are NACKed.
+	r := newRig(t, true, RateLimit{})
+	r.grantEcho()
+	r.dmon.ForceFault(0, accel.FaultExplicit)
+	reply := &msg.Message{Type: msg.TReply, SrcTile: echoTile, DstTile: driverTile}
+	_ = r.net.NI(echoTile).Send(reply)
+	r.e.Run(500)
+	if r.st.Counter("mon.nacked_in").Value() != 0 {
+		t.Fatal("reply to fail-stopped tile was NACKed")
+	}
+}
+
+func TestCapRefRewrittenToSegID(t *testing.T) {
+	r := newRig(t, true, RateLimit{})
+	var seen *msg.Message
+	r.net.NI(kernelTile).SetDeliver(func(m *msg.Message, _ sim.Cycle) { seen = m })
+	r.dmon.BindName(msg.SvcMemory, kernelTile)
+	r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindEndpoint, Rights: cap.RSend, Object: uint32(msg.SvcMemory),
+	})
+	segRef := r.dmon.Table().Install(cap.Capability{
+		Kind: cap.KindSegment, Rights: cap.RRead, Object: 777,
+	})
+	read := &msg.Message{
+		Type: msg.TMemRead, DstSvc: msg.SvcMemory, CapRef: uint32(segRef),
+		Payload: msg.EncodeMemReq(msg.MemReq{Length: 4}),
+	}
+	r.driver.out = append(r.driver.out, read)
+	if !r.e.RunUntil(func() bool { return seen != nil }, 5000) {
+		t.Fatal("mem read never arrived")
+	}
+	if seen.CapRef != 777 {
+		t.Fatalf("CapRef on the wire = %d, want segment ID 777", seen.CapRef)
+	}
+}

@@ -1,0 +1,256 @@
+// Package msg defines Apiary's message-passing layer: the message format
+// carried over the NoC, the logical service namespace, RPC conventions and
+// the error codes returned by monitors and services.
+//
+// In Apiary (paper §4.3) service identification lives in the API layer: a
+// message names a logical destination service, and the per-tile monitor
+// resolves it to a physical tile. The wire format is deliberately small and
+// fixed-layout, as a hardware implementation would be.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TileID identifies a physical tile on the NoC (router coordinate, flattened
+// row-major). The special value NoTile means "unrouted/unknown".
+type TileID uint16
+
+// NoTile is the zero-like sentinel for an unset tile.
+const NoTile TileID = 0xFFFF
+
+// ServiceID is a logical service name. Accelerators address messages to
+// services, never to raw tiles; the monitor's name table performs the
+// translation (paper §4.3). Well-known low IDs are reserved for Apiary
+// services; applications register IDs >= FirstUserService.
+type ServiceID uint16
+
+// Well-known Apiary service IDs.
+const (
+	SvcInvalid ServiceID = 0
+	SvcKernel  ServiceID = 1 // microkernel control plane
+	SvcMemory  ServiceID = 2 // segment memory service
+	SvcNet     ServiceID = 3 // hardware network stack
+	SvcTrace   ServiceID = 4 // message-level tracing/debugging
+	SvcName    ServiceID = 5 // name lookup (backed by kernel)
+
+	// FirstUserService is the first ID available to applications.
+	FirstUserService ServiceID = 16
+)
+
+// Type discriminates message kinds. The kind determines how the payload is
+// interpreted; transport (NoC) treats all kinds identically.
+type Type uint8
+
+// Message types. Request/Reply form the application RPC convention; the Mem*
+// and Net* types are the system-service protocols; Ctl* types are the
+// kernel <-> monitor management plane, which travels on the dedicated
+// management virtual channel.
+const (
+	TInvalid Type = iota
+	TRequest      // application-defined request
+	TReply        // application-defined reply
+	TError        // reply carrying an error code
+	TOneway       // application-defined, no reply expected
+
+	TMemRead   // memory service: read  {segment cap, offset, length}
+	TMemWrite  // memory service: write {segment cap, offset, data}
+	TMemReply  // memory service completion
+	TNetSend   // network service: transmit payload to remote node
+	TNetRecv   // network service: inbound payload delivery
+	TNetListen // network service: register interest in a flow
+
+	TCtlInstallCap // kernel->monitor: install capability
+	TCtlRevokeCap  // kernel->monitor: revoke capability
+	TCtlSetName    // kernel->monitor: bind service id -> tile
+	TCtlFault      // monitor->kernel: fault report
+	TCtlDrain      // kernel->monitor: force fail-stop drain
+	TCtlResume     // kernel->monitor: clear fail-stop after reconfigure
+	TCtlPing       // liveness probe
+	TCtlStats      // stats snapshot request
+
+	TMemCopy // memory service: DMA copy between two segments
+)
+
+// String returns a short mnemonic for the type.
+func (t Type) String() string {
+	names := [...]string{
+		"invalid", "req", "reply", "err", "oneway",
+		"mem.read", "mem.write", "mem.reply",
+		"net.send", "net.recv", "net.listen",
+		"ctl.installcap", "ctl.revokecap", "ctl.setname",
+		"ctl.fault", "ctl.drain", "ctl.resume", "ctl.ping", "ctl.stats",
+		"mem.copy",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// ErrCode is a system-level error carried in TError replies.
+type ErrCode uint16
+
+// Error codes returned by monitors, the kernel and system services.
+const (
+	EOK          ErrCode = 0
+	ENoCap       ErrCode = 1  // no capability for the destination/resource
+	ERevoked     ErrCode = 2  // capability generation mismatch (revoked)
+	ERights      ErrCode = 3  // capability lacks the required rights
+	ENoService   ErrCode = 4  // service id not bound in the name table
+	EFailStopped ErrCode = 5  // destination tile is fail-stopped
+	ERateLimited ErrCode = 6  // egress rate limit exceeded, message dropped
+	EBounds      ErrCode = 7  // memory access outside segment bounds
+	ENoMem       ErrCode = 8  // memory service allocation failure
+	EBadMsg      ErrCode = 9  // malformed payload
+	ETooBig      ErrCode = 10 // payload exceeds MaxPayload
+	ENoContext   ErrCode = 11 // no such process context on the tile
+	EBusy        ErrCode = 12 // service queue full; retry
+	ENoRoute     ErrCode = 13 // unreachable destination tile
+)
+
+func (e ErrCode) String() string {
+	names := [...]string{
+		"ok", "no-capability", "revoked", "insufficient-rights",
+		"no-service", "fail-stopped", "rate-limited", "out-of-bounds",
+		"no-memory", "bad-message", "too-big", "no-context", "busy",
+		"no-route",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("err(%d)", uint16(e))
+}
+
+// Error converts the code to a Go error (nil for EOK).
+func (e ErrCode) Error() error {
+	if e == EOK {
+		return nil
+	}
+	return &SysError{Code: e}
+}
+
+// SysError wraps an ErrCode as a Go error.
+type SysError struct{ Code ErrCode }
+
+func (e *SysError) Error() string { return "apiary: " + e.Code.String() }
+
+// MaxPayload bounds a single message's payload. Larger transfers use the
+// memory service or multiple messages; the bound keeps NoC buffering and
+// worst-case head-of-line blocking small, as a hardware design would.
+const MaxPayload = 4096
+
+// HeaderBytes is the encoded header size (see Encode).
+const HeaderBytes = 24
+
+// Message is one unit of communication. SrcTile and SrcCtx are stamped by
+// the sending monitor — accelerators cannot forge them (paper §4.5). DstSvc
+// addresses a logical service; DstTile is filled in by name resolution and
+// is what the NoC routes on.
+type Message struct {
+	Type    Type
+	Err     ErrCode   // meaningful for TError / *Reply types
+	SrcTile TileID    // stamped by sending monitor
+	DstTile TileID    // resolved physical destination
+	SrcCtx  uint8     // sending process context on the source tile
+	DstCtx  uint8     // destination process context
+	DstSvc  ServiceID // logical destination service
+	Seq     uint32    // RPC sequence number, echoed in replies
+	CapRef  uint32    // capability reference accompanying the message
+	Payload []byte
+}
+
+// Reply constructs a reply to m with the given type, swapping the
+// source/destination addressing and echoing Seq. The caller's monitor will
+// re-stamp SrcTile; setting it here keeps loopback paths correct too.
+func (m *Message) Reply(t Type, payload []byte) *Message {
+	return &Message{
+		Type:    t,
+		SrcTile: m.DstTile,
+		DstTile: m.SrcTile,
+		SrcCtx:  m.DstCtx,
+		DstCtx:  m.SrcCtx,
+		Seq:     m.Seq,
+		Payload: payload,
+	}
+}
+
+// ErrorReply constructs a TError reply carrying code.
+func (m *Message) ErrorReply(code ErrCode) *Message {
+	r := m.Reply(TError, nil)
+	r.Err = code
+	return r
+}
+
+// WireSize reports the encoded size of the message in bytes.
+func (m *Message) WireSize() int { return HeaderBytes + len(m.Payload) }
+
+// Encode serializes the message into a fresh byte slice using the fixed
+// little-endian layout:
+//
+//	off  field
+//	0    Type (u8)
+//	1    SrcCtx (u8)
+//	2    DstCtx (u8)
+//	3    reserved (u8)
+//	4    Err (u16)
+//	6    SrcTile (u16)
+//	8    DstTile (u16)
+//	10   DstSvc (u16)
+//	12   Seq (u32)
+//	16   CapRef (u32)
+//	20   payload length (u32)
+//	24   payload bytes
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Payload) > MaxPayload {
+		return nil, ETooBig.Error()
+	}
+	b := make([]byte, HeaderBytes+len(m.Payload))
+	b[0] = byte(m.Type)
+	b[1] = m.SrcCtx
+	b[2] = m.DstCtx
+	binary.LittleEndian.PutUint16(b[4:], uint16(m.Err))
+	binary.LittleEndian.PutUint16(b[6:], uint16(m.SrcTile))
+	binary.LittleEndian.PutUint16(b[8:], uint16(m.DstTile))
+	binary.LittleEndian.PutUint16(b[10:], uint16(m.DstSvc))
+	binary.LittleEndian.PutUint32(b[12:], m.Seq)
+	binary.LittleEndian.PutUint32(b[16:], m.CapRef)
+	binary.LittleEndian.PutUint32(b[20:], uint32(len(m.Payload)))
+	copy(b[HeaderBytes:], m.Payload)
+	return b, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < HeaderBytes {
+		return nil, EBadMsg.Error()
+	}
+	n := binary.LittleEndian.Uint32(b[20:])
+	if n > MaxPayload || int(n) != len(b)-HeaderBytes {
+		return nil, EBadMsg.Error()
+	}
+	m := &Message{
+		Type:    Type(b[0]),
+		SrcCtx:  b[1],
+		DstCtx:  b[2],
+		Err:     ErrCode(binary.LittleEndian.Uint16(b[4:])),
+		SrcTile: TileID(binary.LittleEndian.Uint16(b[6:])),
+		DstTile: TileID(binary.LittleEndian.Uint16(b[8:])),
+		DstSvc:  ServiceID(binary.LittleEndian.Uint16(b[10:])),
+		Seq:     binary.LittleEndian.Uint32(b[12:]),
+		CapRef:  binary.LittleEndian.Uint32(b[16:]),
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		copy(m.Payload, b[HeaderBytes:])
+	}
+	return m, nil
+}
+
+// String renders a compact one-line summary for tracing.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s seq=%d %d/%d->%d/%d svc=%d cap=%d err=%s len=%d",
+		m.Type, m.Seq, m.SrcTile, m.SrcCtx, m.DstTile, m.DstCtx,
+		m.DstSvc, m.CapRef, m.Err, len(m.Payload))
+}

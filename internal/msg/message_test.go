@@ -1,0 +1,158 @@
+package msg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Message {
+	return &Message{
+		Type:    TRequest,
+		Err:     EOK,
+		SrcTile: 3,
+		DstTile: 9,
+		SrcCtx:  1,
+		DstCtx:  2,
+		DstSvc:  FirstUserService,
+		Seq:     77,
+		CapRef:  5,
+		Payload: []byte("hello, fpga"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.SrcTile != m.SrcTile || got.DstTile != m.DstTile ||
+		got.SrcCtx != m.SrcCtx || got.DstCtx != m.DstCtx || got.DstSvc != m.DstSvc ||
+		got.Seq != m.Seq || got.CapRef != m.CapRef || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(typ uint8, src, dst, svc uint16, sctx, dctx uint8, seq, capRef uint32, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		m := &Message{
+			Type: Type(typ), SrcTile: TileID(src), DstTile: TileID(dst),
+			DstSvc: ServiceID(svc), SrcCtx: sctx, DstCtx: dctx,
+			Seq: seq, CapRef: capRef, Payload: payload,
+		}
+		b, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		if len(b) != m.WireSize() {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return got.Type == m.Type && got.Seq == m.Seq &&
+			got.SrcTile == m.SrcTile && got.DstTile == m.DstTile &&
+			got.DstSvc == m.DstSvc && got.CapRef == m.CapRef &&
+			bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTooBig(t *testing.T) {
+	m := &Message{Type: TRequest, Payload: make([]byte, MaxPayload+1)}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("oversized payload encoded without error")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, HeaderBytes-1),
+		func() []byte { // length field lies
+			b, _ := sample().Encode()
+			b[20] = 0xFF
+			return b
+		}(),
+		func() []byte { // truncated payload
+			b, _ := sample().Encode()
+			return b[:len(b)-3]
+		}(),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("case %d: malformed message decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeCopiesPayload(t *testing.T) {
+	m := sample()
+	b, _ := m.Encode()
+	got, _ := Decode(b)
+	b[HeaderBytes] ^= 0xFF
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("decoded payload aliases the wire buffer")
+	}
+}
+
+func TestReplyAddressing(t *testing.T) {
+	m := sample()
+	r := m.Reply(TReply, []byte("ok"))
+	if r.DstTile != m.SrcTile || r.SrcTile != m.DstTile {
+		t.Fatal("reply did not swap tiles")
+	}
+	if r.DstCtx != m.SrcCtx || r.SrcCtx != m.DstCtx {
+		t.Fatal("reply did not swap contexts")
+	}
+	if r.Seq != m.Seq {
+		t.Fatal("reply did not echo seq")
+	}
+}
+
+func TestErrorReply(t *testing.T) {
+	r := sample().ErrorReply(ENoCap)
+	if r.Type != TError || r.Err != ENoCap {
+		t.Fatalf("ErrorReply = %+v", r)
+	}
+}
+
+func TestErrCodeError(t *testing.T) {
+	if EOK.Error() != nil {
+		t.Fatal("EOK.Error() should be nil")
+	}
+	err := ENoCap.Error()
+	if err == nil || !strings.Contains(err.Error(), "no-capability") {
+		t.Fatalf("ENoCap error = %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TMemRead.String() != "mem.read" {
+		t.Fatalf("TMemRead = %q", TMemRead.String())
+	}
+	if Type(200).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+	if ERateLimited.String() != "rate-limited" {
+		t.Fatalf("ERateLimited = %q", ERateLimited.String())
+	}
+	if ErrCode(999).String() == "" {
+		t.Fatal("unknown code should still render")
+	}
+	if !strings.Contains(sample().String(), "seq=77") {
+		t.Fatal("Message.String missing fields")
+	}
+}

@@ -1,0 +1,246 @@
+package msg
+
+import "encoding/binary"
+
+// This file defines the fixed payload layouts for the system-service
+// protocols (memory, network, kernel control plane). Each codec returns
+// EBadMsg on malformed input rather than panicking, because payloads arrive
+// from untrusted accelerators.
+
+// MemReq is the payload of TMemRead / TMemWrite. The segment itself is named
+// by the message's CapRef; the payload carries only offset/length/data.
+type MemReq struct {
+	Offset uint64
+	Length uint32 // read length; ignored for writes
+	Data   []byte // write data; empty for reads
+}
+
+// EncodeMemReq serializes r.
+func EncodeMemReq(r MemReq) []byte {
+	b := make([]byte, 12+len(r.Data))
+	binary.LittleEndian.PutUint64(b[0:], r.Offset)
+	binary.LittleEndian.PutUint32(b[8:], r.Length)
+	copy(b[12:], r.Data)
+	return b
+}
+
+// DecodeMemReq parses a MemReq payload.
+func DecodeMemReq(b []byte) (MemReq, error) {
+	if len(b) < 12 {
+		return MemReq{}, EBadMsg.Error()
+	}
+	r := MemReq{
+		Offset: binary.LittleEndian.Uint64(b[0:]),
+		Length: binary.LittleEndian.Uint32(b[8:]),
+	}
+	if len(b) > 12 {
+		r.Data = append([]byte(nil), b[12:]...)
+	}
+	return r, nil
+}
+
+// MemCopyReq is the payload of TMemCopy: a segment-to-segment DMA executed
+// entirely inside the memory service. The *source* segment is named by the
+// message's CapRef (checked for read rights by the monitor); the
+// destination by DstRef, a second capability reference that the monitor
+// checks for write rights and rewrites to the segment ID, exactly like
+// CapRef.
+type MemCopyReq struct {
+	DstRef uint32 // local cap ref on egress; segment ID after the monitor
+	DstOff uint64
+	SrcOff uint64
+	Length uint32
+}
+
+// EncodeMemCopyReq serializes r.
+func EncodeMemCopyReq(r MemCopyReq) []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint32(b[0:], r.DstRef)
+	binary.LittleEndian.PutUint64(b[4:], r.DstOff)
+	binary.LittleEndian.PutUint64(b[12:], r.SrcOff)
+	binary.LittleEndian.PutUint32(b[20:], r.Length)
+	return b
+}
+
+// DecodeMemCopyReq parses a MemCopyReq payload.
+func DecodeMemCopyReq(b []byte) (MemCopyReq, error) {
+	if len(b) < 24 {
+		return MemCopyReq{}, EBadMsg.Error()
+	}
+	return MemCopyReq{
+		DstRef: binary.LittleEndian.Uint32(b[0:]),
+		DstOff: binary.LittleEndian.Uint64(b[4:]),
+		SrcOff: binary.LittleEndian.Uint64(b[12:]),
+		Length: binary.LittleEndian.Uint32(b[20:]),
+	}, nil
+}
+
+// SetMemCopyDst rewrites the DstRef field in an encoded MemCopyReq in
+// place (monitor egress path).
+func SetMemCopyDst(payload []byte, segID uint32) {
+	if len(payload) >= 4 {
+		binary.LittleEndian.PutUint32(payload[0:], segID)
+	}
+}
+
+// NetAddr identifies a remote endpoint on the datacenter network: a node and
+// a flow (port-like) number on that node.
+type NetAddr struct {
+	Node uint32
+	Flow uint16
+}
+
+// NetSendReq is the payload of TNetSend: transmit Data to Remote.
+type NetSendReq struct {
+	Remote NetAddr
+	Data   []byte
+}
+
+// EncodeNetSendReq serializes r.
+func EncodeNetSendReq(r NetSendReq) []byte {
+	b := make([]byte, 8+len(r.Data))
+	binary.LittleEndian.PutUint32(b[0:], r.Remote.Node)
+	binary.LittleEndian.PutUint16(b[4:], r.Remote.Flow)
+	copy(b[8:], r.Data)
+	return b
+}
+
+// DecodeNetSendReq parses a NetSendReq payload.
+func DecodeNetSendReq(b []byte) (NetSendReq, error) {
+	if len(b) < 8 {
+		return NetSendReq{}, EBadMsg.Error()
+	}
+	r := NetSendReq{
+		Remote: NetAddr{
+			Node: binary.LittleEndian.Uint32(b[0:]),
+			Flow: binary.LittleEndian.Uint16(b[4:]),
+		},
+	}
+	if len(b) > 8 {
+		r.Data = append([]byte(nil), b[8:]...)
+	}
+	return r, nil
+}
+
+// NetRecvInd is the payload of TNetRecv: Data arrived from Remote for the
+// flow the receiving context listened on.
+type NetRecvInd struct {
+	Remote NetAddr
+	Data   []byte
+}
+
+// EncodeNetRecvInd serializes r. The layout matches NetSendReq.
+func EncodeNetRecvInd(r NetRecvInd) []byte {
+	return EncodeNetSendReq(NetSendReq{Remote: r.Remote, Data: r.Data})
+}
+
+// DecodeNetRecvInd parses a NetRecvInd payload.
+func DecodeNetRecvInd(b []byte) (NetRecvInd, error) {
+	s, err := DecodeNetSendReq(b)
+	return NetRecvInd{Remote: s.Remote, Data: s.Data}, err
+}
+
+// NetListenReq is the payload of TNetListen: deliver inbound traffic for
+// Flow to the sending context.
+type NetListenReq struct {
+	Flow uint16
+}
+
+// EncodeNetListenReq serializes r.
+func EncodeNetListenReq(r NetListenReq) []byte {
+	b := make([]byte, 2)
+	binary.LittleEndian.PutUint16(b, r.Flow)
+	return b
+}
+
+// DecodeNetListenReq parses a NetListenReq payload.
+func DecodeNetListenReq(b []byte) (NetListenReq, error) {
+	if len(b) < 2 {
+		return NetListenReq{}, EBadMsg.Error()
+	}
+	return NetListenReq{Flow: binary.LittleEndian.Uint16(b)}, nil
+}
+
+// InstallCapReq is the payload of TCtlInstallCap (kernel -> monitor): place
+// the encoded capability at Slot in the tile's table.
+type InstallCapReq struct {
+	Slot uint32
+	Cap  []byte // opaque encoded capability (cap.Encode)
+}
+
+// EncodeInstallCapReq serializes r.
+func EncodeInstallCapReq(r InstallCapReq) []byte {
+	b := make([]byte, 4+len(r.Cap))
+	binary.LittleEndian.PutUint32(b, r.Slot)
+	copy(b[4:], r.Cap)
+	return b
+}
+
+// DecodeInstallCapReq parses an InstallCapReq payload.
+func DecodeInstallCapReq(b []byte) (InstallCapReq, error) {
+	if len(b) < 4 {
+		return InstallCapReq{}, EBadMsg.Error()
+	}
+	r := InstallCapReq{Slot: binary.LittleEndian.Uint32(b)}
+	if len(b) > 4 {
+		r.Cap = append([]byte(nil), b[4:]...)
+	}
+	return r, nil
+}
+
+// SetNameReq is the payload of TCtlSetName: bind Svc to Tile in the
+// receiving monitor's name table. Tile == NoTile unbinds.
+type SetNameReq struct {
+	Svc  ServiceID
+	Tile TileID
+}
+
+// EncodeSetNameReq serializes r.
+func EncodeSetNameReq(r SetNameReq) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint16(b[0:], uint16(r.Svc))
+	binary.LittleEndian.PutUint16(b[2:], uint16(r.Tile))
+	return b
+}
+
+// DecodeSetNameReq parses a SetNameReq payload.
+func DecodeSetNameReq(b []byte) (SetNameReq, error) {
+	if len(b) < 4 {
+		return SetNameReq{}, EBadMsg.Error()
+	}
+	return SetNameReq{
+		Svc:  ServiceID(binary.LittleEndian.Uint16(b[0:])),
+		Tile: TileID(binary.LittleEndian.Uint16(b[2:])),
+	}, nil
+}
+
+// FaultReport is the payload of TCtlFault (monitor -> kernel).
+type FaultReport struct {
+	Tile   TileID
+	Ctx    uint8
+	Reason uint8 // accel.FaultReason, kept as a raw byte on the wire
+	Cycle  uint64
+}
+
+// EncodeFaultReport serializes r.
+func EncodeFaultReport(r FaultReport) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint16(b[0:], uint16(r.Tile))
+	b[2] = r.Ctx
+	b[3] = r.Reason
+	binary.LittleEndian.PutUint64(b[4:], r.Cycle)
+	return b
+}
+
+// DecodeFaultReport parses a FaultReport payload.
+func DecodeFaultReport(b []byte) (FaultReport, error) {
+	if len(b) < 12 {
+		return FaultReport{}, EBadMsg.Error()
+	}
+	return FaultReport{
+		Tile:   TileID(binary.LittleEndian.Uint16(b[0:])),
+		Ctx:    b[2],
+		Reason: b[3],
+		Cycle:  binary.LittleEndian.Uint64(b[4:]),
+	}, nil
+}

@@ -1,0 +1,92 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemReqRoundTrip(t *testing.T) {
+	f := func(off uint64, length uint32, data []byte) bool {
+		r := MemReq{Offset: off, Length: length, Data: data}
+		got, err := DecodeMemReq(EncodeMemReq(r))
+		if err != nil {
+			return false
+		}
+		return got.Offset == off && got.Length == length && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemReqShort(t *testing.T) {
+	if _, err := DecodeMemReq(make([]byte, 11)); err == nil {
+		t.Fatal("short MemReq decoded")
+	}
+}
+
+func TestNetSendRoundTrip(t *testing.T) {
+	f := func(node uint32, flow uint16, data []byte) bool {
+		r := NetSendReq{Remote: NetAddr{Node: node, Flow: flow}, Data: data}
+		got, err := DecodeNetSendReq(EncodeNetSendReq(r))
+		if err != nil {
+			return false
+		}
+		return got.Remote == r.Remote && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetRecvRoundTrip(t *testing.T) {
+	r := NetRecvInd{Remote: NetAddr{Node: 8, Flow: 80}, Data: []byte("x")}
+	got, err := DecodeNetRecvInd(EncodeNetRecvInd(r))
+	if err != nil || got.Remote != r.Remote || !bytes.Equal(got.Data, r.Data) {
+		t.Fatalf("round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestNetListenRoundTrip(t *testing.T) {
+	got, err := DecodeNetListenReq(EncodeNetListenReq(NetListenReq{Flow: 443}))
+	if err != nil || got.Flow != 443 {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	if _, err := DecodeNetListenReq(nil); err == nil {
+		t.Fatal("empty listen decoded")
+	}
+}
+
+func TestInstallCapRoundTrip(t *testing.T) {
+	r := InstallCapReq{Slot: 7, Cap: []byte{1, 2, 3}}
+	got, err := DecodeInstallCapReq(EncodeInstallCapReq(r))
+	if err != nil || got.Slot != 7 || !bytes.Equal(got.Cap, r.Cap) {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	if _, err := DecodeInstallCapReq([]byte{1}); err == nil {
+		t.Fatal("short InstallCap decoded")
+	}
+}
+
+func TestSetNameRoundTrip(t *testing.T) {
+	r := SetNameReq{Svc: SvcNet, Tile: 12}
+	got, err := DecodeSetNameReq(EncodeSetNameReq(r))
+	if err != nil || got != r {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	if _, err := DecodeSetNameReq([]byte{0}); err == nil {
+		t.Fatal("short SetName decoded")
+	}
+}
+
+func TestFaultReportRoundTrip(t *testing.T) {
+	r := FaultReport{Tile: 4, Ctx: 2, Reason: 1, Cycle: 123456}
+	got, err := DecodeFaultReport(EncodeFaultReport(r))
+	if err != nil || got != r {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	if _, err := DecodeFaultReport(make([]byte, 11)); err == nil {
+		t.Fatal("short FaultReport decoded")
+	}
+}

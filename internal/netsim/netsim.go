@@ -1,0 +1,131 @@
+// Package netsim simulates the datacenter network outside the FPGA: nodes
+// joined by links with latency, bandwidth and (optionally) loss. It carries
+// Ethernet-like frames between endpoints — direct-attached FPGA NICs,
+// host-CPU NICs and synthetic clients all attach here.
+//
+// The model is a single switch domain: every node has one uplink; a frame
+// traverses source uplink + destination downlink, paying serialization at
+// the slower of the two plus a fixed switch latency. That is enough to make
+// the direct-attached vs host-mediated comparison (E4/E5) about *path
+// structure*, which is what the paper claims matters.
+package netsim
+
+import (
+	"fmt"
+
+	"apiary/internal/sim"
+)
+
+// NodeID identifies an attached node.
+type NodeID uint32
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Src, Dst NodeID
+	Payload  []byte
+}
+
+// Handler receives delivered frames at a node.
+type Handler func(f Frame)
+
+// LinkConfig describes one node's attachment.
+type LinkConfig struct {
+	Gbps      float64 // line rate; 0 means 10
+	LatencyNs float64 // propagation+switch latency one way; 0 means 1000
+	LossProb  float64 // iid frame loss probability
+}
+
+type node struct {
+	cfg       LinkConfig
+	handler   Handler
+	busyUntil sim.Cycle // egress serialization horizon
+}
+
+// Fabric is the switch domain.
+type Fabric struct {
+	engine *sim.Engine
+	nodes  map[NodeID]*node
+	rng    *sim.RNG
+
+	sent    *sim.Counter
+	dropped *sim.Counter
+	bytes   *sim.Counter
+}
+
+// New creates an empty fabric.
+func New(e *sim.Engine, st *sim.Stats) *Fabric {
+	return &Fabric{
+		engine:  e,
+		nodes:   make(map[NodeID]*node),
+		rng:     sim.NewRNG(0xfab),
+		sent:    st.Counter("netsim.frames_sent"),
+		dropped: st.Counter("netsim.frames_dropped"),
+		bytes:   st.Counter("netsim.bytes"),
+	}
+}
+
+// Attach registers a node. Attaching an existing ID replaces its handler
+// and link config.
+func (f *Fabric) Attach(id NodeID, cfg LinkConfig, h Handler) {
+	if cfg.Gbps == 0 {
+		cfg.Gbps = 10
+	}
+	if cfg.LatencyNs == 0 {
+		cfg.LatencyNs = 1000
+	}
+	f.nodes[id] = &node{cfg: cfg, handler: h}
+}
+
+// serializationCycles converts frame bytes at the given line rate to engine
+// cycles.
+func (f *Fabric) serializationCycles(bytes int, gbps float64) sim.Cycle {
+	ns := float64(bytes*8) / gbps
+	return f.engine.CyclesForNanos(ns)
+}
+
+// Send transmits a frame. Returns an error for unknown endpoints; loss is
+// silent (that is what loss means).
+func (f *Fabric) Send(fr Frame) error {
+	src, ok := f.nodes[fr.Src]
+	if !ok {
+		return fmt.Errorf("netsim: unknown src node %d", fr.Src)
+	}
+	dst, ok := f.nodes[fr.Dst]
+	if !ok {
+		return fmt.Errorf("netsim: unknown dst node %d", fr.Dst)
+	}
+	f.sent.Inc()
+	f.bytes.Add(uint64(len(fr.Payload)))
+
+	if dst.cfg.LossProb > 0 && f.rng.Bool(dst.cfg.LossProb) {
+		f.dropped.Inc()
+		return nil
+	}
+
+	// Serialization at the slower of the two links, occupying the source
+	// egress; then propagation.
+	gbps := src.cfg.Gbps
+	if dst.cfg.Gbps < gbps {
+		gbps = dst.cfg.Gbps
+	}
+	now := f.engine.Now()
+	start := src.busyUntil
+	if start < now {
+		start = now
+	}
+	ser := f.serializationCycles(len(fr.Payload), gbps)
+	src.busyUntil = start + ser
+	prop := f.engine.CyclesForNanos(src.cfg.LatencyNs + dst.cfg.LatencyNs)
+	at := src.busyUntil + prop
+	if at <= now {
+		at = now + 1
+	}
+	cp := fr
+	cp.Payload = append([]byte(nil), fr.Payload...)
+	f.engine.Schedule(at, func(sim.Cycle) {
+		if dst.handler != nil {
+			dst.handler(cp)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"testing"
+
+	"apiary/internal/sim"
+)
+
+func setup() (*sim.Engine, *Fabric) {
+	e := sim.NewEngine(1)
+	return e, New(e, sim.NewStats())
+}
+
+func TestDelivery(t *testing.T) {
+	e, f := setup()
+	var got []Frame
+	f.Attach(1, LinkConfig{}, nil)
+	f.Attach(2, LinkConfig{}, func(fr Frame) { got = append(got, fr) })
+	if err := f.Send(Frame{Src: 1, Dst: 2, Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntil(func() bool { return len(got) == 1 }, 100000) {
+		t.Fatal("frame not delivered")
+	}
+	if string(got[0].Payload) != "hello" {
+		t.Fatalf("payload = %q", got[0].Payload)
+	}
+}
+
+func TestUnknownNodes(t *testing.T) {
+	_, f := setup()
+	f.Attach(1, LinkConfig{}, nil)
+	if err := f.Send(Frame{Src: 1, Dst: 9}); err == nil {
+		t.Fatal("send to unknown dst accepted")
+	}
+	if err := f.Send(Frame{Src: 9, Dst: 1}); err == nil {
+		t.Fatal("send from unknown src accepted")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	e, f := setup()
+	var at sim.Cycle
+	// 250 MHz engine: 1 cycle = 4 ns. 2000 ns total propagation = 500 cy.
+	f.Attach(1, LinkConfig{Gbps: 100, LatencyNs: 1000}, nil)
+	f.Attach(2, LinkConfig{Gbps: 100, LatencyNs: 1000}, func(Frame) { at = e.Now() })
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 125)}) // 10 ns ser
+	e.Run(10000)
+	if at == 0 {
+		t.Fatal("not delivered")
+	}
+	if at < 500 || at > 520 {
+		t.Fatalf("delivery at cycle %d, want ~503", at)
+	}
+}
+
+func TestBandwidthSerializes(t *testing.T) {
+	e, f := setup()
+	var times []sim.Cycle
+	f.Attach(1, LinkConfig{Gbps: 10, LatencyNs: 100}, nil)
+	f.Attach(2, LinkConfig{Gbps: 10, LatencyNs: 100}, func(Frame) { times = append(times, e.Now()) })
+	// Two 12500-byte frames at 10 Gbps: 10 us serialization each = 2500 cy.
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 12500)})
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 12500)})
+	e.Run(100000)
+	if len(times) != 2 {
+		t.Fatalf("delivered %d", len(times))
+	}
+	gap := times[1] - times[0]
+	if gap < 2400 || gap > 2600 {
+		t.Fatalf("serialization gap = %d cycles, want ~2500", gap)
+	}
+}
+
+func TestSlowerLinkGoverns(t *testing.T) {
+	e, f := setup()
+	var at sim.Cycle
+	f.Attach(1, LinkConfig{Gbps: 100, LatencyNs: 100}, nil)
+	f.Attach(2, LinkConfig{Gbps: 1, LatencyNs: 100}, func(Frame) { at = e.Now() })
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 1250)}) // 10us at 1G = 2500cy
+	e.Run(100000)
+	if at < 2500 {
+		t.Fatalf("delivery at %d ignored the slow receiver", at)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	e, f := setup()
+	got := 0
+	f.Attach(1, LinkConfig{}, nil)
+	f.Attach(2, LinkConfig{LossProb: 0.5}, func(Frame) { got++ })
+	for i := 0; i < 200; i++ {
+		_ = f.Send(Frame{Src: 1, Dst: 2, Payload: []byte{1}})
+		e.Run(50)
+	}
+	e.Run(100000)
+	if got < 50 || got > 150 {
+		t.Fatalf("with 50%% loss delivered %d/200", got)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	e, f := setup()
+	var got Frame
+	f.Attach(1, LinkConfig{}, nil)
+	f.Attach(2, LinkConfig{}, func(fr Frame) { got = fr })
+	buf := []byte{42}
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: buf})
+	buf[0] = 0
+	e.Run(100000)
+	if got.Payload == nil || got.Payload[0] != 42 {
+		t.Fatal("payload aliased sender buffer")
+	}
+}

@@ -1,0 +1,110 @@
+package noc
+
+// This file implements a static deadlock-freedom check for routing
+// functions: build the channel dependency graph (CDG) that a RouteFunc
+// induces on a mesh and verify it is acyclic (Dally & Seitz). Apiary uses
+// it in tests to certify every shipped routing function, and the kernel
+// could use it to vet custom routing configurations before enabling them.
+//
+// Channels are directed links (router -> neighbouring router). A dependency
+// u->v exists if some packet, while holding channel u, can request channel
+// v next — i.e. there are source/destination tiles for which the route
+// enters a router over u and leaves over v. With deterministic routing the
+// dependency set is computed exactly by walking every (src, dst) route.
+
+import "apiary/internal/msg"
+
+// channel identifies a directed link by its upstream router coordinate and
+// output port.
+type channel struct {
+	from Coord
+	out  Port
+}
+
+// BuildCDG computes the channel dependency graph of route on a w×h mesh.
+// The result maps each channel to the set of channels it can wait on.
+func BuildCDG(d Dims, route RouteFunc) map[channel]map[channel]bool {
+	cdg := make(map[channel]map[channel]bool)
+	addDep := func(u, v channel) {
+		s, ok := cdg[u]
+		if !ok {
+			s = make(map[channel]bool)
+			cdg[u] = s
+		}
+		s[v] = true
+	}
+	for s := 0; s < d.Tiles(); s++ {
+		for t := 0; t < d.Tiles(); t++ {
+			src, dst := d.Coord(msg.TileID(s)), d.Coord(msg.TileID(t))
+			if src == dst {
+				continue
+			}
+			// Walk the route, recording consecutive-channel dependencies.
+			here := src
+			var prev *channel
+			for here != dst {
+				p := route(here, dst)
+				if p == Local {
+					break
+				}
+				cur := channel{from: here, out: p}
+				if prev != nil {
+					addDep(*prev, cur)
+				}
+				prev = &cur
+				here = neighbour(here, p)
+			}
+		}
+	}
+	return cdg
+}
+
+// CheckDeadlockFree reports whether route's CDG on a w×h mesh is acyclic.
+// If not, it returns one cycle (as a list of channels) as a witness.
+func CheckDeadlockFree(d Dims, route RouteFunc) (bool, []string) {
+	cdg := BuildCDG(d, route)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[channel]int, len(cdg))
+	parent := make(map[channel]channel)
+
+	var cycle []string
+	var dfs func(u channel) bool
+	dfs = func(u channel) bool {
+		color[u] = grey
+		for v := range cdg[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				// Found a cycle: walk parents from u back to v.
+				cycle = append(cycle, chanString(v))
+				for w := u; w != v; w = parent[w] {
+					cycle = append(cycle, chanString(w))
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := range cdg {
+		if color[u] == white {
+			if dfs(u) {
+				return false, cycle
+			}
+		}
+	}
+	return true, nil
+}
+
+func chanString(c channel) string {
+	return c.from.String() + "/" + c.out.String()
+}

@@ -1,0 +1,85 @@
+package noc
+
+import "testing"
+
+// TestShippedRoutingFunctionsDeadlockFree certifies every routing function
+// Apiary ships via the channel-dependency-graph check, on several mesh
+// sizes including non-square ones.
+func TestShippedRoutingFunctionsDeadlockFree(t *testing.T) {
+	routes := map[string]RouteFunc{
+		"xy":         RouteXY,
+		"yx":         RouteYX,
+		"west-first": RouteWestFirst,
+	}
+	for name, route := range routes {
+		for _, d := range []Dims{{2, 2}, {4, 4}, {8, 3}, {3, 8}, {6, 6}} {
+			ok, cycle := CheckDeadlockFree(d, route)
+			if !ok {
+				t.Fatalf("%s on %dx%d has a CDG cycle: %v", name, d.W, d.H, cycle)
+			}
+		}
+	}
+}
+
+// TestCDGDetectsBadRouting: a routing function with an unrestricted turn
+// set must be flagged. "Adaptive" round-robin-ish routing that permits all
+// turns creates cycles on any 2x2 or larger mesh.
+func TestCDGDetectsBadRouting(t *testing.T) {
+	// A deliberately broken function: route clockwise around the mesh
+	// perimeter regardless of destination proximity (takes non-minimal
+	// turns that close a cycle), falling back to XY at the centre.
+	bad := func(here, dst Coord) Port {
+		if here == dst {
+			return Local
+		}
+		// Clockwise ring on the 2x2 mesh.
+		switch here {
+		case Coord{0, 0}:
+			return East
+		case Coord{1, 0}:
+			return South
+		case Coord{1, 1}:
+			return West
+		case Coord{0, 1}:
+			return North
+		}
+		return RouteXY(here, dst)
+	}
+	ok, cycle := CheckDeadlockFree(Dims{2, 2}, bad)
+	if ok {
+		t.Fatal("cyclic ring routing certified as deadlock-free")
+	}
+	if len(cycle) < 2 {
+		t.Fatalf("no cycle witness returned: %v", cycle)
+	}
+}
+
+// TestCDGEmptyOnTrivialMesh: a 1x1 mesh has no channels.
+func TestCDGEmptyOnTrivialMesh(t *testing.T) {
+	if cdg := BuildCDG(Dims{1, 1}, RouteXY); len(cdg) != 0 {
+		t.Fatalf("1x1 CDG = %v", cdg)
+	}
+	ok, _ := CheckDeadlockFree(Dims{1, 1}, RouteXY)
+	if !ok {
+		t.Fatal("trivial mesh flagged")
+	}
+}
+
+// TestCDGDependencyShape: on a 3x1 mesh with XY routing, the only
+// dependencies are straight-through east and west chains.
+func TestCDGDependencyShape(t *testing.T) {
+	cdg := BuildCDG(Dims{3, 1}, RouteXY)
+	east0 := channel{from: Coord{0, 0}, out: East}
+	east1 := channel{from: Coord{1, 0}, out: East}
+	if !cdg[east0][east1] {
+		t.Fatal("missing east chain dependency")
+	}
+	west2 := channel{from: Coord{2, 0}, out: West}
+	west1 := channel{from: Coord{1, 0}, out: West}
+	if !cdg[west2][west1] {
+		t.Fatal("missing west chain dependency")
+	}
+	if cdg[east0][west1] || cdg[west2][east1] {
+		t.Fatal("spurious U-turn dependency")
+	}
+}

@@ -1,0 +1,72 @@
+package noc
+
+import (
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// VCID selects a virtual channel.
+type VCID int
+
+// Virtual channel assignment (see package comment).
+const (
+	VCMgmt  VCID = 0
+	VCReq   VCID = 1
+	VCReply VCID = 2
+
+	// NumVCs is the number of virtual channels per port.
+	NumVCs = 3
+)
+
+// FlitBytes is the payload capacity of one flit. 16 bytes models a 128-bit
+// datapath, typical of hardened FPGA NoCs (e.g. Versal's 128-bit NoC).
+const FlitBytes = 16
+
+// Packet is one message in flight on the NoC. Flits reference their packet;
+// payload bytes are not physically split since the simulator only needs the
+// timing of serialization.
+type Packet struct {
+	ID       uint64
+	Src, Dst Coord
+	VC       VCID
+	Msg      *msg.Message
+	NumFlits int
+	Injected sim.Cycle // cycle the head flit entered the source NI
+}
+
+// FlitsFor reports the number of flits needed to carry a message of
+// wireBytes bytes: at least one, one per FlitBytes thereafter.
+func FlitsFor(wireBytes int) int {
+	n := (wireBytes + FlitBytes - 1) / FlitBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Flit is the unit of flow control.
+type Flit struct {
+	Pkt       *Packet
+	Idx       int
+	Tail      bool
+	arrivedAt sim.Cycle // cycle this flit entered the current buffer
+}
+
+// Head reports whether this is the packet's head flit.
+func (f *Flit) Head() bool { return f.Idx == 0 }
+
+// ClassVC maps a message type to its virtual channel. Management-plane
+// types ride VC0; replies (including errors) ride VC2; everything else is a
+// request on VC1.
+func ClassVC(t msg.Type) VCID {
+	switch t {
+	case msg.TCtlInstallCap, msg.TCtlRevokeCap, msg.TCtlSetName,
+		msg.TCtlFault, msg.TCtlDrain, msg.TCtlResume, msg.TCtlPing,
+		msg.TCtlStats:
+		return VCMgmt
+	case msg.TReply, msg.TError, msg.TMemReply, msg.TNetRecv:
+		return VCReply
+	default:
+		return VCReq
+	}
+}

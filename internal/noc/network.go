@@ -1,0 +1,188 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// Config selects NoC construction parameters.
+type Config struct {
+	Dims  Dims
+	Route RouteFunc // defaults to RouteXY
+}
+
+// Network is a complete mesh NoC: routers, links (implicit in router
+// wiring) and one NetworkInterface per tile.
+type Network struct {
+	engine  *sim.Engine
+	dims    Dims
+	routers []*Router
+	nis     []*NetworkInterface
+	stats   *sim.Stats
+}
+
+// NewNetwork builds a W×H mesh attached to the engine. All routers and NIs
+// are registered as tickers in deterministic (row-major, routers before
+// NIs) order.
+func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
+	if cfg.Dims.W < 1 || cfg.Dims.H < 1 {
+		panic(fmt.Sprintf("noc: invalid dims %dx%d", cfg.Dims.W, cfg.Dims.H))
+	}
+	route := cfg.Route
+	if route == nil {
+		route = RouteXY
+	}
+	n := &Network{engine: e, dims: cfg.Dims, stats: st}
+	for y := 0; y < cfg.Dims.H; y++ {
+		for x := 0; x < cfg.Dims.W; x++ {
+			c := Coord{x, y}
+			r := newRouter(c, route, st)
+			n.routers = append(n.routers, r)
+		}
+	}
+	// Wire neighbours and inter-router credit returns: a flit leaving the
+	// input buffer of router B port p frees a credit at router A's output
+	// (the link that filled it).
+	for i, r := range n.routers {
+		c := n.dims.Coord(msg.TileID(i))
+		for p := North; p < numPorts; p++ {
+			nc := neighbour(c, p)
+			if !n.dims.Contains(nc) {
+				continue
+			}
+			nb := n.routers[n.dims.TileID(nc)]
+			r.neighbours[p] = nb
+			for v := 0; v < NumVCs; v++ {
+				nb.in[p.opposite()][v].creditTo = r.out[p][v]
+			}
+		}
+	}
+	for i, r := range n.routers {
+		c := n.dims.Coord(msg.TileID(i))
+		ni := newNI(msg.TileID(i), c, n, r, st)
+		n.nis = append(n.nis, ni)
+	}
+	for _, r := range n.routers {
+		e.Register(r)
+	}
+	for _, ni := range n.nis {
+		e.Register(ni)
+	}
+	return n
+}
+
+// Dims reports the mesh dimensions.
+func (n *Network) Dims() Dims { return n.dims }
+
+// NI returns tile t's network interface.
+func (n *Network) NI(t msg.TileID) *NetworkInterface {
+	return n.nis[int(t)]
+}
+
+// Router returns tile t's router (for tests and utilization accounting).
+func (n *Network) Router(t msg.TileID) *Router {
+	return n.routers[int(t)]
+}
+
+// Quiescent reports whether no packets are queued or in flight anywhere.
+func (n *Network) Quiescent() bool {
+	for _, ni := range n.nis {
+		if ni.QueuedPackets() > 0 {
+			return false
+		}
+	}
+	for _, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			for v := 0; v < NumVCs; v++ {
+				if !r.in[p][v].empty() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// LinkLoad is one directed link's traffic.
+type LinkLoad struct {
+	From  Coord
+	Out   Port
+	Flits uint64
+}
+
+// LinkUtilization reports flits forwarded per directed link (and per local
+// ejection port), busiest first — the congestion heatmap behind placement
+// and debugging decisions.
+func (n *Network) LinkUtilization() []LinkLoad {
+	var out []LinkLoad
+	for _, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			if r.linkFlits[p] == 0 {
+				continue
+			}
+			out = append(out, LinkLoad{From: r.Coord, Out: p, Flits: r.linkFlits[p]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flits != out[j].Flits {
+			return out[i].Flits > out[j].Flits
+		}
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return n.dims.TileID(a.From) < n.dims.TileID(b.From)
+		}
+		return a.Out < b.Out
+	})
+	return out
+}
+
+// HottestLink returns the most-used inter-router link (zero LinkLoad if the
+// network is unused).
+func (n *Network) HottestLink() LinkLoad {
+	for _, l := range n.LinkUtilization() {
+		if l.Out != Local {
+			return l
+		}
+	}
+	return LinkLoad{}
+}
+
+// CreditInvariantViolation scans all output VCs and reports a description of
+// the first credit-accounting violation found, or "" if the invariant
+// holds: for an idle network every credit counter must equal BufDepth.
+func (n *Network) CreditInvariantViolation() string {
+	if !n.Quiescent() {
+		return "network not quiescent"
+	}
+	for i, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			if r.neighbours[p] == nil && p != Local {
+				continue
+			}
+			for v := 0; v < NumVCs; v++ {
+				if p == Local {
+					continue // local output has no credit counter
+				}
+				if got := r.out[p][v].credits; got != BufDepth {
+					return fmt.Sprintf("router %d port %s vc %d credits=%d want %d",
+						i, p, v, got, BufDepth)
+				}
+				if r.out[p][v].owner != nil {
+					return fmt.Sprintf("router %d port %s vc %d still owned", i, p, v)
+				}
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		for v := 0; v < NumVCs; v++ {
+			if got := ni.injCred[v].credits; got != BufDepth {
+				return fmt.Sprintf("ni %d vc %d inj credits=%d want %d",
+					ni.tile, v, got, BufDepth)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,132 @@
+package noc
+
+import (
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// DeliverFunc receives a fully reassembled message at the destination tile,
+// along with the packet's end-to-end NoC latency in cycles.
+type DeliverFunc func(m *msg.Message, latency sim.Cycle)
+
+// NetworkInterface (NI) is a tile's port onto the NoC. The monitor sits
+// between the accelerator and the NI. Injection segments a message into
+// flits and feeds the router's Local input port under the same credit
+// protocol routers use between themselves; ejection reassembles and invokes
+// the delivery callback.
+type NetworkInterface struct {
+	tile    msg.TileID
+	coord   Coord
+	net     *Network
+	router  *Router
+	deliver DeliverFunc
+
+	// injection queues, one per VC, unbounded at the NI boundary; the
+	// monitor applies backpressure/rate limits before messages reach here.
+	injQ [NumVCs][]*Packet
+	// flitsLeft tracks how many flits of the current head packet still need
+	// injecting, per VC.
+	flitsLeft [NumVCs]int
+	// injCred mirrors the router Local input buffer occupancy.
+	injCred [NumVCs]*outVC
+
+	nextPktID uint64
+
+	sent      *sim.Counter
+	delivered *sim.Counter
+	latency   *sim.Histogram
+}
+
+func newNI(tile msg.TileID, c Coord, net *Network, r *Router, st *sim.Stats) *NetworkInterface {
+	ni := &NetworkInterface{tile: tile, coord: c, net: net, router: r}
+	for v := 0; v < NumVCs; v++ {
+		ni.injCred[v] = &outVC{credits: BufDepth}
+		r.in[Local][v].creditTo = ni.injCred[v]
+	}
+	r.local = ni
+	ni.sent = st.Counter("noc.msgs_sent")
+	ni.delivered = st.Counter("noc.msgs_delivered")
+	ni.latency = st.Histogram("noc.msg_latency_cycles")
+	return ni
+}
+
+// Tile reports the NI's tile ID.
+func (ni *NetworkInterface) Tile() msg.TileID { return ni.tile }
+
+// SetDeliver installs the ejection callback. The monitor installs itself
+// here during tile construction.
+func (ni *NetworkInterface) SetDeliver(f DeliverFunc) { ni.deliver = f }
+
+// QueuedPackets reports the number of packets waiting to inject (all VCs).
+func (ni *NetworkInterface) QueuedPackets() int {
+	n := 0
+	for v := 0; v < NumVCs; v++ {
+		n += len(ni.injQ[v])
+	}
+	return n
+}
+
+// Send queues m for injection. The destination tile must already be resolved
+// (m.DstTile); the VC is chosen from the message type. Send never blocks;
+// flits trickle out at one per VC per cycle as credits allow.
+func (ni *NetworkInterface) Send(m *msg.Message) error {
+	if len(m.Payload) > msg.MaxPayload {
+		return msg.ETooBig.Error()
+	}
+	dst := ni.net.dims.Coord(m.DstTile)
+	if !ni.net.dims.Contains(dst) || m.DstTile == msg.NoTile {
+		return msg.ENoRoute.Error()
+	}
+	vc := ClassVC(m.Type)
+	ni.nextPktID++
+	pkt := &Packet{
+		ID:       ni.nextPktID | uint64(ni.tile)<<48,
+		Src:      ni.coord,
+		Dst:      dst,
+		VC:       vc,
+		Msg:      m,
+		NumFlits: FlitsFor(m.WireSize()),
+		Injected: ni.net.engine.Now(),
+	}
+	ni.injQ[vc] = append(ni.injQ[vc], pkt)
+	ni.sent.Inc()
+	return nil
+}
+
+// Tick injects up to one flit per VC per cycle, credits permitting.
+func (ni *NetworkInterface) Tick(now sim.Cycle) {
+	for v := VCID(0); v < NumVCs; v++ {
+		q := ni.injQ[v]
+		if len(q) == 0 {
+			continue
+		}
+		if ni.injCred[v].credits == 0 {
+			continue
+		}
+		pkt := q[0]
+		if ni.flitsLeft[v] == 0 {
+			ni.flitsLeft[v] = pkt.NumFlits
+		}
+		idx := pkt.NumFlits - ni.flitsLeft[v]
+		f := &Flit{Pkt: pkt, Idx: idx, Tail: ni.flitsLeft[v] == 1}
+		ni.injCred[v].credits--
+		ni.router.accept(Local, v, f, now)
+		ni.flitsLeft[v]--
+		if ni.flitsLeft[v] == 0 {
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			ni.injQ[v] = q[:len(q)-1]
+		}
+	}
+}
+
+// eject is called by the router when a packet's tail flit leaves through the
+// Local port.
+func (ni *NetworkInterface) eject(pkt *Packet, now sim.Cycle) {
+	ni.delivered.Inc()
+	lat := now - pkt.Injected
+	ni.latency.Observe(float64(lat))
+	if ni.deliver != nil {
+		ni.deliver(pkt.Msg, lat)
+	}
+}

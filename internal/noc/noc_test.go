@@ -1,0 +1,465 @@
+package noc
+
+import (
+	"bytes"
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+func build(t *testing.T, w, h int) (*sim.Engine, *Network) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	n := NewNetwork(e, st, Config{Dims: Dims{w, h}})
+	return e, n
+}
+
+func req(src, dst msg.TileID, payload []byte) *msg.Message {
+	return &msg.Message{Type: msg.TRequest, SrcTile: src, DstTile: dst, Payload: payload}
+}
+
+func TestTopologyMapping(t *testing.T) {
+	d := Dims{4, 3}
+	if d.Tiles() != 12 {
+		t.Fatalf("Tiles = %d", d.Tiles())
+	}
+	for y := 0; y < d.H; y++ {
+		for x := 0; x < d.W; x++ {
+			c := Coord{x, y}
+			if got := d.Coord(d.TileID(c)); got != c {
+				t.Fatalf("round trip %v -> %v", c, got)
+			}
+		}
+	}
+	if d.Contains(Coord{4, 0}) || d.Contains(Coord{-1, 0}) || d.Contains(Coord{0, 3}) {
+		t.Fatal("Contains accepted off-mesh coordinate")
+	}
+}
+
+func TestHops(t *testing.T) {
+	if h := Hops(Coord{0, 0}, Coord{3, 2}); h != 5 {
+		t.Fatalf("Hops = %d, want 5", h)
+	}
+	if h := Hops(Coord{2, 2}, Coord{2, 2}); h != 0 {
+		t.Fatalf("Hops same = %d", h)
+	}
+}
+
+func TestRouteXYProperties(t *testing.T) {
+	d := Dims{5, 5}
+	for a := 0; a < d.Tiles(); a++ {
+		for b := 0; b < d.Tiles(); b++ {
+			here, dst := d.Coord(msg.TileID(a)), d.Coord(msg.TileID(b))
+			p := RouteXY(here, dst)
+			if (p == Local) != (here == dst) {
+				t.Fatalf("RouteXY(%v,%v) = %v", here, dst, p)
+			}
+			if p != Local {
+				next := neighbour(here, p)
+				if !d.Contains(next) {
+					t.Fatalf("RouteXY routed off mesh: %v->%v via %v", here, dst, p)
+				}
+				if Hops(next, dst) != Hops(here, dst)-1 {
+					t.Fatalf("RouteXY not minimal: %v->%v via %v", here, dst, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteYXProperties(t *testing.T) {
+	d := Dims{4, 4}
+	for a := 0; a < d.Tiles(); a++ {
+		for b := 0; b < d.Tiles(); b++ {
+			here, dst := d.Coord(msg.TileID(a)), d.Coord(msg.TileID(b))
+			p := RouteYX(here, dst)
+			if (p == Local) != (here == dst) {
+				t.Fatalf("RouteYX(%v,%v) = %v", here, dst, p)
+			}
+			if p != Local && Hops(neighbour(here, p), dst) != Hops(here, dst)-1 {
+				t.Fatalf("RouteYX not minimal")
+			}
+		}
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {16, 1}, {17, 2}, {32, 2}, {33, 3},
+	}
+	for _, c := range cases {
+		if got := FlitsFor(c.bytes); got != c.want {
+			t.Fatalf("FlitsFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestClassVC(t *testing.T) {
+	if ClassVC(msg.TCtlDrain) != VCMgmt {
+		t.Fatal("control should ride VC0")
+	}
+	if ClassVC(msg.TRequest) != VCReq || ClassVC(msg.TMemRead) != VCReq {
+		t.Fatal("requests should ride VC1")
+	}
+	if ClassVC(msg.TReply) != VCReply || ClassVC(msg.TError) != VCReply {
+		t.Fatal("replies should ride VC2")
+	}
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	e, n := build(t, 4, 4)
+	var got *msg.Message
+	n.NI(15).SetDeliver(func(m *msg.Message, _ sim.Cycle) { got = m })
+	payload := []byte("the quick brown fox")
+	if err := n.NI(0).Send(req(0, 15, payload)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntil(func() bool { return got != nil }, 1000) {
+		t.Fatal("message not delivered")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload corrupted: %q", got.Payload)
+	}
+	if v := n.CreditInvariantViolation(); v != "" {
+		t.Fatalf("credit invariant: %s", v)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	e, n := build(t, 2, 2)
+	var got *msg.Message
+	n.NI(1).SetDeliver(func(m *msg.Message, _ sim.Cycle) { got = m })
+	if err := n.NI(1).Send(req(1, 1, []byte("self"))); err != nil {
+		t.Fatal(err)
+	}
+	if !e.RunUntil(func() bool { return got != nil }, 100) {
+		t.Fatal("loopback not delivered")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	_, n := build(t, 2, 2)
+	if err := n.NI(0).Send(req(0, msg.NoTile, nil)); err == nil {
+		t.Fatal("Send to NoTile should fail")
+	}
+	if err := n.NI(0).Send(req(0, 100, nil)); err == nil {
+		t.Fatal("Send off mesh should fail")
+	}
+	m := req(0, 1, make([]byte, msg.MaxPayload+1))
+	if err := n.NI(0).Send(m); err == nil {
+		t.Fatal("oversized Send should fail")
+	}
+}
+
+func TestLatencyScalesWithHops(t *testing.T) {
+	e, n := build(t, 8, 1)
+	var lat1, lat7 sim.Cycle
+	n.NI(1).SetDeliver(func(_ *msg.Message, l sim.Cycle) { lat1 = l })
+	n.NI(7).SetDeliver(func(_ *msg.Message, l sim.Cycle) { lat7 = l })
+	_ = n.NI(0).Send(req(0, 1, []byte{1}))
+	e.Run(200)
+	_ = n.NI(0).Send(req(0, 7, []byte{1}))
+	e.Run(200)
+	if lat1 == 0 || lat7 == 0 {
+		t.Fatal("messages not delivered")
+	}
+	if lat7 <= lat1 {
+		t.Fatalf("7-hop latency (%d) not greater than 1-hop (%d)", lat7, lat1)
+	}
+	// Each extra hop should cost a constant number of cycles.
+	perHop := float64(lat7-lat1) / 6
+	if perHop < 1 || perHop > 4 {
+		t.Fatalf("per-hop latency = %.2f cycles, want 1-4", perHop)
+	}
+}
+
+func TestLargeMessageSerialization(t *testing.T) {
+	e, n := build(t, 2, 1)
+	var latSmall, latBig sim.Cycle
+	done := 0
+	n.NI(1).SetDeliver(func(m *msg.Message, l sim.Cycle) {
+		if len(m.Payload) < 100 {
+			latSmall = l
+		} else {
+			latBig = l
+		}
+		done++
+	})
+	_ = n.NI(0).Send(req(0, 1, []byte{1}))
+	e.Run(300)
+	_ = n.NI(0).Send(req(0, 1, make([]byte, 1024)))
+	e.Run(1000)
+	if done != 2 {
+		t.Fatalf("delivered %d messages", done)
+	}
+	flits := FlitsFor(msg.HeaderBytes + 1024)
+	if latBig < latSmall+sim.Cycle(flits)/2 {
+		t.Fatalf("big message latency %d too close to small %d (flits=%d)",
+			latBig, latSmall, flits)
+	}
+}
+
+func TestManyToOneAllDelivered(t *testing.T) {
+	e, n := build(t, 4, 4)
+	got := 0
+	n.NI(5).SetDeliver(func(_ *msg.Message, _ sim.Cycle) { got++ })
+	sentCount := 0
+	for i := 0; i < 16; i++ {
+		if i == 5 {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			if err := n.NI(msg.TileID(i)).Send(req(msg.TileID(i), 5, make([]byte, 64))); err != nil {
+				t.Fatal(err)
+			}
+			sentCount++
+		}
+	}
+	if !e.RunUntil(func() bool { return got == sentCount }, 100000) {
+		t.Fatalf("delivered %d/%d under incast", got, sentCount)
+	}
+	if v := n.CreditInvariantViolation(); v != "" {
+		t.Fatalf("credit invariant after incast: %s", v)
+	}
+}
+
+// TestRandomTrafficNoDeadlockNoLoss is the NoC's core property test: uniform
+// random traffic with mixed sizes and types must all deliver, in bounded
+// time, with credits restored — i.e. no deadlock, no loss, no credit leak.
+func TestRandomTrafficNoDeadlockNoLoss(t *testing.T) {
+	e, n := build(t, 5, 5)
+	rng := sim.NewRNG(99)
+	delivered := 0
+	totalBytes := 0
+	for i := 0; i < 25; i++ {
+		n.NI(msg.TileID(i)).SetDeliver(func(m *msg.Message, _ sim.Cycle) {
+			delivered++
+			totalBytes += len(m.Payload)
+		})
+	}
+	const N = 500
+	sentBytes := 0
+	types := []msg.Type{msg.TRequest, msg.TReply, msg.TCtlPing, msg.TMemRead, msg.TError}
+	for k := 0; k < N; k++ {
+		src := msg.TileID(rng.Intn(25))
+		dst := msg.TileID(rng.Intn(25))
+		size := rng.Intn(512)
+		m := &msg.Message{
+			Type:    types[rng.Intn(len(types))],
+			SrcTile: src, DstTile: dst,
+			Payload: make([]byte, size),
+		}
+		if err := n.NI(src).Send(m); err != nil {
+			t.Fatal(err)
+		}
+		sentBytes += size
+		// Interleave sending with simulation to create real contention.
+		if k%10 == 0 {
+			e.Run(5)
+		}
+	}
+	if !e.RunUntil(func() bool { return delivered == N }, 500000) {
+		t.Fatalf("deadlock or loss: delivered %d/%d", delivered, N)
+	}
+	if totalBytes != sentBytes {
+		t.Fatalf("byte accounting: got %d want %d", totalBytes, sentBytes)
+	}
+	if v := n.CreditInvariantViolation(); v != "" {
+		t.Fatalf("credit invariant: %s", v)
+	}
+}
+
+func TestPerVCOrderingPreserved(t *testing.T) {
+	// Messages of the same class between the same pair must arrive in order.
+	e, n := build(t, 3, 3)
+	var seqs []uint32
+	n.NI(8).SetDeliver(func(m *msg.Message, _ sim.Cycle) { seqs = append(seqs, m.Seq) })
+	for i := uint32(0); i < 50; i++ {
+		m := req(0, 8, make([]byte, 40))
+		m.Seq = i
+		if err := n.NI(0).Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.RunUntil(func() bool { return len(seqs) == 50 }, 50000) {
+		t.Fatalf("delivered %d/50", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint32(i) {
+			t.Fatalf("out of order delivery: %v", seqs)
+		}
+	}
+}
+
+func TestMgmtPriorityUnderFlood(t *testing.T) {
+	// A data-plane flood from tile 0 to tile 2 must not prevent a
+	// management message crossing the same links promptly.
+	e, n := build(t, 3, 1)
+	floodDelivered := 0
+	var ctlLat sim.Cycle
+	n.NI(2).SetDeliver(func(m *msg.Message, l sim.Cycle) {
+		if m.Type == msg.TCtlDrain {
+			ctlLat = l
+		} else {
+			floodDelivered++
+		}
+	})
+	for i := 0; i < 200; i++ {
+		_ = n.NI(0).Send(req(0, 2, make([]byte, 1024)))
+	}
+	e.Run(100) // let the flood congest the path
+	ctl := &msg.Message{Type: msg.TCtlDrain, SrcTile: 0, DstTile: 2}
+	_ = n.NI(0).Send(ctl)
+	e.Run(2000)
+	if ctlLat == 0 {
+		t.Fatal("management message not delivered under flood")
+	}
+	if ctlLat > 50 {
+		t.Fatalf("management latency under flood = %d cycles, want < 50", ctlLat)
+	}
+	_ = floodDelivered
+}
+
+func TestYXRoutingDelivers(t *testing.T) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	n := NewNetwork(e, st, Config{Dims: Dims{4, 4}, Route: RouteYX})
+	got := 0
+	for i := 0; i < 16; i++ {
+		n.NI(msg.TileID(i)).SetDeliver(func(_ *msg.Message, _ sim.Cycle) { got++ })
+	}
+	rng := sim.NewRNG(3)
+	for k := 0; k < 100; k++ {
+		src := msg.TileID(rng.Intn(16))
+		dst := msg.TileID(rng.Intn(16))
+		_ = n.NI(src).Send(req(src, dst, make([]byte, 64)))
+	}
+	if !e.RunUntil(func() bool { return got == 100 }, 100000) {
+		t.Fatalf("YX routing delivered %d/100", got)
+	}
+}
+
+func TestRouteWestFirstProperties(t *testing.T) {
+	d := Dims{6, 6}
+	for a := 0; a < d.Tiles(); a++ {
+		for b := 0; b < d.Tiles(); b++ {
+			here, dst := d.Coord(msg.TileID(a)), d.Coord(msg.TileID(b))
+			p := RouteWestFirst(here, dst)
+			if (p == Local) != (here == dst) {
+				t.Fatalf("RouteWestFirst(%v,%v) = %v", here, dst, p)
+			}
+			if p == Local {
+				continue
+			}
+			next := neighbour(here, p)
+			if !d.Contains(next) {
+				t.Fatalf("routed off mesh: %v->%v via %v", here, dst, p)
+			}
+			if Hops(next, dst) != Hops(here, dst)-1 {
+				t.Fatalf("not minimal: %v->%v via %v", here, dst, p)
+			}
+			// The turn-model invariant: if the destination lies west, the
+			// route goes west immediately.
+			if dst.X < here.X && p != West {
+				t.Fatalf("west-first violated at %v->%v: %v", here, dst, p)
+			}
+		}
+	}
+}
+
+func TestWestFirstDeliversUnderRandomTraffic(t *testing.T) {
+	e := sim.NewEngine(21)
+	st := sim.NewStats()
+	n := NewNetwork(e, st, Config{Dims: Dims{5, 5}, Route: RouteWestFirst})
+	rng := sim.NewRNG(8)
+	got := 0
+	for i := 0; i < 25; i++ {
+		n.NI(msg.TileID(i)).SetDeliver(func(_ *msg.Message, _ sim.Cycle) { got++ })
+	}
+	const N = 400
+	for k := 0; k < N; k++ {
+		src := msg.TileID(rng.Intn(25))
+		dst := msg.TileID(rng.Intn(25))
+		_ = n.NI(src).Send(req(src, dst, make([]byte, rng.Intn(256))))
+		if k%20 == 0 {
+			e.Run(3)
+		}
+	}
+	if !e.RunUntil(func() bool { return got == N }, 500000) {
+		t.Fatalf("west-first deadlock or loss: %d/%d", got, N)
+	}
+	if v := n.CreditInvariantViolation(); v != "" {
+		t.Fatalf("credit invariant: %s", v)
+	}
+}
+
+func TestQuiescent(t *testing.T) {
+	e, n := build(t, 2, 2)
+	if !n.Quiescent() {
+		t.Fatal("fresh network should be quiescent")
+	}
+	_ = n.NI(0).Send(req(0, 3, []byte{1}))
+	if n.Quiescent() {
+		t.Fatal("network with queued packet reported quiescent")
+	}
+	done := false
+	n.NI(3).SetDeliver(func(_ *msg.Message, _ sim.Cycle) { done = true })
+	e.RunUntil(func() bool { return done }, 1000)
+	if !n.Quiescent() {
+		t.Fatal("network should be quiescent after delivery")
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	e, n := build(t, 3, 1)
+	done := 0
+	n.NI(2).SetDeliver(func(*msg.Message, sim.Cycle) { done++ })
+	for i := 0; i < 10; i++ {
+		_ = n.NI(0).Send(req(0, 2, make([]byte, 64)))
+	}
+	if !e.RunUntil(func() bool { return done == 10 }, 100000) {
+		t.Fatal("not delivered")
+	}
+	loads := n.LinkUtilization()
+	if len(loads) == 0 {
+		t.Fatal("no link loads recorded")
+	}
+	// Every flit crosses (0,0)->east and (1,0)->east: equal, maximal loads.
+	hot := n.HottestLink()
+	if hot.Out != East || hot.Flits == 0 {
+		t.Fatalf("hottest link = %+v", hot)
+	}
+	flitsPerMsg := uint64(FlitsFor(msg.HeaderBytes + 64))
+	if hot.Flits != 10*flitsPerMsg {
+		t.Fatalf("hottest flits = %d, want %d", hot.Flits, 10*flitsPerMsg)
+	}
+	// Idle network: zero value.
+	_, n2 := build(t, 2, 2)
+	if n2.HottestLink() != (LinkLoad{}) {
+		t.Fatal("idle network has a hottest link")
+	}
+}
+
+func TestPortStringAndOpposite(t *testing.T) {
+	for p := Local; p < numPorts; p++ {
+		if p.String() == "" {
+			t.Fatal("empty port name")
+		}
+	}
+	for _, p := range []Port{North, South, East, West} {
+		if p.opposite().opposite() != p {
+			t.Fatalf("opposite not involutive for %v", p)
+		}
+	}
+}
+
+func TestBadDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNetwork with 0 dims did not panic")
+		}
+	}()
+	NewNetwork(sim.NewEngine(1), sim.NewStats(), Config{Dims: Dims{0, 1}})
+}

@@ -1,0 +1,236 @@
+package noc
+
+import (
+	"apiary/internal/sim"
+)
+
+// BufDepth is the per-(port,VC) input buffer depth in flits. Credit-based
+// flow control means a sender never emits a flit the downstream buffer
+// cannot hold.
+const BufDepth = 4
+
+// inVC is the state of one input virtual channel: a flit FIFO plus the
+// wormhole bookkeeping (which output the current packet was routed to).
+type inVC struct {
+	fifo    []*Flit
+	outPort Port // valid while routed
+	routed  bool
+	granted bool // holds the output VC (same index) at outPort
+
+	// creditTo is the upstream output VC (or NI injection VC) whose credit
+	// is returned when a flit leaves this buffer. Nil only in unit tests
+	// that drive a router directly.
+	creditTo *outVC
+}
+
+func (v *inVC) empty() bool { return len(v.fifo) == 0 }
+func (v *inVC) head() *Flit { return v.fifo[0] }
+
+func (v *inVC) pop() *Flit {
+	f := v.fifo[0]
+	copy(v.fifo, v.fifo[1:])
+	v.fifo[len(v.fifo)-1] = nil
+	v.fifo = v.fifo[:len(v.fifo)-1]
+	if v.creditTo != nil {
+		v.creditTo.credits++
+	}
+	return f
+}
+
+// outVC tracks one output virtual channel: downstream credits and, while a
+// packet holds the channel, its owner input VC.
+type outVC struct {
+	credits int
+	owner   *inVC // nil when free
+}
+
+// Router is one mesh router. It is a sim.Ticker; each Tick performs route
+// computation, VC allocation and switch allocation for up to one flit per
+// output port.
+type Router struct {
+	Coord Coord
+
+	in  [numPorts][NumVCs]*inVC
+	out [numPorts][NumVCs]*outVC
+
+	// neighbours[p] is the router reached through port p; nil at mesh edges.
+	neighbours [numPorts]*Router
+	// local is the NI ejection sink for port Local.
+	local *NetworkInterface
+
+	route RouteFunc
+	rrPtr [numPorts]int // round-robin pointer per output port
+
+	// linkFlits counts flits forwarded per output port (link utilization).
+	linkFlits [numPorts]uint64
+
+	stats *routerStats
+}
+
+type routerStats struct {
+	flitsRouted *sim.Counter
+	pktsRouted  *sim.Counter
+	stallNoCred *sim.Counter
+	stallNoVC   *sim.Counter
+}
+
+func newRouter(c Coord, route RouteFunc, st *sim.Stats) *Router {
+	r := &Router{Coord: c, route: route}
+	for p := Port(0); p < numPorts; p++ {
+		for v := 0; v < NumVCs; v++ {
+			r.in[p][v] = &inVC{}
+			r.out[p][v] = &outVC{credits: BufDepth}
+		}
+	}
+	r.stats = &routerStats{
+		flitsRouted: st.Counter("noc.flits_routed"),
+		pktsRouted:  st.Counter("noc.pkts_routed"),
+		stallNoCred: st.Counter("noc.stall_no_credit"),
+		stallNoVC:   st.Counter("noc.stall_no_vc"),
+	}
+	return r
+}
+
+// accept enqueues a flit arriving on (port, vc). The caller must have held a
+// credit; accept panics on overflow because that indicates a flow-control
+// bug, which must never be masked.
+func (r *Router) accept(p Port, vc VCID, f *Flit, now sim.Cycle) {
+	q := r.in[p][vc]
+	if len(q.fifo) >= BufDepth {
+		panic("noc: input buffer overflow (credit protocol violated)")
+	}
+	f.arrivedAt = now
+	q.fifo = append(q.fifo, f)
+}
+
+// freeSlots reports the free buffer slots of input (p, vc) — used only by
+// tests and the NI injection path.
+func (r *Router) freeSlots(p Port, vc VCID) int {
+	return BufDepth - len(r.in[p][vc].fifo)
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(now sim.Cycle) {
+	// Stage 1: route computation + output VC allocation for eligible heads.
+	for p := Port(0); p < numPorts; p++ {
+		for v := 0; v < NumVCs; v++ {
+			ivc := r.in[p][v]
+			if ivc.empty() {
+				continue
+			}
+			f := ivc.head()
+			if f.arrivedAt >= now {
+				continue // arrived this cycle; visible next cycle
+			}
+			if f.Head() && !ivc.routed {
+				ivc.outPort = r.route(r.Coord, f.Pkt.Dst)
+				ivc.routed = true
+			}
+			if ivc.routed && !ivc.granted {
+				ovc := r.out[ivc.outPort][v]
+				if ovc.owner == nil {
+					ovc.owner = ivc
+					ivc.granted = true
+				} else if ovc.owner != ivc {
+					r.stats.stallNoVC.Inc()
+				}
+			}
+		}
+	}
+
+	// Stage 2: switch allocation — one flit per output port per cycle.
+	// VC0 (management) has strict priority; VC1/VC2 share round-robin over
+	// input ports.
+	for outP := Port(0); outP < numPorts; outP++ {
+		if r.sendOne(outP, VCMgmt, now) {
+			continue
+		}
+		r.sendDataRR(outP, now)
+	}
+}
+
+// sendDataRR tries to forward one data flit (VC1 or VC2) through outP,
+// scanning input ports round-robin for fairness.
+func (r *Router) sendDataRR(outP Port, now sim.Cycle) {
+	start := r.rrPtr[outP]
+	n := int(numPorts) * (NumVCs - 1)
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		p := Port(k / (NumVCs - 1))
+		v := VCID(k%(NumVCs-1)) + 1 // VC1..VC2
+		if r.trySend(p, v, outP, now) {
+			r.rrPtr[outP] = (k + 1) % n
+			return
+		}
+	}
+}
+
+// sendOne tries to forward a flit of the given VC through outP from any
+// input port (fixed scan order is fine for the low-rate management VC).
+func (r *Router) sendOne(outP Port, vc VCID, now sim.Cycle) bool {
+	for p := Port(0); p < numPorts; p++ {
+		if r.trySend(p, vc, outP, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// trySend forwards the head flit of input (p, vc) through outP if that input
+// currently owns outP's VC and a credit is available. Reports whether a flit
+// moved.
+func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
+	ivc := r.in[p][vc]
+	if ivc.empty() || !ivc.granted || ivc.outPort != outP {
+		return false
+	}
+	f := ivc.head()
+	if f.arrivedAt >= now {
+		return false
+	}
+	ovc := r.out[outP][vc]
+	if ovc.owner != ivc {
+		return false
+	}
+
+	if outP == Local {
+		// Ejection: the NI consumes at most one flit per VC per cycle but
+		// has no buffer limit (reassembly happens immediately).
+		ivc.pop()
+		r.stats.flitsRouted.Inc()
+		r.linkFlits[Local]++
+		if f.Tail {
+			r.releaseVC(ivc, ovc)
+			r.stats.pktsRouted.Inc()
+			r.local.eject(f.Pkt, now)
+		}
+		return true
+	}
+
+	next := r.neighbours[outP]
+	if next == nil {
+		// Routing off the mesh edge indicates a routing-function bug.
+		panic("noc: route off mesh edge at " + r.Coord.String())
+	}
+	if ovc.credits == 0 {
+		r.stats.stallNoCred.Inc()
+		return false
+	}
+	ivc.pop()
+	ovc.credits--
+	r.stats.flitsRouted.Inc()
+	r.linkFlits[outP]++
+	inPort := outP.opposite()
+	next.accept(inPort, vc, f, now)
+	if f.Tail {
+		r.releaseVC(ivc, ovc)
+		r.stats.pktsRouted.Inc()
+	}
+	return true
+}
+
+func (r *Router) releaseVC(ivc *inVC, ovc *outVC) {
+	ivc.routed = false
+	ivc.granted = false
+	ovc.owner = nil
+}

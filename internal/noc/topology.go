@@ -1,0 +1,197 @@
+// Package noc implements Apiary's physical interconnect: a cycle-driven 2D
+// mesh Network-on-Chip with wormhole switching, virtual channels and
+// credit-based flow control (paper §4.3, §4.5).
+//
+// Design points that mirror the paper:
+//
+//   - One router per tile; the tile's monitor attaches to the router's local
+//     port through a NetworkInterface.
+//   - Dimension-order (XY) routing on fixed virtual-channel indices, which
+//     is deadlock-free on a mesh.
+//   - Three virtual channels separate traffic classes: VC0 carries the
+//     kernel management plane (strict priority, so a flooded data plane can
+//     never block a drain command), VC1 carries requests and VC2 carries
+//     replies (avoiding message-dependent request/reply deadlock, a concern
+//     the paper cites).
+package noc
+
+import (
+	"fmt"
+
+	"apiary/internal/msg"
+)
+
+// Coord is a router coordinate on the mesh.
+type Coord struct{ X, Y int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Dims describes the mesh dimensions.
+type Dims struct{ W, H int }
+
+// Tiles reports the number of tiles in the mesh.
+func (d Dims) Tiles() int { return d.W * d.H }
+
+// TileID flattens a coordinate row-major.
+func (d Dims) TileID(c Coord) msg.TileID {
+	return msg.TileID(c.Y*d.W + c.X)
+}
+
+// Coord recovers the coordinate of a tile ID.
+func (d Dims) Coord(id msg.TileID) Coord {
+	return Coord{X: int(id) % d.W, Y: int(id) / d.W}
+}
+
+// Contains reports whether c is on the mesh.
+func (d Dims) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < d.W && c.Y >= 0 && c.Y < d.H
+}
+
+// Hops reports the minimal hop count between two coordinates (Manhattan
+// distance), i.e. the number of router-to-router links traversed.
+func Hops(a, b Coord) int {
+	dx := a.X - b.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := a.Y - b.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Port identifies one of a router's five ports.
+type Port int
+
+// Router ports. Local connects to the tile's network interface.
+const (
+	Local Port = iota
+	North      // -Y
+	South      // +Y
+	East       // +X
+	West       // -X
+	numPorts
+)
+
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case East:
+		return "east"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// opposite returns the port on the neighbouring router that faces p.
+func (p Port) opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// neighbour returns the coordinate reached by leaving c through p.
+func neighbour(c Coord, p Port) Coord {
+	switch p {
+	case North:
+		return Coord{c.X, c.Y - 1}
+	case South:
+		return Coord{c.X, c.Y + 1}
+	case East:
+		return Coord{c.X + 1, c.Y}
+	case West:
+		return Coord{c.X - 1, c.Y}
+	}
+	return c
+}
+
+// RouteFunc decides the output port for a packet at router `here` destined
+// for `dst`. It must return Local iff here == dst.
+type RouteFunc func(here, dst Coord) Port
+
+// RouteXY is dimension-order routing: correct X first, then Y. It is
+// deadlock-free on a mesh with fixed VC indices and is Apiary's default.
+func RouteXY(here, dst Coord) Port {
+	switch {
+	case dst.X > here.X:
+		return East
+	case dst.X < here.X:
+		return West
+	case dst.Y > here.Y:
+		return South
+	case dst.Y < here.Y:
+		return North
+	default:
+		return Local
+	}
+}
+
+// RouteWestFirst is the west-first turn model: any hop westward must be
+// taken before anything else (turns *into* west are forbidden), which
+// breaks cycles and keeps the network deadlock-free while allowing partial
+// adaptivity elsewhere. With no congestion signal available to a RouteFunc,
+// the adaptive choice is resolved deterministically toward the dimension
+// with more remaining distance, which spreads load better than strict
+// dimension order on diagonal traffic.
+func RouteWestFirst(here, dst Coord) Port {
+	dx := dst.X - here.X
+	dy := dst.Y - here.Y
+	switch {
+	case dx == 0 && dy == 0:
+		return Local
+	case dx < 0:
+		return West // mandatory: west legs first
+	case dx == 0:
+		if dy > 0 {
+			return South
+		}
+		return North
+	case dy == 0:
+		return East
+	default:
+		// Both east and a Y direction are productive; pick the longer leg.
+		ady := dy
+		if ady < 0 {
+			ady = -ady
+		}
+		if ady > dx {
+			if dy > 0 {
+				return South
+			}
+			return North
+		}
+		return East
+	}
+}
+
+// RouteYX corrects Y first, then X. Used in routing ablation tests; equally
+// deadlock-free, different congestion pattern.
+func RouteYX(here, dst Coord) Port {
+	switch {
+	case dst.Y > here.Y:
+		return South
+	case dst.Y < here.Y:
+		return North
+	case dst.X > here.X:
+		return East
+	case dst.X < here.X:
+		return West
+	default:
+		return Local
+	}
+}

@@ -1,0 +1,212 @@
+// Package sim provides the cycle-driven simulation core that the rest of
+// Apiary is built on: a global clock, synchronous tickers (hardware blocks),
+// a discrete-event queue for coarse-grained components, a deterministic PRNG
+// and statistics collection.
+//
+// The model is a synchronous digital design: every registered Ticker is
+// invoked exactly once per clock cycle, in registration order, and may also
+// schedule events for future cycles. Determinism is a hard requirement —
+// a simulation built with the same seed and the same registration order
+// always produces identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in clock cycles since reset.
+type Cycle uint64
+
+// Ticker is a synchronous hardware block. Tick is called once per cycle with
+// the current cycle number.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(now Cycle)
+
+// Tick calls f(now).
+func (f TickerFunc) Tick(now Cycle) { f(now) }
+
+// Event is a deferred action scheduled on the engine's event queue.
+type Event struct {
+	At   Cycle
+	Do   func(now Cycle)
+	seq  uint64 // tie-break for determinism
+	pos  int
+	dead bool
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives the simulation. The zero value is not usable; use NewEngine.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+	events  eventHeap
+	seq     uint64
+	rng     *RNG
+	freqMHz uint64
+	stopped bool
+}
+
+// DefaultFreqMHz is the clock frequency assumed when none is configured.
+// 250 MHz is a typical frequency for FPGA datapath logic.
+const DefaultFreqMHz = 250
+
+// NewEngine returns an engine with the given PRNG seed and a 250 MHz clock.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed), freqMHz: DefaultFreqMHz}
+}
+
+// SetClockMHz sets the clock frequency used by time conversions.
+// It panics if mhz is zero.
+func (e *Engine) SetClockMHz(mhz uint64) {
+	if mhz == 0 {
+		panic("sim: zero clock frequency")
+	}
+	e.freqMHz = mhz
+}
+
+// ClockMHz reports the configured clock frequency.
+func (e *Engine) ClockMHz() uint64 { return e.freqMHz }
+
+// Now reports the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// RNG returns the engine's deterministic random number generator.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Register adds a ticker; it will be called every cycle from the next Step
+// on. Registration order defines invocation order and must therefore be
+// deterministic across runs.
+func (e *Engine) Register(t Ticker) {
+	if t == nil {
+		panic("sim: Register(nil)")
+	}
+	e.tickers = append(e.tickers, t)
+}
+
+// Schedule queues fn to run at cycle `at`. Scheduling in the past (or the
+// current cycle, which has already begun) panics, because it would silently
+// break causality.
+func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
+	if at <= e.now && e.now != 0 {
+		panic(fmt.Sprintf("sim: Schedule at cycle %d but now is %d", at, e.now))
+	}
+	e.seq++
+	ev := &Event{At: at, Do: fn, seq: e.seq}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After queues fn to run d cycles from now (d must be >= 1).
+func (e *Engine) After(d Cycle, fn func(now Cycle)) *Event {
+	if d == 0 {
+		d = 1
+	}
+	e.seq++
+	ev := &Event{At: e.now + d, Do: fn, seq: e.seq}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop requests that Run return at the end of the current cycle.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step advances the simulation one cycle: events due this cycle fire first,
+// then every ticker runs.
+func (e *Engine) Step() {
+	e.now++
+	for len(e.events) > 0 && e.events[0].At <= e.now {
+		ev := heap.Pop(&e.events).(*Event)
+		if !ev.dead {
+			ev.Do(e.now)
+		}
+	}
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+}
+
+// Run advances n cycles, or fewer if Stop is called.
+func (e *Engine) Run(n Cycle) {
+	e.stopped = false
+	for i := Cycle(0); i < n && !e.stopped; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil advances the simulation until cond returns true or the budget of
+// cycles is exhausted. It reports whether cond became true.
+func (e *Engine) RunUntil(cond func() bool, budget Cycle) bool {
+	e.stopped = false
+	for i := Cycle(0); i < budget && !e.stopped; i++ {
+		if cond() {
+			return true
+		}
+		e.Step()
+	}
+	return cond()
+}
+
+// Nanos converts a cycle count to nanoseconds at the configured frequency.
+func (e *Engine) Nanos(c Cycle) float64 {
+	return float64(c) * 1e3 / float64(e.freqMHz)
+}
+
+// Micros converts a cycle count to microseconds at the configured frequency.
+func (e *Engine) Micros(c Cycle) float64 { return e.Nanos(c) / 1e3 }
+
+// CyclesForNanos converts a duration in nanoseconds to cycles (rounded up).
+func (e *Engine) CyclesForNanos(ns float64) Cycle {
+	c := ns * float64(e.freqMHz) / 1e3
+	whole := Cycle(c)
+	if float64(whole) < c {
+		whole++
+	}
+	return whole
+}
+
+// PendingEvents reports the number of live queued events (for tests).
+func (e *Engine) PendingEvents() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

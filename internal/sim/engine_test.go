@@ -1,0 +1,177 @@
+package sim
+
+import "testing"
+
+func TestEngineTickOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Register(TickerFunc(func(Cycle) { order = append(order, 1) }))
+	e.Register(TickerFunc(func(Cycle) { order = append(order, 2) }))
+	e.Step()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tick order = %v, want [1 2]", order)
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine Now = %d, want 0", e.Now())
+	}
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Fatalf("after Run(10) Now = %d, want 10", e.Now())
+	}
+}
+
+func TestEventsFireAtScheduledCycle(t *testing.T) {
+	e := NewEngine(1)
+	var fired Cycle
+	e.Schedule(5, func(now Cycle) { fired = now })
+	e.Run(10)
+	if fired != 5 {
+		t.Fatalf("event fired at %d, want 5", fired)
+	}
+}
+
+func TestEventsFireBeforeTickersInSameCycle(t *testing.T) {
+	e := NewEngine(1)
+	var seq []string
+	e.Register(TickerFunc(func(now Cycle) {
+		if now == 3 {
+			seq = append(seq, "tick")
+		}
+	}))
+	e.Schedule(3, func(Cycle) { seq = append(seq, "event") })
+	e.Run(5)
+	if len(seq) != 2 || seq[0] != "event" || seq[1] != "tick" {
+		t.Fatalf("sequence = %v, want [event tick]", seq)
+	}
+}
+
+func TestEventOrderingDeterministicTies(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(2, func(Cycle) { got = append(got, i) })
+	}
+	e.Run(3)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken event order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(2, func(Cycle) { fired = true })
+	ev.Cancel()
+	e.Run(5)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("PendingEvents = %d, want 0", e.PendingEvents())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(4)
+	var fired Cycle
+	e.After(3, func(now Cycle) { fired = now })
+	e.Run(10)
+	if fired != 7 {
+		t.Fatalf("After(3) at cycle 4 fired at %d, want 7", fired)
+	}
+}
+
+func TestAfterZeroMeansNextCycle(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(1)
+	var fired Cycle
+	e.After(0, func(now Cycle) { fired = now })
+	e.Run(3)
+	if fired != 2 {
+		t.Fatalf("After(0) fired at %d, want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickerFunc(func(now Cycle) {
+		if now == 3 {
+			e.Stop()
+		}
+	}))
+	e.Run(100)
+	if e.Now() != 3 {
+		t.Fatalf("Now after Stop = %d, want 3", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	hit := false
+	e.Schedule(7, func(Cycle) { hit = true })
+	if !e.RunUntil(func() bool { return hit }, 100) {
+		t.Fatal("RunUntil did not observe condition")
+	}
+	if e.Now() < 7 || e.Now() > 8 {
+		t.Fatalf("Now = %d, want ~7", e.Now())
+	}
+	if e.RunUntil(func() bool { return false }, 10) {
+		t.Fatal("RunUntil reported success for impossible condition")
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule in the past did not panic")
+		}
+	}()
+	e.Schedule(3, func(Cycle) {})
+}
+
+func TestTimeConversions(t *testing.T) {
+	e := NewEngine(1)
+	e.SetClockMHz(250) // 4 ns per cycle
+	if ns := e.Nanos(10); ns != 40 {
+		t.Fatalf("Nanos(10) = %v, want 40", ns)
+	}
+	if us := e.Micros(250); us != 1 {
+		t.Fatalf("Micros(250) = %v, want 1", us)
+	}
+	if c := e.CyclesForNanos(41); c != 11 {
+		t.Fatalf("CyclesForNanos(41) = %d, want 11 (round up)", c)
+	}
+	if c := e.CyclesForNanos(40); c != 10 {
+		t.Fatalf("CyclesForNanos(40) = %d, want 10", c)
+	}
+}
+
+func TestSetClockZeroPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetClockMHz(0) did not panic")
+		}
+	}()
+	e.SetClockMHz(0)
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	e.Register(nil)
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	Name string
+	n    uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Histogram records a distribution of sample values (typically latencies in
+// cycles) and can report percentiles. Samples are kept exactly; experiment
+// scales here are small enough that this is simpler and more accurate than
+// bucketing.
+type Histogram struct {
+	Name    string
+	samples []float64
+	sorted  bool
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if len(h.samples) == 0 || v < h.min {
+		h.min = v
+	}
+	if len(h.samples) == 0 || v > h.max {
+		h.max = v
+	}
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(q * float64(len(h.samples)))
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum, h.min, h.max = 0, 0, 0
+	h.sorted = false
+}
+
+// Stats is a named registry of counters and histograms. Components create
+// their metrics through a shared Stats so that experiment harnesses can
+// enumerate them.
+type Stats struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	order    []string
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Stats) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.counters[name] = c
+	s.order = append(s.order, "c:"+name)
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (s *Stats) Histogram(name string) *Histogram {
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{Name: name}
+	s.hists[name] = h
+	s.order = append(s.order, "h:"+name)
+	return h
+}
+
+// Counters returns the registered counters in creation order.
+func (s *Stats) Counters() []*Counter {
+	var out []*Counter
+	for _, k := range s.order {
+		if strings.HasPrefix(k, "c:") {
+			out = append(out, s.counters[k[2:]])
+		}
+	}
+	return out
+}
+
+// Histograms returns the registered histograms in creation order.
+func (s *Stats) Histograms() []*Histogram {
+	var out []*Histogram
+	for _, k := range s.order {
+		if strings.HasPrefix(k, "h:") {
+			out = append(out, s.hists[k[2:]])
+		}
+	}
+	return out
+}
+
+// String renders a compact human-readable dump, one metric per line.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, c := range s.Counters() {
+		fmt.Fprintf(&b, "%-40s %12d\n", c.Name, c.Value())
+	}
+	for _, h := range s.Histograms() {
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-40s n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
+			h.Name, h.Count(), h.Mean(), h.Median(), h.P99(), h.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	s := NewStats()
+	c := s.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if s.Counter("x") != c {
+		t.Fatal("Counter with same name returned a different instance")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", h.Mean())
+	}
+	if m := h.Median(); m < 50 || m > 51 {
+		t.Fatalf("Median = %v, want ~50.5", m)
+	}
+	if p := h.P99(); p < 99 || p > 100 {
+		t.Fatalf("P99 = %v, want ~99-100", p)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Observe(7)
+	if h.Quantile(0) != 7 || h.Quantile(1) != 7 || h.Quantile(0.99) != 7 {
+		t.Fatal("single-sample quantiles should all be the sample")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10)
+	_ = h.Median()
+	h.Observe(1) // must re-sort
+	if h.Quantile(0) != 1 {
+		t.Fatalf("Quantile(0) = %v after late observe, want 1", h.Quantile(0))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	s.Counter("alpha").Add(3)
+	s.Histogram("beta").Observe(2)
+	out := s.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("String() missing metrics:\n%s", out)
+	}
+}
+
+func TestStatsEnumerationOrder(t *testing.T) {
+	s := NewStats()
+	s.Counter("b")
+	s.Counter("a")
+	s.Histogram("z")
+	cs := s.Counters()
+	if len(cs) != 2 || cs[0].Name != "b" || cs[1].Name != "a" {
+		t.Fatalf("counter order wrong: %v", cs)
+	}
+	hs := s.Histograms()
+	if len(hs) != 1 || hs[0].Name != "z" {
+		t.Fatalf("histogram enumeration wrong")
+	}
+}
