@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: clean build, vet, and the full test suite under the
+# race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench runs a short microbenchmark sweep (for quick before/after deltas)
+# and regenerates the experiment tables into BENCH_PR.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem .
+	$(GO) run ./cmd/apiary-bench -json BENCH_PR.json
+
+clean:
+	rm -f BENCH_PR.json
+	$(GO) clean ./...

@@ -175,6 +175,55 @@ func BenchmarkSystemCycle(b *testing.B) {
 	sys.Run(apiary.Cycle(b.N))
 }
 
+// BenchmarkEngineIdle measures the per-cycle cost of simulating a fully
+// idle 8x8 mesh — the case the idle-skip fast-forward turns into O(1) per
+// Run regardless of cycle count.
+func BenchmarkEngineIdle(b *testing.B) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: 8, H: 8}})
+	b.ResetTimer()
+	e.Run(sim.Cycle(b.N))
+	b.StopTimer()
+	if b.N > 1 && e.SkippedCycles() == 0 {
+		b.Fatal("idle mesh did not fast-forward")
+	}
+}
+
+// BenchmarkMeshSaturated measures the per-cycle cost of a 4x4 mesh kept
+// saturated with random traffic — the activity-driven router's worst case,
+// where no cycles can be skipped and every tick does real switching work.
+func BenchmarkMeshSaturated(b *testing.B) {
+	e := sim.NewEngine(7)
+	st := sim.NewStats()
+	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: 4, H: 4}})
+	rng := sim.NewRNG(7)
+	payload := make([]byte, 64)
+	topUp := func() {
+		for t := 0; t < 16; t++ {
+			for n.NI(msg.TileID(t)).QueuedPackets() < 4 {
+				dst := msg.TileID(rng.Intn(16))
+				if dst == msg.TileID(t) {
+					dst = msg.TileID((int(dst) + 1) % 16)
+				}
+				m := &msg.Message{Type: msg.TRequest, SrcTile: msg.TileID(t),
+					DstTile: dst, Payload: payload}
+				if err := n.NI(msg.TileID(t)).Send(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	topUp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			topUp()
+		}
+		e.Step()
+	}
+}
+
 func BenchmarkSegmentAlloc(b *testing.B) {
 	a := memseg.NewAllocator(1<<30, memseg.FirstFit)
 	b.ResetTimer()

@@ -72,6 +72,16 @@ type Accelerator interface {
 	Tick(p Port)
 }
 
+// Idler is optionally implemented by accelerators that can report when
+// Tick(p) would be a no-op: no pending work, no timed work becoming due, no
+// sends to retry. The shell combines this with its own queue state so the
+// engine can fast-forward across idle stretches (sim.IdleTicker).
+// Accelerators that generate work spontaneously (traffic sources) must
+// return false until they are permanently finished.
+type Idler interface {
+	Idle() bool
+}
+
 // Preemptible is implemented by accelerators that externalize per-context
 // architectural state (paper §4.4: SYNERGY-style). A preemptible
 // accelerator lets the monitor kill or swap a single faulting context while
@@ -284,6 +294,22 @@ func (s *Shell) Tick(now sim.Cycle) {
 	} else {
 		s.wasFull = false
 	}
+}
+
+// Idle implements sim.IdleTicker: ticking is a no-op when the shell is not
+// Running (Tick returns immediately), or when the inbound queue is empty,
+// the watchdog is unarmed, and the accelerator itself declares idle. An
+// accelerator that does not implement Idler is never considered idle — the
+// conservative default for logic that may generate work spontaneously.
+func (s *Shell) Idle() bool {
+	if s.state != Running {
+		return true
+	}
+	if len(s.inq) > 0 || s.wasFull {
+		return false
+	}
+	ih, ok := s.acc.(Idler)
+	return ok && ih.Idle()
 }
 
 // Port implementation (the shell is the accelerator's Port).

@@ -117,6 +117,11 @@ func (k *KVStore) Reset() {
 	// kernel with the tile's configuration, not by the accelerator.
 }
 
+// Idle implements accel.Idler: with an empty shell queue and an empty send
+// queue, Tick does nothing. In-flight memory ops (pendMem) wake the tile
+// when their TMemReply is delivered.
+func (k *KVStore) Idle() bool { return k.out.empty() }
+
 // Tick implements accel.Accelerator. While a snapshot/restore is in flight
 // the store stops accepting new requests: memory-service completions are
 // asynchronous, and serving reads against a half-restored keyspace would

@@ -43,6 +43,9 @@ func (l *LoadBalancer) Reset() {
 	l.rr = 0
 }
 
+// Idle implements accel.Idler.
+func (l *LoadBalancer) Idle() bool { return l.out.empty() }
+
 // Tick implements accel.Accelerator. The balancer is wiring, not compute:
 // it moves up to 4 messages per cycle.
 func (l *LoadBalancer) Tick(p accel.Port) {
@@ -122,6 +125,18 @@ func (f *Faulty) Tick(p accel.Port) {
 		panic("apps: injected fault")
 	}
 	f.Accelerator.Tick(&faultyPort{Port: p, f: f})
+}
+
+// Idle implements accel.Idler. An armed trigger counts as work: the next
+// Tick panics, which is very much not a no-op. Otherwise defer to the
+// wrapped accelerator (embedding does not forward Idle — the embedded field
+// is the plain Accelerator interface — so this must be explicit).
+func (f *Faulty) Idle() bool {
+	if f.PanicAfter > 0 && f.seen >= f.PanicAfter {
+		return false
+	}
+	ih, ok := f.Accelerator.(accel.Idler)
+	return ok && ih.Idle()
 }
 
 // Reset implements accel.Accelerator; the wrapped accelerator restarts

@@ -55,6 +55,11 @@ func (b *NetBridge) Reset() {
 	b.busyTil = 0
 }
 
+// Idle implements accel.Idler: until the listen registration succeeds the
+// bridge retries it every tick, so it is only idle once listened with an
+// empty send queue.
+func (b *NetBridge) Idle() bool { return b.listened && b.out.empty() }
+
 // Tick implements accel.Accelerator.
 func (b *NetBridge) Tick(p accel.Port) {
 	now := p.Now()

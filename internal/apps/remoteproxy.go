@@ -68,6 +68,11 @@ func (r *RemoteProxy) Reset() {
 	r.out = outQ{}
 }
 
+// Idle implements accel.Idler: idle once the listen registration stuck and
+// nothing is queued to send. Replies from the remote CPU arrive as TNetRecv
+// through the shell queue.
+func (r *RemoteProxy) Idle() bool { return r.listened && r.out.empty() }
+
 // Tick implements accel.Accelerator.
 func (r *RemoteProxy) Tick(p accel.Port) {
 	now := p.Now()

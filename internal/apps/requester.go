@@ -71,6 +71,14 @@ func (r *Requester) Reset() {
 	r.inFlight = 0
 }
 
+// Idle implements accel.Idler. A requester is a traffic source: it is busy
+// while it still has requests to issue, a gap timer running, or replies
+// outstanding (the timeout scan must keep running for those). Only a
+// finished client — everything sent, nothing in flight — is idle.
+func (r *Requester) Idle() bool {
+	return r.Total > 0 && r.sent >= r.Total && r.inFlight == 0
+}
+
 // Tick implements accel.Accelerator.
 func (r *Requester) Tick(p accel.Port) {
 	now := p.Now()

@@ -47,6 +47,9 @@ func (q *outQ) push(at sim.Cycle, m *msg.Message) {
 	q.items = append(q.items, timedMsg{at, m})
 }
 
+// empty reports whether no messages are queued (due now or later).
+func (q *outQ) empty() bool { return len(q.items) == 0 }
+
 // flush sends every due message; stops on backpressure (ERateLimited/EBusy)
 // and drops on hard errors (the destination will have NACKed or is gone).
 func (q *outQ) flush(p accel.Port) {
@@ -98,6 +101,12 @@ func (s *Stage) Reset() {
 	s.pend = make(map[uint32]pendEntry)
 	s.out = outQ{}
 }
+
+// Idle implements accel.Idler: with no inbound messages (the shell's
+// precondition for consulting us) and nothing queued to send, Tick does
+// nothing. Replies the stage is still waiting for arrive through the shell
+// queue, which wakes the tile.
+func (s *Stage) Idle() bool { return s.out.empty() }
 
 // cost models pipeline occupancy for n payload bytes.
 func (s *Stage) cost(n int) sim.Cycle {

@@ -56,6 +56,12 @@ func (s *MemService) Contexts() int { return 1 }
 // Reset implements accel.Accelerator.
 func (s *MemService) Reset() { s.outbox = nil }
 
+// Idle implements accel.Idler: with an empty outbox (and an empty shell
+// queue, the precondition for being asked) Tick does nothing. In-flight
+// DRAM operations complete through engine events, which bound any
+// fast-forward, so a pending completion cannot be skipped over.
+func (s *MemService) Idle() bool { return len(s.outbox) == 0 }
+
 // Tick implements accel.Accelerator.
 func (s *MemService) Tick(p accel.Port) {
 	for i := 0; i < maxPerTick; i++ {

@@ -93,6 +93,20 @@ func RawTxDrain(p EthernetPort) func() (MACFrame, bool) {
 	}
 }
 
+// RawQueuesEmpty exposes a simulation-only probe for whether the port has
+// no frames buffered in either direction — the wire pump's idle test.
+// Unknown adapters report false (never idle), the conservative default.
+func RawQueuesEmpty(p EthernetPort) func() bool {
+	switch q := p.(type) {
+	case *tenGbPort:
+		return q.c.QueuesEmpty
+	case *hundredGbPort:
+		return q.c.QueuesEmpty
+	default:
+		return func() bool { return false }
+	}
+}
+
 // RawRxInject exposes the simulation-only inject side of a port.
 func RawRxInject(p EthernetPort) func(MACFrame) {
 	switch q := p.(type) {

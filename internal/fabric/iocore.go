@@ -110,6 +110,12 @@ func (c *TenGbEthCore) ReadRx() (MACFrame, bool) {
 // LineRateGbps reports the line rate.
 func (c *TenGbEthCore) LineRateGbps() float64 { return c.gbps }
 
+// QueuesEmpty reports whether no frames are buffered in either direction
+// (simulation back end; pairs with PopTx/InjectRx).
+func (c *TenGbEthCore) QueuesEmpty() bool {
+	return len(c.txq) == 0 && len(c.rxq) == 0 && c.txStaged == nil
+}
+
 // HundredGbEthCore mimics a 100G (CMAC-style) subsystem: single global
 // reset, explicit RX/TX enable bits, alignment status instead of block
 // lock, and queue-style TX without a commit strobe. Deliberately *not* the
@@ -181,3 +187,9 @@ func (c *HundredGbEthCore) DequeueRx() (MACFrame, bool) {
 
 // LineRateGbps reports the line rate.
 func (c *HundredGbEthCore) LineRateGbps() float64 { return c.gbps }
+
+// QueuesEmpty reports whether no frames are buffered in either direction
+// (simulation back end; pairs with PopTx/InjectRx).
+func (c *HundredGbEthCore) QueuesEmpty() bool {
+	return len(c.txq) == 0 && len(c.rxq) == 0
+}

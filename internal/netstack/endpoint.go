@@ -29,9 +29,17 @@ func NewSoftEndpoint(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 			}
 		}, st)
 	fab.Attach(node, cfg, s.tr.HandleFrame)
-	e.Register(sim.TickerFunc(s.tr.Tick))
+	e.Register(&transportPump{s.tr})
 	return s
 }
+
+// transportPump registers a transport as an idle-capable ticker: frames in
+// flight on the simulated wire are engine events, so the engine may
+// fast-forward whenever the transport itself has nothing queued or unacked.
+type transportPump struct{ tr *Transport }
+
+func (p *transportPump) Tick(now sim.Cycle) { p.tr.Tick(now) }
+func (p *transportPump) Idle() bool         { return p.tr.Idle() }
 
 // Node reports the endpoint's fabric node ID.
 func (s *SoftEndpoint) Node() netsim.NodeID { return s.node }

@@ -70,29 +70,54 @@ func NewService(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 
 	// Wire pump: drain the MAC TX queue onto the simulated wire, and feed
 	// received MAC frames into the transport. Registered as a ticker so it
-	// runs even while the service tile is busy.
-	drain := fabric.RawTxDrain(port)
-	e.Register(sim.TickerFunc(func(now sim.Cycle) {
-		for {
-			mf, ok := drain()
-			if !ok {
-				break
-			}
+	// runs even while the service tile is busy; idle whenever the MAC has no
+	// frames buffered in either direction (wire traffic in flight arrives
+	// through engine events, which bound any fast-forward).
+	e.Register(&wirePump{
+		drain:   fabric.RawTxDrain(port),
+		empty:   fabric.RawQueuesEmpty(port),
+		receive: port.Receive,
+		toWire: func(mf fabric.MACFrame) {
 			_ = fab.Send(netsim.Frame{
 				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst), Payload: mf.Payload,
 			})
-		}
-		for {
-			mf, ok := port.Receive()
-			if !ok {
-				break
-			}
+		},
+		toTransport: func(mf fabric.MACFrame) {
 			s.tr.HandleFrame(netsim.Frame{
 				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst), Payload: mf.Payload,
 			})
-		}
-	}))
+		},
+	})
 	return s, nil
+}
+
+// wirePump shuttles frames between a MAC port and the simulated wire as an
+// idle-capable ticker.
+type wirePump struct {
+	drain       func() (fabric.MACFrame, bool)
+	empty       func() bool
+	receive     func() (fabric.MACFrame, bool)
+	toWire      func(fabric.MACFrame)
+	toTransport func(fabric.MACFrame)
+}
+
+func (w *wirePump) Idle() bool { return w.empty() }
+
+func (w *wirePump) Tick(now sim.Cycle) {
+	for {
+		mf, ok := w.drain()
+		if !ok {
+			break
+		}
+		w.toWire(mf)
+	}
+	for {
+		mf, ok := w.receive()
+		if !ok {
+			break
+		}
+		w.toTransport(mf)
+	}
 }
 
 // onDatagram queues an inbound datagram for delivery to its flow listener.
@@ -138,6 +163,11 @@ func (s *Service) Reset() {
 	s.flows = make(map[uint16]flowReg)
 	s.outbox = nil
 }
+
+// Idle implements accel.Idler: the service tile is idle when it has no
+// monitor-bound messages queued and its transport has nothing pending or
+// unacked. Inbound datagrams materialize from wire events, which wake it.
+func (s *Service) Idle() bool { return len(s.outbox) == 0 && s.tr.Idle() }
 
 // Tick implements accel.Accelerator.
 func (s *Service) Tick(p accel.Port) {

@@ -141,6 +141,18 @@ func encodeSeg(kind byte, seq, ack uint32, data []byte) []byte {
 	return b
 }
 
+// Idle reports whether Tick would be a no-op on every connection: nothing
+// pending segmentation and nothing in flight (in-flight segments imply a
+// live retransmission timer, which is timed work).
+func (t *Transport) Idle() bool {
+	for _, c := range t.conns {
+		if len(c.pending) > 0 || len(c.inflight) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Tick pumps pending data into the window and handles retransmission.
 // Call once per cycle (or per polling interval).
 func (t *Transport) Tick(now sim.Cycle) {

@@ -55,6 +55,49 @@ type Flit struct {
 // Head reports whether this is the packet's head flit.
 func (f *Flit) Head() bool { return f.Idx == 0 }
 
+// flitPool recycles Flit and Packet objects between injection and ejection.
+// The simulator is single-threaded per engine, so a plain free list
+// suffices; live flits are bounded by total buffer capacity, which bounds
+// the pool. Pooling is invisible to simulation state: every field is
+// rewritten on allocation.
+type flitPool struct {
+	flits []*Flit
+	pkts  []*Packet
+}
+
+func (p *flitPool) getFlit(pkt *Packet, idx int, tail bool) *Flit {
+	n := len(p.flits)
+	if n == 0 {
+		return &Flit{Pkt: pkt, Idx: idx, Tail: tail}
+	}
+	f := p.flits[n-1]
+	p.flits[n-1] = nil
+	p.flits = p.flits[:n-1]
+	f.Pkt, f.Idx, f.Tail, f.arrivedAt = pkt, idx, tail, 0
+	return f
+}
+
+func (p *flitPool) putFlit(f *Flit) {
+	f.Pkt = nil
+	p.flits = append(p.flits, f)
+}
+
+func (p *flitPool) getPacket() *Packet {
+	n := len(p.pkts)
+	if n == 0 {
+		return &Packet{}
+	}
+	pk := p.pkts[n-1]
+	p.pkts[n-1] = nil
+	p.pkts = p.pkts[:n-1]
+	return pk
+}
+
+func (p *flitPool) putPacket(pk *Packet) {
+	*pk = Packet{}
+	p.pkts = append(p.pkts, pk)
+}
+
 // ClassVC maps a message type to its virtual channel. Management-plane
 // types ride VC0; replies (including errors) ride VC2; everything else is a
 // request on VC1.

@@ -22,6 +22,13 @@ type Network struct {
 	routers []*Router
 	nis     []*NetworkInterface
 	stats   *sim.Stats
+
+	// pool recycles Flit/Packet objects network-wide (allocated at NI
+	// injection, freed at ejection).
+	pool flitPool
+	// inflight counts packets between Send and ejection, making Quiescent
+	// O(1).
+	inflight int
 }
 
 // NewNetwork builds a W×H mesh attached to the engine. All routers and NIs
@@ -40,6 +47,7 @@ func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 		for x := 0; x < cfg.Dims.W; x++ {
 			c := Coord{x, y}
 			r := newRouter(c, route, st)
+			r.pool = &n.pool
 			n.routers = append(n.routers, r)
 		}
 	}
@@ -88,23 +96,9 @@ func (n *Network) Router(t msg.TileID) *Router {
 }
 
 // Quiescent reports whether no packets are queued or in flight anywhere.
-func (n *Network) Quiescent() bool {
-	for _, ni := range n.nis {
-		if ni.QueuedPackets() > 0 {
-			return false
-		}
-	}
-	for _, r := range n.routers {
-		for p := Port(0); p < numPorts; p++ {
-			for v := 0; v < NumVCs; v++ {
-				if !r.in[p][v].empty() {
-					return false
-				}
-			}
-		}
-	}
-	return true
-}
+// O(1): every packet is counted from Send until its tail flit ejects, which
+// covers both NI injection queues and router buffers.
+func (n *Network) Quiescent() bool { return n.inflight == 0 }
 
 // LinkLoad is one directed link's traffic.
 type LinkLoad struct {
@@ -117,7 +111,15 @@ type LinkLoad struct {
 // ejection port), busiest first — the congestion heatmap behind placement
 // and debugging decisions.
 func (n *Network) LinkUtilization() []LinkLoad {
-	var out []LinkLoad
+	cnt := 0
+	for _, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			if r.linkFlits[p] != 0 {
+				cnt++
+			}
+		}
+	}
+	out := make([]LinkLoad, 0, cnt)
 	for _, r := range n.routers {
 		for p := Port(0); p < numPorts; p++ {
 			if r.linkFlits[p] == 0 {
@@ -140,14 +142,22 @@ func (n *Network) LinkUtilization() []LinkLoad {
 }
 
 // HottestLink returns the most-used inter-router link (zero LinkLoad if the
-// network is unused).
+// network is unused). Single O(links) max-scan; scanning routers in tile
+// order with a strict > comparison resolves equal-traffic ties to the lowest
+// tile ID, then the lowest port, matching LinkUtilization's sort order.
 func (n *Network) HottestLink() LinkLoad {
-	for _, l := range n.LinkUtilization() {
-		if l.Out != Local {
-			return l
+	var best LinkLoad
+	for _, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			if p == Local {
+				continue
+			}
+			if r.linkFlits[p] > best.Flits {
+				best = LinkLoad{From: r.Coord, Out: p, Flits: r.linkFlits[p]}
+			}
 		}
 	}
-	return LinkLoad{}
+	return best
 }
 
 // CreditInvariantViolation scans all output VCs and reports a description of

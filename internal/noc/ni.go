@@ -24,6 +24,9 @@ type NetworkInterface struct {
 	// injection queues, one per VC, unbounded at the NI boundary; the
 	// monitor applies backpressure/rate limits before messages reach here.
 	injQ [NumVCs][]*Packet
+	// queued caches the total length of injQ so Idle and QueuedPackets are
+	// O(1).
+	queued int
 	// flitsLeft tracks how many flits of the current head packet still need
 	// injecting, per VC.
 	flitsLeft [NumVCs]int
@@ -58,13 +61,12 @@ func (ni *NetworkInterface) Tile() msg.TileID { return ni.tile }
 func (ni *NetworkInterface) SetDeliver(f DeliverFunc) { ni.deliver = f }
 
 // QueuedPackets reports the number of packets waiting to inject (all VCs).
-func (ni *NetworkInterface) QueuedPackets() int {
-	n := 0
-	for v := 0; v < NumVCs; v++ {
-		n += len(ni.injQ[v])
-	}
-	return n
-}
+func (ni *NetworkInterface) QueuedPackets() int { return ni.queued }
+
+// Idle reports whether ticking the NI would be a no-op: with no queued
+// packets there is nothing to inject. (Flits already handed to the router are
+// the router's activity, not the NI's.)
+func (ni *NetworkInterface) Idle() bool { return ni.queued == 0 }
 
 // Send queues m for injection. The destination tile must already be resolved
 // (m.DstTile); the VC is chosen from the message type. Send never blocks;
@@ -79,7 +81,8 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	}
 	vc := ClassVC(m.Type)
 	ni.nextPktID++
-	pkt := &Packet{
+	pkt := ni.net.pool.getPacket()
+	*pkt = Packet{
 		ID:       ni.nextPktID | uint64(ni.tile)<<48,
 		Src:      ni.coord,
 		Dst:      dst,
@@ -89,12 +92,18 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 		Injected: ni.net.engine.Now(),
 	}
 	ni.injQ[vc] = append(ni.injQ[vc], pkt)
+	ni.queued++
+	ni.net.inflight++
 	ni.sent.Inc()
 	return nil
 }
 
-// Tick injects up to one flit per VC per cycle, credits permitting.
+// Tick injects up to one flit per VC per cycle, credits permitting. An NI
+// with nothing queued returns immediately.
 func (ni *NetworkInterface) Tick(now sim.Cycle) {
+	if ni.queued == 0 {
+		return
+	}
 	for v := VCID(0); v < NumVCs; v++ {
 		q := ni.injQ[v]
 		if len(q) == 0 {
@@ -108,7 +117,7 @@ func (ni *NetworkInterface) Tick(now sim.Cycle) {
 			ni.flitsLeft[v] = pkt.NumFlits
 		}
 		idx := pkt.NumFlits - ni.flitsLeft[v]
-		f := &Flit{Pkt: pkt, Idx: idx, Tail: ni.flitsLeft[v] == 1}
+		f := ni.net.pool.getFlit(pkt, idx, ni.flitsLeft[v] == 1)
 		ni.injCred[v].credits--
 		ni.router.accept(Local, v, f, now)
 		ni.flitsLeft[v]--
@@ -116,6 +125,7 @@ func (ni *NetworkInterface) Tick(now sim.Cycle) {
 			copy(q, q[1:])
 			q[len(q)-1] = nil
 			ni.injQ[v] = q[:len(q)-1]
+			ni.queued--
 		}
 	}
 }
@@ -123,6 +133,7 @@ func (ni *NetworkInterface) Tick(now sim.Cycle) {
 // eject is called by the router when a packet's tail flit leaves through the
 // Local port.
 func (ni *NetworkInterface) eject(pkt *Packet, now sim.Cycle) {
+	ni.net.inflight--
 	ni.delivered.Inc()
 	lat := now - pkt.Injected
 	ni.latency.Observe(float64(lat))

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"math/bits"
+
 	"apiary/internal/sim"
 )
 
@@ -61,6 +63,17 @@ type Router struct {
 	route RouteFunc
 	rrPtr [numPorts]int // round-robin pointer per output port
 
+	// occ[p] is the occupancy bitmask of port p's input VCs (bit v set iff
+	// in[p][v] is non-empty); busyIn counts set bits across all ports. They
+	// let Tick visit only occupied VCs and return immediately from an empty
+	// router.
+	occ    [numPorts]uint8
+	busyIn int
+
+	// pool recycles flits/packets at the ejection port; nil for routers
+	// driven directly in unit tests.
+	pool *flitPool
+
 	// linkFlits counts flits forwarded per output port (link utilization).
 	linkFlits [numPorts]uint64
 
@@ -78,7 +91,9 @@ func newRouter(c Coord, route RouteFunc, st *sim.Stats) *Router {
 	r := &Router{Coord: c, route: route}
 	for p := Port(0); p < numPorts; p++ {
 		for v := 0; v < NumVCs; v++ {
-			r.in[p][v] = &inVC{}
+			// Preallocate the FIFO backing array: credit flow control caps
+			// occupancy at BufDepth, so the buffer never reallocates.
+			r.in[p][v] = &inVC{fifo: make([]*Flit, 0, BufDepth)}
 			r.out[p][v] = &outVC{credits: BufDepth}
 		}
 	}
@@ -100,8 +115,28 @@ func (r *Router) accept(p Port, vc VCID, f *Flit, now sim.Cycle) {
 		panic("noc: input buffer overflow (credit protocol violated)")
 	}
 	f.arrivedAt = now
+	if len(q.fifo) == 0 {
+		r.occ[p] |= 1 << uint(vc)
+		r.busyIn++
+	}
 	q.fifo = append(q.fifo, f)
 }
+
+// popIn pops the head flit of input (p, vc), keeping the occupancy mask and
+// busy count in sync. All dequeues inside the router go through here.
+func (r *Router) popIn(p Port, vc VCID, ivc *inVC) *Flit {
+	f := ivc.pop()
+	if len(ivc.fifo) == 0 {
+		r.occ[p] &^= 1 << uint(vc)
+		r.busyIn--
+	}
+	return f
+}
+
+// Idle reports whether ticking the router would be a no-op: with no buffered
+// flits there is nothing to route, grant or forward, and Tick touches no
+// state or statistics.
+func (r *Router) Idle() bool { return r.busyIn == 0 }
 
 // freeSlots reports the free buffer slots of input (p, vc) — used only by
 // tests and the NI injection path.
@@ -109,15 +144,25 @@ func (r *Router) freeSlots(p Port, vc VCID) int {
 	return BufDepth - len(r.in[p][vc].fifo)
 }
 
-// Tick advances the router one cycle.
+// Tick advances the router one cycle. An empty router returns immediately;
+// otherwise only occupied VCs (tracked by the occupancy bitmask) are visited,
+// so the cost is O(buffered packets) rather than O(ports × VCs).
 func (r *Router) Tick(now sim.Cycle) {
+	if r.busyIn == 0 {
+		return
+	}
+
 	// Stage 1: route computation + output VC allocation for eligible heads.
+	// Bitmask iteration visits VCs in ascending order, matching the original
+	// full scan. want[p] records output ports with at least one granted,
+	// sendable head so stage 2 skips the rest.
+	var want [numPorts]bool
 	for p := Port(0); p < numPorts; p++ {
-		for v := 0; v < NumVCs; v++ {
+		m := r.occ[p]
+		for m != 0 {
+			v := VCID(bits.TrailingZeros8(m))
+			m &= m - 1
 			ivc := r.in[p][v]
-			if ivc.empty() {
-				continue
-			}
 			f := ivc.head()
 			if f.arrivedAt >= now {
 				continue // arrived this cycle; visible next cycle
@@ -135,6 +180,9 @@ func (r *Router) Tick(now sim.Cycle) {
 					r.stats.stallNoVC.Inc()
 				}
 			}
+			if ivc.granted {
+				want[ivc.outPort] = true
+			}
 		}
 	}
 
@@ -142,6 +190,9 @@ func (r *Router) Tick(now sim.Cycle) {
 	// VC0 (management) has strict priority; VC1/VC2 share round-robin over
 	// input ports.
 	for outP := Port(0); outP < numPorts; outP++ {
+		if !want[outP] {
+			continue
+		}
 		if r.sendOne(outP, VCMgmt, now) {
 			continue
 		}
@@ -196,13 +247,23 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 	if outP == Local {
 		// Ejection: the NI consumes at most one flit per VC per cycle but
 		// has no buffer limit (reassembly happens immediately).
-		ivc.pop()
+		r.popIn(p, vc, ivc)
 		r.stats.flitsRouted.Inc()
 		r.linkFlits[Local]++
 		if f.Tail {
 			r.releaseVC(ivc, ovc)
 			r.stats.pktsRouted.Inc()
-			r.local.eject(f.Pkt, now)
+			pkt := f.Pkt
+			r.local.eject(pkt, now)
+			// Wormhole ordering makes the tail the packet's last flit to
+			// eject, so the packet (and all its flits, freed one by one
+			// below) is dead once eject returns.
+			if r.pool != nil {
+				r.pool.putPacket(pkt)
+			}
+		}
+		if r.pool != nil {
+			r.pool.putFlit(f)
 		}
 		return true
 	}
@@ -216,7 +277,7 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		r.stats.stallNoCred.Inc()
 		return false
 	}
-	ivc.pop()
+	r.popIn(p, vc, ivc)
 	ovc.credits--
 	r.stats.flitsRouted.Inc()
 	r.linkFlits[outP]++

@@ -24,6 +24,22 @@ type Ticker interface {
 	Tick(now Cycle)
 }
 
+// IdleTicker is a Ticker that can report when ticking it would be a no-op.
+// The idle contract: while Idle() returns true, Tick must not change any
+// observable simulation state (component state, statistics, scheduled
+// events). The engine uses the contract to fast-forward the clock across
+// stretches where every registered ticker is idle; because skipped ticks
+// are exactly the ticks that would have done nothing, a run with
+// fast-forward enabled is bit-identical to one without it.
+//
+// A component whose activity depends on wall-clock time (a traffic
+// generator, a poller) must either return false from Idle while it still
+// has timed work, or schedule that work as engine events.
+type IdleTicker interface {
+	Ticker
+	Idle() bool
+}
+
 // TickerFunc adapts a function to the Ticker interface.
 type TickerFunc func(now Cycle)
 
@@ -80,6 +96,14 @@ type Engine struct {
 	rng     *RNG
 	freqMHz uint64
 	stopped bool
+
+	// idlers mirrors tickers; idleCapable stays true only while every
+	// registered ticker implements IdleTicker, which is the precondition
+	// for fast-forwarding the clock.
+	idlers      []IdleTicker
+	idleCapable bool
+	idleSkip    bool
+	skipped     uint64
 }
 
 // DefaultFreqMHz is the clock frequency assumed when none is configured.
@@ -87,9 +111,25 @@ type Engine struct {
 const DefaultFreqMHz = 250
 
 // NewEngine returns an engine with the given PRNG seed and a 250 MHz clock.
+// Idle fast-forward is enabled by default; it is behaviour-preserving (see
+// IdleTicker) and can be disabled with SetIdleSkip for A/B testing.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed), freqMHz: DefaultFreqMHz}
+	return &Engine{rng: NewRNG(seed), freqMHz: DefaultFreqMHz,
+		idleCapable: true, idleSkip: true}
 }
+
+// SetIdleSkip enables or disables clock fast-forward across all-idle
+// stretches. Disabling it forces the engine to grind every cycle — useful
+// to verify that a workload is skip-invariant.
+func (e *Engine) SetIdleSkip(on bool) { e.idleSkip = on }
+
+// IdleSkip reports whether fast-forward is enabled.
+func (e *Engine) IdleSkip() bool { return e.idleSkip }
+
+// SkippedCycles reports how many cycles Run/RunUntil fast-forwarded over
+// instead of ticking (observability; skipped cycles still elapse on the
+// simulated clock).
+func (e *Engine) SkippedCycles() uint64 { return e.skipped }
 
 // SetClockMHz sets the clock frequency used by time conversions.
 // It panics if mhz is zero.
@@ -117,6 +157,29 @@ func (e *Engine) Register(t Ticker) {
 		panic("sim: Register(nil)")
 	}
 	e.tickers = append(e.tickers, t)
+	if it, ok := t.(IdleTicker); ok {
+		e.idlers = append(e.idlers, it)
+	} else {
+		// One opaque ticker disables fast-forward for the whole engine:
+		// we can never prove a cycle is dead.
+		e.idlers = append(e.idlers, nil)
+		e.idleCapable = false
+	}
+}
+
+// allIdle reports whether every registered ticker is provably idle, i.e.
+// the next cycle would tick nothing and only the event queue can make
+// progress.
+func (e *Engine) allIdle() bool {
+	if !e.idleCapable {
+		return false
+	}
+	for _, it := range e.idlers {
+		if !it.Idle() {
+			return false
+		}
+	}
+	return true
 }
 
 // Schedule queues fn to run at cycle `at`. Scheduling in the past (or the
@@ -143,11 +206,21 @@ func (e *Engine) After(d Cycle, fn func(now Cycle)) *Event {
 	return ev
 }
 
-// Stop requests that Run return at the end of the current cycle.
+// Stop requests that the Run/RunUntil in progress return at the end of the
+// current cycle. Stop does not interrupt the cycle itself: when called from
+// a scheduled event, the remaining events due this cycle and every ticker
+// still fire before the run returns (events always precede tickers within a
+// cycle). A Stop requested while no run is active carries over to the next
+// Run/RunUntil, which returns before advancing the clock.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Step advances the simulation one cycle: events due this cycle fire first,
-// then every ticker runs.
+// Stopped reports whether a stop request is pending (set by Stop, cleared
+// when a Run/RunUntil consumes it on return).
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step advances the simulation exactly one cycle: events due this cycle
+// fire first, then every ticker runs. Step never fast-forwards; the
+// idle-skip optimization lives in Run/RunUntil, which know their budget.
 func (e *Engine) Step() {
 	e.now++
 	for len(e.events) > 0 && e.events[0].At <= e.now {
@@ -161,24 +234,83 @@ func (e *Engine) Step() {
 	}
 }
 
-// Run advances n cycles, or fewer if Stop is called.
-func (e *Engine) Run(n Cycle) {
-	e.stopped = false
-	for i := Cycle(0); i < n && !e.stopped; i++ {
-		e.Step()
+// maybeSkip fast-forwards the clock to one cycle before the earliest
+// upcoming event (or the run's end), provided every ticker is idle so the
+// skipped cycles are provably dead. The next Step then lands exactly on the
+// event's cycle.
+func (e *Engine) maybeSkip(end Cycle) {
+	if !e.idleSkip || !e.allIdle() {
+		return
+	}
+	next := end
+	if len(e.events) > 0 && e.events[0].At < next {
+		next = e.events[0].At
+	}
+	if next > e.now+1 {
+		e.skipped += uint64(next - e.now - 1)
+		e.now = next - 1
 	}
 }
 
-// RunUntil advances the simulation until cond returns true or the budget of
-// cycles is exhausted. It reports whether cond became true.
-func (e *Engine) RunUntil(cond func() bool, budget Cycle) bool {
-	e.stopped = false
-	for i := Cycle(0); i < budget && !e.stopped; i++ {
-		if cond() {
-			return true
-		}
+// Run advances n cycles, or fewer if Stop is called. Run(0) is a no-op and
+// in particular leaves a pending stop request pending.
+func (e *Engine) Run(n Cycle) {
+	if n == 0 {
+		return
+	}
+	if e.stopped {
+		e.stopped = false
+		return
+	}
+	end := e.now + n
+	for e.now < end && !e.stopped {
+		e.maybeSkip(end)
 		e.Step()
 	}
+	e.stopped = false
+}
+
+// RunUntil advances the simulation until cond returns true or the budget of
+// cycles is exhausted. It reports whether cond became true. cond is
+// evaluated before every cycle; it must be a function of simulation state
+// (see RunUntilEvery for the exact contract).
+func (e *Engine) RunUntil(cond func() bool, budget Cycle) bool {
+	return e.RunUntilEvery(cond, budget, 1)
+}
+
+// RunUntilEvery is RunUntil with the condition evaluated only once every
+// stride cycles (and once more when the budget runs out), for predicates
+// that are expensive relative to a cycle. A stride of 0 means 1.
+//
+// cond must be a pure function of simulation state: state only changes when
+// tickers or events run, so the engine skips re-evaluating cond across
+// fast-forwarded all-idle stretches (and, with stride > 1, between
+// checkpoints). A condition on raw e.Now() may therefore be observed later
+// than it first held; bound such waits with Run or schedule an event
+// calling Stop instead.
+func (e *Engine) RunUntilEvery(cond func() bool, budget, stride Cycle) bool {
+	if stride == 0 {
+		stride = 1
+	}
+	if e.stopped && budget > 0 {
+		e.stopped = false
+		return cond()
+	}
+	end := e.now + budget
+	sinceCheck := stride // evaluate once before the first cycle
+	for e.now < end && !e.stopped {
+		if sinceCheck >= stride {
+			if cond() {
+				return true
+			}
+			sinceCheck = 0
+		}
+		start := e.now
+		e.maybeSkip(end)
+		e.Step()
+		sinceCheck += e.now - start
+	}
+	e.stopped = false
 	return cond()
 }
 
