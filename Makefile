@@ -18,11 +18,12 @@ check:
 	$(GO) test -race ./...
 
 # bench runs a short microbenchmark sweep (for quick before/after deltas)
-# and regenerates the experiment tables into BENCH_PR.json.
+# and regenerates the experiment tables into BENCH_PR.json — the committed
+# trajectory baseline CI diffs new runs against (see .github/workflows/ci.yml).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem .
 	$(GO) run ./cmd/apiary-bench -json BENCH_PR.json
 
 clean:
-	rm -f BENCH_PR.json
+	rm -f BENCH_NEW.json
 	$(GO) clean ./...

@@ -190,21 +190,26 @@ func BenchmarkEngineIdle(b *testing.B) {
 	}
 }
 
-// BenchmarkMeshSaturated measures the per-cycle cost of a 4x4 mesh kept
+// benchMeshSaturated measures the per-cycle cost of a WxH mesh kept
 // saturated with random traffic — the activity-driven router's worst case,
 // where no cycles can be skipped and every tick does real switching work.
-func BenchmarkMeshSaturated(b *testing.B) {
+// mode selects the tick-phase scheduler; shards is the noc shard count
+// (0 = auto, one row band per core).
+func benchMeshSaturated(b *testing.B, w, h int, mode sim.ParallelMode, shards int) {
 	e := sim.NewEngine(7)
+	b.Cleanup(e.Close)
 	st := sim.NewStats()
-	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: 4, H: 4}})
+	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: w, H: h}, Shards: shards})
+	e.SetParallel(mode)
 	rng := sim.NewRNG(7)
 	payload := make([]byte, 64)
+	tiles := w * h
 	topUp := func() {
-		for t := 0; t < 16; t++ {
+		for t := 0; t < tiles; t++ {
 			for n.NI(msg.TileID(t)).QueuedPackets() < 4 {
-				dst := msg.TileID(rng.Intn(16))
+				dst := msg.TileID(rng.Intn(tiles))
 				if dst == msg.TileID(t) {
-					dst = msg.TileID((int(dst) + 1) % 16)
+					dst = msg.TileID((int(dst) + 1) % tiles)
 				}
 				m := &msg.Message{Type: msg.TRequest, SrcTile: msg.TileID(t),
 					DstTile: dst, Payload: payload}
@@ -222,6 +227,23 @@ func BenchmarkMeshSaturated(b *testing.B) {
 		}
 		e.Step()
 	}
+}
+
+func BenchmarkMeshSaturated(b *testing.B) {
+	benchMeshSaturated(b, 4, 4, sim.ParallelAuto, 0)
+}
+
+// BenchmarkMeshSaturated16Serial / Parallel are the A/B pair for the sharded
+// tick scheduler on a 16x16 mesh (512 tickers). The parallel variant forces
+// ParallelOn with auto shard count; on a single-core host it degenerates to
+// the serial path (ParallelOn still requires two populated shards), so the
+// speedup is only visible with GOMAXPROCS > 1.
+func BenchmarkMeshSaturated16Serial(b *testing.B) {
+	benchMeshSaturated(b, 16, 16, sim.ParallelOff, 0)
+}
+
+func BenchmarkMeshSaturated16Parallel(b *testing.B) {
+	benchMeshSaturated(b, 16, 16, sim.ParallelOn, 0)
 }
 
 func BenchmarkSegmentAlloc(b *testing.B) {

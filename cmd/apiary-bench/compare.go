@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// regressionThreshold is the relative change above which a numeric cell is
+// flagged by -compare. 10% absorbs simulator-level noise (seed-identical
+// runs are deterministic, but experiments evolve across PRs; the flag exists
+// to make order-of-magnitude regressions loud, not to pin exact values).
+const regressionThreshold = 0.10
+
+// loadResults reads a -json results file.
+func loadResults(path string) ([]jsonResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []jsonResult
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// cellValue extracts a leading float from a table cell, tolerating the
+// suite's unit suffixes ("3.2x", "41.2/55.1", "87%"). ok is false for
+// non-numeric cells.
+func cellValue(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.Split(s, "/")[0]
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// compareResults diffs two result sets experiment by experiment, printing
+// every numeric cell whose relative change exceeds the threshold. It returns
+// the number of flagged cells. Wall-clock seconds are ignored (they measure
+// the host, not the simulator).
+func compareResults(oldRs, newRs []jsonResult, w *os.File) int {
+	oldByID := make(map[string]jsonResult, len(oldRs))
+	for _, r := range oldRs {
+		oldByID[r.ID] = r
+	}
+	flagged := 0
+	for _, nr := range newRs {
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			fmt.Fprintf(w, "%-4s new experiment (no baseline)\n", nr.ID)
+			continue
+		}
+		rows := len(nr.Rows)
+		if len(or.Rows) != rows {
+			fmt.Fprintf(w, "%-4s row count changed: %d -> %d\n", nr.ID, len(or.Rows), rows)
+			if len(or.Rows) < rows {
+				rows = len(or.Rows)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			for j, col := range nr.Header {
+				if j >= len(or.Rows[i]) || j >= len(nr.Rows[i]) {
+					continue
+				}
+				ov, ook := cellValue(or.Rows[i][j])
+				nv, nok := cellValue(nr.Rows[i][j])
+				if !ook || !nok || ov == nv {
+					continue
+				}
+				base := math.Abs(ov)
+				if base == 0 {
+					base = 1 // absolute change against a zero baseline
+				}
+				rel := (nv - ov) / base
+				if math.Abs(rel) <= regressionThreshold {
+					continue
+				}
+				flagged++
+				fmt.Fprintf(w, "%-4s row %d %-16s %s -> %s (%+.1f%%)\n",
+					nr.ID, i, col+":", or.Rows[i][j], nr.Rows[i][j], 100*rel)
+			}
+		}
+	}
+	for id := range oldByID {
+		found := false
+		for _, nr := range newRs {
+			if nr.ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-4s experiment disappeared\n", id)
+		}
+	}
+	return flagged
+}
+
+// runCompare implements `apiary-bench -compare old.json new.json`: exits 0
+// when no numeric cell moved more than the threshold, 1 otherwise.
+func runCompare(oldPath, newPath string) int {
+	oldRs, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apiary-bench: %v\n", err)
+		return 2
+	}
+	newRs, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apiary-bench: %v\n", err)
+		return 2
+	}
+	flagged := compareResults(oldRs, newRs, os.Stdout)
+	if flagged == 0 {
+		fmt.Printf("no cells moved more than %.0f%% across %d experiments\n",
+			100*regressionThreshold, len(newRs))
+		return 0
+	}
+	fmt.Printf("%d cell(s) moved more than %.0f%%\n", flagged, 100*regressionThreshold)
+	return 1
+}

@@ -6,6 +6,11 @@
 //	apiary-bench -exp e4,e5         # just the latency/energy comparison
 //	apiary-bench -list              # list experiment IDs
 //	apiary-bench -json BENCH.json   # also write results as JSON
+//	apiary-bench -compare old.json new.json
+//	                                # diff two -json files; exit 1 if any
+//	                                # numeric cell moved more than 10%
+//	apiary-bench -parallel on       # force the sharded tick scheduler
+//	                                # (bit-exact; a pure speed knob)
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"apiary/internal/bench"
+	"apiary/internal/sim"
 )
 
 // jsonResult is one experiment's table plus its wall-clock runtime, as
@@ -30,7 +36,29 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (e1..e13) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonPath := flag.String("json", "", "write results as JSON to this file")
+	compare := flag.String("compare", "", "baseline -json file; compare against the new-results file given as the positional argument")
+	parallel := flag.String("parallel", "auto", "tick-phase scheduler for all engines: auto, on, off (bit-exact either way)")
 	flag.Parse()
+
+	switch *parallel {
+	case "auto":
+		sim.SetDefaultParallel(sim.ParallelAuto)
+	case "on":
+		sim.SetDefaultParallel(sim.ParallelOn)
+	case "off":
+		sim.SetDefaultParallel(sim.ParallelOff)
+	default:
+		fmt.Fprintf(os.Stderr, "apiary-bench: -parallel must be auto, on or off\n")
+		os.Exit(2)
+	}
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: apiary-bench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, flag.Arg(0)))
+	}
 
 	if *list {
 		for _, e := range bench.All {

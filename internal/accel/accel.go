@@ -82,6 +82,27 @@ type Idler interface {
 	Idle() bool
 }
 
+// TileLocal is a marker interface for accelerators whose Tick touches only
+// tile-local state: its own fields plus the Port (whose monitor/NI path is
+// tile-local until the staged NoC commit). Such accelerators are safe to
+// tick on their tile's shard during the engine's parallel tick phase
+// (sim.ShardTicker); the shell of a TileLocal accelerator reports the
+// tile's shard affinity instead of forcing the engine serial.
+//
+// Do NOT mark an accelerator TileLocal if its Tick reads or writes anything
+// shared across tiles: an injected channel or histogram, the engine's
+// RNG or event queue (sim.Engine.Schedule), package-level state, or another
+// tile's accelerator. The engine cannot verify the claim; a wrong marker
+// trades determinism for speed, which is exactly backwards.
+type TileLocal interface {
+	tileLocal()
+}
+
+// TileLocalMarker can be embedded to implement TileLocal.
+type TileLocalMarker struct{}
+
+func (TileLocalMarker) tileLocal() {}
+
 // Preemptible is implemented by accelerators that externalize per-context
 // architectural state (paper §4.4: SYNERGY-style). A preemptible
 // accelerator lets the monitor kill or swap a single faulting context while
@@ -157,6 +178,10 @@ type Shell struct {
 	delivered  *sim.Counter
 	dropped    *sim.Counter
 	faultCount *sim.Counter
+
+	// shard is the tile's shard affinity, set by the monitor when the shell
+	// is attached to a tile; -1 (the default) keeps the shell opaque.
+	shard int
 }
 
 // NewShell wraps acc. The monitor installs its hooks with Bind before the
@@ -171,7 +196,44 @@ func NewShell(acc Accelerator, st *sim.Stats) *Shell {
 		delivered:  st.Counter("shell.delivered"),
 		dropped:    st.Counter("shell.dropped"),
 		faultCount: st.Counter("shell.faults"),
+		shard:      -1,
 	}
+}
+
+// SetShard records the tile's shard affinity (the monitor calls this when
+// attaching the shell to a tile's NI). It only takes effect for TileLocal
+// accelerators — see Shard.
+func (s *Shell) SetShard(idx int) { s.shard = idx }
+
+// Shard implements sim.ShardTicker: the tile's shard index when the wrapped
+// accelerator is marked TileLocal and the shell has been attached to a
+// tile, -1 (opaque, forcing the engine serial) otherwise. Counters the
+// shell touches during Tick (delivered/dropped/faults) are shared by name
+// across tiles but atomic, so sharded ticking keeps them exact.
+func (s *Shell) Shard() int {
+	if !IsTileLocal(s.acc) {
+		return -1
+	}
+	return s.shard
+}
+
+// IsTileLocal reports whether a carries the TileLocal marker, looking
+// through wrappers (fault injectors, instrumentation) that expose their
+// inner accelerator via an Unwrap method. A wrapper that adds only
+// tile-local behaviour of its own should implement Unwrap rather than embed
+// the marker, so its locality tracks whatever it wraps.
+func IsTileLocal(a Accelerator) bool {
+	for a != nil {
+		if _, ok := a.(TileLocal); ok {
+			return true
+		}
+		w, ok := a.(interface{ Unwrap() Accelerator })
+		if !ok {
+			return false
+		}
+		a = w.Unwrap()
+	}
+	return false
 }
 
 // Bind installs the monitor's egress and fault hooks.

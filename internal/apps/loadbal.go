@@ -11,6 +11,8 @@ import (
 // over N replica services, routing each reply back to its original
 // requester.
 type LoadBalancer struct {
+	accel.TileLocalMarker // pure Port user: safe on the tile's shard
+
 	replicas []msg.ServiceID
 	rr       int
 	nextSeq  uint32
@@ -104,6 +106,11 @@ type Faulty struct {
 func NewFaulty(a accel.Accelerator, panicAfter int) *Faulty {
 	return &Faulty{Accelerator: a, PanicAfter: panicAfter}
 }
+
+// Unwrap exposes the wrapped accelerator so accel.IsTileLocal can look
+// through the fault injector: Faulty's own behaviour (counting, panicking)
+// is tile-local, so its shard safety is exactly its victim's.
+func (f *Faulty) Unwrap() accel.Accelerator { return f.Accelerator }
 
 // faultyPort counts Recv results so the wrapper knows when to blow up.
 type faultyPort struct {

@@ -19,6 +19,8 @@ import (
 // Wire format on the network flow: [seq u32][payload]; the remote service
 // echoes the seq with its reply.
 type RemoteProxy struct {
+	accel.TileLocalMarker // pure Port user: safe on the tile's shard
+
 	// Remote is the CPU service's network address.
 	Remote msg.NetAddr
 	// Flow is the local flow replies arrive on.

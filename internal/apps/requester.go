@@ -9,6 +9,12 @@ import (
 // Requester is the synthetic closed/open-loop client accelerator used by
 // experiments: it issues requests to a target service at a configured gap,
 // matches replies by sequence number and records end-to-end latency.
+//
+// Requester is deliberately NOT marked accel.TileLocal: it Observes an
+// injected, possibly shared latency Histogram during Tick and runs a
+// caller-supplied Payload closure, both of which may reach beyond the tile.
+// A board hosting a Requester therefore ticks serially — experiments
+// measure latency distributions, where that is the right trade.
 type Requester struct {
 	Target msg.ServiceID
 	// Payload generates the i-th request body.

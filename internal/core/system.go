@@ -103,7 +103,12 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		NodeID:  cfg.NodeID,
 	}
 	s.Tracer = trace.New(cfg.TracerCap)
+	// The tracer commits before the NoC (registration order) so that
+	// tick-phase egress events flush into the ring ahead of the same
+	// cycle's commit-phase ingress events.
+	s.Engine.RegisterCommitter(s.Tracer)
 	s.Noc = noc.NewNetwork(s.Engine, s.Stats, noc.Config{Dims: cfg.Dims})
+	s.Tracer.SetShards(s.Noc.NumShards())
 
 	if !cfg.SkipFloorplan {
 		regions, err := fabric.Floorplan(board.Device, cfg.Dims.Tiles(),

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"apiary/internal/msg"
@@ -12,6 +13,14 @@ import (
 type Config struct {
 	Dims  Dims
 	Route RouteFunc // defaults to RouteXY
+
+	// Shards is the number of contiguous row bands the mesh is partitioned
+	// into for the sharded tick phase (clamped to [1, H]). 0 means auto:
+	// min(GOMAXPROCS, H), one band per core the worker pool can use. A
+	// single shard still stages effects — staging is what keeps serial and
+	// parallel runs (and any shard count) bit-identical — it just never
+	// engages the parallel scheduler.
+	Shards int
 }
 
 // Network is a complete mesh NoC: routers, links (implicit in router
@@ -23,17 +32,26 @@ type Network struct {
 	nis     []*NetworkInterface
 	stats   *sim.Stats
 
-	// pool recycles Flit/Packet objects network-wide (allocated at NI
-	// injection, freed at ejection).
-	pool flitPool
+	// shards are the per-row-band staging areas and flit pools; see
+	// shard.go. Network itself is the sim.Committer that drains them.
+	shards []*nocShard
+
+	// Shared counters the commit phase merges per-shard deltas into.
+	cFlitsRouted *sim.Counter
+	cPktsRouted  *sim.Counter
+	cStallNoCred *sim.Counter
+	cStallNoVC   *sim.Counter
+	cSent        *sim.Counter
+
 	// inflight counts packets between Send and ejection, making Quiescent
-	// O(1).
+	// O(1). Valid between cycles (staged deltas merge at commit).
 	inflight int
 }
 
 // NewNetwork builds a W×H mesh attached to the engine. All routers and NIs
 // are registered as tickers in deterministic (row-major, routers before
-// NIs) order.
+// NIs) order, and the network registers itself as the engine's Committer
+// for staged cross-shard effects.
 func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 	if cfg.Dims.W < 1 || cfg.Dims.H < 1 {
 		panic(fmt.Sprintf("noc: invalid dims %dx%d", cfg.Dims.W, cfg.Dims.H))
@@ -43,11 +61,14 @@ func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 		route = RouteXY
 	}
 	n := &Network{engine: e, dims: cfg.Dims, stats: st}
+	n.cFlitsRouted = st.Counter("noc.flits_routed")
+	n.cPktsRouted = st.Counter("noc.pkts_routed")
+	n.cStallNoCred = st.Counter("noc.stall_no_credit")
+	n.cStallNoVC = st.Counter("noc.stall_no_vc")
 	for y := 0; y < cfg.Dims.H; y++ {
 		for x := 0; x < cfg.Dims.W; x++ {
 			c := Coord{x, y}
-			r := newRouter(c, route, st)
-			r.pool = &n.pool
+			r := newRouter(c, route)
 			n.routers = append(n.routers, r)
 		}
 	}
@@ -73,12 +94,19 @@ func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 		ni := newNI(msg.TileID(i), c, n, r, st)
 		n.nis = append(n.nis, ni)
 	}
+	n.cSent = st.Counter("noc.msgs_sent")
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	n.assignShards(shards)
 	for _, r := range n.routers {
 		e.Register(r)
 	}
 	for _, ni := range n.nis {
 		e.Register(ni)
 	}
+	e.RegisterCommitter(n)
 	return n
 }
 
@@ -97,7 +125,9 @@ func (n *Network) Router(t msg.TileID) *Router {
 
 // Quiescent reports whether no packets are queued or in flight anywhere.
 // O(1): every packet is counted from Send until its tail flit ejects, which
-// covers both NI injection queues and router buffers.
+// covers both NI injection queues and router buffers. Valid between cycles
+// (RunUntil conditions, tests); mid-cycle the staged per-shard deltas have
+// not merged yet.
 func (n *Network) Quiescent() bool { return n.inflight == 0 }
 
 // LinkLoad is one directed link's traffic.

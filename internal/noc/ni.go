@@ -33,6 +33,12 @@ type NetworkInterface struct {
 	// injCred mirrors the router Local input buffer occupancy.
 	injCred [NumVCs]*outVC
 
+	// shard is the tile's row-band staging area (shared with the tile's
+	// router); shardIdx is the sim.ShardTicker affinity. Assigned by
+	// Network.assignShards.
+	shard    *nocShard
+	shardIdx int
+
 	nextPktID uint64
 
 	sent      *sim.Counter
@@ -45,6 +51,7 @@ func newNI(tile msg.TileID, c Coord, net *Network, r *Router, st *sim.Stats) *Ne
 	for v := 0; v < NumVCs; v++ {
 		ni.injCred[v] = &outVC{credits: BufDepth}
 		r.in[Local][v].creditTo = ni.injCred[v]
+		r.in[Local][v].creditLocal = true
 	}
 	r.local = ni
 	ni.sent = st.Counter("noc.msgs_sent")
@@ -52,6 +59,11 @@ func newNI(tile msg.TileID, c Coord, net *Network, r *Router, st *sim.Stats) *Ne
 	ni.latency = st.Histogram("noc.msg_latency_cycles")
 	return ni
 }
+
+// Shard reports the NI's row-band index (sim.ShardTicker). The NI shares
+// its tile's shard: injection touches only the tile's own router and the
+// shard staging area.
+func (ni *NetworkInterface) Shard() int { return ni.shardIdx }
 
 // Tile reports the NI's tile ID.
 func (ni *NetworkInterface) Tile() msg.TileID { return ni.tile }
@@ -81,7 +93,7 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	}
 	vc := ClassVC(m.Type)
 	ni.nextPktID++
-	pkt := ni.net.pool.getPacket()
+	pkt := ni.shard.pool.getPacket()
 	*pkt = Packet{
 		ID:       ni.nextPktID | uint64(ni.tile)<<48,
 		Src:      ni.coord,
@@ -93,8 +105,18 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	}
 	ni.injQ[vc] = append(ni.injQ[vc], pkt)
 	ni.queued++
-	ni.net.inflight++
-	ni.sent.Inc()
+	// The queue itself is tile-local (Send during the tick phase can only
+	// come from this tile's shell/monitor, which share the NI's shard), but
+	// the in-flight count and the sent counter are network-global: stage
+	// them when inside a tick phase, mutate directly otherwise (setup code,
+	// event handlers, commit-phase delivery callbacks).
+	if ni.net.engine.InTickPhase() {
+		ni.shard.inflight++
+		ni.shard.sent++
+	} else {
+		ni.net.inflight++
+		ni.sent.Inc()
+	}
 	return nil
 }
 
@@ -117,7 +139,7 @@ func (ni *NetworkInterface) Tick(now sim.Cycle) {
 			ni.flitsLeft[v] = pkt.NumFlits
 		}
 		idx := pkt.NumFlits - ni.flitsLeft[v]
-		f := ni.net.pool.getFlit(pkt, idx, ni.flitsLeft[v] == 1)
+		f := ni.shard.pool.getFlit(pkt, idx, ni.flitsLeft[v] == 1)
 		ni.injCred[v].credits--
 		ni.router.accept(Local, v, f, now)
 		ni.flitsLeft[v]--
@@ -130,8 +152,11 @@ func (ni *NetworkInterface) Tick(now sim.Cycle) {
 	}
 }
 
-// eject is called by the router when a packet's tail flit leaves through the
-// Local port.
+// eject delivers a packet whose tail flit left through the Local port. It
+// runs only in the commit phase (Network.Commit drains the staged ejections
+// in tile order), so it may freely touch network-global state — the
+// in-flight count, the shared latency histogram — and invoke the delivery
+// callback, which may itself Send a reply.
 func (ni *NetworkInterface) eject(pkt *Packet, now sim.Cycle) {
 	ni.net.inflight--
 	ni.delivered.Inc()

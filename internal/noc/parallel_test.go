@@ -1,0 +1,227 @@
+package noc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// nocSnapshot captures everything externally observable about a finished
+// run: every counter, every histogram's distribution, the full delivery
+// order and per-link flit loads. Two runs are "bit-exact" iff their
+// snapshots are deeply equal.
+type nocSnapshot struct {
+	Now             sim.Cycle
+	Counters        map[string]uint64
+	HistStats       map[string][6]float64 // count, mean, min, max, p50, p99
+	Delivery        []string              // in delivery order
+	Links           []LinkLoad
+	Rejected        int
+	CreditViolation string
+}
+
+// runTraffic builds an 8x8 mesh with the given shard count, parallel mode
+// and idle-skip setting, drives saturated uniform-random traffic from engine
+// events (a traffic RNG separate from the engine's), runs to quiescence and
+// snapshots the result.
+func runTraffic(t *testing.T, seed uint64, shards int, mode sim.ParallelMode, idleSkip bool) nocSnapshot {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	defer e.Close()
+	e.SetIdleSkip(idleSkip)
+	st := sim.NewStats()
+	n := NewNetwork(e, st, Config{Dims: Dims{8, 8}, Shards: shards})
+	e.SetParallel(mode)
+
+	snap := nocSnapshot{
+		Counters:  make(map[string]uint64),
+		HistStats: make(map[string][6]float64),
+	}
+	tiles := n.Dims().Tiles()
+	for i := 0; i < tiles; i++ {
+		tile := msg.TileID(i)
+		n.NI(tile).SetDeliver(func(m *msg.Message, lat sim.Cycle) {
+			snap.Delivery = append(snap.Delivery,
+				fmt.Sprintf("%d<-%d seq=%d lat=%d now=%d", tile, m.SrcTile, m.Seq, lat, e.Now()))
+		})
+	}
+
+	// Injection waves: every 4 cycles an event sends a burst of random
+	// messages. Events run before the tick phase on the main goroutine, so
+	// Send takes the direct (non-staged) path in both modes; the traffic
+	// RNG keeps the engine RNG untouched and the pattern identical across
+	// configurations. Bursts of 24 msgs/4 cycles over 64 tiles keep the
+	// mesh saturated (rejects from full NI queues are part of the pattern
+	// and must themselves be deterministic).
+	rng := sim.NewRNG(seed * 1234)
+	types := []msg.Type{msg.TRequest, msg.TReply, msg.TCtlPing, msg.TMemRead, msg.TError}
+	var seq uint32
+	const waves = 50
+	for w := 0; w < waves; w++ {
+		e.Schedule(sim.Cycle(1+4*w), func(now sim.Cycle) {
+			for k := 0; k < 24; k++ {
+				src := msg.TileID(rng.Intn(tiles))
+				m := &msg.Message{
+					Type:    types[rng.Intn(len(types))],
+					SrcTile: src,
+					DstTile: msg.TileID(rng.Intn(tiles)),
+					Seq:     seq,
+					Payload: make([]byte, rng.Intn(200)),
+				}
+				seq++
+				if err := n.NI(src).Send(m); err != nil {
+					snap.Rejected++
+				}
+			}
+		})
+	}
+
+	e.Run(sim.Cycle(1 + 4*waves))
+	if !e.RunUntil(n.Quiescent, 200000) {
+		t.Fatalf("mesh did not quiesce (shards=%d mode=%v skip=%v)", shards, mode, idleSkip)
+	}
+	// Land every configuration on the same final cycle so Now and the
+	// utilization window match regardless of how fast each drained.
+	if e.Now() < 3000 {
+		e.Run(3000 - e.Now())
+	}
+
+	snap.Now = e.Now()
+	for _, c := range st.Counters() {
+		snap.Counters[c.Name] = c.Value()
+	}
+	for _, h := range st.Histograms() {
+		snap.HistStats[h.Name] = [6]float64{
+			float64(h.Count()), h.Mean(), h.Min(), h.Max(), h.Quantile(0.5), h.Quantile(0.99),
+		}
+	}
+	snap.Links = n.LinkUtilization()
+	snap.CreditViolation = n.CreditInvariantViolation()
+	return snap
+}
+
+// TestParallelDifferential is the tentpole's proof obligation: under
+// saturated random traffic on an 8x8 mesh, a parallel run is bit-exact with
+// a serial one — every noc.* counter, the latency distribution, the delivery
+// order and the per-link flit counts — for every combination of parallel
+// mode, shard count and idle-skip, across seeds.
+func TestParallelDifferential(t *testing.T) {
+	for _, seed := range []uint64{7, 99, 2026} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := runTraffic(t, seed, 1, sim.ParallelOff, false)
+			if base.CreditViolation != "" {
+				t.Fatalf("credit invariant (baseline): %s", base.CreditViolation)
+			}
+			if len(base.Delivery) == 0 || base.Counters["noc.msgs_delivered"] == 0 {
+				t.Fatal("baseline run delivered nothing; the differential proves nothing")
+			}
+			if base.Counters["noc.stall_no_credit"] == 0 {
+				t.Fatal("baseline run never stalled on credits; traffic is not saturating")
+			}
+
+			for _, shards := range []int{1, 2, 4, 8} {
+				for _, mode := range []sim.ParallelMode{sim.ParallelOff, sim.ParallelOn} {
+					for _, skip := range []bool{false, true} {
+						shards, mode, skip := shards, mode, skip
+						name := fmt.Sprintf("shards=%d/mode=%v/skip=%v", shards, mode, skip)
+						t.Run(name, func(t *testing.T) {
+							got := runTraffic(t, seed, shards, mode, skip)
+							diffSnapshots(t, base, got)
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+func diffSnapshots(t *testing.T, want, got nocSnapshot) {
+	t.Helper()
+	if got.Now != want.Now {
+		t.Errorf("Now = %d, want %d", got.Now, want.Now)
+	}
+	if got.Rejected != want.Rejected {
+		t.Errorf("rejected sends = %d, want %d", got.Rejected, want.Rejected)
+	}
+	if got.CreditViolation != want.CreditViolation {
+		t.Errorf("credit invariant: %q, want %q", got.CreditViolation, want.CreditViolation)
+	}
+	for name, w := range want.Counters {
+		if g := got.Counters[name]; g != w {
+			t.Errorf("counter %s = %d, want %d", name, g, w)
+		}
+	}
+	for name, w := range want.HistStats {
+		if g := got.HistStats[name]; g != w {
+			t.Errorf("histogram %s = %v, want %v", name, g, w)
+		}
+	}
+	if len(got.Delivery) != len(want.Delivery) {
+		t.Fatalf("delivered %d messages, want %d", len(got.Delivery), len(want.Delivery))
+	}
+	for i := range want.Delivery {
+		if got.Delivery[i] != want.Delivery[i] {
+			t.Fatalf("delivery[%d] = %q, want %q", i, got.Delivery[i], want.Delivery[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Links, want.Links) {
+		t.Errorf("link utilization differs")
+	}
+}
+
+// TestParallelEngagesOnMesh checks the auto/forced activation story against
+// a real mesh: 8x8 with forced shards engages under ParallelOn regardless of
+// CPU count, and ShardOf partitions rows contiguously.
+func TestParallelEngagesOnMesh(t *testing.T) {
+	e := sim.NewEngine(1)
+	defer e.Close()
+	st := sim.NewStats()
+	n := NewNetwork(e, st, Config{Dims: Dims{8, 8}, Shards: 4})
+	if n.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", n.NumShards())
+	}
+	e.SetParallel(sim.ParallelOn)
+	if !e.ParallelActive() {
+		t.Fatal("ParallelOn not active on a fully sharded 8x8 mesh")
+	}
+	if e.NumShards() != 4 {
+		t.Fatalf("engine NumShards = %d, want 4", e.NumShards())
+	}
+	// Shards are contiguous row bands in ascending order.
+	last := 0
+	for y := 0; y < 8; y++ {
+		s := n.ShardOf(msg.TileID(y * 8))
+		if s < last || s > y/2 {
+			t.Fatalf("row %d in shard %d (last %d)", y, s, last)
+		}
+		for x := 1; x < 8; x++ {
+			if n.ShardOf(msg.TileID(y*8+x)) != s {
+				t.Fatalf("row %d not shard-uniform", y)
+			}
+		}
+		last = s
+	}
+
+	// Shard counts beyond H clamp to H; zero-config auto never exceeds H.
+	n2 := NewNetwork(sim.NewEngine(1), sim.NewStats(), Config{Dims: Dims{2, 2}, Shards: 64})
+	if n2.NumShards() != 2 {
+		t.Fatalf("clamped NumShards = %d, want 2", n2.NumShards())
+	}
+}
+
+// TestParallelRaceSaturated exists to give the race detector a workload: a
+// saturated parallel run with every staging path hot. Run via `make check`
+// (go test -race); without -race it is just a smoke test.
+func TestParallelRaceSaturated(t *testing.T) {
+	snap := runTraffic(t, 7, 8, sim.ParallelOn, true)
+	if snap.CreditViolation != "" {
+		t.Fatalf("credit invariant: %s", snap.CreditViolation)
+	}
+	if snap.Counters["noc.msgs_delivered"] == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

@@ -20,9 +20,13 @@ type inVC struct {
 	granted bool // holds the output VC (same index) at outPort
 
 	// creditTo is the upstream output VC (or NI injection VC) whose credit
-	// is returned when a flit leaves this buffer. Nil only in unit tests
-	// that drive a router directly.
-	creditTo *outVC
+	// is returned when a flit leaves this buffer. creditLocal marks the NI
+	// injection case: the credit target lives on this router's own tile
+	// (same shard), so it is returned directly; inter-router credits are
+	// staged and applied at commit, uniformly in both tick modes, so
+	// credit-return timing never depends on tick order or shard layout.
+	creditTo    *outVC
+	creditLocal bool
 }
 
 func (v *inVC) empty() bool { return len(v.fifo) == 0 }
@@ -33,9 +37,6 @@ func (v *inVC) pop() *Flit {
 	copy(v.fifo, v.fifo[1:])
 	v.fifo[len(v.fifo)-1] = nil
 	v.fifo = v.fifo[:len(v.fifo)-1]
-	if v.creditTo != nil {
-		v.creditTo.credits++
-	}
 	return f
 }
 
@@ -70,24 +71,19 @@ type Router struct {
 	occ    [numPorts]uint8
 	busyIn int
 
-	// pool recycles flits/packets at the ejection port; nil for routers
-	// driven directly in unit tests.
-	pool *flitPool
+	// shard is the staging area of the row band this router belongs to;
+	// pool aliases the shard's flit pool. shardIdx is the band index the
+	// router reports as its sim.ShardTicker affinity. Assigned by
+	// Network.assignShards before the router can ever tick.
+	shard    *nocShard
+	shardIdx int
+	pool     *flitPool
 
 	// linkFlits counts flits forwarded per output port (link utilization).
 	linkFlits [numPorts]uint64
-
-	stats *routerStats
 }
 
-type routerStats struct {
-	flitsRouted *sim.Counter
-	pktsRouted  *sim.Counter
-	stallNoCred *sim.Counter
-	stallNoVC   *sim.Counter
-}
-
-func newRouter(c Coord, route RouteFunc, st *sim.Stats) *Router {
+func newRouter(c Coord, route RouteFunc) *Router {
 	r := &Router{Coord: c, route: route}
 	for p := Port(0); p < numPorts; p++ {
 		for v := 0; v < NumVCs; v++ {
@@ -97,14 +93,12 @@ func newRouter(c Coord, route RouteFunc, st *sim.Stats) *Router {
 			r.out[p][v] = &outVC{credits: BufDepth}
 		}
 	}
-	r.stats = &routerStats{
-		flitsRouted: st.Counter("noc.flits_routed"),
-		pktsRouted:  st.Counter("noc.pkts_routed"),
-		stallNoCred: st.Counter("noc.stall_no_credit"),
-		stallNoVC:   st.Counter("noc.stall_no_vc"),
-	}
 	return r
 }
+
+// Shard reports the router's row-band index (sim.ShardTicker): all of a
+// router's tick-phase mutations stay within its own shard's state.
+func (r *Router) Shard() int { return r.shardIdx }
 
 // accept enqueues a flit arriving on (port, vc). The caller must have held a
 // credit; accept panics on overflow because that indicates a flow-control
@@ -123,9 +117,22 @@ func (r *Router) accept(p Port, vc VCID, f *Flit, now sim.Cycle) {
 }
 
 // popIn pops the head flit of input (p, vc), keeping the occupancy mask and
-// busy count in sync. All dequeues inside the router go through here.
+// busy count in sync, and returns the freed buffer slot's credit upstream.
+// All dequeues inside the router go through here. Injection credits go back
+// directly — the NI lives on this tile, in this shard, and ticks after its
+// router, so the direct return reproduces the serial order exactly.
+// Inter-router credits are staged for the commit phase: the upstream output
+// VC may belong to another shard, and even shard-locally the uniform
+// end-of-cycle return keeps credit timing independent of tick order.
 func (r *Router) popIn(p Port, vc VCID, ivc *inVC) *Flit {
 	f := ivc.pop()
+	if ivc.creditTo != nil {
+		if ivc.creditLocal {
+			ivc.creditTo.credits++
+		} else {
+			r.shard.credits = append(r.shard.credits, ivc.creditTo)
+		}
+	}
 	if len(ivc.fifo) == 0 {
 		r.occ[p] &^= 1 << uint(vc)
 		r.busyIn--
@@ -177,7 +184,7 @@ func (r *Router) Tick(now sim.Cycle) {
 					ovc.owner = ivc
 					ivc.granted = true
 				} else if ovc.owner != ivc {
-					r.stats.stallNoVC.Inc()
+					r.shard.stallNoVC++
 				}
 			}
 			if ivc.granted {
@@ -246,25 +253,23 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 
 	if outP == Local {
 		// Ejection: the NI consumes at most one flit per VC per cycle but
-		// has no buffer limit (reassembly happens immediately).
+		// has no buffer limit (reassembly happens immediately). The flit
+		// itself dies here (shard-local pool), but the packet's delivery —
+		// the NI callback, the shared latency histogram, in-flight
+		// accounting — is staged for the commit phase, where Network.Commit
+		// replays ejections in global tile order whichever mode ticked.
 		r.popIn(p, vc, ivc)
-		r.stats.flitsRouted.Inc()
+		r.shard.flitsRouted++
 		r.linkFlits[Local]++
 		if f.Tail {
 			r.releaseVC(ivc, ovc)
-			r.stats.pktsRouted.Inc()
-			pkt := f.Pkt
-			r.local.eject(pkt, now)
-			// Wormhole ordering makes the tail the packet's last flit to
-			// eject, so the packet (and all its flits, freed one by one
-			// below) is dead once eject returns.
-			if r.pool != nil {
-				r.pool.putPacket(pkt)
-			}
+			r.shard.pktsRouted++
+			// Wormhole ordering makes the tail the packet's last flit, so
+			// every earlier flit was already freed below; the packet stays
+			// alive in the staging queue until its commit-phase eject.
+			r.shard.ejections = append(r.shard.ejections, ejection{r.local, f.Pkt})
 		}
-		if r.pool != nil {
-			r.pool.putFlit(f)
-		}
+		r.pool.putFlit(f)
 		return true
 	}
 
@@ -274,18 +279,22 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		panic("noc: route off mesh edge at " + r.Coord.String())
 	}
 	if ovc.credits == 0 {
-		r.stats.stallNoCred.Inc()
+		r.shard.stallNoCred++
 		return false
 	}
 	r.popIn(p, vc, ivc)
 	ovc.credits--
-	r.stats.flitsRouted.Inc()
+	r.shard.flitsRouted++
 	r.linkFlits[outP]++
-	inPort := outP.opposite()
-	next.accept(inPort, vc, f, now)
+	// The neighbour may belong to another shard, so the handoff is staged;
+	// Network.Commit calls next.accept. Timing is unchanged — an accepted
+	// flit only becomes routable the following cycle (arrivedAt guard) —
+	// and at most one flit crosses a link per cycle, so commit order across
+	// links cannot matter.
+	r.shard.handoffs = append(r.shard.handoffs, handoff{next, outP.opposite(), vc, f})
 	if f.Tail {
 		r.releaseVC(ivc, ovc)
-		r.stats.pktsRouted.Inc()
+		r.shard.pktsRouted++
 	}
 	return true
 }

@@ -1,0 +1,153 @@
+package noc
+
+import (
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// nocShard holds everything one spatial shard of the mesh may touch during
+// the tick phase without synchronization: a private flit/packet pool and the
+// staging queues for effects that cross the shard boundary (or that must be
+// ordered deterministically across shards). Network.Commit drains the
+// queues shard-by-shard in ascending shard order, which — because shards
+// are contiguous row bands visited in tile order within a shard — is
+// exactly global tile order, the same order a serial tick would have staged
+// them in. That identity is what makes parallel runs bit-exact.
+type nocShard struct {
+	pool flitPool
+
+	// credits are inter-router credit returns staged by popIn: each entry's
+	// counter is incremented once at commit. Increments commute (≤1 per
+	// link per cycle and integer adds), so cross-shard order is irrelevant.
+	credits []*outVC
+
+	// handoffs are flits forwarded to a neighbour router, applied via
+	// Router.accept at commit. At most one flit crosses a given link per
+	// cycle and each (router, port) pair is fed by exactly one link, so no
+	// two handoffs in a cycle target the same input FIFO — commit order
+	// across shards cannot matter.
+	handoffs []handoff
+
+	// ejections are packets whose tail left through the Local port,
+	// delivered (NI callback + latency observation) at commit. A router
+	// ejects at most one packet per cycle; committing shard-by-shard in
+	// tile order keeps the shared latency histogram's float sum — the one
+	// order-sensitive reduction in the NoC — deterministic and equal to the
+	// serial order.
+	ejections []ejection
+
+	// Counter deltas, merged into the shared sim.Counters at commit so the
+	// hot paths touch no cross-core cache lines. (Ejection-side counters
+	// need no deltas: eject only ever runs in the commit phase.)
+	flitsRouted uint64
+	pktsRouted  uint64
+	stallNoCred uint64
+	stallNoVC   uint64
+	sent        uint64
+	inflight    int
+}
+
+type handoff struct {
+	to *Router
+	p  Port
+	vc VCID
+	f  *Flit
+}
+
+type ejection struct {
+	ni  *NetworkInterface
+	pkt *Packet
+}
+
+// assignShards partitions the mesh into n contiguous row bands (shard s
+// covers rows [s*H/n, (s+1)*H/n)) and points every router and NI at its
+// band's staging area. Contiguity matters twice: it keeps each shard's
+// internal tile order a contiguous run of the global tile order (the
+// determinism argument above), and it puts each router next to 3 of its 4
+// neighbours, so only the band-boundary links ever stage cross-shard.
+func (n *Network) assignShards(count int) {
+	if count < 1 {
+		count = 1
+	}
+	if count > n.dims.H {
+		count = n.dims.H
+	}
+	n.shards = make([]*nocShard, count)
+	for s := range n.shards {
+		n.shards[s] = &nocShard{}
+	}
+	for i, r := range n.routers {
+		c := n.dims.Coord(msg.TileID(i))
+		s := c.Y * count / n.dims.H
+		r.shard = n.shards[s]
+		r.shardIdx = s
+		r.pool = &n.shards[s].pool
+	}
+	for i, ni := range n.nis {
+		r := n.routers[i]
+		ni.shard = r.shard
+		ni.shardIdx = r.shardIdx
+	}
+}
+
+// NumShards reports how many row-band shards the mesh is partitioned into.
+func (n *Network) NumShards() int { return len(n.shards) }
+
+// ShardOf reports the shard index of tile t — the shard affinity that
+// tile-local tickers (shells, monitors) declare to run on the tile's worker.
+func (n *Network) ShardOf(t msg.TileID) int { return n.routers[int(t)].shardIdx }
+
+// Commit applies the cycle's staged cross-shard effects in deterministic
+// order: credits, then neighbour handoffs, then counter-delta merges, then
+// ejections — each pass walking shards in ascending order. Ejections go
+// last so a delivery callback that immediately sends a reply (monitor
+// request/response) observes the fully settled network state. Commit runs
+// on the main goroutine (sim.Committer contract), so it may touch any
+// router or NI freely.
+func (n *Network) Commit(now sim.Cycle) {
+	for _, sh := range n.shards {
+		for _, ovc := range sh.credits {
+			ovc.credits++
+		}
+		sh.credits = sh.credits[:0]
+	}
+	for _, sh := range n.shards {
+		for _, h := range sh.handoffs {
+			h.to.accept(h.p, h.vc, h.f, now)
+		}
+		sh.handoffs = sh.handoffs[:0]
+	}
+	for _, sh := range n.shards {
+		if sh.flitsRouted != 0 {
+			n.cFlitsRouted.Add(sh.flitsRouted)
+			sh.flitsRouted = 0
+		}
+		if sh.pktsRouted != 0 {
+			n.cPktsRouted.Add(sh.pktsRouted)
+			sh.pktsRouted = 0
+		}
+		if sh.stallNoCred != 0 {
+			n.cStallNoCred.Add(sh.stallNoCred)
+			sh.stallNoCred = 0
+		}
+		if sh.stallNoVC != 0 {
+			n.cStallNoVC.Add(sh.stallNoVC)
+			sh.stallNoVC = 0
+		}
+		if sh.sent != 0 {
+			n.cSent.Add(sh.sent)
+			sh.sent = 0
+		}
+		n.inflight += sh.inflight
+		sh.inflight = 0
+	}
+	for _, sh := range n.shards {
+		for i := range sh.ejections {
+			ej := sh.ejections[i]
+			sh.ejections[i] = ejection{}
+			ej.ni.eject(ej.pkt, now)
+			sh.pool.putPacket(ej.pkt)
+		}
+		sh.ejections = sh.ejections[:0]
+	}
+}

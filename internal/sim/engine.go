@@ -8,11 +8,19 @@
 // schedule events for future cycles. Determinism is a hard requirement —
 // a simulation built with the same seed and the same registration order
 // always produces identical results.
+//
+// Each cycle has two phases, mirroring a flop-based design: a *tick* phase
+// in which every ticker computes (and cross-component effects are staged),
+// and a *commit* phase in which registered Committers apply staged effects
+// in registration order. The two-phase structure is what allows the tick
+// phase to run sharded across OS threads (see ShardTicker) while staying
+// bit-identical to a serial run.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 )
 
 // Cycle is a point in simulated time, measured in clock cycles since reset.
@@ -45,6 +53,53 @@ type TickerFunc func(now Cycle)
 
 // Tick calls f(now).
 func (f TickerFunc) Tick(now Cycle) { f(now) }
+
+// ShardTicker is a Ticker with declared shard affinity: Shard reports the
+// index of the spatial shard whose worker may tick it during the parallel
+// tick phase, or a negative value for a ticker that is *opaque* — safe only
+// under serial ticking. One opaque ticker keeps the whole engine serial
+// (like a non-IdleTicker disables fast-forward): correctness beats speed.
+//
+// The sharded-tick contract, in addition to Ticker's: while the engine is
+// in the tick phase (InTickPhase), Tick may mutate only state owned by its
+// own shard, plus facilities documented as tick-phase safe (atomic
+// Counters, per-shard staging committed by a Committer). It must not call
+// Schedule/After, must not draw from the engine RNG, and must not Observe
+// shared Histograms. Cross-shard effects are staged and applied by a
+// Committer during the commit phase.
+type ShardTicker interface {
+	Ticker
+	Shard() int
+}
+
+// Committer is implemented by subsystems that stage cross-ticker effects
+// during the tick phase and apply them afterwards. Commit runs on the main
+// goroutine after every ticker has ticked, in committer-registration order,
+// in both serial and parallel modes — so the commit order (and therefore
+// the simulation) is identical whichever mode ran the tick phase.
+type Committer interface {
+	Commit(now Cycle)
+}
+
+// ParallelMode selects how the engine schedules the tick phase.
+type ParallelMode int
+
+// Parallel modes. ParallelAuto (the default) engages the sharded tick
+// phase when every registered ticker declares a shard, more than one shard
+// is populated, the ticker count reaches AutoParallelMinTickers and the
+// process has more than one CPU. ParallelOn drops the size/CPU thresholds
+// (it still requires every ticker to be sharded — opaque tickers always
+// force serial). ParallelOff forces serial ticking.
+const (
+	ParallelAuto ParallelMode = iota
+	ParallelOn
+	ParallelOff
+)
+
+// AutoParallelMinTickers is the ParallelAuto engagement threshold: below
+// this many tickers a cycle is too cheap for barrier synchronization to pay
+// for itself (an 8x8 mesh is 128 tickers; the threshold admits 8x8 and up).
+const AutoParallelMinTickers = 128
 
 // Event is a deferred action scheduled on the engine's event queue.
 type Event struct {
@@ -104,18 +159,48 @@ type Engine struct {
 	idleCapable bool
 	idleSkip    bool
 	skipped     uint64
+
+	committers []Committer
+
+	// Parallel tick-phase state. groups[s] holds shard s's tickers in
+	// registration order; it is rebuilt lazily (groupsDirty) after Register.
+	parMode     ParallelMode
+	groups      [][]Ticker
+	groupsDirty bool
+	numShards   int
+	shardCap    bool // every ticker declares a non-negative shard
+	pool        *workerPool
+
+	// inTick is true while tickers run (serial or parallel); running is
+	// true inside Run/RunUntil/Step. Both guard Register. inTick is only
+	// written by the main goroutine around the worker barrier, so sharded
+	// tickers may read it (via InTickPhase) without further synchronization.
+	inTick  bool
+	parTick bool // tick phase is currently running on the worker pool
+	running bool
 }
 
 // DefaultFreqMHz is the clock frequency assumed when none is configured.
 // 250 MHz is a typical frequency for FPGA datapath logic.
 const DefaultFreqMHz = 250
 
+// defaultParallel is the ParallelMode new engines start in. Process-wide so
+// harnesses (apiary-bench -parallel) can force a mode for engines built
+// deep inside experiments; safe to force either way because parallel
+// execution is bit-exact with serial.
+var defaultParallel = ParallelAuto
+
+// SetDefaultParallel sets the ParallelMode that subsequently created
+// engines start in (equivalent to calling SetParallel on each). Call before
+// building systems, not concurrently with NewEngine.
+func SetDefaultParallel(m ParallelMode) { defaultParallel = m }
+
 // NewEngine returns an engine with the given PRNG seed and a 250 MHz clock.
 // Idle fast-forward is enabled by default; it is behaviour-preserving (see
 // IdleTicker) and can be disabled with SetIdleSkip for A/B testing.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRNG(seed), freqMHz: DefaultFreqMHz,
-		idleCapable: true, idleSkip: true}
+		idleCapable: true, idleSkip: true, parMode: defaultParallel}
 }
 
 // SetIdleSkip enables or disables clock fast-forward across all-idle
@@ -150,13 +235,25 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) RNG() *RNG { return e.rng }
 
 // Register adds a ticker; it will be called every cycle from the next Step
-// on. Registration order defines invocation order and must therefore be
-// deterministic across runs.
+// on. Registration order is the engine's determinism anchor: it defines the
+// serial tick order, the within-shard tick order under parallel execution,
+// and (via Committers) the order staged cross-shard effects apply — so it
+// must itself be deterministic across runs. Register panics if called while
+// a Run/RunUntil is in progress or from inside a tick phase: growing the
+// ticker list mid-run would make the tick order depend on when the ticker
+// joined, which is exactly the nondeterminism the contract exists to
+// exclude. Register from an event fired by a bare Step is permitted (events
+// precede tickers within the cycle, so the new ticker ticks a full first
+// cycle).
 func (e *Engine) Register(t Ticker) {
 	if t == nil {
 		panic("sim: Register(nil)")
 	}
+	if e.running || e.inTick {
+		panic("sim: Register while running")
+	}
 	e.tickers = append(e.tickers, t)
+	e.groupsDirty = true
 	if it, ok := t.(IdleTicker); ok {
 		e.idlers = append(e.idlers, it)
 	} else {
@@ -164,6 +261,113 @@ func (e *Engine) Register(t Ticker) {
 		// we can never prove a cycle is dead.
 		e.idlers = append(e.idlers, nil)
 		e.idleCapable = false
+	}
+}
+
+// RegisterCommitter adds a commit-phase hook, run after the tick phase of
+// every cycle in registration order (see Committer). Registering the same
+// subsystem twice commits it twice; don't.
+func (e *Engine) RegisterCommitter(c Committer) {
+	if c == nil {
+		panic("sim: RegisterCommitter(nil)")
+	}
+	if e.running || e.inTick {
+		panic("sim: RegisterCommitter while running")
+	}
+	e.committers = append(e.committers, c)
+}
+
+// SetParallel selects the tick-phase scheduling mode (see ParallelMode).
+// The default is ParallelAuto.
+func (e *Engine) SetParallel(m ParallelMode) { e.parMode = m }
+
+// ParallelActive reports whether the next tick phase would run sharded.
+// Like IdleSkip it is a pure speedup knob: a parallel run is bit-identical
+// to a serial one, which TestParallelDifferential proves over saturated
+// random traffic.
+func (e *Engine) ParallelActive() bool { return e.parallelActive() }
+
+// NumShards reports how many populated shards the engine would tick in
+// parallel (0 when any ticker is opaque).
+func (e *Engine) NumShards() int {
+	if e.groupsDirty {
+		e.refreshShards()
+	}
+	return e.numShards
+}
+
+// InTickPhase reports whether the engine is inside the tick phase of a
+// cycle (in either mode). Components with both a direct and a staged path
+// for a cross-component effect use it to pick: staged during the tick
+// phase, direct otherwise (commit phase, event handlers, setup code).
+// During a parallel tick phase the flag is written by the main goroutine
+// before the workers are released and after they finish, so workers read it
+// race-free.
+func (e *Engine) InTickPhase() bool { return e.inTick }
+
+// Close stops the engine's worker pool, if one was ever started. An engine
+// is usable without ever calling Close (the pool is spawned lazily on first
+// parallel tick); call it from tests and benchmarks that create many
+// engines to avoid accumulating idle goroutines. Using the engine after
+// Close restarts the pool on demand.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// refreshShards rebuilds the per-shard ticker groups after registration
+// changes. Groups preserve registration order within a shard and are
+// ordered by ascending shard index across shards, so the serial order is
+// the concatenation of the groups.
+func (e *Engine) refreshShards() {
+	e.groupsDirty = false
+	e.shardCap = true
+	maxShard := -1
+	for _, t := range e.tickers {
+		st, ok := t.(ShardTicker)
+		if !ok || st.Shard() < 0 {
+			e.shardCap = false
+			e.groups = nil
+			e.numShards = 0
+			return
+		}
+		if s := st.Shard(); s > maxShard {
+			maxShard = s
+		}
+	}
+	byShard := make([][]Ticker, maxShard+1)
+	for _, t := range e.tickers {
+		s := t.(ShardTicker).Shard()
+		byShard[s] = append(byShard[s], t)
+	}
+	e.groups = e.groups[:0]
+	for _, g := range byShard {
+		if len(g) > 0 {
+			e.groups = append(e.groups, g)
+		}
+	}
+	e.numShards = len(e.groups)
+}
+
+// parallelActive decides, per the configured ParallelMode, whether the tick
+// phase runs sharded. All modes require every ticker to declare a shard and
+// at least two shards to be populated; Auto additionally requires the
+// ticker count to reach AutoParallelMinTickers and more than one CPU.
+func (e *Engine) parallelActive() bool {
+	if e.groupsDirty {
+		e.refreshShards()
+	}
+	switch e.parMode {
+	case ParallelOff:
+		return false
+	case ParallelOn:
+		return e.shardCap && e.numShards > 1
+	default:
+		return e.shardCap && e.numShards > 1 &&
+			len(e.tickers) >= AutoParallelMinTickers &&
+			runtime.GOMAXPROCS(0) > 1
 	}
 }
 
@@ -184,8 +388,15 @@ func (e *Engine) allIdle() bool {
 
 // Schedule queues fn to run at cycle `at`. Scheduling in the past (or the
 // current cycle, which has already begun) panics, because it would silently
-// break causality.
+// break causality. Scheduling from inside a parallel tick phase panics too:
+// the event heap is not shared-safe, and a heap whose insertion order
+// depends on worker interleaving would break the seq tie-break that keeps
+// same-cycle events deterministic. (Serial tick phases may schedule freely —
+// that is what opaque tickers are for.)
 func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
+	if e.parTick {
+		panic("sim: Schedule during parallel tick phase (sharded tickers must stage via a Committer)")
+	}
 	if at <= e.now && e.now != 0 {
 		panic(fmt.Sprintf("sim: Schedule at cycle %d but now is %d", at, e.now))
 	}
@@ -195,8 +406,12 @@ func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
 	return ev
 }
 
-// After queues fn to run d cycles from now (d must be >= 1).
+// After queues fn to run d cycles from now (d must be >= 1). Like Schedule
+// it panics if called from a parallel tick phase.
 func (e *Engine) After(d Cycle, fn func(now Cycle)) *Event {
+	if e.parTick {
+		panic("sim: After during parallel tick phase (sharded tickers must stage via a Committer)")
+	}
 	if d == 0 {
 		d = 1
 	}
@@ -219,8 +434,12 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Step advances the simulation exactly one cycle: events due this cycle
-// fire first, then every ticker runs. Step never fast-forwards; the
-// idle-skip optimization lives in Run/RunUntil, which know their budget.
+// fire first, then the tick phase runs every ticker (serially in
+// registration order, or sharded across the worker pool — bit-identical
+// either way), then the commit phase applies staged cross-shard effects via
+// the registered Committers in registration order. Step never
+// fast-forwards; the idle-skip optimization lives in Run/RunUntil, which
+// know their budget.
 func (e *Engine) Step() {
 	e.now++
 	for len(e.events) > 0 && e.events[0].At <= e.now {
@@ -229,9 +448,29 @@ func (e *Engine) Step() {
 			ev.Do(e.now)
 		}
 	}
-	for _, t := range e.tickers {
-		t.Tick(e.now)
+	e.tickAll()
+	for _, c := range e.committers {
+		c.Commit(e.now)
 	}
+}
+
+// tickAll runs the tick phase of the current cycle in the active mode.
+func (e *Engine) tickAll() {
+	e.inTick = true
+	if e.parallelActive() {
+		if e.pool == nil || e.pool.size() != len(e.groups) {
+			e.Close()
+			e.pool = newWorkerPool(e)
+		}
+		e.parTick = true
+		e.pool.tick(e.now)
+		e.parTick = false
+	} else {
+		for _, t := range e.tickers {
+			t.Tick(e.now)
+		}
+	}
+	e.inTick = false
 }
 
 // maybeSkip fast-forwards the clock to one cycle before the earliest
@@ -262,11 +501,13 @@ func (e *Engine) Run(n Cycle) {
 		e.stopped = false
 		return
 	}
+	e.running = true
 	end := e.now + n
 	for e.now < end && !e.stopped {
 		e.maybeSkip(end)
 		e.Step()
 	}
+	e.running = false
 	e.stopped = false
 }
 
@@ -296,11 +537,13 @@ func (e *Engine) RunUntilEvery(cond func() bool, budget, stride Cycle) bool {
 		e.stopped = false
 		return cond()
 	}
+	e.running = true
 	end := e.now + budget
 	sinceCheck := stride // evaluate once before the first cycle
 	for e.now < end && !e.stopped {
 		if sinceCheck >= stride {
 			if cond() {
+				e.running = false
 				return true
 			}
 			sinceCheck = 0
@@ -310,6 +553,7 @@ func (e *Engine) RunUntilEvery(cond func() bool, budget, stride Cycle) bool {
 		e.Step()
 		sinceCheck += e.now - start
 	}
+	e.running = false
 	e.stopped = false
 	return cond()
 }

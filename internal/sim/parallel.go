@@ -1,0 +1,62 @@
+package sim
+
+import "sync"
+
+// workerPool is the persistent goroutine pool that runs the sharded tick
+// phase: one worker per populated shard, each ticking its shard's tickers
+// in registration order, barrier-synchronized per cycle.
+//
+// Synchronization is a fan-out/fan-in pair per cycle: the main goroutine's
+// channel sends release the workers (and happen-before everything the
+// workers do, so the workers see e.now, e.inTick and any setup the main
+// goroutine performed), and wg.Wait happens-after every worker's Done (so
+// the commit phase sees every staged effect). Workers never touch shared
+// engine state beyond their own groups slice and tick-phase-safe
+// facilities, which is exactly the ShardTicker contract.
+type workerPool struct {
+	e     *Engine
+	chans []chan Cycle
+	wg    sync.WaitGroup
+}
+
+// newWorkerPool spawns one worker per current shard group. The pool is tied
+// to the group count at creation time; the engine recreates it when
+// registration changes the partition.
+func newWorkerPool(e *Engine) *workerPool {
+	p := &workerPool{e: e, chans: make([]chan Cycle, len(e.groups))}
+	for i := range p.chans {
+		ch := make(chan Cycle, 1)
+		p.chans[i] = ch
+		go p.worker(i, ch)
+	}
+	return p
+}
+
+func (p *workerPool) size() int { return len(p.chans) }
+
+func (p *workerPool) worker(i int, ch chan Cycle) {
+	for now := range ch {
+		for _, t := range p.e.groups[i] {
+			t.Tick(now)
+		}
+		p.wg.Done()
+	}
+}
+
+// tick runs one barrier-synchronized tick phase: release every worker for
+// the given cycle, then block until all have finished.
+func (p *workerPool) tick(now Cycle) {
+	p.wg.Add(len(p.chans))
+	for _, ch := range p.chans {
+		ch <- now
+	}
+	p.wg.Wait()
+}
+
+// close shuts the workers down. Pending work has always drained by the time
+// close is called (tick only returns after the barrier).
+func (p *workerPool) close() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+}

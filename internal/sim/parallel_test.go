@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// shardTicker is a test ShardTicker with a fixed shard and a tick hook.
+type shardTicker struct {
+	shard int
+	fn    func(now Cycle)
+}
+
+func (s *shardTicker) Tick(now Cycle) {
+	if s.fn != nil {
+		s.fn(now)
+	}
+}
+func (s *shardTicker) Shard() int { return s.shard }
+
+func TestRegisterWhileRunningPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickerFunc(func(now Cycle) {
+		if now == 2 {
+			e.Register(TickerFunc(func(Cycle) {}))
+		}
+	}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register from a ticker during Run did not panic")
+		}
+	}()
+	e.Run(5)
+}
+
+func TestRegisterFromEventDuringRunPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(2, func(Cycle) {
+		e.Register(TickerFunc(func(Cycle) {}))
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register from an event during Run did not panic")
+		}
+	}()
+	e.Run(5)
+}
+
+func TestRegisterCommitterWhileRunningPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(TickerFunc(func(now Cycle) {
+		e.RegisterCommitter(committerFunc(func(Cycle) {}))
+	}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RegisterCommitter during a tick did not panic")
+		}
+	}()
+	e.Step()
+}
+
+// committerFunc adapts a function to Committer for tests.
+type committerFunc func(now Cycle)
+
+func (f committerFunc) Commit(now Cycle) { f(now) }
+
+// Register from an event fired by a bare Step is explicitly permitted: the
+// event runs before the tick phase, so the new ticker ticks that same cycle.
+func TestRegisterFromBareStepEventAllowed(t *testing.T) {
+	e := NewEngine(1)
+	var ticked []Cycle
+	e.Schedule(1, func(Cycle) {
+		e.Register(TickerFunc(func(now Cycle) { ticked = append(ticked, now) }))
+	})
+	e.Step()
+	e.Step()
+	if len(ticked) != 2 || ticked[0] != 1 || ticked[1] != 2 {
+		t.Fatalf("late-registered ticker ticked at %v, want [1 2]", ticked)
+	}
+}
+
+func TestParallelActiveConditions(t *testing.T) {
+	// Opaque ticker (no Shard method) forces serial in every mode.
+	e := NewEngine(1)
+	e.Register(&shardTicker{shard: 0})
+	e.Register(&shardTicker{shard: 1})
+	e.Register(TickerFunc(func(Cycle) {}))
+	e.SetParallel(ParallelOn)
+	if e.ParallelActive() {
+		t.Fatal("ParallelActive with an opaque ticker")
+	}
+	if e.NumShards() != 0 {
+		t.Fatalf("NumShards with an opaque ticker = %d, want 0", e.NumShards())
+	}
+
+	// Negative shard index is opaque too.
+	e = NewEngine(1)
+	e.Register(&shardTicker{shard: 0})
+	e.Register(&shardTicker{shard: -1})
+	e.SetParallel(ParallelOn)
+	if e.ParallelActive() {
+		t.Fatal("ParallelActive with a negative-shard ticker")
+	}
+
+	// All sharded, two populated shards: On engages, Off never does.
+	e = NewEngine(1)
+	defer e.Close()
+	e.Register(&shardTicker{shard: 0})
+	e.Register(&shardTicker{shard: 1})
+	e.SetParallel(ParallelOn)
+	if !e.ParallelActive() {
+		t.Fatal("ParallelOn with two sharded tickers not active")
+	}
+	e.SetParallel(ParallelOff)
+	if e.ParallelActive() {
+		t.Fatal("ParallelOff reported active")
+	}
+
+	// A single populated shard has nothing to parallelize.
+	e = NewEngine(1)
+	e.Register(&shardTicker{shard: 3})
+	e.Register(&shardTicker{shard: 3})
+	e.SetParallel(ParallelOn)
+	if e.ParallelActive() {
+		t.Fatal("ParallelActive with a single populated shard")
+	}
+	if e.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", e.NumShards())
+	}
+}
+
+func TestParallelAutoThresholds(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	// Below AutoParallelMinTickers: Auto stays serial even fully sharded.
+	e := NewEngine(1)
+	for i := 0; i < 8; i++ {
+		e.Register(&shardTicker{shard: i % 2})
+	}
+	if e.ParallelActive() {
+		t.Fatal("ParallelAuto active below the ticker threshold")
+	}
+
+	// At the threshold with >1 CPU: Auto engages.
+	e = NewEngine(1)
+	defer e.Close()
+	for i := 0; i < AutoParallelMinTickers; i++ {
+		e.Register(&shardTicker{shard: i % 4})
+	}
+	if !e.ParallelActive() {
+		t.Fatal("ParallelAuto not active at the ticker threshold")
+	}
+	if e.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", e.NumShards())
+	}
+
+	// On one CPU the barrier can't pay for itself; Auto stays serial.
+	runtime.GOMAXPROCS(1)
+	if e.ParallelActive() {
+		t.Fatal("ParallelAuto active with GOMAXPROCS=1")
+	}
+}
+
+// NumShards counts populated shards: gaps in the index space collapse.
+func TestNumShardsIgnoresGaps(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(&shardTicker{shard: 0})
+	e.Register(&shardTicker{shard: 5})
+	if e.NumShards() != 2 {
+		t.Fatalf("NumShards with shards {0,5} = %d, want 2", e.NumShards())
+	}
+}
+
+// buildStagedEngine wires nShards x perShard tickers that stage their id into
+// per-shard buffers during the tick phase, plus a committer that drains the
+// buffers in shard order into a global log. The log is the determinism
+// witness: serial and parallel runs must produce the identical sequence.
+func buildStagedEngine(nShards, perShard int, log *[]string) (*Engine, [][]string) {
+	e := NewEngine(42)
+	staged := make([][]string, nShards)
+	id := 0
+	// Register interleaved across shards so within-shard registration order
+	// differs from global registration order.
+	for j := 0; j < perShard; j++ {
+		for s := 0; s < nShards; s++ {
+			s, tid := s, id
+			e.Register(&shardTicker{shard: s, fn: func(now Cycle) {
+				staged[s] = append(staged[s], fmt.Sprintf("t%d@%d", tid, now))
+			}})
+			id++
+		}
+	}
+	e.RegisterCommitter(committerFunc(func(now Cycle) {
+		for s := range staged {
+			*log = append(*log, staged[s]...)
+			staged[s] = staged[s][:0]
+		}
+	}))
+	return e, staged
+}
+
+// TestParallelCommitOrderMatchesSerial is the engine-level determinism check:
+// the committed effect order (shard-major, registration order within a
+// shard) is identical whether the tick phase ran serially or on the pool.
+func TestParallelCommitOrderMatchesSerial(t *testing.T) {
+	const cycles = 25
+	var serialLog []string
+	se, _ := buildStagedEngine(3, 4, &serialLog)
+	se.SetParallel(ParallelOff)
+	se.Run(cycles)
+
+	var parLog []string
+	pe, _ := buildStagedEngine(3, 4, &parLog)
+	pe.SetParallel(ParallelOn)
+	defer pe.Close()
+	if !pe.ParallelActive() {
+		t.Fatal("parallel engine did not activate")
+	}
+	pe.Run(cycles)
+
+	if len(serialLog) != len(parLog) {
+		t.Fatalf("log lengths differ: serial %d, parallel %d", len(serialLog), len(parLog))
+	}
+	for i := range serialLog {
+		if serialLog[i] != parLog[i] {
+			t.Fatalf("log[%d]: serial %q, parallel %q", i, serialLog[i], parLog[i])
+		}
+	}
+}
+
+// Sharded tickers must not touch the event heap from the parallel tick
+// phase; Schedule and After panic there. The ticker recovers its own panic
+// so it does not take down the worker goroutine.
+func TestScheduleDuringParallelTickPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var scheduleMsg, afterMsg any
+	e.Register(&shardTicker{shard: 0, fn: func(now Cycle) {
+		func() {
+			defer func() { scheduleMsg = recover() }()
+			e.Schedule(now+5, func(Cycle) {})
+		}()
+		func() {
+			defer func() { afterMsg = recover() }()
+			e.After(5, func(Cycle) {})
+		}()
+	}})
+	e.Register(&shardTicker{shard: 1})
+	e.SetParallel(ParallelOn)
+	e.Run(1)
+	if scheduleMsg == nil {
+		t.Fatal("Schedule during a parallel tick phase did not panic")
+	}
+	if afterMsg == nil {
+		t.Fatal("After during a parallel tick phase did not panic")
+	}
+	// Serial tick phases may schedule freely (that is what opaque tickers
+	// are for): the same calls succeed with the pool disengaged.
+	e.SetParallel(ParallelOff)
+	scheduleMsg, afterMsg = nil, nil
+	e.Run(1)
+	if scheduleMsg != nil || afterMsg != nil {
+		t.Fatalf("Schedule/After panicked during a serial tick: %v, %v", scheduleMsg, afterMsg)
+	}
+}
+
+func TestStopUnderParallel(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var last Cycle
+	e.Register(&shardTicker{shard: 0, fn: func(now Cycle) { last = now }})
+	e.Register(&shardTicker{shard: 1})
+	e.SetParallel(ParallelOn)
+	e.Schedule(3, func(Cycle) { e.Stop() })
+	e.Run(100)
+	// Stop ends the run at the end of the requesting cycle: the cycle-3
+	// tick phase still runs.
+	if e.Now() != 3 || last != 3 {
+		t.Fatalf("Now = %d, last tick = %d, want 3/3", e.Now(), last)
+	}
+	if e.Stopped() {
+		t.Fatal("stop request not consumed by Run")
+	}
+}
+
+func TestRunZeroLeavesPendingStop(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.Register(&shardTicker{shard: 0})
+	e.Register(&shardTicker{shard: 1})
+	e.SetParallel(ParallelOn)
+	e.Stop()
+	e.Run(0) // no-op: must not consume the pending stop
+	if !e.Stopped() {
+		t.Fatal("Run(0) consumed the pending stop request")
+	}
+	e.Run(5) // consumes the stop, does not advance
+	if e.Now() != 0 {
+		t.Fatalf("Run after pending stop advanced to %d, want 0", e.Now())
+	}
+	e.Run(5)
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestRunUntilEveryUnderParallel(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	var ticks int
+	e.Register(&shardTicker{shard: 0, fn: func(Cycle) { ticks++ }})
+	e.Register(&shardTicker{shard: 1})
+	e.SetParallel(ParallelOn)
+	if !e.RunUntilEvery(func() bool { return ticks >= 10 }, 100, 4) {
+		t.Fatal("RunUntilEvery did not observe the condition")
+	}
+	// Condition is checked every 4 cycles, so the run overshoots by < 4.
+	if ticks < 10 || ticks > 13 {
+		t.Fatalf("ticks = %d, want 10..13", ticks)
+	}
+	// A pending stop makes RunUntilEvery return cond() without advancing.
+	e.Stop()
+	before := e.Now()
+	if !e.RunUntilEvery(func() bool { return true }, 100, 1) {
+		t.Fatal("RunUntilEvery with pending stop did not evaluate cond")
+	}
+	if e.Now() != before {
+		t.Fatalf("RunUntilEvery with pending stop advanced %d -> %d", before, e.Now())
+	}
+}
+
+// Close stops the pool; further parallel runs lazily restart it, and the
+// simulation stays correct across the restart.
+func TestCloseRestartsPoolOnDemand(t *testing.T) {
+	e := NewEngine(1)
+	var ticks [2]int
+	e.Register(&shardTicker{shard: 0, fn: func(Cycle) { ticks[0]++ }})
+	e.Register(&shardTicker{shard: 1, fn: func(Cycle) { ticks[1]++ }})
+	e.SetParallel(ParallelOn)
+	e.Run(10)
+	e.Close()
+	e.Close() // idempotent
+	e.Run(10)
+	e.Close()
+	if ticks[0] != 20 || ticks[1] != 20 {
+		t.Fatalf("ticks = %v, want [20 20]", ticks)
+	}
+}
+
+// Counters are documented tick-phase safe: concurrent Inc from sharded
+// tickers must not lose updates (run with -race to check the implementation).
+func TestCounterTickPhaseSafe(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	st := NewStats()
+	c := st.Counter("test.shared")
+	for s := 0; s < 4; s++ {
+		e.Register(&shardTicker{shard: s, fn: func(Cycle) { c.Inc() }})
+	}
+	e.SetParallel(ParallelOn)
+	e.Run(100)
+	if c.Value() != 400 {
+		t.Fatalf("shared counter = %d, want 400", c.Value())
+	}
+}

@@ -4,27 +4,38 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. Increments are atomic,
+// which makes Counter tick-phase safe under the sharded scheduler (see
+// ShardTicker): increments commute, so the final value is independent of
+// worker interleaving and a parallel run matches a serial one exactly.
+// Components on hot paths that want to avoid cross-core contention should
+// accumulate per-shard deltas and Add them from a Committer instead.
 type Counter struct {
 	Name string
-	n    uint64
+	n    atomic.Uint64
 }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d uint64) { c.n += d }
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value reports the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Histogram records a distribution of sample values (typically latencies in
 // cycles) and can report percentiles. Samples are kept exactly; experiment
 // scales here are small enough that this is simpler and more accurate than
 // bucketing.
+//
+// Histogram is NOT tick-phase safe: Observe mutates a shared slice and a
+// float sum whose value depends on observation order. Sharded tickers must
+// not Observe; observation belongs in the commit phase (where the engine
+// guarantees a deterministic order) or in serial-only components.
 type Histogram struct {
 	Name    string
 	samples []float64
