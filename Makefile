@@ -10,9 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: clean build, vet, and the full test suite under the
-# race detector.
+# check is the CI gate: formatting, clean build, vet, and the full test
+# suite under the race detector.
 check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...

@@ -18,6 +18,7 @@ import (
 	"apiary/internal/memseg"
 	"apiary/internal/msg"
 	"apiary/internal/noc"
+	"apiary/internal/obs"
 	"apiary/internal/sim"
 )
 
@@ -130,6 +131,14 @@ func BenchmarkE14RemoteService(b *testing.B) {
 	})
 }
 
+func BenchmarkE15Observability(b *testing.B) {
+	runExperiment(b, "e15", func(r bench.Result, b *testing.B) {
+		b.ReportMetric(metric(r, 1, "Spans"), "spans_1in64")
+		b.ReportMetric(metric(r, 1, "Correlated"), "correlated_1in64")
+		b.ReportMetric(metric(r, 2, "Span-p99cy"), "span_p99_cy")
+	})
+}
+
 // --- substrate microbenchmarks ---
 
 // BenchmarkNoCMessage measures one 64-byte message crossing a 4x4 mesh
@@ -194,13 +203,17 @@ func BenchmarkEngineIdle(b *testing.B) {
 // saturated with random traffic — the activity-driven router's worst case,
 // where no cycles can be skipped and every tick does real switching work.
 // mode selects the tick-phase scheduler; shards is the noc shard count
-// (0 = auto, one row band per core).
-func benchMeshSaturated(b *testing.B, w, h int, mode sim.ParallelMode, shards int) {
+// (0 = auto, one row band per core); spanEvery installs the flight recorder
+// at 1-in-N sampling (0 = no recorder).
+func benchMeshSaturated(b *testing.B, w, h int, mode sim.ParallelMode, shards, spanEvery int) {
 	e := sim.NewEngine(7)
 	b.Cleanup(e.Close)
 	st := sim.NewStats()
 	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: w, H: h}, Shards: shards})
 	e.SetParallel(mode)
+	if spanEvery > 0 {
+		n.SetSpanSampler(obs.NewRecorder(spanEvery, 0))
+	}
 	rng := sim.NewRNG(7)
 	payload := make([]byte, 64)
 	tiles := w * h
@@ -229,8 +242,15 @@ func benchMeshSaturated(b *testing.B, w, h int, mode sim.ParallelMode, shards in
 	}
 }
 
+// BenchmarkMeshSaturated runs with the flight recorder at its apiaryd
+// default (1-in-64 sampling) so the headline per-cycle number includes the
+// observability tax; the Unsampled variant is the A/B baseline.
 func BenchmarkMeshSaturated(b *testing.B) {
-	benchMeshSaturated(b, 4, 4, sim.ParallelAuto, 0)
+	benchMeshSaturated(b, 4, 4, sim.ParallelAuto, 0, 64)
+}
+
+func BenchmarkMeshSaturatedUnsampled(b *testing.B) {
+	benchMeshSaturated(b, 4, 4, sim.ParallelAuto, 0, 0)
 }
 
 // BenchmarkMeshSaturated16Serial / Parallel are the A/B pair for the sharded
@@ -239,11 +259,11 @@ func BenchmarkMeshSaturated(b *testing.B) {
 // the serial path (ParallelOn still requires two populated shards), so the
 // speedup is only visible with GOMAXPROCS > 1.
 func BenchmarkMeshSaturated16Serial(b *testing.B) {
-	benchMeshSaturated(b, 16, 16, sim.ParallelOff, 0)
+	benchMeshSaturated(b, 16, 16, sim.ParallelOff, 0, 0)
 }
 
 func BenchmarkMeshSaturated16Parallel(b *testing.B) {
-	benchMeshSaturated(b, 16, 16, sim.ParallelOn, 0)
+	benchMeshSaturated(b, 16, 16, sim.ParallelOn, 0, 0)
 }
 
 func BenchmarkSegmentAlloc(b *testing.B) {

@@ -5,6 +5,7 @@
 //	apiaryctl kinds                      # list accelerator kinds
 //	apiaryctl validate apps.json         # parse + dry-run placement
 //	apiaryctl validate -board v7-10g -w 4 -h 4 apps.json
+//	apiaryctl top -addr localhost:8091   # live-poll a running apiaryd
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apiaryctl <boards|kinds|cdg|validate> [flags] [manifest.json]")
+	fmt.Fprintln(os.Stderr, "usage: apiaryctl <boards|kinds|cdg|validate|top> [flags] [manifest.json]")
 	os.Exit(2)
 }
 
@@ -42,6 +43,8 @@ func main() {
 		cdg(os.Args[2:])
 	case "validate":
 		validate(os.Args[2:])
+	case "top":
+		top(os.Args[2:])
 	default:
 		usage()
 	}

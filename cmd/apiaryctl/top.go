@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// top live-polls a running apiaryd's /metrics and /heatmap endpoints and
+// renders a compact dashboard: cycle progress, message/denial rates computed
+// between polls, and the NoC heatmap.
+func top(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8091", "apiaryd -http address")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	iters := fs.Int("n", 0, "number of polls (0 = until interrupted)")
+	_ = fs.Parse(args)
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	var prev map[string]float64
+	var prevAt time.Time
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetchMetrics(base + "/metrics")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apiaryctl top: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		heat, _ := fetchBody(base + "/heatmap")
+		render(os.Stdout, cur, prev, now.Sub(prevAt), heat)
+		prev, prevAt = cur, now
+	}
+}
+
+// fetchMetrics parses a Prometheus text page into name{labels} -> value.
+func fetchMetrics(url string) (map[string]float64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+func fetchBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// rate computes the per-second delta of a counter between polls.
+func rate(cur, prev map[string]float64, name string, dt time.Duration) float64 {
+	if prev == nil || dt <= 0 {
+		return 0
+	}
+	return (cur[name] - prev[name]) / dt.Seconds()
+}
+
+func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat string) {
+	fmt.Fprint(w, "\033[2J\033[H") // clear screen, home cursor
+	fmt.Fprintf(w, "apiary top — cycle %.0f", cur["apiary_cycle"])
+	if mhz := cur["apiary_clock_mhz"]; mhz > 0 {
+		fmt.Fprintf(w, " (%.2f ms simulated)", cur["apiary_cycle"]/mhz/1000)
+	}
+	fmt.Fprintln(w)
+	if prev != nil {
+		fmt.Fprintf(w, "rates/s: %.0f cycles, %.0f sent, %.0f delivered, %.0f denied, %.0f rate-limited\n",
+			rate(cur, prev, "apiary_cycle", dt),
+			rate(cur, prev, "apiary_noc_msgs_sent_total", dt),
+			rate(cur, prev, "apiary_noc_msgs_delivered_total", dt),
+			rate(cur, prev, "apiary_mon_denied_total", dt),
+			rate(cur, prev, "apiary_mon_rate_drops_total", dt))
+	}
+	fmt.Fprintf(w, "totals:  %.0f sent, %.0f delivered, %.0f flits routed, %.0f spans (%.0f correlated)\n",
+		cur["apiary_noc_msgs_sent_total"], cur["apiary_noc_msgs_delivered_total"],
+		cur["apiary_noc_flits_routed_total"],
+		cur["apiary_spans_recorded_total"], cur["apiary_spans_correlated_total"])
+	if lat, ok := cur[`apiary_noc_msg_latency_cycles{quantile="0.99"}`]; ok {
+		fmt.Fprintf(w, "latency: p50=%.0fcy p99=%.0fcy  window: inflight=%.0f tiles_busy=%.0f/%.0f\n",
+			cur[`apiary_noc_msg_latency_cycles{quantile="0.5"}`], lat,
+			cur["apiary_window_inflight"], cur["apiary_window_tiles_busy"], cur["apiary_window_tiles"])
+	}
+	if heat != "" {
+		fmt.Fprintf(w, "\n%s", heat)
+	}
+}

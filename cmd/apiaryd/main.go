@@ -1,9 +1,13 @@
 // Command apiaryd boots a simulated Apiary board, loads application
 // manifests, and runs them — the host-side daemon of the system. It can
-// expose stats over HTTP while the simulation runs.
+// expose stats, Prometheus metrics, message spans and a NoC heatmap over
+// HTTP while the simulation runs.
 //
 //	apiaryd -manifest video.json -cycles 10000000
 //	apiaryd -board v7-10g -w 4 -h 4 -net -manifest apps.json -http :8091
+//	curl :8091/metrics        # Prometheus text format
+//	curl :8091/spans.json     # load in Perfetto / chrome://tracing
+//	curl :8091/heatmap        # ASCII NoC heatmap (?format=json for dashboards)
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"apiary/internal/manifest"
 	"apiary/internal/netsim"
 	"apiary/internal/noc"
+	"apiary/internal/obs"
 	"apiary/internal/sim"
 )
 
@@ -30,13 +35,19 @@ func main() {
 	manifestPath := flag.String("manifest", "", "JSON app manifest (object or array)")
 	cycles := flag.Uint64("cycles", 5_000_000, "cycles to simulate")
 	statsEvery := flag.Uint64("stats-every", 0, "print stats every N cycles (0 = only at end)")
-	httpAddr := flag.String("http", "", "serve /stats, /procs, /trace.json on this address")
+	httpAddr := flag.String("http", "", "serve /stats, /metrics, /spans.json, /heatmap, ... on this address")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	spanEvery := flag.Int("span-every", 64, "sample one in N messages into the flight recorder (0 = off)")
+	spanCap := flag.Int("span-cap", obs.DefaultSpanCap, "flight recorder ring capacity")
+	windowEvery := flag.Uint64("window-every", 10_000, "windowed telemetry period in cycles (0 = off)")
+	windowKeep := flag.Int("window-keep", obs.DefaultWindowKeep, "windowed telemetry snapshots retained")
 	flag.Parse()
 
 	sys, err := core.NewSystem(core.SystemConfig{
 		Board: *board, Dims: noc.Dims{W: *w, H: *h}, Seed: *seed,
 		WithNet: *withNet, NodeID: netsim.NodeID(*node),
+		SpanSampleEvery: *spanEvery, SpanCap: *spanCap,
+		WindowCycles: sim.Cycle(*windowEvery), WindowKeep: *windowKeep,
 	})
 	if err != nil {
 		log.Fatalf("apiaryd: boot: %v", err)
@@ -92,26 +103,68 @@ func main() {
 			rw.Header().Set("Content-Type", "application/json")
 			_ = sys.Tracer.ExportChrome(rw, float64(sys.Engine.ClockMHz())/1000)
 		})
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			obs.WriteProm(rw, sys.Engine.Now(), sys.Engine.ClockMHz(),
+				sys.Stats, sys.Windows, sys.Obs)
+		})
+		mux.HandleFunc("/spans.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = obs.ExportChromeSpans(rw, sys.Obs.Entries(), float64(sys.Engine.ClockMHz()))
+		})
+		mux.HandleFunc("/heatmap", func(rw http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			if r.URL.Query().Get("format") == "json" {
+				rw.Header().Set("Content-Type", "application/json")
+				_ = obs.WriteHeatmapJSON(rw, sys.Noc, sys.Windows.Latest())
+				return
+			}
+			obs.WriteHeatmap(rw, sys.Noc, sys.Windows.Latest())
+		})
 		go func() {
 			log.Printf("apiaryd: serving stats on %s", *httpAddr)
 			log.Fatal(http.ListenAndServe(*httpAddr, mux))
 		}()
 	}
 
-	chunk := sim.Cycle(100_000)
-	for done := sim.Cycle(0); done < sim.Cycle(*cycles); done += chunk {
+	// Run in chunks so HTTP handlers get the lock regularly, shrinking the
+	// chunk when the next -stats-every report would land inside it so each
+	// interval logs exactly once.
+	const chunk = sim.Cycle(100_000)
+	end := sim.Cycle(*cycles)
+	nextLog := end + 1
+	if *statsEvery > 0 {
+		nextLog = sim.Cycle(*statsEvery)
+	}
+	for {
+		mu.Lock()
+		now := sys.Engine.Now()
+		if now >= end {
+			mu.Unlock()
+			break
+		}
 		step := chunk
-		if remaining := sim.Cycle(*cycles) - done; remaining < step {
+		if remaining := end - now; remaining < step {
 			step = remaining
 		}
-		mu.Lock()
+		if now < nextLog && nextLog-now < step {
+			step = nextLog - now
+		}
 		sys.Run(step)
-		now := sys.Engine.Now()
+		now = sys.Engine.Now()
 		mu.Unlock()
-		if *statsEvery > 0 && uint64(now)%*statsEvery < uint64(chunk) {
+		if now >= nextLog {
 			mu.Lock()
 			log.Printf("apiaryd: cycle %d (%.2f ms simulated)", now, sys.Engine.Micros(now)/1000)
 			mu.Unlock()
+			for nextLog <= now {
+				nextLog += sim.Cycle(*statsEvery)
+			}
 		}
 	}
 
@@ -121,6 +174,9 @@ func main() {
 		sys.Engine.Now(), sys.Engine.Micros(sys.Engine.Now())/1000)
 	fmt.Print(sys.Stats.String())
 	fmt.Print(sys.Tracer.Summary())
+	if sys.Obs != nil {
+		fmt.Print(sys.Obs.Summary())
+	}
 	if n := len(sys.Kernel.Faults()); n > 0 {
 		fmt.Printf("faults: %d (see trace)\n", n)
 	}

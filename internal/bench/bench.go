@@ -95,6 +95,7 @@ var All = []Experiment{
 	{"e12", "Scale-out throughput of replicated encoders", E12ScaleOut},
 	{"e13", "Portability: one manifest on 10G and 100G boards", E13Portability},
 	{"e14", "Service placement: hardware tile vs remote CPU proxy", E14RemoteService},
+	{"e15", "Observability: flight-recorder overhead and span accounting", E15Observability},
 }
 
 // ByID finds an experiment.

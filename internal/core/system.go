@@ -10,6 +10,7 @@ import (
 	"apiary/internal/netsim"
 	"apiary/internal/netstack"
 	"apiary/internal/noc"
+	"apiary/internal/obs"
 	"apiary/internal/sim"
 	"apiary/internal/trace"
 )
@@ -47,6 +48,18 @@ type SystemConfig struct {
 	CapSlots int
 	// SkipFloorplan disables fabric region checks (tiny unit tests).
 	SkipFloorplan bool
+
+	// SpanSampleEvery enables the message flight recorder, sampling one in
+	// this many packets per NI (plus the replies to sampled requests). 0
+	// (the default) disables span recording entirely.
+	SpanSampleEvery int
+	// SpanCap bounds the flight-recorder ring. Default obs.DefaultSpanCap.
+	SpanCap int
+	// WindowCycles enables windowed telemetry, snapshotting link/VC/tile
+	// state every this many cycles. 0 (the default) disables it.
+	WindowCycles sim.Cycle
+	// WindowKeep bounds the snapshot ring. Default obs.DefaultWindowKeep.
+	WindowKeep int
 }
 
 // System is a fully assembled Apiary board: engine, NoC, kernel, system
@@ -65,6 +78,8 @@ type System struct {
 	Fabric  *netsim.Fabric    // nil unless WithNet
 	NetSvc  *netstack.Service // nil unless WithNet
 	NodeID  netsim.NodeID
+	Obs     *obs.Recorder // nil unless SpanSampleEvery > 0
+	Windows *obs.Windows  // nil unless WindowCycles > 0
 }
 
 // NewSystem boots a board.
@@ -109,6 +124,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	s.Engine.RegisterCommitter(s.Tracer)
 	s.Noc = noc.NewNetwork(s.Engine, s.Stats, noc.Config{Dims: cfg.Dims})
 	s.Tracer.SetShards(s.Noc.NumShards())
+	if cfg.SpanSampleEvery > 0 {
+		s.Obs = obs.NewRecorder(cfg.SpanSampleEvery, cfg.SpanCap)
+		s.Noc.SetSpanSampler(s.Obs)
+	}
+	if cfg.WindowCycles > 0 {
+		s.Windows = obs.NewWindows(s.Engine, s.Noc, s.Stats,
+			obs.WindowConfig{Every: cfg.WindowCycles, Keep: cfg.WindowKeep})
+	}
 
 	if !cfg.SkipFloorplan {
 		regions, err := fabric.Floorplan(board.Device, cfg.Dims.Tiles(),

@@ -32,6 +32,11 @@ type Packet struct {
 	Msg      *msg.Message
 	NumFlits int
 	Injected sim.Cycle // cycle the head flit entered the source NI
+
+	// span is the flight-recorder record riding a sampled packet (nil for
+	// the unsampled majority); see span.go for the ownership argument that
+	// makes mutating it from router ticks race-free and deterministic.
+	span *Span
 }
 
 // FlitsFor reports the number of flits needed to carry a message of

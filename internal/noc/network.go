@@ -46,6 +46,10 @@ type Network struct {
 	// inflight counts packets between Send and ejection, making Quiescent
 	// O(1). Valid between cycles (staged deltas merge at commit).
 	inflight int
+
+	// spanner, when non-nil, is the flight recorder sampling packet
+	// lifecycles (see span.go).
+	spanner SpanSampler
 }
 
 // NewNetwork builds a W×H mesh attached to the engine. All routers and NIs
@@ -129,6 +133,32 @@ func (n *Network) Router(t msg.TileID) *Router {
 // (RunUntil conditions, tests); mid-cycle the staged per-shard deltas have
 // not merged yet.
 func (n *Network) Quiescent() bool { return n.inflight == 0 }
+
+// InFlight reports the number of packets between Send and ejection. Like
+// Quiescent it is valid between cycles.
+func (n *Network) InFlight() int { return n.inflight }
+
+// VCOccupancy reports the buffered flits per virtual channel summed over
+// every router input port — the windowed-telemetry view of where traffic
+// classes are queued. O(tiles × ports); intended for periodic sampling, not
+// per-cycle paths.
+func (n *Network) VCOccupancy() [NumVCs]int {
+	var occ [NumVCs]int
+	for _, r := range n.routers {
+		for p := Port(0); p < numPorts; p++ {
+			for v := 0; v < NumVCs; v++ {
+				occ[v] += len(r.in[p][v].fifo)
+			}
+		}
+	}
+	return occ
+}
+
+// TileActive reports whether tile t currently holds any NoC work: buffered
+// flits in its router or packets queued at its NI.
+func (n *Network) TileActive(t msg.TileID) bool {
+	return n.routers[int(t)].busyIn > 0 || n.nis[int(t)].queued > 0
+}
 
 // LinkLoad is one directed link's traffic.
 type LinkLoad struct {

@@ -103,6 +103,12 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 		NumFlits: FlitsFor(m.WireSize()),
 		Injected: ni.net.engine.Now(),
 	}
+	if sp := ni.net.spanner; sp != nil && sp.Sample(ni.tile, ni.nextPktID, m) {
+		pkt.span = &Span{
+			Src: ni.tile, Dst: m.DstTile, Type: m.Type, Seq: m.Seq, VC: vc,
+			Bytes: len(m.Payload), Flits: pkt.NumFlits, Queued: pkt.Injected,
+		}
+	}
 	ni.injQ[vc] = append(ni.injQ[vc], pkt)
 	ni.queued++
 	// The queue itself is tile-local (Send during the tick phase can only
@@ -162,6 +168,16 @@ func (ni *NetworkInterface) eject(pkt *Packet, now sim.Cycle) {
 	ni.delivered.Inc()
 	lat := now - pkt.Injected
 	ni.latency.Observe(float64(lat))
+	if sp := pkt.span; sp != nil {
+		// Complete the span before the delivery callback runs: a service
+		// that replies synchronously then observes the request already
+		// registered, which is what makes reply correlation catch it.
+		pkt.span = nil
+		sp.Eject = now
+		if s := ni.net.spanner; s != nil {
+			s.Complete(sp)
+		}
+	}
 	if ni.deliver != nil {
 		ni.deliver(pkt.Msg, lat)
 	}

@@ -114,6 +114,11 @@ func (r *Router) accept(p Port, vc VCID, f *Flit, now sim.Cycle) {
 		r.busyIn++
 	}
 	q.fifo = append(q.fifo, f)
+	if f.Idx == 0 {
+		if sp := f.Pkt.span; sp != nil {
+			sp.Hops = append(sp.Hops, SpanHop{At: r.Coord, In: p, Arrive: now})
+		}
+	}
 }
 
 // popIn pops the head flit of input (p, vc), keeping the occupancy mask and
@@ -183,6 +188,9 @@ func (r *Router) Tick(now sim.Cycle) {
 				if ovc.owner == nil {
 					ovc.owner = ivc
 					ivc.granted = true
+					if sp := f.Pkt.span; sp != nil && f.Head() {
+						sp.Hops[len(sp.Hops)-1].Grant = now
+					}
 				} else if ovc.owner != ivc {
 					r.shard.stallNoVC++
 				}
@@ -258,6 +266,7 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		// the NI callback, the shared latency histogram, in-flight
 		// accounting — is staged for the commit phase, where Network.Commit
 		// replays ejections in global tile order whichever mode ticked.
+		recordDepart(f, outP, now)
 		r.popIn(p, vc, ivc)
 		r.shard.flitsRouted++
 		r.linkFlits[Local]++
@@ -282,6 +291,7 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		r.shard.stallNoCred++
 		return false
 	}
+	recordDepart(f, outP, now)
 	r.popIn(p, vc, ivc)
 	ovc.credits--
 	r.shard.flitsRouted++
@@ -297,6 +307,19 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		r.shard.pktsRouted++
 	}
 	return true
+}
+
+// recordDepart stamps the current hop's switch-traversal cycle and output
+// port on a sampled packet's span when its head flit leaves the router.
+func recordDepart(f *Flit, outP Port, now sim.Cycle) {
+	if !f.Head() {
+		return
+	}
+	if sp := f.Pkt.span; sp != nil {
+		h := &sp.Hops[len(sp.Hops)-1]
+		h.Depart = now
+		h.Out = outP
+	}
 }
 
 func (r *Router) releaseVC(ivc *inVC, ovc *outVC) {

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeSpan is one Chrome trace-event duration record ("ph":"X"). Perfetto
+// and chrome://tracing both load a bare JSON array of these. Timestamps and
+// durations are microseconds; we map cycles onto microseconds through the
+// engine clock so the timeline reads in real units.
+type chromeSpan struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ExportChromeSpans writes the recorder entries as Chrome trace-event
+// duration spans: per sampled message a whole-lifetime slice, a source-NI
+// queue slice and one slice per router hop, nested on the same track. Tracks
+// (pid = source tile, tid = entry index) keep concurrent messages from the
+// same tile on separate rows. cyclesPerUs scales cycles to microseconds; it
+// is usually the engine clock in MHz (pass 1 to read raw cycles as µs).
+func ExportChromeSpans(w io.Writer, entries []Entry, cyclesPerUs float64) error {
+	if cyclesPerUs <= 0 {
+		cyclesPerUs = 1
+	}
+	us := func(cy float64) float64 { return cy / cyclesPerUs }
+	spans := []chromeSpan{} // non-nil so an empty recorder still emits []
+	for i, e := range entries {
+		sp := e.Span
+		pid, tid := int(sp.Src), i
+		kind := "req"
+		if e.Reply {
+			kind = "reply"
+		}
+		bd := SpanBreakdown(sp)
+		args := map[string]any{
+			"type": sp.Type.String(), "vc": int(sp.VC), "bytes": sp.Bytes,
+			"flits": sp.Flits, "latency_cy": float64(bd.Total),
+			"ni_queue_cy": float64(bd.NIQueue), "vc_wait_cy": float64(bd.VCWait),
+			"switch_wait_cy": float64(bd.SwitchWait),
+		}
+		if e.Req != nil {
+			// Service handling between request ejection and reply injection.
+			args["service_cy"] = float64(sp.Queued - e.Req.Eject)
+		}
+		spans = append(spans, chromeSpan{
+			Name: fmt.Sprintf("%s %d→%d seq=%d", kind, sp.Src, sp.Dst, sp.Seq),
+			Cat:  "noc", Ph: "X",
+			TS: us(float64(sp.Queued)), Dur: us(float64(sp.Eject - sp.Queued)),
+			PID: pid, TID: tid, Args: args,
+		})
+		if w := sp.InjectWait(); w > 0 {
+			spans = append(spans, chromeSpan{
+				Name: "ni-queue", Cat: "noc", Ph: "X",
+				TS: us(float64(sp.Queued)), Dur: us(float64(w)),
+				PID: pid, TID: tid,
+			})
+		}
+		for _, h := range sp.Hops {
+			spans = append(spans, chromeSpan{
+				Name: fmt.Sprintf("hop %s→%s", h.At, h.Out),
+				Cat:  "noc", Ph: "X",
+				TS: us(float64(h.Arrive)), Dur: us(float64(h.Depart - h.Arrive)),
+				PID: pid, TID: tid,
+				Args: map[string]any{
+					"in":         h.In.String(),
+					"vc_wait_cy": float64(h.Grant - h.Arrive),
+					"sw_wait_cy": float64(h.Depart - h.Grant),
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(spans)
+}

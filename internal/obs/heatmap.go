@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"apiary/internal/noc"
+)
+
+// heatShades maps normalized load to a glyph, cold to hot.
+const heatShades = " .:-=+*#%@"
+
+// tileLoad aggregates link flits per source tile: a tile is "hot" when its
+// router is forwarding lots of flits, whatever the direction.
+func tileLoad(dims noc.Dims, links []noc.LinkLoad) []uint64 {
+	load := make([]uint64, dims.W*dims.H)
+	for _, l := range links {
+		load[int(dims.TileID(l.From))] += l.Flits
+	}
+	return load
+}
+
+// windowLinks converts a Snapshot's windowed deltas into LinkLoads so the
+// renderers can take either cumulative or windowed input.
+func windowLinks(s *Snapshot) []noc.LinkLoad {
+	out := make([]noc.LinkLoad, len(s.Links))
+	for i, l := range s.Links {
+		out[i] = noc.LinkLoad{From: l.From, Out: l.Out, Flits: l.Flits}
+	}
+	return out
+}
+
+// WriteHeatmap renders an ASCII NoC heatmap of per-tile forwarded flits.
+// With a non-nil snapshot it shows the last window's deltas; otherwise the
+// network's cumulative counters. One glyph per tile, row 0 at the top, with
+// a legend and the hottest link called out.
+func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
+	dims := net.Dims()
+	var links []noc.LinkLoad
+	if s != nil {
+		links = windowLinks(s)
+		fmt.Fprintf(w, "NoC heatmap: window of %d cycles ending at cycle %d\n", s.Window, s.Cycle)
+	} else {
+		links = net.LinkUtilization()
+		fmt.Fprintf(w, "NoC heatmap: cumulative\n")
+	}
+	load := tileLoad(dims, links)
+	var max uint64
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	for y := 0; y < dims.H; y++ {
+		var row strings.Builder
+		for x := 0; x < dims.W; x++ {
+			v := load[y*dims.W+x]
+			shade := 0
+			if max > 0 && v > 0 {
+				shade = 1 + int(uint64(len(heatShades)-2)*v/max)
+			}
+			row.WriteByte(heatShades[shade])
+			row.WriteByte(' ')
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(row.String(), " "))
+	}
+	fmt.Fprintf(w, "scale: ' '=0 '@'=%d flits/tile\n", max)
+	var hottest noc.LinkLoad
+	for _, l := range links {
+		if l.Out != noc.Local && l.Flits > hottest.Flits {
+			hottest = l
+		}
+	}
+	if hottest.Flits > 0 {
+		fmt.Fprintf(w, "hottest link: %s->%s %d flits\n", hottest.From, hottest.Out, hottest.Flits)
+	}
+	if s != nil {
+		fmt.Fprintf(w, "window: sent=%d delivered=%d denied=%d rate_drops=%d inflight=%d tiles_busy=%d/%d vc_occ=%v\n",
+			s.Sent, s.Delivered, s.Denied, s.RateDrops, s.InFlight, s.TilesBusy, s.Tiles, s.VCOcc)
+	}
+}
+
+// heatmapJSON is the machine-readable heatmap document.
+type heatmapJSON struct {
+	Cycle    uint64     `json:"cycle,omitempty"`
+	Window   uint64     `json:"window_cycles,omitempty"`
+	W        int        `json:"w"`
+	H        int        `json:"h"`
+	TileLoad []uint64   `json:"tile_flits"` // row-major, W*H entries
+	Links    []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	X     int    `json:"x"`
+	Y     int    `json:"y"`
+	Port  string `json:"port"`
+	Flits uint64 `json:"flits"`
+}
+
+// WriteHeatmapJSON is WriteHeatmap's JSON twin for dashboards.
+func WriteHeatmapJSON(w io.Writer, net *noc.Network, s *Snapshot) error {
+	dims := net.Dims()
+	var links []noc.LinkLoad
+	doc := heatmapJSON{W: dims.W, H: dims.H}
+	if s != nil {
+		links = windowLinks(s)
+		doc.Cycle, doc.Window = uint64(s.Cycle), uint64(s.Window)
+	} else {
+		links = net.LinkUtilization()
+	}
+	doc.TileLoad = tileLoad(dims, links)
+	doc.Links = make([]linkJSON, 0, len(links))
+	for _, l := range links {
+		doc.Links = append(doc.Links, linkJSON{
+			X: l.From.X, Y: l.From.Y, Port: l.Out.String(), Flits: l.Flits,
+		})
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"apiary/internal/sim"
+)
+
+// promName sanitizes a sim.Stats metric name into a legal Prometheus metric
+// name: dots and dashes become underscores and everything gets the apiary_
+// namespace prefix.
+func promName(name string) string {
+	r := strings.NewReplacer(".", "_", "-", "_", " ", "_")
+	return "apiary_" + r.Replace(name)
+}
+
+// WriteProm renders the whole metrics surface in Prometheus text exposition
+// format (version 0.0.4): every sim.Stats counter as a counter, every
+// histogram as a summary (quantiles + _sum + _count), the engine clock, and
+// the latest window snapshot as gauges. now/clockMHz come from the engine.
+func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins *Windows, rec *Recorder) {
+	fmt.Fprintf(w, "# HELP apiary_cycle Current simulation cycle.\n# TYPE apiary_cycle gauge\napiary_cycle %d\n", now)
+	if clockMHz > 0 {
+		fmt.Fprintf(w, "# HELP apiary_clock_mhz Modeled fabric clock.\n# TYPE apiary_clock_mhz gauge\napiary_clock_mhz %d\n", clockMHz)
+	}
+	for _, c := range st.Counters() {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", n, n, c.Value())
+	}
+	for _, h := range st.Histograms() {
+		if h.Count() == 0 {
+			continue
+		}
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", n, q, h.Quantile(q))
+		}
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+	}
+	if rec != nil {
+		fmt.Fprintf(w, "# TYPE apiary_spans_recorded_total counter\napiary_spans_recorded_total %d\n", rec.Total())
+		fmt.Fprintf(w, "# TYPE apiary_spans_correlated_total counter\napiary_spans_correlated_total %d\n", rec.Correlated())
+	}
+	s := wins.Latest()
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP apiary_window_cycles Width of the telemetry window.\n# TYPE apiary_window_cycles gauge\napiary_window_cycles %d\n", s.Window)
+	fmt.Fprintf(w, "# TYPE apiary_window_inflight gauge\napiary_window_inflight %d\n", s.InFlight)
+	fmt.Fprintf(w, "# TYPE apiary_window_tiles_busy gauge\napiary_window_tiles_busy %d\n", s.TilesBusy)
+	fmt.Fprintf(w, "# TYPE apiary_window_tiles gauge\napiary_window_tiles %d\n", s.Tiles)
+	for _, g := range []struct {
+		name string
+		v    uint64
+	}{
+		{"apiary_window_msgs_sent", s.Sent},
+		{"apiary_window_msgs_delivered", s.Delivered},
+		{"apiary_window_mon_denied", s.Denied},
+		{"apiary_window_mon_rate_drops", s.RateDrops},
+		{"apiary_window_mon_forwarded", s.Forwarded},
+	} {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
+	}
+	fmt.Fprintf(w, "# TYPE apiary_window_vc_occupancy gauge\n")
+	for vc, occ := range s.VCOcc {
+		fmt.Fprintf(w, "apiary_window_vc_occupancy{vc=\"%d\"} %d\n", vc, occ)
+	}
+	if len(s.Links) > 0 {
+		fmt.Fprintf(w, "# TYPE apiary_window_link_flits gauge\n")
+		for _, l := range s.Links {
+			fmt.Fprintf(w, "apiary_window_link_flits{from=\"%d,%d\",port=\"%s\"} %d\n",
+				l.From.X, l.From.Y, l.Out, l.Flits)
+		}
+	}
+}

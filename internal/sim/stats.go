@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -27,15 +28,32 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Value reports the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
+// HistExactCap is the number of samples a Histogram keeps exactly before it
+// collapses into log-linear buckets. Below the cap quantiles are exact;
+// above it they are accurate to within histRelError. The cap is what keeps a
+// week-long daemon run from growing a float64 slice forever.
+const HistExactCap = 8192
+
+// histSubBuckets is the log-linear resolution: each power-of-two range is
+// split into this many equal-width buckets. A sample's bucket midpoint is
+// within 1/(2*histSubBuckets)/0.5 ≈ 0.8% of the sample, so p50/p99 stay
+// within 1% of exact after the collapse.
+const histSubBuckets = 128
+
 // Histogram records a distribution of sample values (typically latencies in
-// cycles) and can report percentiles. Samples are kept exactly; experiment
-// scales here are small enough that this is simpler and more accurate than
-// bucketing.
+// cycles) and can report percentiles. The first HistExactCap samples are
+// kept exactly — experiment scales stay in this regime, so their quantiles
+// are bit-for-bit what they always were. Past the cap the samples collapse
+// into log-linear buckets (128 per octave) and the histogram stops growing;
+// Count, Mean, Min and Max remain exact, quantiles become approximate to
+// <1%. Bucket counts are order-independent, so the collapse preserves the
+// serial/parallel determinism story (the float sum remains the one
+// order-sensitive reduction, exactly as before).
 //
-// Histogram is NOT tick-phase safe: Observe mutates a shared slice and a
-// float sum whose value depends on observation order. Sharded tickers must
-// not Observe; observation belongs in the commit phase (where the engine
-// guarantees a deterministic order) or in serial-only components.
+// Histogram is NOT tick-phase safe: Observe mutates shared state whose value
+// depends on observation order. Sharded tickers must not Observe;
+// observation belongs in the commit phase (where the engine guarantees a
+// deterministic order) or in serial-only components.
 type Histogram struct {
 	Name    string
 	samples []float64
@@ -43,30 +61,84 @@ type Histogram struct {
 	sum     float64
 	min     float64
 	max     float64
+
+	n       uint64           // total samples ever observed
+	buckets map[int32]uint64 // nil until the exact cap is exceeded
+}
+
+// bucketKey maps a positive sample to its log-linear bucket: the octave
+// (binary exponent) selects the coarse range, the mantissa picks one of
+// histSubBuckets equal-width sub-buckets inside it. Non-positive samples
+// (unused by any current metric, but not forbidden) share a single
+// underflow bucket.
+func bucketKey(v float64) int32 {
+	if v <= 0 {
+		return math.MinInt32
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	sub := int32((frac - 0.5) * (2 * histSubBuckets))
+	return int32(exp)*histSubBuckets + sub
+}
+
+// bucketMid is the representative value reported for a bucket: the midpoint
+// of its [lo, hi) range.
+func bucketMid(key int32) float64 {
+	if key == math.MinInt32 {
+		return 0
+	}
+	exp := key / histSubBuckets
+	sub := key % histSubBuckets
+	if sub < 0 { // Go truncates toward zero; normalize to floor semantics
+		exp--
+		sub += histSubBuckets
+	}
+	frac := 0.5 + (float64(sub)+0.5)/(2*histSubBuckets)
+	return math.Ldexp(frac, int(exp))
+}
+
+// collapse moves the exact samples into buckets and frees the slice.
+func (h *Histogram) collapse() {
+	h.buckets = make(map[int32]uint64, len(h.samples))
+	for _, v := range h.samples {
+		h.buckets[bucketKey(v)]++
+	}
+	h.samples = nil
+	h.sorted = false
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	if len(h.samples) == 0 || v < h.min {
+	if h.n == 0 || v < h.min {
 		h.min = v
 	}
-	if len(h.samples) == 0 || v > h.max {
+	if h.n == 0 || v > h.max {
 		h.max = v
 	}
-	h.samples = append(h.samples, v)
+	h.n++
 	h.sum += v
+	if h.buckets != nil {
+		h.buckets[bucketKey(v)]++
+		return
+	}
+	h.samples = append(h.samples, v)
 	h.sorted = false
+	if len(h.samples) > HistExactCap {
+		h.collapse()
+	}
 }
 
 // Count reports the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int { return int(h.n) }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean reports the sample mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.n)
 }
 
 // Min reports the smallest sample, or 0 with no samples.
@@ -75,21 +147,24 @@ func (h *Histogram) Min() float64 { return h.min }
 // Max reports the largest sample, or 0 with no samples.
 func (h *Histogram) Max() float64 { return h.max }
 
-// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank, or 0
-// with no samples.
+// Quantile reports the q-quantile (0 <= q <= 1) using nearest-rank: exact
+// below HistExactCap samples, within histSubBuckets resolution (<1%) above.
 func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if h.buckets != nil {
+		return h.bucketQuantile(q)
 	}
 	if !h.sorted {
 		sort.Float64s(h.samples)
 		h.sorted = true
-	}
-	if q <= 0 {
-		return h.samples[0]
-	}
-	if q >= 1 {
-		return h.samples[len(h.samples)-1]
 	}
 	idx := int(q * float64(len(h.samples)))
 	if idx >= len(h.samples) {
@@ -98,16 +173,44 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[idx]
 }
 
+// bucketQuantile walks the buckets in value order to the nearest-rank
+// sample's bucket and returns its midpoint, clamped to the exact min/max.
+func (h *Histogram) bucketQuantile(q float64) float64 {
+	keys := make([]int32, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rank := uint64(q * float64(h.n)) // 0-based index of the nearest-rank sample
+	var cum uint64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum > rank {
+			v := bucketMid(k)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
 // Median is Quantile(0.5).
 func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
 
 // P99 is Quantile(0.99).
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
-// Reset discards all samples.
+// Reset discards all samples and returns to the exact regime.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.sum, h.min, h.max = 0, 0, 0
+	h.n = 0
+	h.buckets = nil
 	h.sorted = false
 }
 

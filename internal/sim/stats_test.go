@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -67,6 +69,81 @@ func TestHistogramReset(t *testing.T) {
 	h.Reset()
 	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
 		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+// TestHistogramBounded proves the log-linear collapse keeps memory flat and
+// quantiles within 1% of exact on a distribution with a heavy tail.
+func TestHistogramBounded(t *testing.T) {
+	h := &Histogram{}
+	var exact []float64
+	rng := NewRNG(42)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		// Mixture: bulk around 50 cycles, 1% tail out to ~100k.
+		v := float64(1 + rng.Intn(100))
+		if rng.Intn(100) == 0 {
+			v = float64(1000 + rng.Intn(100000))
+		}
+		h.Observe(v)
+		exact = append(exact, v)
+	}
+	if h.samples != nil {
+		t.Fatalf("histogram still holds %d exact samples past the cap", len(h.samples))
+	}
+	if len(h.buckets) > 64*histSubBuckets {
+		t.Fatalf("bucket count %d not bounded", len(h.buckets))
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(n))]
+		got := h.Quantile(q)
+		if diff := math.Abs(got-want) / want; diff > 0.01 {
+			t.Errorf("Quantile(%v) = %v, exact %v (%.2f%% off)", q, got, want, diff*100)
+		}
+	}
+	if h.Min() != exact[0] || h.Max() != exact[n-1] {
+		t.Fatalf("min/max drifted: %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramOrderIndependentAfterCollapse: bucket counts are a multiset
+// property, so quantiles after the collapse cannot depend on observation
+// order — the property that keeps sharded runs bit-exact.
+func TestHistogramOrderIndependentAfterCollapse(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	const n = 3 * HistExactCap
+	for i := 0; i < n; i++ {
+		a.Observe(float64(1 + i%977))
+	}
+	for i := n - 1; i >= 0; i-- {
+		b.Observe(float64(1 + i%977))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("Quantile(%v): %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramResetAfterCollapse(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < HistExactCap+10; i++ {
+		h.Observe(float64(i + 1))
+	}
+	if h.buckets == nil {
+		t.Fatal("expected collapse")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.buckets != nil {
+		t.Fatal("Reset did not return to the exact regime")
+	}
+	h.Observe(7)
+	if h.Quantile(0.5) != 7 {
+		t.Fatal("exact regime broken after Reset")
 	}
 }
 

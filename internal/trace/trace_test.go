@@ -133,3 +133,77 @@ func TestZeroCapacityClamped(t *testing.T) {
 		t.Fatal("zero-capacity tracer should clamp to 1")
 	}
 }
+
+// TestExportChromeGolden pins the exact Chrome trace-event JSON for a fixed
+// input, so format drift (field renames, ts scaling, arg changes) is caught
+// as a diff rather than discovered inside Perfetto.
+func TestExportChromeGolden(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{Cycle: 500, Tile: 3, Dir: Egress, Verdict: Forwarded,
+		Type: msg.TRequest, Seq: 9, DstSvc: 16, Peer: 5, Bytes: 128})
+	tr.Record(Event{Cycle: 750, Tile: 5, Dir: Ingress, Verdict: DeniedNoCap,
+		Type: msg.TRequest, Seq: 9, DstSvc: 16, Peer: 3, Bytes: 128})
+	var buf bytes.Buffer
+	if err := tr.ExportChrome(&buf, 250); err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"name":"req forwarded","ph":"i","ts":2,"pid":3,"tid":0,"args":{"bytes":128,"peer":5,"seq":9,"svc":16}},` +
+		`{"name":"req denied-nocap","ph":"i","ts":3,"pid":5,"tid":1,"args":{"bytes":128,"peer":3,"seq":9,"svc":16}}]` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("chrome export drifted:\ngot:  %swant: %s", got, want)
+	}
+}
+
+// TestMatrixStringGolden pins the exact table rendering: largest flow first,
+// ties broken by (src, dst).
+func TestMatrixStringGolden(t *testing.T) {
+	tr := New(16)
+	tr.Record(Event{Tile: 1, Dir: Egress, Verdict: Forwarded, Peer: 2, Bytes: 100})
+	tr.Record(Event{Tile: 4, Dir: Egress, Verdict: Forwarded, Peer: 0, Bytes: 25})
+	tr.Record(Event{Tile: 2, Dir: Egress, Verdict: Forwarded, Peer: 1, Bytes: 25})
+	want := "src -> dst        bytes\n" +
+		"  1 -> 2             100\n" +
+		"  2 -> 1              25\n" +
+		"  4 -> 0              25\n"
+	if got := tr.MatrixString(); got != want {
+		t.Fatalf("matrix render drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCommitShardOrder proves the determinism contract of the staged path:
+// whatever order shard workers stage events in during a tick phase, Commit
+// flushes them into the ring in ascending shard order — i.e. tile order,
+// matching what a serial tick would have recorded.
+func TestCommitShardOrder(t *testing.T) {
+	tr := New(16)
+	tr.SetShards(4)
+	// Stage in scrambled shard order, two events per shard.
+	for _, s := range []int{2, 0, 3, 1} {
+		tr.RecordShard(s, ev(msg.TileID(s), Forwarded, uint32(10*s)))
+		tr.RecordShard(s, ev(msg.TileID(s), Forwarded, uint32(10*s+1)))
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatal("staged events reached the ring before Commit")
+	}
+	tr.Commit(11)
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("flushed %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantSeq := uint32(10*(i/2) + i%2)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d (not shard order)", i, e.Seq, wantSeq)
+		}
+	}
+	// A second commit must not re-flush.
+	tr.Commit(12)
+	if tr.Total() != 8 {
+		t.Fatalf("Commit re-flushed: total %d", tr.Total())
+	}
+	// Out-of-range shard falls back to direct Record.
+	tr.RecordShard(99, ev(9, Forwarded, 99))
+	if tr.Total() != 9 {
+		t.Fatal("out-of-range shard did not fall back to Record")
+	}
+}
