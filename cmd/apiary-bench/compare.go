@@ -40,10 +40,16 @@ func cellValue(s string) (float64, bool) {
 	return v, err == nil
 }
 
+// hostMeasured reports whether a column records host wall-clock time rather
+// than simulated behaviour. Such cells vary with machine and load, so the
+// gate must not compare them across runs.
+func hostMeasured(col string) bool { return col == "ns/cycle" }
+
 // compareResults diffs two result sets experiment by experiment, printing
 // every numeric cell whose relative change exceeds the threshold. It returns
-// the number of flagged cells. Wall-clock seconds are ignored (they measure
-// the host, not the simulator).
+// the number of flagged cells. Wall-clock measures — the per-experiment
+// seconds and any hostMeasured column — are ignored (they measure the host,
+// not the simulator).
 func compareResults(oldRs, newRs []jsonResult, w *os.File) int {
 	oldByID := make(map[string]jsonResult, len(oldRs))
 	for _, r := range oldRs {
@@ -65,7 +71,7 @@ func compareResults(oldRs, newRs []jsonResult, w *os.File) int {
 		}
 		for i := 0; i < rows; i++ {
 			for j, col := range nr.Header {
-				if j >= len(or.Rows[i]) || j >= len(nr.Rows[i]) {
+				if j >= len(or.Rows[i]) || j >= len(nr.Rows[i]) || hostMeasured(col) {
 					continue
 				}
 				ov, ook := cellValue(or.Rows[i][j])

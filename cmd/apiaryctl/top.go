@@ -111,6 +111,12 @@ func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat st
 		cur["apiary_noc_msgs_sent_total"], cur["apiary_noc_msgs_delivered_total"],
 		cur["apiary_noc_flits_routed_total"],
 		cur["apiary_spans_recorded_total"], cur["apiary_spans_correlated_total"])
+	if cur["apiary_kernel_quarantines_total"] > 0 || cur["apiary_fault_injected_total"] > 0 {
+		fmt.Fprintf(w, "chaos:   %.0f injected, %.0f faults, %.0f quarantines, %.0f recoveries (%.0f tiles fenced)\n",
+			cur["apiary_fault_injected_total"], cur["apiary_mon_faults_total"],
+			cur["apiary_kernel_quarantines_total"], cur["apiary_kernel_recoveries_total"],
+			cur["apiary_kernel_quarantines_total"]-cur["apiary_kernel_recoveries_total"])
+	}
 	if lat, ok := cur[`apiary_noc_msg_latency_cycles{quantile="0.99"}`]; ok {
 		fmt.Fprintf(w, "latency: p50=%.0fcy p99=%.0fcy  window: inflight=%.0f tiles_busy=%.0f/%.0f\n",
 			cur[`apiary_noc_msg_latency_cycles{quantile="0.5"}`], lat,

@@ -19,7 +19,9 @@ import (
 	"sync"
 
 	"apiary/internal/core"
+	"apiary/internal/fault"
 	"apiary/internal/manifest"
+	"apiary/internal/monitor"
 	"apiary/internal/netsim"
 	"apiary/internal/noc"
 	"apiary/internal/obs"
@@ -41,14 +43,33 @@ func main() {
 	spanCap := flag.Int("span-cap", obs.DefaultSpanCap, "flight recorder ring capacity")
 	windowEvery := flag.Uint64("window-every", 10_000, "windowed telemetry period in cycles (0 = off)")
 	windowKeep := flag.Int("window-keep", obs.DefaultWindowKeep, "windowed telemetry snapshots retained")
+	faultPlan := flag.String("fault-plan", "", "chaos-engine fault plan file (text or JSON, see internal/fault)")
+	detect := flag.Bool("detect", false, "enable the monitor watchdogs (heartbeat, credit-leak, protocol-violation)")
 	flag.Parse()
 
-	sys, err := core.NewSystem(core.SystemConfig{
+	cfg := core.SystemConfig{
 		Board: *board, Dims: noc.Dims{W: *w, H: *h}, Seed: *seed,
 		WithNet: *withNet, NodeID: netsim.NodeID(*node),
 		SpanSampleEvery: *spanEvery, SpanCap: *spanCap,
 		WindowCycles: sim.Cycle(*windowEvery), WindowKeep: *windowKeep,
-	})
+	}
+	if *detect {
+		cfg.Detect = monitor.DefaultDetect
+	}
+	if *faultPlan != "" {
+		data, err := os.ReadFile(*faultPlan)
+		if err != nil {
+			log.Fatalf("apiaryd: %v", err)
+		}
+		plan, err := fault.ParsePlan(data)
+		if err != nil {
+			log.Fatalf("apiaryd: fault plan: %v", err)
+		}
+		cfg.FaultPlan = plan
+		log.Printf("apiaryd: chaos engine armed: seed=%d events=%d rates=%d",
+			plan.Seed, len(plan.Events), len(plan.Rates))
+	}
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		log.Fatalf("apiaryd: boot: %v", err)
 	}
@@ -121,10 +142,12 @@ func main() {
 			defer mu.Unlock()
 			if r.URL.Query().Get("format") == "json" {
 				rw.Header().Set("Content-Type", "application/json")
-				_ = obs.WriteHeatmapJSON(rw, sys.Noc, sys.Windows.Latest())
+				_ = obs.WriteHeatmapJSON(rw, sys.Noc, sys.Windows.Latest(),
+					sys.Kernel.QuarantinedTiles())
 				return
 			}
-			obs.WriteHeatmap(rw, sys.Noc, sys.Windows.Latest())
+			obs.WriteHeatmap(rw, sys.Noc, sys.Windows.Latest(),
+				sys.Kernel.QuarantinedTiles())
 		})
 		go func() {
 			log.Printf("apiaryd: serving stats on %s", *httpAddr)
@@ -179,5 +202,14 @@ func main() {
 	}
 	if n := len(sys.Kernel.Faults()); n > 0 {
 		fmt.Printf("faults: %d (see trace)\n", n)
+	}
+	if sys.Fault != nil || sys.Kernel.Quarantines() > 0 {
+		injected := uint64(0)
+		if sys.Fault != nil {
+			injected = sys.Fault.Injected()
+		}
+		fmt.Printf("chaos: injected=%d quarantines=%d recoveries=%d still_quarantined=%v\n",
+			injected, sys.Kernel.Quarantines(), sys.Kernel.Recoveries(),
+			sys.Kernel.QuarantinedTiles())
 	}
 }

@@ -21,10 +21,14 @@ type FaultReason uint8
 
 // Fault reasons.
 const (
-	FaultNone     FaultReason = iota
-	FaultPanic                // accelerator logic panicked (hardware: error strobe)
-	FaultExplicit             // accelerator declared an unrecoverable error
-	FaultWatchdog             // stopped consuming input (hang detector)
+	FaultNone      FaultReason = iota
+	FaultPanic                 // accelerator logic panicked (hardware: error strobe)
+	FaultExplicit              // accelerator declared an unrecoverable error
+	FaultWatchdog              // stopped consuming input with a full queue (hang detector)
+	FaultHeartbeat             // stopped making progress on queued input (heartbeat detector)
+	FaultProtocol              // repeated protocol violations caught by the monitor
+	FaultLeak                  // outstanding-request leak caught by the monitor
+	FaultSpurious              // spurious detector trip (injected false positive)
 )
 
 func (f FaultReason) String() string {
@@ -37,6 +41,14 @@ func (f FaultReason) String() string {
 		return "explicit"
 	case FaultWatchdog:
 		return "watchdog"
+	case FaultHeartbeat:
+		return "heartbeat"
+	case FaultProtocol:
+		return "protocol"
+	case FaultLeak:
+		return "leak"
+	case FaultSpurious:
+		return "spurious"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(f))
 }
@@ -179,6 +191,21 @@ type Shell struct {
 	dropped    *sim.Counter
 	faultCount *sim.Counter
 
+	// Heartbeat detector (monitor-configured, 0 = off): fault when queued
+	// input sits unconsumed for hbCycles — the generalization of the
+	// full-queue watchdog to tiles whose peers stop before filling it.
+	hbCycles sim.Cycle
+	hbSince  sim.Cycle
+	hbArmed  bool
+
+	// Chaos-engine injection state (internal/fault): while hung the wrapped
+	// accelerator is not ticked; while babbling the shell emits one junk
+	// request per cycle, as runaway logic would.
+	hangUntil   sim.Cycle
+	babbleUntil sim.Cycle
+	babbleSvc   msg.ServiceID
+	babbleSeq   uint32
+
 	// shard is the tile's shard affinity, set by the monitor when the shell
 	// is attached to a tile; -1 (the default) keeps the shell opaque.
 	shard int
@@ -285,15 +312,34 @@ func (s *Shell) KillContext(ctx uint8) bool {
 }
 
 // Reset returns the accelerator and shell to a clean Running state. The
-// kernel calls this after reconfiguring a fail-stopped tile.
+// kernel calls this after reconfiguring a fail-stopped tile. Injected fault
+// conditions are cleared: reconfiguration replaces the broken logic.
 func (s *Shell) Reset() {
 	s.acc.Reset()
 	s.inq = nil
 	s.state = Running
 	s.wasFull = false
+	s.hbArmed = false
+	s.hangUntil = 0
+	s.babbleUntil = 0
 	for i := range s.ctxDead {
 		s.ctxDead[i] = false
 	}
+}
+
+// SetHeartbeat configures the heartbeat detector (0 disables it). The
+// monitor sets this from its Detect config when attaching the shell.
+func (s *Shell) SetHeartbeat(cycles sim.Cycle) { s.hbCycles = cycles }
+
+// SetHang makes the accelerator stop consuming input until the given cycle
+// (chaos-engine hook; called between cycles).
+func (s *Shell) SetHang(until sim.Cycle) { s.hangUntil = until }
+
+// SetBabble makes the shell emit one junk request per cycle to svc until
+// the given cycle (chaos-engine hook; called between cycles).
+func (s *Shell) SetBabble(until sim.Cycle, svc msg.ServiceID) {
+	s.babbleUntil = until
+	s.babbleSvc = svc
 }
 
 // Deliver hands an inbound message to the shell (called by the monitor).
@@ -328,17 +374,26 @@ func (s *Shell) Tick(now sim.Cycle) {
 	s.now = now
 	before := len(s.inq)
 
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				s.faultCount.Inc()
-				if s.fault != nil {
-					s.fault(0, FaultPanic)
+	if now >= s.hangUntil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.faultCount.Inc()
+					if s.fault != nil {
+						s.fault(0, FaultPanic)
+					}
 				}
-			}
+			}()
+			s.acc.Tick(s)
 		}()
-		s.acc.Tick(s)
-	}()
+	}
+	if now < s.babbleUntil {
+		s.babbleSeq++
+		_ = s.Send(&msg.Message{
+			Type: msg.TRequest, DstSvc: s.babbleSvc,
+			Seq: 0xBAB00000 + s.babbleSeq, Payload: []byte{0xBA, 0xBB, 0x1E},
+		})
+	}
 
 	// Watchdog: a full queue that is never drained means the accelerator
 	// hung while peers keep piling work onto it.
@@ -356,6 +411,27 @@ func (s *Shell) Tick(now sim.Cycle) {
 	} else {
 		s.wasFull = false
 	}
+
+	// Heartbeat: any queued input the accelerator leaves unconsumed for
+	// hbCycles means it stopped serving, even if the queue never fills
+	// (deliveries only happen at commit, so within a tick the queue can
+	// only shrink — no progress means len did not drop).
+	if s.hbCycles > 0 && s.state == Running {
+		if before > 0 && len(s.inq) >= before {
+			if !s.hbArmed {
+				s.hbArmed = true
+				s.hbSince = now
+			} else if now-s.hbSince > s.hbCycles {
+				s.hbArmed = false
+				s.faultCount.Inc()
+				if s.fault != nil {
+					s.fault(0, FaultHeartbeat)
+				}
+			}
+		} else {
+			s.hbArmed = false
+		}
+	}
 }
 
 // Idle implements sim.IdleTicker: ticking is a no-op when the shell is not
@@ -367,7 +443,13 @@ func (s *Shell) Idle() bool {
 	if s.state != Running {
 		return true
 	}
-	if len(s.inq) > 0 || s.wasFull {
+	if len(s.inq) > 0 || s.wasFull || s.hbArmed {
+		return false
+	}
+	// An armed injection keeps the shell ticking: a babbling tile emits
+	// every cycle, and a hang must expire on schedule rather than be
+	// fast-forwarded over.
+	if s.now < s.hangUntil || s.now < s.babbleUntil {
 		return false
 	}
 	ih, ok := s.acc.(Idler)

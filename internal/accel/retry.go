@@ -1,0 +1,52 @@
+package accel
+
+import "apiary/internal/sim"
+
+// Backoff is a deterministic exponential backoff schedule for requesters
+// retrying against a fail-stopped or revoked service: the delay starts at
+// Base, doubles per failure, and saturates at Max. Zero Base disables
+// backoff (Next returns 0). The zero Max defaults to 64×Base.
+//
+// Backoff carries no randomness on purpose: simulated clients must replay
+// bit-exact, and the simulator's deterministic event order means there is
+// no thundering herd for jitter to break up.
+type Backoff struct {
+	Base sim.Cycle
+	Max  sim.Cycle
+
+	cur sim.Cycle
+}
+
+// Next returns the delay to wait before the next attempt and advances the
+// schedule.
+func (b *Backoff) Next() sim.Cycle {
+	if b.Base == 0 {
+		return 0
+	}
+	if b.cur == 0 {
+		b.cur = b.Base
+	}
+	d := b.cur
+	max := b.Max
+	if max == 0 {
+		max = 64 * b.Base
+	}
+	if b.cur < max {
+		b.cur *= 2
+		if b.cur > max {
+			b.cur = max
+		}
+	}
+	return d
+}
+
+// Reset returns the schedule to its starting delay (call on success).
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Current reports the delay the next Next call would return.
+func (b *Backoff) Current() sim.Cycle {
+	if b.cur == 0 {
+		return b.Base
+	}
+	return b.cur
+}

@@ -1,0 +1,39 @@
+package accel
+
+import (
+	"testing"
+
+	"apiary/internal/sim"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 100, Max: 800}
+	want := []sim.Cycle{100, 200, 400, 800, 800, 800}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("Next() #%d = %d, want %d", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 100 {
+		t.Errorf("Next() after Reset = %d, want 100", got)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var off Backoff
+	if got := off.Next(); got != 0 {
+		t.Errorf("zero-value Next() = %d, want 0 (disabled)", got)
+	}
+	b := Backoff{Base: 10} // Max defaults to 64*Base
+	var last sim.Cycle
+	for i := 0; i < 12; i++ {
+		last = b.Next()
+	}
+	if last != 640 {
+		t.Errorf("uncapped Next() converged to %d, want 640", last)
+	}
+	if b.Current() != 640 {
+		t.Errorf("Current() = %d, want 640", b.Current())
+	}
+}

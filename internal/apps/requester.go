@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"sort"
+
 	"apiary/internal/accel"
 	"apiary/internal/msg"
 	"apiary/internal/sim"
@@ -30,11 +32,24 @@ type Requester struct {
 	// shell that fail-stopped — so a client without timeouts deadlocks
 	// exactly when the system it measures misbehaves. Default 100000.
 	TimeoutCycles sim.Cycle
+	// RetryLimit is how many times a timed-out request is retransmitted
+	// (same sequence number) before being abandoned as an error. 0 keeps
+	// the historical abandon-on-first-timeout behavior.
+	RetryLimit int
+	// BackoffBase/BackoffMax configure deterministic exponential backoff
+	// applied to the issue pacing after a timeout, denial or TError —
+	// clients of a quarantined service retreat instead of hammering its
+	// monitor. Zero BackoffBase disables backoff.
+	BackoffBase sim.Cycle
+	BackoffMax  sim.Cycle
 
 	sent      int
 	inFlight  int
 	nextAt    sim.Cycle
 	sentAt    map[uint32]sim.Cycle
+	retries   map[uint32]int
+	backoff   accel.Backoff
+	retried   int
 	latency   *sim.Histogram
 	errs      int
 	responses int
@@ -47,7 +62,8 @@ func NewRequester(target msg.ServiceID, total int, gap sim.Cycle,
 	return &Requester{
 		Target: target, Total: total, GapCycles: gap, Payload: payload,
 		MaxInFlight: 8, TimeoutCycles: 100_000,
-		sentAt: make(map[uint32]sim.Cycle), latency: lat,
+		sentAt:  make(map[uint32]sim.Cycle),
+		retries: make(map[uint32]int), latency: lat,
 	}
 }
 
@@ -65,6 +81,9 @@ func (r *Requester) Errors() int { return r.errs }
 // LastReply returns the most recent reply payload.
 func (r *Requester) LastReply() []byte { return r.lastReply }
 
+// Retransmits reports how many timed-out requests were resent.
+func (r *Requester) Retransmits() int { return r.retried }
+
 // Name implements accel.Accelerator.
 func (r *Requester) Name() string { return "requester" }
 
@@ -74,7 +93,9 @@ func (r *Requester) Contexts() int { return 1 }
 // Reset implements accel.Accelerator.
 func (r *Requester) Reset() {
 	r.sentAt = make(map[uint32]sim.Cycle)
+	r.retries = make(map[uint32]int)
 	r.inFlight = 0
+	r.backoff.Reset()
 }
 
 // Idle implements accel.Idler. A requester is a traffic source: it is busy
@@ -98,6 +119,7 @@ func (r *Requester) Tick(p accel.Port) {
 			continue
 		}
 		delete(r.sentAt, m.Seq)
+		delete(r.retries, m.Seq)
 		r.inFlight--
 		switch m.Type {
 		case msg.TReply, msg.TMemReply:
@@ -106,19 +128,49 @@ func (r *Requester) Tick(p accel.Port) {
 			if r.latency != nil {
 				r.latency.Observe(float64(now - at))
 			}
+			r.backoff.Reset()
 		case msg.TError:
 			r.errs++
+			r.holdOff(now)
 		}
 	}
 
 	// Expire lost requests (scan sparsely; in-flight counts are tiny).
+	// Expired sequences are collected and sorted before retransmission so
+	// the resend order never depends on map iteration order — retransmits
+	// enter the NoC, and a nondeterministic order there would break the
+	// serial-vs-parallel bit-exactness the chaos tests assert.
 	if r.TimeoutCycles > 0 && r.inFlight > 0 && now%512 == 0 {
+		var expired []uint32
 		for seq, at := range r.sentAt {
 			if now-at > r.TimeoutCycles {
-				delete(r.sentAt, seq)
-				r.inFlight--
-				r.errs++
+				expired = append(expired, seq)
 			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+		for _, seq := range expired {
+			if r.RetryLimit > 0 && r.retries[seq] < r.RetryLimit {
+				m := &msg.Message{
+					Type: msg.TRequest, DstSvc: r.Target, Seq: seq,
+					Payload: r.Payload(int(seq)),
+				}
+				switch p.Send(m) {
+				case msg.EOK, msg.ERateLimited, msg.EBusy:
+					// Sent (or transient push-back: leave it armed and let
+					// the next scan retry). Either way the attempt counts.
+					r.retries[seq]++
+					r.retried++
+					r.sentAt[seq] = now
+					r.holdOff(now)
+					continue
+				}
+				// Hard denial: fall through and abandon.
+			}
+			delete(r.sentAt, seq)
+			delete(r.retries, seq)
+			r.inFlight--
+			r.errs++
+			r.holdOff(now)
 		}
 	}
 
@@ -139,9 +191,24 @@ func (r *Requester) Tick(p accel.Port) {
 			// Retry next tick.
 		default:
 			// Hard denial (no capability, no service): count as error so
-			// experiments observe it, and move on.
+			// experiments observe it, and move on — after backing off, so a
+			// revoked endpoint is probed at a decaying rate rather than
+			// every GapCycles.
 			r.errs++
 			r.sent++
+			r.holdOff(now)
 		}
+	}
+}
+
+// holdOff pushes the next issue out by the current backoff delay (no-op
+// when backoff is disabled or the pacing already waits longer).
+func (r *Requester) holdOff(now sim.Cycle) {
+	if r.BackoffBase == 0 {
+		return
+	}
+	r.backoff.Base, r.backoff.Max = r.BackoffBase, r.BackoffMax
+	if at := now + r.backoff.Next(); at > r.nextAt {
+		r.nextAt = at
 	}
 }

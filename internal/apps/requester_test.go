@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// stubPort drives a Requester directly: sends are captured, receives come
+// from a scripted queue, and the clock is advanced by the test.
+type stubPort struct {
+	now   sim.Cycle
+	inbox []*msg.Message
+	sends []*msg.Message
+	code  msg.ErrCode
+}
+
+func (p *stubPort) Now() sim.Cycle { return p.now }
+func (p *stubPort) Recv() (*msg.Message, bool) {
+	if len(p.inbox) == 0 {
+		return nil, false
+	}
+	m := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return m, true
+}
+func (p *stubPort) Send(m *msg.Message) msg.ErrCode {
+	if p.code != msg.EOK {
+		return p.code
+	}
+	p.sends = append(p.sends, m)
+	return msg.EOK
+}
+func (p *stubPort) Fault(uint8, accel.FaultReason) {}
+
+func newRetryClient(total int) (*Requester, *stubPort) {
+	r := NewRequester(msg.FirstUserService, total, 1,
+		func(i int) []byte { return []byte{byte(i)} }, nil)
+	r.TimeoutCycles = 1_000
+	return r, &stubPort{}
+}
+
+// tickAt runs one Tick at the given cycle. Timeout scans only run on
+// 512-aligned cycles, so tests advance the clock in those steps.
+func tickAt(r *Requester, p *stubPort, at sim.Cycle) {
+	p.now = at
+	r.Tick(p)
+}
+
+func TestRequesterRetransmitThenReply(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 2
+
+	tickAt(r, p, 0)
+	if len(p.sends) != 1 {
+		t.Fatalf("initial send count = %d, want 1", len(p.sends))
+	}
+	// First 512-aligned scan past the timeout: 1536 - 0 > 1000.
+	tickAt(r, p, 1536)
+	if got := r.Retransmits(); got != 1 {
+		t.Fatalf("Retransmits() = %d, want 1", got)
+	}
+	if len(p.sends) != 2 || p.sends[1].Seq != p.sends[0].Seq {
+		t.Fatalf("retransmit did not reuse seq: sends=%v", p.sends)
+	}
+	// The retransmitted copy is answered: counted as a normal response.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: p.sends[0].Seq})
+	tickAt(r, p, 1600)
+	if r.Responses() != 1 || r.Errors() != 0 || !r.Done() {
+		t.Fatalf("responses=%d errs=%d done=%v, want 1/0/true",
+			r.Responses(), r.Errors(), r.Done())
+	}
+}
+
+func TestRequesterRetryExhaustion(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 1
+
+	tickAt(r, p, 0)
+	tickAt(r, p, 1536) // retransmit #1 (limit reached)
+	tickAt(r, p, 3072) // expires again: abandoned as an error
+	if r.Retransmits() != 1 {
+		t.Fatalf("Retransmits() = %d, want 1", r.Retransmits())
+	}
+	if r.Errors() != 1 || !r.Done() {
+		t.Fatalf("errs=%d done=%v, want 1/true", r.Errors(), r.Done())
+	}
+	if len(p.sends) != 2 {
+		t.Fatalf("send count = %d, want 2 (original + one retry)", len(p.sends))
+	}
+}
+
+func TestRequesterZeroRetryKeepsHistoricalBehavior(t *testing.T) {
+	r, p := newRetryClient(1)
+	tickAt(r, p, 0)
+	tickAt(r, p, 1536)
+	if r.Retransmits() != 0 || r.Errors() != 1 {
+		t.Fatalf("retransmits=%d errs=%d, want 0/1 (abandon on first timeout)",
+			r.Retransmits(), r.Errors())
+	}
+}
+
+func TestRequesterBackoffAfterNACK(t *testing.T) {
+	r, p := newRetryClient(4)
+	r.BackoffBase = 100
+	r.BackoffMax = 400
+
+	tickAt(r, p, 0)
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError, Seq: 0})
+	tickAt(r, p, 1) // NACK arrives: backoff arms, issue pacing pushed out
+	sendsAfterNACK := len(p.sends)
+	tickAt(r, p, 50) // inside the 100-cycle hold-off: nothing issued
+	if len(p.sends) != sendsAfterNACK {
+		t.Fatalf("sent during backoff window: %d sends", len(p.sends))
+	}
+	tickAt(r, p, 101)
+	if len(p.sends) != sendsAfterNACK+1 {
+		t.Fatalf("backoff never released: %d sends, want %d",
+			len(p.sends), sendsAfterNACK+1)
+	}
+	// A successful reply resets the schedule to the base delay.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: p.sends[len(p.sends)-1].Seq})
+	tickAt(r, p, 102)
+	if r.Responses() != 1 {
+		t.Fatalf("responses = %d, want 1", r.Responses())
+	}
+}
+
+func TestRequesterHardDenialBacksOff(t *testing.T) {
+	r, p := newRetryClient(3)
+	r.BackoffBase = 200
+	p.code = msg.ERevoked // every send is denied at egress
+
+	tickAt(r, p, 0)
+	if r.Errors() != 1 {
+		t.Fatalf("errs = %d, want 1", r.Errors())
+	}
+	tickAt(r, p, 100) // still held off
+	if r.Errors() != 1 {
+		t.Fatalf("probed a revoked endpoint during hold-off: errs=%d", r.Errors())
+	}
+	tickAt(r, p, 201)
+	if r.Errors() != 2 {
+		t.Fatalf("errs = %d, want 2 (decaying probe)", r.Errors())
+	}
+}

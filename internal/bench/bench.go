@@ -96,6 +96,7 @@ var All = []Experiment{
 	{"e13", "Portability: one manifest on 10G and 100G boards", E13Portability},
 	{"e14", "Service placement: hardware tile vs remote CPU proxy", E14RemoteService},
 	{"e15", "Observability: flight-recorder overhead and span accounting", E15Observability},
+	{"e16", "Blast radius of a contained fault (chaos engine)", E16BlastRadius},
 }
 
 // ByID finds an experiment.

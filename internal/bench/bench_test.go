@@ -298,3 +298,55 @@ func TestE13BothBoardsWork(t *testing.T) {
 		t.Fatal("10G board should have higher RTT than 100G")
 	}
 }
+
+func TestE16BlastRadius(t *testing.T) {
+	r := E16BlastRadius()
+	phases := map[string][]string{}
+	for _, row := range r.Rows {
+		phases[row[0]] = row
+	}
+	pre, quar, post := phases["pre-fault"], phases["quarantined"], phases["post-recovery"]
+	if pre == nil || quar == nil || post == nil {
+		t.Fatalf("missing phase rows: %v", r.Rows)
+	}
+	// The victim tile must actually get fenced and then re-admitted.
+	if quar[6] != "1" {
+		t.Fatalf("no tile quarantined: %v", quar)
+	}
+	if post[6] != "0" {
+		t.Fatalf("tile still fenced after recovery: %v", post)
+	}
+	// Healthy p99 may degrade by at most 10% while the fault is live.
+	preP99, _ := strconv.ParseFloat(pre[2], 64)
+	durP99, _ := strconv.ParseFloat(quar[2], 64)
+	if preP99 <= 0 {
+		t.Fatalf("no healthy baseline latency: %v", pre)
+	}
+	if durP99 > preP99*1.10 {
+		t.Fatalf("healthy p99 degraded >10%% during fault: %v -> %v", preP99, durP99)
+	}
+	// The victim must be serving again after region reload: strictly more
+	// responses than at quarantine time.
+	quarResp, _ := strconv.Atoi(quar[4])
+	postResp, _ := strconv.Atoi(post[4])
+	if postResp <= quarResp {
+		t.Fatalf("victim not serving after recovery: %d -> %d responses", quarResp, postResp)
+	}
+	// Healthy apps keep making progress through every phase.
+	quarH, _ := strconv.Atoi(quar[3])
+	postH, _ := strconv.Atoi(post[3])
+	if postH <= quarH {
+		t.Fatalf("healthy apps stalled: %d -> %d responses", quarH, postH)
+	}
+}
+
+// TestE16Deterministic reruns the chaos experiment and requires the whole
+// table — latencies, cycle timestamps, counters — to be bit-identical: the
+// fault plan is seed-driven and injected between tick phases.
+func TestE16Deterministic(t *testing.T) {
+	a := E16BlastRadius()
+	b := E16BlastRadius()
+	if a.String() != b.String() {
+		t.Fatalf("chaos run not reproducible:\n--- run1\n%s\n--- run2\n%s", a.String(), b.String())
+	}
+}

@@ -155,10 +155,15 @@ type Kernel struct {
 	alloc   *memseg.Allocator
 	regions []*fabric.Region
 
-	faults   []msg.FaultReport
-	syscalls *sim.Counter
-	faultsC  *sim.Counter
-	restarts *sim.Counter
+	faults      []msg.FaultReport
+	quarantined map[msg.TileID]bool
+	syscalls    *sim.Counter
+	faultsC     *sim.Counter
+	restarts    *sim.Counter
+	quarC       *sim.Counter
+	recovC      *sim.Counter
+
+	detect monitor.Detect
 }
 
 // NewKernel boots the microkernel over an existing NoC. Monitors are
@@ -166,22 +171,26 @@ type Kernel struct {
 // bindings are programmed into every monitor (static-region boot state).
 func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 	checker *cap.Checker, tracer *trace.Tracer, alloc *memseg.Allocator,
-	enforceCaps bool) *Kernel {
+	enforceCaps bool, detect monitor.Detect) *Kernel {
 	k := &Kernel{
-		engine:   e,
-		stats:    st,
-		net:      net,
-		checker:  checker,
-		tracer:   tracer,
-		services: make(map[msg.ServiceID]msg.TileID),
-		exports:  make(map[msg.ServiceID]string),
-		svcOwner: make(map[msg.ServiceID]string),
-		apps:     make(map[string]*App),
-		segOwner: make(map[uint32]msg.TileID),
-		alloc:    alloc,
-		syscalls: st.Counter("kernel.syscalls"),
-		faultsC:  st.Counter("kernel.faults"),
-		restarts: st.Counter("kernel.restarts"),
+		engine:      e,
+		stats:       st,
+		net:         net,
+		checker:     checker,
+		tracer:      tracer,
+		services:    make(map[msg.ServiceID]msg.TileID),
+		exports:     make(map[msg.ServiceID]string),
+		svcOwner:    make(map[msg.ServiceID]string),
+		apps:        make(map[string]*App),
+		segOwner:    make(map[uint32]msg.TileID),
+		quarantined: make(map[msg.TileID]bool),
+		alloc:       alloc,
+		syscalls:    st.Counter("kernel.syscalls"),
+		faultsC:     st.Counter("kernel.faults"),
+		restarts:    st.Counter("kernel.restarts"),
+		quarC:       st.Counter("kernel.quarantines"),
+		recovC:      st.Counter("kernel.recoveries"),
+		detect:      detect,
 	}
 	n := net.Dims().Tiles()
 	if n < 2 {
@@ -193,6 +202,7 @@ func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 		if id != KernelTile {
 			ts.mon = monitor.New(monitor.Config{
 				Tile: id, Kernel: KernelTile, EnforceCaps: enforceCaps,
+				Detect: detect,
 			}, e, net.NI(id), nil, checker, tracer, st)
 		}
 		k.tiles = append(k.tiles, ts)
@@ -342,8 +352,9 @@ func (k *Kernel) deliver(m *msg.Message, _ sim.Cycle) {
 }
 
 // handleFault implements the kernel's fault policy (paper §4.4): record the
-// report; if the owning app asked for restart, reconfigure the tile after
-// the PR delay and resume it.
+// report, quarantine the fail-stopped tile (drain, cap revocation, region
+// marked for reload), and — if the owning app asked for restart —
+// reconfigure the tile after the PR delay and re-admit it.
 func (k *Kernel) handleFault(m *msg.Message) {
 	rep, err := msg.DecodeFaultReport(m.Payload)
 	if err != nil {
@@ -352,21 +363,29 @@ func (k *Kernel) handleFault(m *msg.Message) {
 	k.faultsC.Inc()
 	k.faults = append(k.faults, rep)
 	ts := k.tiles[rep.Tile]
-	app, ok := k.apps[ts.app]
-	if !ok || !app.Spec.Restart {
-		return
-	}
 	// If the shell contained the fault per-context (preemptible), the tile
 	// is still Running and needs no reconfiguration.
 	if ts.shell != nil && ts.shell.State() == accel.Running {
 		return
 	}
+	if !k.quarantine(ts) {
+		// Already quarantined (a recovery is pending or the tile is parked)
+		// or a trusted system tile: nothing further to schedule.
+		return
+	}
+	app, ok := k.apps[ts.app]
+	if !ok || !app.Spec.Restart {
+		return
+	}
 	app.Restarts++
 	k.restarts.Inc()
-	cells := 20000
+	cells := defaultCells
+	if reg := k.region(ts.id); reg != nil && reg.Loaded() != nil {
+		cells = reg.Loaded().Cells
+	}
 	delay := prBaseCycles + prCyclesPerCell*sim.Cycle(cells)
 	k.engine.After(delay, func(sim.Cycle) {
-		k.sendCtl(rep.Tile, msg.TCtlResume, nil)
+		k.recoverTile(ts)
 	})
 }
 

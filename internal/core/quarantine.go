@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sort"
+
+	"apiary/internal/cap"
+	"apiary/internal/fabric"
+	"apiary/internal/msg"
+)
+
+// This file implements fail-stop quarantine and recovery (paper §4.4): when
+// a monitor fail-stops a tile, the kernel fences its blast radius — drain
+// the tile, revoke every endpoint capability that pointed at it, mark its
+// fabric region for reload — and later re-admits it by reprogramming the
+// region and re-minting the revoked capabilities at the new generation.
+
+// region returns tile t's reconfigurable region (nil when no floorplan is
+// attached, as in most unit tests).
+func (k *Kernel) region(t msg.TileID) *fabric.Region {
+	if int(t) < len(k.regions) {
+		return k.regions[int(t)]
+	}
+	return nil
+}
+
+// quarantine fences a fail-stopped tile. Reports whether the tile was newly
+// quarantined; trusted system tiles ("apiary") are never quarantined — their
+// monitors fail-stop them locally, but the kernel does not revoke system
+// service endpoints out from under every client.
+func (k *Kernel) quarantine(ts *tileState) bool {
+	if ts.app == "" || ts.app == "apiary" {
+		return false
+	}
+	if k.quarantined[ts.id] {
+		return false
+	}
+	k.quarantined[ts.id] = true
+	k.quarC.Inc()
+	// Belt and braces: order the monitor to drain even if it already
+	// fail-stopped itself (idempotent; covers kernel-initiated quarantine).
+	k.sendCtl(ts.id, msg.TCtlDrain, nil)
+	// Revoke the tile's exported endpoint so stale capabilities held by
+	// clients bounce with ERevoked at their local monitor instead of
+	// flooding a dead service. The generation bump is authoritative and
+	// instantly visible to every monitor; unlike permanent revocation
+	// (sysFreeSeg) we deliberately do NOT clear the granted table slots —
+	// a cleared slot makes the client's next send fail with ENoCap, which
+	// monitors count against the protocol-violation budget as if the ref
+	// were forged, fail-stopping innocent clients of the fenced service.
+	// ERevoked is exempt from that budget, and recovery reinstalls the
+	// fresh capability into the same slots.
+	if ts.svc != msg.SvcInvalid {
+		if t, ok := k.services[ts.svc]; ok && t == ts.id {
+			k.checker.Revoke(cap.KindEndpoint, uint32(ts.svc))
+		}
+	}
+	if reg := k.region(ts.id); reg != nil {
+		reg.MarkFailed()
+	}
+	return true
+}
+
+// recoverTile re-admits a quarantined tile after the PR delay: reprogram the
+// region (scrubbing the failed logic), re-mint the revoked endpoint at the
+// current generation into every table slot that held it, and resume the
+// shell.
+func (k *Kernel) recoverTile(ts *tileState) {
+	if !k.quarantined[ts.id] {
+		return
+	}
+	if reg := k.region(ts.id); reg != nil && reg.Loaded() != nil {
+		// Reload the recorded bitstream; Load clears the failed flag and
+		// counts the reconfiguration.
+		_ = reg.Load(reg.Loaded())
+	}
+	delete(k.quarantined, ts.id)
+	k.recovC.Inc()
+	if ts.svc != msg.SvcInvalid {
+		if t, ok := k.services[ts.svc]; ok && t == ts.id {
+			fresh := k.endpointCap(ts.svc)
+			for i := range k.grants {
+				g := &k.grants[i]
+				if g.c.Kind == cap.KindEndpoint && g.c.Object == uint32(ts.svc) {
+					g.c = fresh
+					k.sendCtl(g.tile, msg.TCtlInstallCap,
+						msg.EncodeInstallCapReq(msg.InstallCapReq{
+							Slot: uint32(g.slot), Cap: fresh.Encode(),
+						}))
+				}
+			}
+		}
+	}
+	k.sendCtl(ts.id, msg.TCtlResume, nil)
+}
+
+// Quarantined reports whether tile t is currently fenced off.
+func (k *Kernel) Quarantined(t msg.TileID) bool { return k.quarantined[t] }
+
+// QuarantinedTiles lists the currently fenced tiles in ID order.
+func (k *Kernel) QuarantinedTiles() []msg.TileID {
+	out := make([]msg.TileID, 0, len(k.quarantined))
+	for t := range k.quarantined {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Quarantines and Recoveries report lifetime counts.
+func (k *Kernel) Quarantines() uint64 { return k.quarC.Value() }
+
+// Recoveries reports how many quarantined tiles have been re-admitted.
+func (k *Kernel) Recoveries() uint64 { return k.recovC.Value() }

@@ -5,7 +5,9 @@ import (
 
 	"apiary/internal/cap"
 	"apiary/internal/fabric"
+	"apiary/internal/fault"
 	"apiary/internal/memseg"
+	"apiary/internal/monitor"
 	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/netstack"
@@ -60,6 +62,14 @@ type SystemConfig struct {
 	WindowCycles sim.Cycle
 	// WindowKeep bounds the snapshot ring. Default obs.DefaultWindowKeep.
 	WindowKeep int
+
+	// Detect configures the per-tile monitor watchdogs (heartbeat,
+	// credit-leak, protocol-violation). The zero value leaves every
+	// detector off.
+	Detect monitor.Detect
+	// FaultPlan, when non-nil, arms the deterministic chaos engine with the
+	// given schedule of injected faults (see internal/fault).
+	FaultPlan *fault.Plan
 }
 
 // System is a fully assembled Apiary board: engine, NoC, kernel, system
@@ -78,8 +88,9 @@ type System struct {
 	Fabric  *netsim.Fabric    // nil unless WithNet
 	NetSvc  *netstack.Service // nil unless WithNet
 	NodeID  netsim.NodeID
-	Obs     *obs.Recorder // nil unless SpanSampleEvery > 0
-	Windows *obs.Windows  // nil unless WindowCycles > 0
+	Obs     *obs.Recorder   // nil unless SpanSampleEvery > 0
+	Windows *obs.Windows    // nil unless WindowCycles > 0
+	Fault   *fault.Injector // nil unless FaultPlan set
 }
 
 // NewSystem boots a board.
@@ -155,9 +166,17 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	})
 
 	s.Kernel = NewKernel(s.Engine, s.Stats, s.Noc, s.Checker, s.Tracer,
-		s.Alloc, !cfg.DisableCaps)
+		s.Alloc, !cfg.DisableCaps, cfg.Detect)
 	if s.Regions != nil {
 		s.Kernel.SetRegions(s.Regions)
+	}
+	if cfg.FaultPlan != nil {
+		inj := fault.NewInjector(cfg.FaultPlan, s.Engine, s.Noc,
+			&chaosTarget{k: s.Kernel}, s.Stats)
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+		s.Fault = inj
 	}
 	s.Kernel.installSystemService(MemTile, msg.SvcMemory,
 		NewMemService(s.Alloc, s.DRAM, s.Checker, s.Stats))

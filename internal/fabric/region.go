@@ -60,6 +60,7 @@ type Region struct {
 	Cells int // logic budget of the slot
 
 	loaded *Bitstream
+	failed bool
 	// Reconfigurations counts partial reconfiguration events (PR takes
 	// milliseconds on real parts; the kernel models that cost).
 	Reconfigurations int
@@ -81,12 +82,24 @@ func (r *Region) Load(bs *Bitstream) error {
 		return fmt.Errorf("fabric: DRC rejected %q: %w", bs.Name, err)
 	}
 	r.loaded = bs
+	r.failed = false
 	r.Reconfigurations++
 	return nil
 }
 
 // Clear unloads the region.
-func (r *Region) Clear() { r.loaded = nil }
+func (r *Region) Clear() {
+	r.loaded = nil
+	r.failed = false
+}
+
+// MarkFailed flags the region as holding fail-stopped logic that must be
+// reconfigured before the tile can serve again. The bitstream stays
+// recorded — recovery reloads it (a fresh Load clears the flag).
+func (r *Region) MarkFailed() { r.failed = true }
+
+// Failed reports whether the region is marked for reload.
+func (r *Region) Failed() bool { return r.failed }
 
 // Floorplan divides a device into n tile slots under an area model.
 func Floorplan(d Device, n, capSlots int, a AreaModel) ([]*Region, error) {

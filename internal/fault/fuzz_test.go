@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"testing"
+
+	"apiary/internal/noc"
+)
+
+// FuzzFaultPlanParse drives arbitrary bytes through the autodetecting plan
+// decoder. Invariants: ParsePlan never panics; any plan it accepts can be
+// re-encoded (text and JSON) and re-parsed to an equivalent plan; Validate
+// never panics on an accepted plan. CI runs this for a bounded period
+// (-fuzz=FuzzFaultPlanParse) on top of the committed corpus below.
+func FuzzFaultPlanParse(f *testing.F) {
+	seeds := []string{
+		"seed 42\nhang at=1000 tile=5 dur=20000\n",
+		"wildwrite at=2000 tile=4 count=3\nbabble at=3000 tile=3 dur=500 svc=17\n",
+		"stall at=4000 tile=6 port=E dur=400\nflip at=5000 tile=6 port=W\n",
+		"stuckvc at=6000 tile=6 port=N vc=1 dur=300\nfalsepos at=7000 tile=5\n",
+		"hang every=100000 tile=7 dur=5000\n# comment\n",
+		`{"seed":9,"events":[{"kind":"hang","tile":2,"at":50,"dur":100}]}`,
+		`{"rates":[{"kind":"wildwrite","tile":1,"every":5000,"count":2}]}`,
+		"seed 18446744073709551615\n",
+		"hang at=9223372036854775807 tile=0 dur=1\n",
+		"  \t\r\n{", "seed", "hang", "=", "hang at=1 tile=1 dur=1 svc=65535\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	dims := noc.Dims{W: 4, H: 4}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		// Accepted plans must survive both encoders losslessly and must
+		// never panic validation, whatever the field values.
+		_ = p.Validate(dims)
+		rt, err := ParsePlan([]byte(p.String()))
+		if err != nil {
+			t.Fatalf("accepted plan failed text re-parse: %v\nplan: %+v\ntext:\n%s", err, p, p.String())
+		}
+		if !plansEquivalent(p, rt) {
+			t.Fatalf("text round-trip not equivalent:\n in %+v\nout %+v", p, rt)
+		}
+		js, err := p.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted plan failed to marshal: %v", err)
+		}
+		jrt, err := ParsePlan(js)
+		if err != nil {
+			t.Fatalf("accepted plan failed JSON re-parse: %v\njson: %s", err, js)
+		}
+		if !plansEquivalent(p, jrt) {
+			t.Fatalf("JSON round-trip not equivalent:\n in %+v\nout %+v", p, jrt)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// ParsePlan decodes a chaos plan from either the line-oriented text format
+// or JSON (autodetected on the first non-space byte). The text grammar is
+// one directive per line, '#' comments:
+//
+//	seed 42
+//	hang at=1000 tile=5 dur=20000
+//	wildwrite at=2000 tile=4 count=3
+//	babble at=3000 tile=3 dur=500 svc=17
+//	stall at=4000 tile=6 port=E dur=400
+//	flip at=5000 tile=6 port=W
+//	stuckvc at=6000 tile=6 port=N vc=1 dur=300
+//	falsepos at=7000 tile=5
+//	hang every=100000 tile=7 dur=5000
+//
+// `at=` schedules a one-shot event; `every=` declares a probabilistic
+// source with geometric inter-arrivals of that mean. ParsePlan never
+// panics; malformed input returns an error (FuzzFaultPlanParse enforces
+// this).
+func ParsePlan(data []byte) (*Plan, error) {
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return parseJSON(data)
+		}
+		break
+	}
+	return parseText(data)
+}
+
+func parseText(data []byte) (*Plan, error) {
+	p := &Plan{}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "seed" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: line %d: seed takes one value", lineNo+1)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad seed: %v", lineNo+1, err)
+			}
+			p.Seed = v
+			continue
+		}
+		kind, ok := KindFromString(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("fault: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+		ev := Event{Kind: kind}
+		var every sim.Cycle
+		hasAt := false
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: line %d: expected key=value, got %q", lineNo+1, f)
+			}
+			num := func(bitSize int) (uint64, error) {
+				v, err := strconv.ParseUint(val, 10, bitSize)
+				if err != nil {
+					return 0, fmt.Errorf("fault: line %d: bad %s: %v", lineNo+1, key, err)
+				}
+				return v, nil
+			}
+			switch key {
+			case "at":
+				v, err := num(63)
+				if err != nil {
+					return nil, err
+				}
+				ev.At = sim.Cycle(v)
+				hasAt = true
+			case "every":
+				v, err := num(63)
+				if err != nil {
+					return nil, err
+				}
+				every = sim.Cycle(v)
+			case "tile":
+				v, err := num(16)
+				if err != nil {
+					return nil, err
+				}
+				ev.Tile = msg.TileID(v)
+			case "port":
+				pp, ok := portFromString(val)
+				if !ok {
+					return nil, fmt.Errorf("fault: line %d: bad port %q", lineNo+1, val)
+				}
+				ev.Port = pp
+			case "vc":
+				v, err := num(8)
+				if err != nil {
+					return nil, err
+				}
+				ev.VC = int(v)
+			case "dur":
+				v, err := num(63)
+				if err != nil {
+					return nil, err
+				}
+				ev.Dur = sim.Cycle(v)
+			case "count":
+				v, err := num(31)
+				if err != nil {
+					return nil, err
+				}
+				ev.Count = int(v)
+			case "svc":
+				v, err := num(16)
+				if err != nil {
+					return nil, err
+				}
+				ev.Svc = msg.ServiceID(v)
+			default:
+				return nil, fmt.Errorf("fault: line %d: unknown key %q", lineNo+1, key)
+			}
+		}
+		switch {
+		case every > 0 && hasAt:
+			return nil, fmt.Errorf("fault: line %d: at= and every= are exclusive", lineNo+1)
+		case every > 0:
+			p.Rates = append(p.Rates, Rate{Event: ev, MeanEvery: every})
+		case hasAt:
+			p.Events = append(p.Events, ev)
+		default:
+			return nil, fmt.Errorf("fault: line %d: need at= or every=", lineNo+1)
+		}
+	}
+	return p, nil
+}
+
+// jsonPlan is the wire form of a Plan: kinds and ports as strings.
+type jsonPlan struct {
+	Seed   uint64      `json:"seed"`
+	Events []jsonEvent `json:"events,omitempty"`
+	Rates  []jsonEvent `json:"rates,omitempty"`
+}
+
+type jsonEvent struct {
+	Kind  string    `json:"kind"`
+	At    sim.Cycle `json:"at,omitempty"`
+	Every sim.Cycle `json:"every,omitempty"`
+	Tile  uint16    `json:"tile"`
+	Port  string    `json:"port,omitempty"`
+	VC    int       `json:"vc,omitempty"`
+	Dur   sim.Cycle `json:"dur,omitempty"`
+	Count int       `json:"count,omitempty"`
+	Svc   uint16    `json:"svc,omitempty"`
+}
+
+func parseJSON(data []byte) (*Plan, error) {
+	var jp jsonPlan
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("fault: bad JSON plan: %v", err)
+	}
+	p := &Plan{Seed: jp.Seed}
+	conv := func(je jsonEvent) (Event, error) {
+		kind, ok := KindFromString(je.Kind)
+		if !ok {
+			return Event{}, fmt.Errorf("fault: unknown kind %q", je.Kind)
+		}
+		ev := Event{
+			Kind: kind, At: je.At, Tile: msg.TileID(je.Tile),
+			VC: je.VC, Dur: je.Dur, Count: je.Count, Svc: msg.ServiceID(je.Svc),
+		}
+		if ev.VC < 0 || ev.Count < 0 {
+			return Event{}, fmt.Errorf("fault: negative field in %q event", je.Kind)
+		}
+		if je.Port != "" {
+			pp, ok := portFromString(je.Port)
+			if !ok {
+				return Event{}, fmt.Errorf("fault: bad port %q", je.Port)
+			}
+			ev.Port = pp
+		}
+		return ev, nil
+	}
+	for _, je := range jp.Events {
+		ev, err := conv(je)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	for _, je := range jp.Rates {
+		if je.Every < 1 {
+			return nil, fmt.Errorf("fault: rate %q needs every >= 1", je.Kind)
+		}
+		ev, err := conv(je)
+		if err != nil {
+			return nil, err
+		}
+		p.Rates = append(p.Rates, Rate{Event: ev, MeanEvery: je.Every})
+	}
+	return p, nil
+}
+
+// MarshalJSON renders the plan in the JSON wire form ParsePlan accepts.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	jp := jsonPlan{Seed: p.Seed}
+	conv := func(ev Event, every sim.Cycle) jsonEvent {
+		je := jsonEvent{
+			Kind: ev.Kind.String(), At: ev.At, Every: every,
+			Tile: uint16(ev.Tile), VC: ev.VC, Dur: ev.Dur,
+			Count: ev.Count, Svc: uint16(ev.Svc),
+		}
+		switch ev.Kind {
+		case KindLinkStall, KindLinkFlip, KindStuckVC:
+			je.Port = portName(ev.Port)
+		}
+		return je
+	}
+	for _, ev := range p.Events {
+		jp.Events = append(jp.Events, conv(ev, 0))
+	}
+	for _, r := range p.Rates {
+		je := conv(r.Event, r.MeanEvery)
+		je.At = 0
+		jp.Rates = append(jp.Rates, je)
+	}
+	return json.Marshal(jp)
+}

@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+func TestParsePlanText(t *testing.T) {
+	const src = `
+# chaos plan
+seed 42
+hang at=1000 tile=5 dur=20000
+wildwrite at=2000 tile=4 count=3
+babble at=3000 tile=3 dur=500 svc=17
+stall at=4000 tile=6 port=E dur=400
+flip at=5000 tile=6 port=W
+stuckvc at=6000 tile=6 port=N vc=1 dur=300
+falsepos at=7000 tile=5   # trailing comment
+hang every=100000 tile=7 dur=5000
+`
+	p, err := ParsePlan([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	if len(p.Events) != 7 || len(p.Rates) != 1 {
+		t.Fatalf("got %d events, %d rates; want 7, 1", len(p.Events), len(p.Rates))
+	}
+	want := []Event{
+		{Kind: KindHang, At: 1000, Tile: 5, Dur: 20000},
+		{Kind: KindWildWrite, At: 2000, Tile: 4, Count: 3},
+		{Kind: KindBabble, At: 3000, Tile: 3, Dur: 500, Svc: 17},
+		{Kind: KindLinkStall, At: 4000, Tile: 6, Port: noc.East, Dur: 400},
+		{Kind: KindLinkFlip, At: 5000, Tile: 6, Port: noc.West},
+		{Kind: KindStuckVC, At: 6000, Tile: 6, Port: noc.North, VC: 1, Dur: 300},
+		{Kind: KindFalsePos, At: 7000, Tile: 5},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Errorf("events = %+v\nwant %+v", p.Events, want)
+	}
+	r := p.Rates[0]
+	if r.Kind != KindHang || r.MeanEvery != 100000 || r.Tile != 7 || r.Dur != 5000 {
+		t.Errorf("rate = %+v", r)
+	}
+	if err := p.Validate(noc.Dims{W: 4, H: 4}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown directive", "explode at=1 tile=0", "unknown directive"},
+		{"missing schedule", "hang tile=1 dur=5", "need at= or every="},
+		{"both schedules", "hang at=1 every=2 tile=1 dur=5", "exclusive"},
+		{"bad key", "hang at=1 tile=1 dur=5 bogus=9", "unknown key"},
+		{"no equals", "hang at=1 tile", "key=value"},
+		{"bad seed", "seed banana", "bad seed"},
+		{"seed arity", "seed 1 2", "seed takes one value"},
+		{"bad port", "stall at=1 tile=0 port=Q dur=5", "bad port"},
+		{"bad number", "hang at=zzz tile=1 dur=5", "bad at"},
+		{"json unknown kind", `{"events":[{"kind":"explode","tile":0,"at":1}]}`, "unknown kind"},
+		{"json bad port", `{"events":[{"kind":"stall","tile":0,"at":1,"dur":5,"port":"Q"}]}`, "bad port"},
+		{"json rate missing every", `{"rates":[{"kind":"hang","tile":0,"dur":5}]}`, "every >= 1"},
+		{"json negative", `{"events":[{"kind":"stuckvc","tile":0,"at":1,"dur":5,"port":"N","vc":-1}]}`, "negative"},
+		{"json truncated", `{"events":[`, "bad JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePlan([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	dims := noc.Dims{W: 4, H: 4}
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"tile off mesh", Plan{Events: []Event{{Kind: KindHang, Tile: 16, Dur: 5}}}, "outside"},
+		{"port range", Plan{Events: []Event{{Kind: KindLinkStall, Tile: 0, Port: noc.NumPorts, Dur: 5}}}, "port"},
+		{"vc range", Plan{Events: []Event{{Kind: KindStuckVC, Tile: 0, VC: noc.NumVCs, Dur: 5}}}, "vc"},
+		{"zero dur", Plan{Events: []Event{{Kind: KindHang, Tile: 0}}}, "dur > 0"},
+		{"rate zero mean", Plan{Rates: []Rate{{Event: Event{Kind: KindHang, Tile: 0, Dur: 5}}}}, "every >= 1"},
+		{"rate with at", Plan{Rates: []Rate{{Event: Event{Kind: KindHang, Tile: 0, Dur: 5, At: 9}, MeanEvery: 10}}}, "not at="},
+		{"unknown kind", Plan{Events: []Event{{Kind: Kind(99), Tile: 0}}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(dims)
+			if err == nil {
+				t.Fatal("validate succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanRoundTrip proves both wire forms are lossless: text via String(),
+// JSON via MarshalJSON, each re-parsed by the autodetecting ParsePlan.
+func TestPlanRoundTrip(t *testing.T) {
+	p := &Plan{
+		Seed: 7,
+		Events: []Event{
+			{Kind: KindHang, At: 100, Tile: 5, Dur: 2000},
+			{Kind: KindBabble, At: 200, Tile: 6, Dur: 50, Svc: msg.FirstUserService},
+			{Kind: KindWildWrite, At: 300, Tile: 7, Count: 4},
+			{Kind: KindLinkStall, At: 400, Tile: 8, Port: noc.East, Dur: 10},
+			{Kind: KindLinkFlip, At: 500, Tile: 9, Port: noc.South},
+			{Kind: KindStuckVC, At: 600, Tile: 10, Port: noc.West, VC: 2, Dur: 33},
+			{Kind: KindFalsePos, At: 700, Tile: 11},
+		},
+		Rates: []Rate{
+			{Event: Event{Kind: KindWildWrite, Tile: 1, Count: 1}, MeanEvery: 9000},
+		},
+	}
+	text, err := ParsePlan([]byte(p.String()))
+	if err != nil {
+		t.Fatalf("reparse text: %v\n%s", err, p.String())
+	}
+	if !plansEquivalent(p, text) {
+		t.Errorf("text round-trip lost data:\n in %+v\nout %+v", p, text)
+	}
+	js, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	fromJSON, err := ParsePlan(js)
+	if err != nil {
+		t.Fatalf("reparse JSON: %v\n%s", err, js)
+	}
+	if !plansEquivalent(p, fromJSON) {
+		t.Errorf("JSON round-trip lost data:\n in %+v\nout %+v", p, fromJSON)
+	}
+}
+
+// plansEquivalent compares plans up to event order (String() sorts by At)
+// and fields that only exist for certain kinds: Count (wildwrite, default
+// 1), Svc (babble), VC (stuckvc), Port (link kinds). The parser tolerates
+// the extra keys; the encoders drop them — semantically the plans are the
+// same.
+func plansEquivalent(a, b *Plan) bool {
+	if a.Seed != b.Seed || len(a.Events) != len(b.Events) || len(a.Rates) != len(b.Rates) {
+		return false
+	}
+	norm := func(ev Event) Event {
+		if ev.Kind == KindWildWrite && ev.Count == 0 {
+			ev.Count = 1
+		}
+		if ev.Kind != KindWildWrite {
+			ev.Count = 0
+		}
+		if ev.Kind != KindBabble {
+			ev.Svc = 0
+		}
+		if ev.Kind != KindStuckVC {
+			ev.VC = 0
+		}
+		switch ev.Kind {
+		case KindLinkStall, KindLinkFlip, KindStuckVC:
+		default:
+			ev.Port = 0
+		}
+		return ev
+	}
+	match := func(ev Event, evs []Event) bool {
+		n := norm(ev)
+		for _, o := range evs {
+			if norm(o) == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ev := range a.Events {
+		if !match(ev, b.Events) {
+			return false
+		}
+	}
+	for i, r := range a.Rates {
+		if r.MeanEvery != b.Rates[i].MeanEvery || norm(r.Event) != norm(b.Rates[i].Event) {
+			return false
+		}
+	}
+	return true
+}

@@ -31,16 +31,19 @@ type AccelSpec struct {
 	} `json:"rate,omitempty"`
 
 	// Kind-specific parameters.
-	Next     uint16   `json:"next,omitempty"`     // encoder: downstream service
-	Tenants  int      `json:"tenants,omitempty"`  // kvstore
-	Replicas []uint16 `json:"replicas,omitempty"` // loadbal
-	Flow     uint16   `json:"flow,omitempty"`     // netbridge
-	Target   uint16   `json:"target,omitempty"`   // netbridge/requester
-	Total    int      `json:"total,omitempty"`    // requester
-	Gap      uint64   `json:"gap,omitempty"`      // requester
-	Size     int      `json:"size,omitempty"`     // requester payload bytes
-	Rows     int      `json:"rows,omitempty"`     // matvec
-	Cols     int      `json:"cols,omitempty"`     // matvec
+	Next       uint16   `json:"next,omitempty"`        // encoder: downstream service
+	Tenants    int      `json:"tenants,omitempty"`     // kvstore
+	Replicas   []uint16 `json:"replicas,omitempty"`    // loadbal
+	Flow       uint16   `json:"flow,omitempty"`        // netbridge
+	Target     uint16   `json:"target,omitempty"`      // netbridge/requester
+	Total      int      `json:"total,omitempty"`       // requester
+	Gap        uint64   `json:"gap,omitempty"`         // requester
+	Size       int      `json:"size,omitempty"`        // requester payload bytes
+	Retry      int      `json:"retry,omitempty"`       // requester: retransmits per request
+	Backoff    uint64   `json:"backoff,omitempty"`     // requester: backoff base cycles (0 = off)
+	BackoffMax uint64   `json:"backoff_max,omitempty"` // requester: backoff cap (default 64x base)
+	Rows       int      `json:"rows,omitempty"`        // matvec
+	Cols       int      `json:"cols,omitempty"`        // matvec
 }
 
 // AppManifest is a JSON application manifest.
@@ -101,8 +104,12 @@ func build(a AccelSpec) (func() accel.Accelerator, error) {
 			size = 64
 		}
 		return mk(func() accel.Accelerator {
-			return apps.NewRequester(msg.ServiceID(a.Target), a.Total,
+			r := apps.NewRequester(msg.ServiceID(a.Target), a.Total,
 				sim.Cycle(a.Gap), func(int) []byte { return make([]byte, size) }, nil)
+			r.RetryLimit = a.Retry
+			r.BackoffBase = sim.Cycle(a.Backoff)
+			r.BackoffMax = sim.Cycle(a.BackoffMax)
+			return r
 		}), nil
 	case "netbridge":
 		return mk(func() accel.Accelerator {

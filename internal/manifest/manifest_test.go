@@ -3,6 +3,7 @@ package manifest
 import (
 	"testing"
 
+	"apiary/internal/apps"
 	"apiary/internal/core"
 	"apiary/internal/msg"
 	"apiary/internal/noc"
@@ -46,6 +47,22 @@ func TestParseArray(t *testing.T) {
 	}
 	if len(specs) != 2 || specs[1].Name != "kv" {
 		t.Fatalf("specs = %+v", specs)
+	}
+}
+
+func TestRequesterRetryKnobs(t *testing.T) {
+	spec := AccelSpec{Name: "c", Kind: "requester", Target: 16,
+		Retry: 2, Backoff: 50, BackoffMax: 400}
+	ctor, err := build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := ctor().(*apps.Requester)
+	if !ok {
+		t.Fatalf("requester kind built %T", ctor())
+	}
+	if r.RetryLimit != 2 || r.BackoffBase != 50 || r.BackoffMax != 400 {
+		t.Fatalf("retry knobs not wired: %+v", r)
 	}
 }
 

@@ -31,6 +31,40 @@ type RateLimit struct {
 	BurstFlits     int // bucket depth
 }
 
+// Detect configures the monitor's watchdog detectors. Zero values disable
+// each detector — the default, because detectors convert anomalies into
+// fail-stop faults and must be an explicit policy choice (a rate-limited
+// flooder, for example, accrues denials by design).
+type Detect struct {
+	// HeartbeatCycles faults the tile when its accelerator leaves queued
+	// input unconsumed for this many cycles (accel.FaultHeartbeat). It
+	// generalizes the shell's full-queue watchdog to hangs whose senders
+	// stop before the queue fills.
+	HeartbeatCycles sim.Cycle
+	// ViolationLimit faults the tile after this many egress protocol
+	// violations — denied sends: management-plane attempts, unknown
+	// services, missing/revoked capabilities (accel.FaultProtocol). Rate
+	// limiting is a policer, not a violation, and never counts.
+	ViolationLimit int
+	// LeakLimit and LeakAgeCycles fault the tile when it holds at least
+	// LeakLimit unanswered requests and the window has been starved of
+	// replies for LeakAgeCycles (accel.FaultLeak) — a requester leaking
+	// protocol credits against a dead peer.
+	LeakLimit     int
+	LeakAgeCycles sim.Cycle
+}
+
+// DefaultDetect is the watchdog configuration used by apiaryd -detect and
+// the chaos experiments: heartbeat well above service-time jitter, a small
+// violation budget, and a leak window sized to the requester default
+// timeout.
+var DefaultDetect = Detect{
+	HeartbeatCycles: 50_000,
+	ViolationLimit:  3,
+	LeakLimit:       64,
+	LeakAgeCycles:   100_000,
+}
+
 // Config parameterizes a monitor.
 type Config struct {
 	Tile   msg.TileID
@@ -39,6 +73,8 @@ type Config struct {
 	// knob for experiment E6. Production configurations keep it true.
 	EnforceCaps bool
 	Rate        RateLimit
+	// Detect configures the watchdog detectors (zero = all off).
+	Detect Detect
 }
 
 // Monitor is one tile's monitor instance.
@@ -66,7 +102,16 @@ type Monitor struct {
 	forwarded  *sim.Counter
 	faults     *sim.Counter
 	nackedIn   *sim.Counter
+	violations *sim.Counter
 	deliveredH *sim.Histogram
+
+	// Detector state: egress protocol violations since the last trip, and
+	// the outstanding-request window for the credit-leak detector. Egress
+	// runs in the tile's tick, ingress at commit — different phases of the
+	// same cycle, never concurrently.
+	violationRun int
+	pendingReq   int
+	lastReplyAt  sim.Cycle
 }
 
 // New wires a monitor between ni and shell. checker is the system-wide
@@ -89,6 +134,7 @@ func New(cfg Config, e *sim.Engine, ni *noc.NetworkInterface, shell *accel.Shell
 		forwarded:  st.Counter("mon.forwarded"),
 		faults:     st.Counter("mon.faults"),
 		nackedIn:   st.Counter("mon.nacked_in"),
+		violations: st.Counter("mon.violations"),
 		deliveredH: st.Histogram("mon.noc_latency_cycles"),
 		shard:      -1,
 	}
@@ -99,6 +145,7 @@ func New(cfg Config, e *sim.Engine, ni *noc.NetworkInterface, shell *accel.Shell
 	if shell != nil {
 		shell.Bind(m.Egress, m.onFault)
 		shell.SetShard(m.shard)
+		shell.SetHeartbeat(cfg.Detect.HeartbeatCycles)
 	}
 	return m
 }
@@ -111,6 +158,7 @@ func (m *Monitor) AttachShell(s *accel.Shell) {
 	m.shell = s
 	s.Bind(m.Egress, m.onFault)
 	s.SetShard(m.shard)
+	s.SetHeartbeat(m.cfg.Detect.HeartbeatCycles)
 }
 
 // DetachShell disconnects the tile's accelerator (tile cleared).
@@ -215,6 +263,7 @@ func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
 	if isCtl(mm.Type) {
 		m.denied.Inc()
 		m.trace(trace.Egress, trace.DeniedRights, mm, mm.DstTile)
+		m.noteViolation()
 		return msg.ERights
 	}
 
@@ -230,6 +279,7 @@ func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
 		if !ok || mm.DstSvc == msg.SvcInvalid {
 			m.denied.Inc()
 			m.trace(trace.Egress, trace.DeniedNoService, mm, msg.NoTile)
+			m.noteViolation()
 			return msg.ENoService
 		}
 		mm.DstTile = dst
@@ -237,12 +287,21 @@ func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
 			if code := m.checkEndpoint(mm); code != msg.EOK {
 				m.denied.Inc()
 				m.trace(trace.Egress, verdictFor(code), mm, dst)
+				// A stale-generation capability is the expected transient
+				// while the kernel quarantines a peer: the deny itself
+				// contains the send, and the client did nothing wrong —
+				// only forged or never-granted rights count against the
+				// fail-stop budget.
+				if code != msg.ERevoked {
+					m.noteViolation()
+				}
 				return code
 			}
 			if mm.Type == msg.TMemRead || mm.Type == msg.TMemWrite {
 				if code := m.attachSegment(mm); code != msg.EOK {
 					m.denied.Inc()
 					m.trace(trace.Egress, verdictFor(code), mm, dst)
+					m.noteViolation()
 					return code
 				}
 			}
@@ -250,9 +309,13 @@ func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
 				if code := m.attachCopySegments(mm); code != msg.EOK {
 					m.denied.Inc()
 					m.trace(trace.Egress, verdictFor(code), mm, dst)
+					m.noteViolation()
 					return code
 				}
 			}
+		}
+		if code := m.checkLeak(mm); code != msg.EOK {
+			return code
 		}
 	}
 
@@ -267,8 +330,49 @@ func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
 		return msg.ENoRoute
 	}
 	m.forwarded.Inc()
+	if !isReplyClass(mm.Type) && mm.Type != msg.TOneway {
+		// Track the outstanding-request window for the leak detector.
+		m.pendingReq++
+		if d := m.cfg.Detect; d.LeakLimit <= 0 || m.pendingReq <= d.LeakLimit {
+			m.lastReplyAt = m.engine.Now()
+		}
+	}
 	m.trace(trace.Egress, trace.Forwarded, mm, mm.DstTile)
 	return msg.EOK
+}
+
+// noteViolation counts an egress protocol violation and, when the detector
+// is enabled, fail-stops the tile after ViolationLimit of them — wild
+// writes, forged capability references and babble to unknown services all
+// land here.
+func (m *Monitor) noteViolation() {
+	m.violations.Inc()
+	limit := m.cfg.Detect.ViolationLimit
+	if limit <= 0 {
+		return
+	}
+	m.violationRun++
+	if m.violationRun >= limit {
+		m.violationRun = 0
+		m.onFault(0, accel.FaultProtocol)
+	}
+}
+
+// checkLeak trips the credit-leak detector: once the tile holds LeakLimit
+// unanswered requests, going LeakAgeCycles without a single reply faults it
+// before it can tie up more of its peers' queues.
+func (m *Monitor) checkLeak(mm *msg.Message) msg.ErrCode {
+	d := m.cfg.Detect
+	if d.LeakLimit <= 0 || m.pendingReq < d.LeakLimit {
+		return msg.EOK
+	}
+	if m.engine.Now()-m.lastReplyAt <= d.LeakAgeCycles {
+		return msg.EOK
+	}
+	m.pendingReq = 0
+	m.onFault(0, accel.FaultLeak)
+	m.trace(trace.Egress, trace.DeniedFailStop, mm, mm.DstTile)
+	return msg.EFailStopped
 }
 
 // checkEndpoint verifies the tile holds a current endpoint capability for
@@ -365,6 +469,11 @@ func (m *Monitor) ingress(mm *msg.Message, lat sim.Cycle) {
 	if isCtl(mm.Type) {
 		m.handleCtl(mm)
 		return
+	}
+
+	if isReplyClass(mm.Type) && m.pendingReq > 0 {
+		m.pendingReq--
+		m.lastReplyAt = m.engine.Now()
 	}
 
 	if m.State() != accel.Running {
@@ -484,4 +593,18 @@ func (m *Monitor) failStop() {
 // if the accelerator had raised an error strobe.
 func (m *Monitor) ForceFault(ctx uint8, reason accel.FaultReason) {
 	m.onFault(ctx, reason)
+}
+
+// InjectWildWrite emits one forged memory write carrying a dangling
+// capability reference, exactly as runaway accelerator logic would (chaos
+// engine; called between cycles). With capability enforcement on, the write
+// dies at this monitor as a protocol violation; with it off, the memory
+// service rejects the unknown segment — either way it never touches memory,
+// which is the containment property E16 and the differential tests rely on.
+func (m *Monitor) InjectWildWrite() msg.ErrCode {
+	return m.Egress(&msg.Message{
+		Type: msg.TMemWrite, DstSvc: msg.SvcMemory,
+		CapRef:  0xDEAD0000 + uint32(m.cfg.Tile),
+		Payload: []byte{0xDE, 0xAD, 0xBE, 0xEF},
+	})
 }

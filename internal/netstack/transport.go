@@ -26,9 +26,14 @@ const (
 	MSS = 1024
 	// Window is the go-back-N window in segments.
 	Window = 32
-	// RTOCycles is the retransmission timeout. At 250 MHz this is 40 µs —
-	// several datacenter RTTs.
+	// RTOCycles is the initial retransmission timeout. At 250 MHz this is
+	// 40 µs — several datacenter RTTs. The timeout doubles per consecutive
+	// expiry (exponential backoff) up to MaxRTOCycles, so a peer on a
+	// quarantined board is probed at a decaying rate, and resets on ack
+	// progress.
 	RTOCycles sim.Cycle = 10000
+	// MaxRTOCycles caps the backed-off retransmission timeout.
+	MaxRTOCycles sim.Cycle = 8 * RTOCycles
 	// MaxDatagram bounds one application datagram.
 	MaxDatagram = 65536
 )
@@ -64,6 +69,7 @@ type conn struct {
 	inflight []sendSeg // segments [base, nextSeq)
 	pending  [][]byte  // record bytes not yet segmented
 	lastSend sim.Cycle // for RTO
+	rto      sim.Cycle // current backed-off RTO (0 = RTOCycles)
 
 	// receiver state
 	expected uint32
@@ -158,9 +164,18 @@ func (t *Transport) Idle() bool {
 func (t *Transport) Tick(now sim.Cycle) {
 	for _, c := range t.conns {
 		t.pump(c, now)
-		// Go-back-N timeout: resend everything in flight.
-		if len(c.inflight) > 0 && now-c.lastSend > RTOCycles {
+		// Go-back-N timeout: resend everything in flight, then double the
+		// timeout for the next expiry.
+		rto := c.rto
+		if rto == 0 {
+			rto = RTOCycles
+		}
+		if len(c.inflight) > 0 && now-c.lastSend > rto {
 			c.lastSend = now
+			c.rto = rto * 2
+			if c.rto > MaxRTOCycles {
+				c.rto = MaxRTOCycles
+			}
 			for _, s := range c.inflight {
 				t.retx.Inc()
 				t.txSegs.Inc()
@@ -208,10 +223,12 @@ func (t *Transport) HandleFrame(f netsim.Frame) {
 	c := t.conn(f.Src)
 	t.rxSegs.Inc()
 
-	// Cumulative ack processing (acks piggyback on data too).
+	// Cumulative ack processing (acks piggyback on data too). Any forward
+	// progress resets the backed-off RTO to its base value.
 	for len(c.inflight) > 0 && c.inflight[0].seq < ack {
 		c.inflight = c.inflight[1:]
 		c.base++
+		c.rto = 0
 	}
 
 	if kind != segData {

@@ -1,0 +1,64 @@
+package noc
+
+import (
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// NumPorts is the router port count (Local + the four mesh directions),
+// exported for fault-plan validation.
+const NumPorts = numPorts
+
+// This file is the NoC's fault-injection surface (internal/fault drives it).
+// All three hooks write router-private fields and must be called between
+// cycles on the main goroutine (engine events); the fields are read — and
+// the one-shot flip arm cleared — only by the owning router's own tick, so
+// injected behaviour is identical under serial and sharded ticking.
+
+// StallLink suppresses all flit forwarding through tile t's output port p
+// until the given cycle. Credits are not consumed while stalled, so a
+// bounded stall drains cleanly and Quiescent still terminates.
+func (n *Network) StallLink(t msg.TileID, p Port, until sim.Cycle) {
+	n.checkInjectPhase()
+	r := n.routers[int(t)]
+	if until > r.stallUntil[p] {
+		r.stallUntil[p] = until
+	}
+}
+
+// StickVC suppresses forwarding on one output virtual channel of tile t's
+// port p until the given cycle — a stuck VC allocator. Other VCs of the same
+// link keep moving.
+func (n *Network) StickVC(t msg.TileID, p Port, v VCID, until sim.Cycle) {
+	n.checkInjectPhase()
+	r := n.routers[int(t)]
+	if until > r.stuckUntil[p][v] {
+		r.stuckUntil[p][v] = until
+	}
+}
+
+// CorruptNext arms a one-shot corruption of the next message whose head flit
+// leaves tile t through port p: one payload byte is flipped (or the sequence
+// number when the payload is empty), modelling an on-the-wire bit error that
+// slips past the link CRC.
+func (n *Network) CorruptNext(t msg.TileID, p Port) {
+	n.checkInjectPhase()
+	n.routers[int(t)].flipArm[p] = true
+}
+
+func (n *Network) checkInjectPhase() {
+	if n.engine.InTickPhase() {
+		panic("noc: fault injection during tick phase (drive it from engine events)")
+	}
+}
+
+// corrupt flips one bit of the packet's message. The message object is owned
+// by the in-flight packet until ejection, so mutating it here (from the
+// owning router's tick) is race-free.
+func corrupt(m *msg.Message) {
+	if len(m.Payload) > 0 {
+		m.Payload[0] ^= 0x80
+		return
+	}
+	m.Seq ^= 1
+}

@@ -41,6 +41,8 @@ type Network struct {
 	cPktsRouted  *sim.Counter
 	cStallNoCred *sim.Counter
 	cStallNoVC   *sim.Counter
+	cStallFault  *sim.Counter
+	cCorrupted   *sim.Counter
 	cSent        *sim.Counter
 
 	// inflight counts packets between Send and ejection, making Quiescent
@@ -69,6 +71,8 @@ func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 	n.cPktsRouted = st.Counter("noc.pkts_routed")
 	n.cStallNoCred = st.Counter("noc.stall_no_credit")
 	n.cStallNoVC = st.Counter("noc.stall_no_vc")
+	n.cStallFault = st.Counter("noc.stall_fault")
+	n.cCorrupted = st.Counter("noc.flits_corrupted")
 	for y := 0; y < cfg.Dims.H; y++ {
 		for x := 0; x < cfg.Dims.W; x++ {
 			c := Coord{x, y}

@@ -81,6 +81,14 @@ type Router struct {
 
 	// linkFlits counts flits forwarded per output port (link utilization).
 	linkFlits [numPorts]uint64
+
+	// Fault-injection state (noc/fault.go): stallUntil/stuckUntil suppress
+	// forwarding through an output port / output VC, flipArm corrupts the
+	// next departing message. Written between cycles by the chaos engine,
+	// read (and cleared) only by this router's own tick.
+	stallUntil [numPorts]sim.Cycle
+	stuckUntil [numPorts][NumVCs]sim.Cycle
+	flipArm    [numPorts]bool
 }
 
 func newRouter(c Coord, route RouteFunc) *Router {
@@ -258,6 +266,12 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 	if ovc.owner != ivc {
 		return false
 	}
+	if now < r.stallUntil[outP] || now < r.stuckUntil[outP][vc] {
+		// Injected link stall / stuck VC: the flit stays buffered and no
+		// credit moves, so the fault is time-bounded and drains cleanly.
+		r.shard.stallFault++
+		return false
+	}
 
 	if outP == Local {
 		// Ejection: the NI consumes at most one flit per VC per cycle but
@@ -267,6 +281,7 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		// accounting — is staged for the commit phase, where Network.Commit
 		// replays ejections in global tile order whichever mode ticked.
 		recordDepart(f, outP, now)
+		r.maybeFlip(f, outP)
 		r.popIn(p, vc, ivc)
 		r.shard.flitsRouted++
 		r.linkFlits[Local]++
@@ -292,6 +307,7 @@ func (r *Router) trySend(p Port, vc VCID, outP Port, now sim.Cycle) bool {
 		return false
 	}
 	recordDepart(f, outP, now)
+	r.maybeFlip(f, outP)
 	r.popIn(p, vc, ivc)
 	ovc.credits--
 	r.shard.flitsRouted++
@@ -320,6 +336,18 @@ func recordDepart(f *Flit, outP Port, now sim.Cycle) {
 		h.Depart = now
 		h.Out = outP
 	}
+}
+
+// maybeFlip applies an armed one-shot corruption when a head flit departs
+// through outP (noc/fault.go). Arming persists across tail flits so a flip
+// armed mid-packet corrupts the *next* message, never a packet fragment.
+func (r *Router) maybeFlip(f *Flit, outP Port) {
+	if !r.flipArm[outP] || !f.Head() {
+		return
+	}
+	r.flipArm[outP] = false
+	corrupt(f.Pkt.Msg)
+	r.shard.corrupted++
 }
 
 func (r *Router) releaseVC(ivc *inVC, ovc *outVC) {

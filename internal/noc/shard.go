@@ -43,6 +43,8 @@ type nocShard struct {
 	pktsRouted  uint64
 	stallNoCred uint64
 	stallNoVC   uint64
+	stallFault  uint64
+	corrupted   uint64
 	sent        uint64
 	inflight    int
 }
@@ -133,6 +135,14 @@ func (n *Network) Commit(now sim.Cycle) {
 		if sh.stallNoVC != 0 {
 			n.cStallNoVC.Add(sh.stallNoVC)
 			sh.stallNoVC = 0
+		}
+		if sh.stallFault != 0 {
+			n.cStallFault.Add(sh.stallFault)
+			sh.stallFault = 0
+		}
+		if sh.corrupted != 0 {
+			n.cCorrupted.Add(sh.corrupted)
+			sh.corrupted = 0
 		}
 		if sh.sent != 0 {
 			n.cSent.Add(sh.sent)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"apiary/internal/msg"
 	"apiary/internal/noc"
 )
 
@@ -35,8 +36,9 @@ func windowLinks(s *Snapshot) []noc.LinkLoad {
 // WriteHeatmap renders an ASCII NoC heatmap of per-tile forwarded flits.
 // With a non-nil snapshot it shows the last window's deltas; otherwise the
 // network's cumulative counters. One glyph per tile, row 0 at the top, with
-// a legend and the hottest link called out.
-func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
+// a legend and the hottest link called out. Quarantined tiles (nil when the
+// caller has no fault state) render as 'X' regardless of load.
+func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.TileID) {
 	dims := net.Dims()
 	var links []noc.LinkLoad
 	if s != nil {
@@ -45,6 +47,10 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
 	} else {
 		links = net.LinkUtilization()
 		fmt.Fprintf(w, "NoC heatmap: cumulative\n")
+	}
+	quar := make(map[msg.TileID]bool, len(quarantined))
+	for _, t := range quarantined {
+		quar[t] = true
 	}
 	load := tileLoad(dims, links)
 	var max uint64
@@ -56,6 +62,11 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
 	for y := 0; y < dims.H; y++ {
 		var row strings.Builder
 		for x := 0; x < dims.W; x++ {
+			if quar[dims.TileID(noc.Coord{X: x, Y: y})] {
+				row.WriteByte('X')
+				row.WriteByte(' ')
+				continue
+			}
 			v := load[y*dims.W+x]
 			shade := 0
 			if max > 0 && v > 0 {
@@ -67,6 +78,9 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
 		fmt.Fprintf(w, "  %s\n", strings.TrimRight(row.String(), " "))
 	}
 	fmt.Fprintf(w, "scale: ' '=0 '@'=%d flits/tile\n", max)
+	if len(quarantined) > 0 {
+		fmt.Fprintf(w, "quarantined tiles ('X'): %v\n", quarantined)
+	}
 	var hottest noc.LinkLoad
 	for _, l := range links {
 		if l.Out != noc.Local && l.Flits > hottest.Flits {
@@ -84,12 +98,13 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot) {
 
 // heatmapJSON is the machine-readable heatmap document.
 type heatmapJSON struct {
-	Cycle    uint64     `json:"cycle,omitempty"`
-	Window   uint64     `json:"window_cycles,omitempty"`
-	W        int        `json:"w"`
-	H        int        `json:"h"`
-	TileLoad []uint64   `json:"tile_flits"` // row-major, W*H entries
-	Links    []linkJSON `json:"links"`
+	Cycle       uint64     `json:"cycle,omitempty"`
+	Window      uint64     `json:"window_cycles,omitempty"`
+	W           int        `json:"w"`
+	H           int        `json:"h"`
+	TileLoad    []uint64   `json:"tile_flits"` // row-major, W*H entries
+	Quarantined []uint16   `json:"quarantined,omitempty"`
+	Links       []linkJSON `json:"links"`
 }
 
 type linkJSON struct {
@@ -100,10 +115,13 @@ type linkJSON struct {
 }
 
 // WriteHeatmapJSON is WriteHeatmap's JSON twin for dashboards.
-func WriteHeatmapJSON(w io.Writer, net *noc.Network, s *Snapshot) error {
+func WriteHeatmapJSON(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.TileID) error {
 	dims := net.Dims()
 	var links []noc.LinkLoad
 	doc := heatmapJSON{W: dims.W, H: dims.H}
+	for _, t := range quarantined {
+		doc.Quarantined = append(doc.Quarantined, uint16(t))
+	}
 	if s != nil {
 		links = windowLinks(s)
 		doc.Cycle, doc.Window = uint64(s.Cycle), uint64(s.Window)

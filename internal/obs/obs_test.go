@@ -442,7 +442,7 @@ func TestWriteProm(t *testing.T) {
 func TestHeatmap(t *testing.T) {
 	w, n, _, _ := runWindowed(t, 0)
 	var buf bytes.Buffer
-	WriteHeatmap(&buf, n, w.Latest())
+	WriteHeatmap(&buf, n, w.Latest(), nil)
 	out := buf.String()
 	if !strings.Contains(out, "NoC heatmap: window of 100 cycles") {
 		t.Fatalf("missing header:\n%s", out)
@@ -452,7 +452,7 @@ func TestHeatmap(t *testing.T) {
 	}
 	// Cumulative view over the whole run must show a hottest link.
 	buf.Reset()
-	WriteHeatmap(&buf, n, nil)
+	WriteHeatmap(&buf, n, nil, nil)
 	out = buf.String()
 	if !strings.Contains(out, "cumulative") || !strings.Contains(out, "hottest link:") {
 		t.Fatalf("cumulative heatmap incomplete:\n%s", out)
@@ -468,7 +468,7 @@ func TestHeatmap(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := WriteHeatmapJSON(&buf, n, w.Latest()); err != nil {
+	if err := WriteHeatmapJSON(&buf, n, w.Latest(), nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc map[string]any

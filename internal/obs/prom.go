@@ -61,6 +61,8 @@ func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins 
 		{"apiary_window_mon_denied", s.Denied},
 		{"apiary_window_mon_rate_drops", s.RateDrops},
 		{"apiary_window_mon_forwarded", s.Forwarded},
+		{"apiary_window_mon_faults", s.Faults},
+		{"apiary_window_faults_injected", s.Injected},
 	} {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
 	}

@@ -49,12 +49,15 @@ type Snapshot struct {
 	Denied    uint64 // mon.denied delta
 	RateDrops uint64 // mon.rate_drops delta
 	Forwarded uint64 // mon.forwarded delta
+	Faults    uint64 // mon.faults delta
+	Injected  uint64 // fault.injected delta
 }
 
 // windowCounters are the counters snapshotted as per-window deltas.
 var windowCounters = []string{
 	"noc.msgs_sent", "noc.msgs_delivered",
 	"mon.denied", "mon.rate_drops", "mon.forwarded",
+	"mon.faults", "fault.injected",
 }
 
 // Windows samples the NoC and monitor state every N cycles into a bounded
@@ -143,6 +146,7 @@ func (w *Windows) sample(now sim.Cycle) {
 	}
 	s.Sent, s.Delivered, s.Denied, s.RateDrops, s.Forwarded =
 		deltas[0], deltas[1], deltas[2], deltas[3], deltas[4]
+	s.Faults, s.Injected = deltas[5], deltas[6]
 
 	if len(w.ring) < w.keep {
 		w.ring = append(w.ring, s)
