@@ -39,7 +39,8 @@ func top(args []string) {
 		}
 		now := time.Now()
 		heat, _ := fetchBody(base + "/heatmap")
-		render(os.Stdout, cur, prev, now.Sub(prevAt), heat)
+		services, _ := fetchBody(base + "/services")
+		render(os.Stdout, cur, prev, now.Sub(prevAt), heat, services)
 		prev, prevAt = cur, now
 	}
 }
@@ -92,7 +93,7 @@ func rate(cur, prev map[string]float64, name string, dt time.Duration) float64 {
 	return (cur[name] - prev[name]) / dt.Seconds()
 }
 
-func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat string) {
+func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat, services string) {
 	fmt.Fprint(w, "\033[2J\033[H") // clear screen, home cursor
 	fmt.Fprintf(w, "apiary top — cycle %.0f", cur["apiary_cycle"])
 	if mhz := cur["apiary_clock_mhz"]; mhz > 0 {
@@ -117,10 +118,25 @@ func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat st
 			cur["apiary_kernel_quarantines_total"], cur["apiary_kernel_recoveries_total"],
 			cur["apiary_kernel_quarantines_total"]-cur["apiary_kernel_recoveries_total"])
 	}
+	shed := cur["apiary_shell_shed_total"]
+	opens := cur["apiary_apps_breaker_opens_total"]
+	failovers := cur["apiary_kernel_failovers_total"]
+	if shed > 0 || opens > 0 || failovers > 0 {
+		state := "closed"
+		if open := opens - cur["apiary_apps_breaker_closes_total"]; open > 0 {
+			state = fmt.Sprintf("OPEN x%.0f", open)
+		}
+		fmt.Fprintf(w, "degrade: %.0f shed (%.0f/s), %.0f failovers, %.0f rerouted, breakers %s\n",
+			shed, rate(cur, prev, "apiary_shell_shed_total", dt),
+			failovers, cur["apiary_apps_lb_reroutes_total"], state)
+	}
 	if lat, ok := cur[`apiary_noc_msg_latency_cycles{quantile="0.99"}`]; ok {
 		fmt.Fprintf(w, "latency: p50=%.0fcy p99=%.0fcy  window: inflight=%.0f tiles_busy=%.0f/%.0f\n",
 			cur[`apiary_noc_msg_latency_cycles{quantile="0.5"}`], lat,
 			cur["apiary_window_inflight"], cur["apiary_window_tiles_busy"], cur["apiary_window_tiles"])
+	}
+	if services != "" && !strings.HasPrefix(services, "no replica groups") {
+		fmt.Fprintf(w, "\nservices:\n%s", services)
 	}
 	if heat != "" {
 		fmt.Fprintf(w, "\n%s", heat)

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 	board := flag.String("board", "usp-100g", "board name (v7-10g, usp-100g)")
 	w := flag.Int("w", 3, "NoC mesh width")
 	h := flag.Int("h", 3, "NoC mesh height")
+	shards := flag.Int("shards", 0, "parallel tick shards (0 = serial; bit-exact either way)")
 	withNet := flag.Bool("net", false, "install the network service")
 	node := flag.Uint("node", 1, "datacenter-network node id (with -net)")
 	manifestPath := flag.String("manifest", "", "JSON app manifest (object or array)")
@@ -48,7 +50,7 @@ func main() {
 	flag.Parse()
 
 	cfg := core.SystemConfig{
-		Board: *board, Dims: noc.Dims{W: *w, H: *h}, Seed: *seed,
+		Board: *board, Dims: noc.Dims{W: *w, H: *h}, Shards: *shards, Seed: *seed,
 		WithNet: *withNet, NodeID: netsim.NodeID(*node),
 		SpanSampleEvery: *spanEvery, SpanCap: *spanCap,
 		WindowCycles: sim.Cycle(*windowEvery), WindowKeep: *windowKeep,
@@ -129,7 +131,12 @@ func main() {
 			defer mu.Unlock()
 			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			obs.WriteProm(rw, sys.Engine.Now(), sys.Engine.ClockMHz(),
-				sys.Stats, sys.Windows, sys.Obs)
+				sys.Stats, sys.Windows, sys.Obs, healthDir(sys.Kernel))
+		})
+		mux.HandleFunc("/services", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			writeServices(rw, sys)
 		})
 		mux.HandleFunc("/spans.json", func(rw http.ResponseWriter, _ *http.Request) {
 			mu.Lock()
@@ -143,11 +150,11 @@ func main() {
 			if r.URL.Query().Get("format") == "json" {
 				rw.Header().Set("Content-Type", "application/json")
 				_ = obs.WriteHeatmapJSON(rw, sys.Noc, sys.Windows.Latest(),
-					sys.Kernel.QuarantinedTiles())
+					sys.Kernel.QuarantinedTiles(), sys.Kernel.DegradedTiles())
 				return
 			}
 			obs.WriteHeatmap(rw, sys.Noc, sys.Windows.Latest(),
-				sys.Kernel.QuarantinedTiles())
+				sys.Kernel.QuarantinedTiles(), sys.Kernel.DegradedTiles())
 		})
 		go func() {
 			log.Printf("apiaryd: serving stats on %s", *httpAddr)
@@ -212,4 +219,49 @@ func main() {
 			injected, sys.Kernel.Quarantines(), sys.Kernel.Recoveries(),
 			sys.Kernel.QuarantinedTiles())
 	}
+	shed := sys.Stats.Counter("shell.shed").Value()
+	opens := sys.Stats.Counter("apps.breaker_opens").Value()
+	if shed > 0 || opens > 0 || sys.Kernel.Failovers() > 0 {
+		fmt.Printf("degrade: shed=%d failovers=%d breaker_opens=%d\n",
+			shed, sys.Kernel.Failovers(), opens)
+	}
+	if dir := sys.Kernel.Directory(); len(dir) > 0 {
+		writeServices(os.Stdout, sys)
+	}
+}
+
+// healthDir flattens the kernel's service directory into the obs export rows.
+func healthDir(k *core.Kernel) []obs.ServiceHealth {
+	var out []obs.ServiceHealth
+	for _, e := range k.Directory() {
+		for _, m := range e.Members {
+			out = append(out, obs.ServiceHealth{
+				Group: uint16(e.Svc), Svc: uint16(m.Svc), Tile: uint16(m.Tile),
+				Health: uint8(m.Health), State: m.Health.String(), Primary: m.Primary,
+			})
+		}
+	}
+	return out
+}
+
+// writeServices renders the replica-group service directory as text.
+func writeServices(w io.Writer, sys *core.System) {
+	dir := sys.Kernel.Directory()
+	if len(dir) == 0 {
+		fmt.Fprintln(w, "no replica groups registered")
+		return
+	}
+	for _, e := range dir {
+		fmt.Fprintf(w, "group %d (app %s):\n", e.Svc, e.App)
+		for _, m := range e.Members {
+			mark := " "
+			if m.Primary {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %s svc %-5d tile %-3d %s\n", mark, m.Svc, m.Tile, m.Health)
+		}
+	}
+	fmt.Fprintf(w, "failovers=%d shed=%d breaker_opens=%d\n",
+		sys.Kernel.Failovers(), sys.Stats.Counter("shell.shed").Value(),
+		sys.Stats.Counter("apps.breaker_opens").Value())
 }

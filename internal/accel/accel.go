@@ -154,9 +154,10 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
-// InQDepth is the shell's inbound message queue depth. A full queue pushes
-// back with EBusy — bounded buffering is what makes resource exhaustion
-// attacks answerable (paper §4.5).
+// InQDepth is the shell's default inbound message queue depth. A full queue
+// pushes back with EBusy — bounded buffering is what makes resource
+// exhaustion attacks answerable (paper §4.5). Manifests can size the queue
+// per tile with SetQueueCap.
 const InQDepth = 16
 
 // WatchdogCycles is how long the inbound queue may remain full without a
@@ -169,6 +170,15 @@ type FaultFunc func(ctx uint8, reason FaultReason)
 
 // SendFunc is the monitor's egress hook.
 type SendFunc func(m *msg.Message) msg.ErrCode
+
+// StatsUser is optionally implemented by accelerators that export their own
+// counters. The kernel calls AttachStats when placing the accelerator, so
+// manifest-built logic surfaces in /metrics without constructor plumbing.
+// Counters obtained from the stats table are atomic and safe to increment
+// from a sharded tick.
+type StatsUser interface {
+	AttachStats(st *sim.Stats)
+}
 
 // Shell wraps one accelerator and mediates all its interaction with the
 // tile's monitor. The shell is trusted; the accelerator is not. In
@@ -190,6 +200,16 @@ type Shell struct {
 	delivered  *sim.Counter
 	dropped    *sim.Counter
 	faultCount *sim.Counter
+	shedCount  *sim.Counter
+
+	// Admission control (overload protection): qcap bounds the inbound
+	// queue; svcGap is a deterministic EWMA of the inter-dequeue gap while
+	// backlogged — the shell's drain rate — used to estimate queue wait for
+	// deadline-aware shedding of budgeted requests.
+	qcap     int
+	svcGap   sim.Cycle
+	lastDeq  sim.Cycle
+	deqArmed bool
 
 	// Heartbeat detector (monitor-configured, 0 = off): fault when queued
 	// input sits unconsumed for hbCycles — the generalization of the
@@ -223,6 +243,8 @@ func NewShell(acc Accelerator, st *sim.Stats) *Shell {
 		delivered:  st.Counter("shell.delivered"),
 		dropped:    st.Counter("shell.dropped"),
 		faultCount: st.Counter("shell.faults"),
+		shedCount:  st.Counter("shell.shed"),
+		qcap:       InQDepth,
 		shard:      -1,
 	}
 }
@@ -322,6 +344,8 @@ func (s *Shell) Reset() {
 	s.hbArmed = false
 	s.hangUntil = 0
 	s.babbleUntil = 0
+	s.svcGap = 0
+	s.deqArmed = false
 	for i := range s.ctxDead {
 		s.ctxDead[i] = false
 	}
@@ -342,7 +366,32 @@ func (s *Shell) SetBabble(until sim.Cycle, svc msg.ServiceID) {
 	s.babbleSvc = svc
 }
 
+// SetQueueCap sizes the admission queue (<= 0 restores InQDepth). The
+// kernel sets this from the manifest's queue_cap knob when placing the
+// accelerator; messages already queued are never discarded by a shrink,
+// the bound only gates future deliveries.
+func (s *Shell) SetQueueCap(n int) {
+	if n <= 0 {
+		n = InQDepth
+	}
+	s.qcap = n
+}
+
+// QueueCap reports the admission queue bound.
+func (s *Shell) QueueCap() int { return s.qcap }
+
+// EstWait estimates how long a message delivered now would wait before the
+// accelerator dequeues it: queue occupancy times the drain-gap EWMA. Zero
+// until the shell has observed a backlogged dequeue.
+func (s *Shell) EstWait() sim.Cycle {
+	return sim.Cycle(len(s.inq)) * s.svcGap
+}
+
 // Deliver hands an inbound message to the shell (called by the monitor).
+// Requests that cannot be admitted — queue full, or a deadline budget the
+// estimated queue wait already exceeds — are shed with EBusy; the sender's
+// monitor turns that into a NACK, so the client learns immediately instead
+// of timing out (deadline-aware load shedding).
 func (s *Shell) Deliver(m *msg.Message) msg.ErrCode {
 	if s.state != Running {
 		return msg.EFailStopped
@@ -353,8 +402,15 @@ func (s *Shell) Deliver(m *msg.Message) msg.ErrCode {
 	if s.ctxDead[m.DstCtx] {
 		return msg.ENoContext
 	}
-	if len(s.inq) >= InQDepth {
+	if len(s.inq) >= s.qcap {
 		s.dropped.Inc()
+		if m.Type == msg.TRequest {
+			s.shedCount.Inc()
+		}
+		return msg.EBusy
+	}
+	if m.Type == msg.TRequest && m.Budget > 0 && s.EstWait() > sim.Cycle(m.Budget) {
+		s.shedCount.Inc()
 		return msg.EBusy
 	}
 	s.inq = append(s.inq, m)
@@ -397,7 +453,7 @@ func (s *Shell) Tick(now sim.Cycle) {
 
 	// Watchdog: a full queue that is never drained means the accelerator
 	// hung while peers keep piling work onto it.
-	if before >= InQDepth && len(s.inq) >= before {
+	if before >= s.qcap && len(s.inq) >= before {
 		if !s.wasFull {
 			s.wasFull = true
 			s.fullSince = now
@@ -461,15 +517,30 @@ func (s *Shell) Idle() bool {
 // Now implements Port.
 func (s *Shell) Now() sim.Cycle { return s.now }
 
-// Recv implements Port.
+// Recv implements Port. Dequeues feed the drain-gap EWMA: the gap between
+// consecutive dequeues while a backlog remains is how fast the accelerator
+// actually drains its queue, which is what the deadline shed in Deliver
+// multiplies by the occupancy. Gaps across an empty queue are not drain
+// time and are excluded by disarming the estimator.
 func (s *Shell) Recv() (*msg.Message, bool) {
 	if len(s.inq) == 0 {
+		s.deqArmed = false
 		return nil, false
 	}
 	m := s.inq[0]
 	copy(s.inq, s.inq[1:])
 	s.inq[len(s.inq)-1] = nil
 	s.inq = s.inq[:len(s.inq)-1]
+	if s.deqArmed {
+		gap := s.now - s.lastDeq
+		if s.svcGap == 0 {
+			s.svcGap = gap
+		} else {
+			s.svcGap = (3*s.svcGap + gap) / 4
+		}
+	}
+	s.lastDeq = s.now
+	s.deqArmed = len(s.inq) > 0
 	return m, true
 }
 

@@ -1,0 +1,149 @@
+package accel
+
+import (
+	"fmt"
+
+	"apiary/internal/sim"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states. Closed passes traffic; Open rejects it locally until the
+// cooldown expires; HalfOpen admits exactly one probe whose outcome decides
+// between closing and re-opening with a doubled cooldown.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breaker(%d)", uint8(s))
+}
+
+// Breaker is a deterministic circuit breaker layered over Backoff: after
+// Threshold consecutive EBusy push-backs the breaker opens and the client
+// stops issuing entirely for the cooldown, instead of per-request backoff
+// alone — an overloaded service sheds faster when the excess load stops
+// arriving at its monitor at all. When the cooldown expires the breaker
+// goes half-open and lets one probe through; a successful probe closes it,
+// a busy probe re-opens it with the next (doubled, saturating) cooldown.
+//
+// Like Backoff it is deliberately jitter-free: simulated clients must
+// replay bit-exact.
+type Breaker struct {
+	// Threshold is how many consecutive busies trip the breaker (0
+	// disables it: Allow always reports true).
+	Threshold int
+	// Cooldown schedules the open duration (doubling per re-open). A zero
+	// Base falls back to 1024 cycles.
+	Cooldown Backoff
+
+	state    BreakerState
+	streak   int
+	reopenAt sim.Cycle
+	opens    uint64
+	closes   uint64
+}
+
+// State reports the breaker's position, advancing Open to HalfOpen when the
+// cooldown has expired at the given cycle.
+func (b *Breaker) State(now sim.Cycle) BreakerState {
+	if b.state == BreakerOpen && now >= b.reopenAt {
+		b.state = BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may be issued now. In the half-open state
+// the first Allow claims the single probe slot; subsequent calls report
+// false until the probe's outcome arrives via OnBusy or OnSuccess.
+func (b *Breaker) Allow(now sim.Cycle) bool {
+	if b.Threshold <= 0 {
+		return true
+	}
+	switch b.State(now) {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe: claim it by moving back to Open with the slot marked
+		// taken via streak (reused as the probe flag while not Closed).
+		if b.streak == 0 {
+			b.streak = 1
+			return true
+		}
+	}
+	return false
+}
+
+// OnBusy records an EBusy push-back. It reports whether this trip opened
+// (or re-opened) the breaker.
+func (b *Breaker) OnBusy(now sim.Cycle) bool {
+	if b.Threshold <= 0 {
+		return false
+	}
+	switch b.State(now) {
+	case BreakerClosed:
+		b.streak++
+		if b.streak < b.Threshold {
+			return false
+		}
+	case BreakerHalfOpen:
+		if b.streak == 0 {
+			// Busy from an older request while awaiting a probe slot:
+			// not the probe's verdict, ignore.
+			return false
+		}
+	case BreakerOpen:
+		return false
+	}
+	b.trip(now)
+	return true
+}
+
+// OnSuccess records a successful reply: the breaker closes from any state
+// and the cooldown schedule resets. Reports whether it was open/half-open.
+func (b *Breaker) OnSuccess() bool {
+	was := b.state != BreakerClosed
+	if was {
+		b.closes++
+	}
+	b.state = BreakerClosed
+	b.streak = 0
+	b.Cooldown.Reset()
+	return was
+}
+
+func (b *Breaker) trip(now sim.Cycle) {
+	if b.Cooldown.Base == 0 {
+		b.Cooldown.Base = 1024
+	}
+	b.state = BreakerOpen
+	b.streak = 0
+	b.reopenAt = now + b.Cooldown.Next()
+	b.opens++
+}
+
+// Opens and Closes report lifetime transition counts.
+func (b *Breaker) Opens() uint64 { return b.opens }
+
+// Closes reports how many times the breaker closed after being open.
+func (b *Breaker) Closes() uint64 { return b.closes }
+
+// Reset returns the breaker to its power-on state (call from the owning
+// accelerator's Reset).
+func (b *Breaker) Reset() {
+	b.state = BreakerClosed
+	b.streak = 0
+	b.reopenAt = 0
+	b.Cooldown.Reset()
+}

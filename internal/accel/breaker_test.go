@@ -1,0 +1,212 @@
+package accel
+
+import (
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+func TestBreakerDisabled(t *testing.T) {
+	var b Breaker // Threshold 0
+	for i := 0; i < 100; i++ {
+		if !b.Allow(0) {
+			t.Fatal("disabled breaker refused a request")
+		}
+		if b.OnBusy(0) {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if b.Opens() != 0 {
+		t.Fatalf("Opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := Breaker{Threshold: 3, Cooldown: Backoff{Base: 100, Max: 400}}
+	if b.OnBusy(10) || b.OnBusy(11) {
+		t.Fatal("tripped before threshold")
+	}
+	if !b.OnBusy(12) {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.State(12) != BreakerOpen {
+		t.Fatalf("state = %v", b.State(12))
+	}
+	if b.Allow(50) {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := Breaker{Threshold: 3, Cooldown: Backoff{Base: 100}}
+	b.OnBusy(1)
+	b.OnBusy(2)
+	b.OnSuccess()
+	if b.OnBusy(3) || b.OnBusy(4) {
+		t.Fatal("streak survived a success")
+	}
+	if !b.OnBusy(5) {
+		t.Fatal("did not trip after fresh streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := Breaker{Threshold: 1, Cooldown: Backoff{Base: 100, Max: 800}}
+	b.OnBusy(0) // opens until 100
+	if b.Allow(99) {
+		t.Fatal("allowed during cooldown")
+	}
+	if !b.Allow(100) {
+		t.Fatal("half-open did not admit the probe")
+	}
+	if b.State(100) != BreakerHalfOpen {
+		t.Fatalf("state = %v", b.State(100))
+	}
+	if b.Allow(101) {
+		t.Fatal("second request admitted while probe outstanding")
+	}
+	// Probe succeeds: breaker closes and the cooldown schedule resets.
+	if !b.OnSuccess() {
+		t.Fatal("OnSuccess did not report a close")
+	}
+	if b.State(101) != BreakerClosed || b.Closes() != 1 {
+		t.Fatalf("state = %v closes = %d", b.State(101), b.Closes())
+	}
+	if !b.Allow(102) {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+func TestBreakerFailedProbeDoublesCooldown(t *testing.T) {
+	b := Breaker{Threshold: 1, Cooldown: Backoff{Base: 100, Max: 800}}
+	b.OnBusy(0) // open, cooldown 100 -> reopen at 100
+	if !b.Allow(100) {
+		t.Fatal("no probe slot")
+	}
+	if !b.OnBusy(110) { // probe bounced: reopen with doubled cooldown (200)
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Allow(300) { // 110+200=310
+		t.Fatal("allowed before doubled cooldown expired")
+	}
+	if !b.Allow(310) {
+		t.Fatal("no probe after doubled cooldown")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens = %d", b.Opens())
+	}
+}
+
+func TestBreakerIgnoresStaleBusyWhileWaiting(t *testing.T) {
+	b := Breaker{Threshold: 1, Cooldown: Backoff{Base: 100}}
+	b.OnBusy(0)
+	// A NACK for an older request arrives while open: must not extend the
+	// cooldown or count as a probe verdict.
+	if b.OnBusy(50) {
+		t.Fatal("stale busy re-opened an already-open breaker")
+	}
+	if !b.Allow(100) {
+		t.Fatal("cooldown was extended by a stale busy")
+	}
+	// Half-open, probe not yet claimed: stale busy is not the probe verdict.
+	b2 := Breaker{Threshold: 1, Cooldown: Backoff{Base: 100}}
+	b2.OnBusy(0)
+	b2.State(100) // advance to half-open
+	if b2.OnBusy(100) {
+		t.Fatal("stale busy consumed the probe verdict")
+	}
+	if !b2.Allow(101) {
+		t.Fatal("probe slot lost to a stale busy")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := Breaker{Threshold: 1, Cooldown: Backoff{Base: 100}}
+	b.OnBusy(0)
+	b.Reset()
+	if b.State(1) != BreakerClosed || !b.Allow(1) {
+		t.Fatal("Reset did not close the breaker")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" ||
+		BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("breaker state strings")
+	}
+	if BreakerState(9).String() == "" {
+		t.Fatal("unknown state should render")
+	}
+}
+
+// Admission-control tests for the shell's bounded queue + deadline shed.
+
+func TestShellQueueCapOverride(t *testing.T) {
+	s := newShell(&testAccel{name: "t", ctxs: 1})
+	s.SetQueueCap(2)
+	if s.QueueCap() != 2 {
+		t.Fatalf("QueueCap = %d", s.QueueCap())
+	}
+	if s.Deliver(&msg.Message{}) != msg.EOK || s.Deliver(&msg.Message{}) != msg.EOK {
+		t.Fatal("deliveries under cap rejected")
+	}
+	if code := s.Deliver(&msg.Message{Type: msg.TRequest}); code != msg.EBusy {
+		t.Fatalf("over-cap Deliver = %v, want EBusy", code)
+	}
+	s.SetQueueCap(0) // restore default
+	if s.QueueCap() != InQDepth {
+		t.Fatalf("QueueCap after reset = %d", s.QueueCap())
+	}
+}
+
+func TestShellDeadlineShed(t *testing.T) {
+	// An accelerator that drains one message every 100 cycles.
+	a := &testAccel{name: "slow", ctxs: 1, consume: true}
+	s := newShell(a)
+	// Prime the drain-gap EWMA: backlogged dequeues 100 cycles apart.
+	for i := 0; i < 6; i++ {
+		if code := s.Deliver(&msg.Message{Type: msg.TRequest}); code != msg.EOK {
+			t.Fatalf("prime Deliver %d = %v", i, code)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s.Tick(sim.Cycle(100 * (i + 1)))
+	}
+	if s.EstWait() == 0 {
+		t.Fatal("drain-gap estimate not learned")
+	}
+	// Two messages still queued at ~100 cycles each: a budget of 50 cannot
+	// be met, a budget of 10000 can.
+	if code := s.Deliver(&msg.Message{Type: msg.TRequest, Budget: 50}); code != msg.EBusy {
+		t.Fatalf("hopeless budget admitted: %v", code)
+	}
+	if code := s.Deliver(&msg.Message{Type: msg.TRequest, Budget: 10000}); code != msg.EOK {
+		t.Fatalf("feasible budget shed: %v", code)
+	}
+	// Unbudgeted requests and replies are never deadline-shed.
+	if code := s.Deliver(&msg.Message{Type: msg.TRequest}); code != msg.EOK {
+		t.Fatalf("unbudgeted request shed: %v", code)
+	}
+	if code := s.Deliver(&msg.Message{Type: msg.TReply, Budget: 1}); code != msg.EOK {
+		t.Fatalf("reply shed: %v", code)
+	}
+}
+
+func TestShellDrainGapIgnoresIdleGaps(t *testing.T) {
+	a := &testAccel{name: "t", ctxs: 1, consume: true}
+	s := newShell(a)
+	// One message, drained, queue goes empty.
+	s.Deliver(&msg.Message{Type: msg.TRequest})
+	s.Tick(10)
+	// A long idle stretch, then another lone message: the 100k-cycle gap
+	// must not enter the estimate (the queue was empty in between).
+	s.Deliver(&msg.Message{Type: msg.TRequest})
+	s.Tick(100_010)
+	if got := s.EstWait(); got != 0 {
+		t.Fatalf("EstWait = %d after idle-only dequeues, want 0", got)
+	}
+}

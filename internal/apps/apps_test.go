@@ -192,8 +192,16 @@ func TestLoadBalancerSpreadsAndRoutesReplies(t *testing.T) {
 	if client.Errors() != 0 {
 		t.Fatalf("errors: %d", client.Errors())
 	}
-	if lb.PerReplica[0] != 5 || lb.PerReplica[1] != 5 {
-		t.Fatalf("distribution = %v, want 5/5", lb.PerReplica)
+	if lb.PerReplica[0]+lb.PerReplica[1] != 10 || lb.PerReplica[0] == 0 || lb.PerReplica[1] == 0 {
+		t.Fatalf("distribution = %v, want both replicas busy, 10 total", lb.PerReplica)
+	}
+	// The satellite fix: Completed mirrors dispatches once the run drains,
+	// so dispatched-completed == in-flight == 0.
+	for i := range lb.PerReplica {
+		if lb.Completed[i] != lb.PerReplica[i] || lb.InFlight(i) != 0 {
+			t.Fatalf("replica %d: dispatched %d completed %d inflight %d",
+				i, lb.PerReplica[i], lb.Completed[i], lb.InFlight(i))
+		}
 	}
 	if r1.Processed() == 0 || r2.Processed() == 0 {
 		t.Fatal("a replica did no work")

@@ -1,0 +1,269 @@
+package apps
+
+import (
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+const (
+	lbSvcA = msg.ServiceID(40)
+	lbSvcB = msg.ServiceID(41)
+)
+
+func newLB() (*LoadBalancer, *stubPort) {
+	return NewLoadBalancer([]msg.ServiceID{lbSvcA, lbSvcB}), &stubPort{}
+}
+
+// repIdx maps a dispatched request back to the replica index it targeted.
+func repIdx(t *testing.T, lb *LoadBalancer, m *msg.Message) int {
+	t.Helper()
+	for i, svc := range lb.Replicas() {
+		if svc == m.DstSvc {
+			return i
+		}
+	}
+	t.Fatalf("send to unknown service %d", m.DstSvc)
+	return -1
+}
+
+func clientReq(seq uint32, budget uint32) *msg.Message {
+	return &msg.Message{Type: msg.TRequest, SrcTile: 9, SrcCtx: 1, Seq: seq,
+		Budget: budget, Payload: []byte{0xAB}}
+}
+
+func TestLoadBalancerEjectsAndReroutesOnFencedNack(t *testing.T) {
+	lb, p := newLB()
+	p.inbox = append(p.inbox, clientReq(77, 500))
+	lb.Tick(p)
+	if len(p.sends) != 1 {
+		t.Fatalf("sends = %d, want 1", len(p.sends))
+	}
+	first := p.sends[0]
+	if first.Budget != 500 {
+		t.Fatalf("budget not forwarded: %d", first.Budget)
+	}
+	dead := repIdx(t, lb, first)
+	// The replica NACKs with a fencing error: eject it and re-dispatch the
+	// request to the survivor without bothering the client.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.EFailStopped, Seq: first.Seq})
+	lb.Tick(p)
+	if len(p.sends) != 2 {
+		t.Fatalf("sends after NACK = %d, want 2 (reroute)", len(p.sends))
+	}
+	second := p.sends[1]
+	if repIdx(t, lb, second) == dead {
+		t.Fatal("rerouted to the ejected replica")
+	}
+	if second.Payload[0] != 0xAB || second.Budget != 500 {
+		t.Fatal("reroute lost the payload or budget")
+	}
+	if !lb.Ejected(dead) || lb.Ejects() != 1 || lb.Reroutes() != 1 {
+		t.Fatalf("ejected=%v ejects=%d reroutes=%d",
+			lb.Ejected(dead), lb.Ejects(), lb.Reroutes())
+	}
+	// The survivor answers: reply routed to the original client.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: second.Seq,
+		Payload: []byte{0xCD}})
+	lb.Tick(p)
+	last := p.sends[len(p.sends)-1]
+	if last.Type != msg.TReply || last.DstTile != 9 || last.DstCtx != 1 ||
+		last.Seq != 77 || last.Payload[0] != 0xCD {
+		t.Fatalf("reply misrouted: %v", last)
+	}
+	// Accounting drains: dispatched == completed, nothing in flight.
+	for i := range lb.PerReplica {
+		if lb.Completed[i] != lb.PerReplica[i] || lb.InFlight(i) != 0 {
+			t.Fatalf("replica %d: dispatched %d completed %d inflight %d",
+				i, lb.PerReplica[i], lb.Completed[i], lb.InFlight(i))
+		}
+	}
+}
+
+func TestLoadBalancerProbeReadmits(t *testing.T) {
+	lb, p := newLB()
+	// Eject replica 0 directly.
+	lb.eject(0, 0)
+	if !lb.Ejected(0) {
+		t.Fatal("eject did not mark the replica")
+	}
+	// Before the probe deadline every request goes to the survivor.
+	p.now = 100
+	p.inbox = append(p.inbox, clientReq(1, 0))
+	lb.Tick(p)
+	if got := repIdx(t, lb, p.sends[0]); got != 1 {
+		t.Fatalf("request before probeAt went to replica %d", got)
+	}
+	// After the backoff the next request is the half-open probe.
+	p.now = 100 + lb.EjectBase
+	p.inbox = append(p.inbox, clientReq(2, 0))
+	lb.Tick(p)
+	probe := p.sends[len(p.sends)-1]
+	if got := repIdx(t, lb, probe); got != 0 {
+		t.Fatalf("probe went to replica %d, want ejected replica 0", got)
+	}
+	// Probe succeeds: the replica is re-admitted.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: probe.Seq})
+	lb.Tick(p)
+	if lb.Ejected(0) || lb.Readmits() != 1 {
+		t.Fatalf("ejected=%v readmits=%d after successful probe",
+			lb.Ejected(0), lb.Readmits())
+	}
+}
+
+func TestLoadBalancerFailedProbeBacksOff(t *testing.T) {
+	lb, p := newLB()
+	lb.eject(0, 0)
+	p.now = lb.EjectBase
+	p.inbox = append(p.inbox, clientReq(1, 0))
+	lb.Tick(p)
+	probe := p.sends[0]
+	if got := repIdx(t, lb, probe); got != 0 {
+		t.Fatalf("probe went to replica %d", got)
+	}
+	// Probe bounces: replica stays ejected with a doubled backoff, and the
+	// request is rerouted to the survivor.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError, Err: msg.EBusy,
+		Seq: probe.Seq})
+	lb.Tick(p)
+	if !lb.Ejected(0) {
+		t.Fatal("failed probe re-admitted the replica")
+	}
+	if got := repIdx(t, lb, p.sends[len(p.sends)-1]); got != 1 {
+		t.Fatalf("bounced probe request rerouted to replica %d, want 1", got)
+	}
+	// The doubled window: no probe until EjectBase*2 later.
+	p.now += lb.EjectBase
+	p.inbox = append(p.inbox, clientReq(2, 0))
+	lb.Tick(p)
+	if got := repIdx(t, lb, p.sends[len(p.sends)-1]); got != 1 {
+		t.Fatal("probe fired before the doubled backoff expired")
+	}
+	p.now += lb.EjectBase
+	p.inbox = append(p.inbox, clientReq(3, 0))
+	lb.Tick(p)
+	if got := repIdx(t, lb, p.sends[len(p.sends)-1]); got != 0 {
+		t.Fatal("no probe after the doubled backoff")
+	}
+}
+
+func TestLoadBalancerShedsWhenAllReplicasFenced(t *testing.T) {
+	lb, p := newLB()
+	p.inbox = append(p.inbox, clientReq(5, 0))
+	lb.Tick(p)
+	first := p.sends[0]
+	// Fence whichever replica got it, then the survivor too: the reroute
+	// chain exhausts and the client gets EBusy back.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.EFailStopped, Seq: first.Seq})
+	lb.Tick(p)
+	second := p.sends[len(p.sends)-1]
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.ERevoked, Seq: second.Seq})
+	lb.Tick(p)
+	last := p.sends[len(p.sends)-1]
+	if last.Type != msg.TError || last.Err != msg.EBusy ||
+		last.DstTile != 9 || last.Seq != 5 {
+		t.Fatalf("want EBusy shed to client, got %v", last)
+	}
+	if lb.Ejects() != 2 {
+		t.Fatalf("ejects = %d, want 2", lb.Ejects())
+	}
+	if len(lb.pend) != 0 {
+		t.Fatal("shed request leaked a pend entry")
+	}
+}
+
+func TestLoadBalancerEjectsOnLocalFencedDenial(t *testing.T) {
+	lb, p := newLB()
+	// Every local send is denied as fail-stopped (both replica endpoints
+	// fenced): the balancer ejects both and sheds to the client. The shed
+	// reply itself also bounces off the dead port — outQ drops it — but the
+	// health bookkeeping must still happen.
+	p.code = msg.EFailStopped
+	p.inbox = append(p.inbox, clientReq(1, 0))
+	lb.Tick(p)
+	if lb.Ejects() != 2 {
+		t.Fatalf("ejects = %d, want 2 after local fenced denials", lb.Ejects())
+	}
+	if !lb.Ejected(0) || !lb.Ejected(1) {
+		t.Fatal("replicas not ejected")
+	}
+}
+
+func TestLoadBalancerStaticRoundRobin(t *testing.T) {
+	lb, p := newLB()
+	lb.Static = true
+	for i := 0; i < 4; i++ {
+		p.inbox = append(p.inbox, clientReq(uint32(i), 0))
+	}
+	lb.Tick(p)
+	if lb.PerReplica[0] != 2 || lb.PerReplica[1] != 2 {
+		t.Fatalf("static distribution = %v, want 2/2", lb.PerReplica)
+	}
+	for i, m := range p.sends {
+		want := lb.Replicas()[i%2]
+		if m.DstSvc != want {
+			t.Fatalf("send %d went to %d, want strict round-robin %d",
+				i, m.DstSvc, want)
+		}
+	}
+	// Static mode never ejects.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.EFailStopped, Seq: p.sends[0].Seq})
+	lb.Tick(p)
+	if lb.Ejects() != 0 {
+		t.Fatal("static mode ejected a replica")
+	}
+	// And the NACK propagates straight to the client.
+	last := p.sends[len(p.sends)-1]
+	if last.Type != msg.TError || last.Err != msg.EFailStopped {
+		t.Fatalf("static NACK not propagated: %v", last)
+	}
+}
+
+func TestLoadBalancerPicksLessLoadedReplica(t *testing.T) {
+	lb, p := newLB()
+	// Pile requests up without answering: p2c must keep the in-flight
+	// counts within 1 of each other (with two replicas it always compares
+	// both, so it is exact least-loaded).
+	for i := 0; i < 16; i++ {
+		p.inbox = append(p.inbox, clientReq(uint32(i), 0))
+		lb.Tick(p) // ≤4 recvs per tick, so feed one at a time
+	}
+	a, b := lb.InFlight(0), lb.InFlight(1)
+	if a+b != 16 || a != 8 || b != 8 {
+		t.Fatalf("in-flight = %d/%d, want 8/8 under least-loaded", a, b)
+	}
+	if lb.PerReplica[0] != 8 || lb.PerReplica[1] != 8 {
+		t.Fatalf("dispatched = %v", lb.PerReplica)
+	}
+	if lb.Completed[0] != 0 || lb.Completed[1] != 0 {
+		t.Fatalf("completed = %v with no replies", lb.Completed)
+	}
+}
+
+func TestLoadBalancerBackpressureDefersDispatch(t *testing.T) {
+	lb, p := newLB()
+	p.code = msg.ERateLimited
+	p.inbox = append(p.inbox, clientReq(3, 0))
+	lb.Tick(p)
+	if len(p.sends) != 0 {
+		t.Fatal("send succeeded under rate limit")
+	}
+	if lb.Idle() {
+		t.Fatal("balancer idle with a deferred dispatch")
+	}
+	// Backpressure clears: the deferred request goes out on the next tick.
+	p.code = msg.EOK
+	p.now = sim.Cycle(1)
+	lb.Tick(p)
+	if len(p.sends) != 1 || p.sends[0].Type != msg.TRequest {
+		t.Fatalf("deferred dispatch did not fire: %v", p.sends)
+	}
+	if lb.Ejects() != 0 {
+		t.Fatal("local backpressure must not eject")
+	}
+}

@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+)
+
+// The RetryNacks + Breaker behaviors layered on the PR 4 retransmit
+// machinery: transient NACKs are ridden out, busy streaks trip the breaker,
+// and duplicate replies for parked sequences are absorbed.
+
+func TestRequesterNackRetryRidesOutFailover(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 2
+	r.RetryNacks = true
+
+	tickAt(r, p, 0)
+	if len(p.sends) != 1 {
+		t.Fatalf("sends = %d", len(p.sends))
+	}
+	seq := p.sends[0].Seq
+	// The primary is fenced mid-failover: EFailStopped is transient under
+	// RetryNacks — no error, the request parks for retransmit.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.EFailStopped, Seq: seq})
+	tickAt(r, p, 1)
+	if r.Errors() != 0 || r.Done() {
+		t.Fatalf("transient NACK counted as error: errs=%d", r.Errors())
+	}
+	if r.Retransmits() != 1 {
+		t.Fatalf("Retransmits = %d, want 1 (parked)", r.Retransmits())
+	}
+	// The parked resend fires after the fixed 64-cycle delay (backoff off).
+	tickAt(r, p, 65)
+	if len(p.sends) != 2 || p.sends[1].Seq != seq {
+		t.Fatalf("resend did not fire with same seq: %v", p.sends)
+	}
+	// The replica (service re-bound by the kernel) answers: zero lost.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: seq})
+	tickAt(r, p, 70)
+	if r.Responses() != 1 || r.Errors() != 0 || !r.Done() {
+		t.Fatalf("responses=%d errs=%d done=%v", r.Responses(), r.Errors(), r.Done())
+	}
+}
+
+func TestRequesterNackRetryExhaustion(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 1
+	r.RetryNacks = true
+
+	tickAt(r, p, 0)
+	seq := p.sends[0].Seq
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.ERevoked, Seq: seq})
+	tickAt(r, p, 1) // parked (retry 1 of 1)
+	tickAt(r, p, 65)
+	if len(p.sends) != 2 {
+		t.Fatalf("sends = %d, want 2", len(p.sends))
+	}
+	// Second NACK: retry budget exhausted, now it is an error.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+		Err: msg.ERevoked, Seq: seq})
+	tickAt(r, p, 66)
+	if r.Errors() != 1 || !r.Done() {
+		t.Fatalf("errs=%d done=%v after exhaustion", r.Errors(), r.Done())
+	}
+}
+
+func TestRequesterBreakerOpensAndProbes(t *testing.T) {
+	r, p := newRetryClient(0) // unlimited
+	r.Total = 0
+	r.BreakerThreshold = 2
+
+	tickAt(r, p, 0) // seq 0 out
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError, Err: msg.EBusy,
+		Seq: p.sends[0].Seq})
+	tickAt(r, p, 1) // busy 1; seq 1 out (still closed)
+	if len(p.sends) != 2 {
+		t.Fatalf("sends = %d, want 2", len(p.sends))
+	}
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError, Err: msg.EBusy,
+		Seq: p.sends[1].Seq})
+	tickAt(r, p, 2) // busy 2: breaker trips, no issue
+	if got := len(p.sends); got != 2 {
+		t.Fatalf("issued while open: sends = %d", got)
+	}
+	if r.Breaker().Opens() != 1 || r.BusyNacks() != 2 {
+		t.Fatalf("opens=%d busies=%d", r.Breaker().Opens(), r.BusyNacks())
+	}
+	tickAt(r, p, 500) // still cooling down (default base 1024)
+	if len(p.sends) != 2 {
+		t.Fatal("issued during cooldown")
+	}
+	// Cooldown expires at 2+1024: exactly one half-open probe goes out.
+	tickAt(r, p, 1030)
+	tickAt(r, p, 1031)
+	if len(p.sends) != 3 {
+		t.Fatalf("sends = %d, want 3 (single probe)", len(p.sends))
+	}
+	// Probe succeeds: breaker closes, traffic resumes.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply,
+		Seq: p.sends[2].Seq})
+	tickAt(r, p, 1032)
+	if r.Breaker().Closes() != 1 || len(p.sends) != 4 {
+		t.Fatalf("closes=%d sends=%d after probe success",
+			r.Breaker().Closes(), len(p.sends))
+	}
+}
+
+func TestRequesterTimeoutFeedsBreaker(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.BreakerThreshold = 1
+
+	tickAt(r, p, 0)
+	// The request vanishes (no NACK). The timeout abandon must count as a
+	// breaker failure, or a lost half-open probe would wedge it forever.
+	tickAt(r, p, 1536)
+	if r.Errors() != 1 {
+		t.Fatalf("errs = %d", r.Errors())
+	}
+	if r.Breaker().Opens() != 1 || r.Breaker().State(1536) != accel.BreakerOpen {
+		t.Fatalf("opens=%d state=%v", r.Breaker().Opens(), r.Breaker().State(1536))
+	}
+}
+
+func TestRequesterDupReplyForParkedSeq(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 2
+	r.RetryNacks = true
+
+	tickAt(r, p, 0)
+	seq := p.sends[0].Seq
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TError, Err: msg.EBusy,
+		Seq: seq})
+	tickAt(r, p, 1) // parked for resend at 65
+	// A late answer to the first transmission arrives before the resend
+	// fires: accept it and cancel the resend.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: seq,
+		Payload: []byte{7}})
+	tickAt(r, p, 2)
+	if r.Responses() != 1 || !r.Done() {
+		t.Fatalf("dup reply not absorbed: responses=%d", r.Responses())
+	}
+	tickAt(r, p, 70)
+	if len(p.sends) != 1 {
+		t.Fatalf("cancelled resend still fired: sends=%d", len(p.sends))
+	}
+}
+
+func TestRequesterLocalTransientDenialParks(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryLimit = 2
+	r.RetryNacks = true
+
+	// The endpoint is mid-re-mint: the monitor denies the send locally with
+	// ERevoked. The request must park, not count as an error.
+	p.code = msg.ERevoked
+	tickAt(r, p, 0)
+	if r.Errors() != 0 {
+		t.Fatalf("local transient denial errored: %d", r.Errors())
+	}
+	if r.Retransmits() != 1 {
+		t.Fatalf("Retransmits = %d", r.Retransmits())
+	}
+	// Capability re-installed: the parked send goes through.
+	p.code = msg.EOK
+	tickAt(r, p, 65)
+	if len(p.sends) != 1 {
+		t.Fatalf("parked request never sent: %d", len(p.sends))
+	}
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply,
+		Seq: p.sends[0].Seq})
+	tickAt(r, p, 66)
+	if r.Responses() != 1 || !r.Done() {
+		t.Fatalf("responses=%d done=%v", r.Responses(), r.Done())
+	}
+}

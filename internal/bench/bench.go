@@ -97,6 +97,7 @@ var All = []Experiment{
 	{"e14", "Service placement: hardware tile vs remote CPU proxy", E14RemoteService},
 	{"e15", "Observability: flight-recorder overhead and span accounting", E15Observability},
 	{"e16", "Blast radius of a contained fault (chaos engine)", E16BlastRadius},
+	{"e17", "Graceful degradation: load shedding and health-aware failover", E17Degrade},
 }
 
 // ByID finds an experiment.

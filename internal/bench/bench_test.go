@@ -350,3 +350,74 @@ func TestE16Deterministic(t *testing.T) {
 		t.Fatalf("chaos run not reproducible:\n--- run1\n%s\n--- run2\n%s", a.String(), b.String())
 	}
 }
+
+func TestE17Degrade(t *testing.T) {
+	r := E17Degrade()
+	rows := map[string][]string{}
+	for _, row := range r.Rows {
+		rows[row[0]] = row
+	}
+	base, shed, naive := rows["baseline 1x"], rows["overload 2x shed"], rows["overload 2x naive"]
+	if base == nil || shed == nil || naive == nil {
+		t.Fatalf("missing overload rows: %v", r.Rows)
+	}
+	// The uncontended baseline is never shed; 2x offered load is.
+	if base[3] != "0" {
+		t.Fatalf("baseline was shed: %v", base)
+	}
+	shedN, _ := strconv.Atoi(shed[3])
+	if shedN == 0 {
+		t.Fatalf("2x overload shed nothing: %v", shed)
+	}
+	// Shedding defers, it does not lose: every request is eventually served.
+	if shed[1] != "3000" || shed[2] != "0" {
+		t.Fatalf("shed run lost requests: served=%s errs=%s", shed[1], shed[2])
+	}
+	// Admitted p99 under 2x load stays within 10% of the uncontended
+	// baseline; the naive (no-deadline) queue pays the whole wait in its tail.
+	baseP99, _ := strconv.ParseFloat(base[5], 64)
+	shedP99, _ := strconv.ParseFloat(shed[5], 64)
+	naiveP99, _ := strconv.ParseFloat(naive[5], 64)
+	if baseP99 <= 0 {
+		t.Fatalf("no baseline latency: %v", base)
+	}
+	if shedP99 > baseP99*1.10 {
+		t.Fatalf("admitted p99 degraded >10%% at 2x load: %v vs %v baseline", shedP99, baseP99)
+	}
+	if naiveP99 < shedP99*1.5 {
+		t.Fatalf("naive queueing should blow the tail: naive %v vs shed %v", naiveP99, shedP99)
+	}
+
+	// Failover half: the group re-binds exactly once, no request is lost,
+	// and goodput through the quarantine window holds >= 80% of steady state.
+	pre, win, post := rows["pre-fault"], rows["quarantine window"], rows["post-recovery"]
+	if pre == nil || win == nil || post == nil {
+		t.Fatalf("missing failover rows: %v", r.Rows)
+	}
+	if got := rows["  failovers"]; got == nil || got[1] != "1" {
+		t.Fatalf("failovers != 1: %v", got)
+	}
+	if post[1] != "4000" || post[2] != "0" {
+		t.Fatalf("requests lost across failover: served=%s errs=%s", post[1], post[2])
+	}
+	preRate, _ := strconv.ParseFloat(pre[6], 64)
+	winRate, _ := strconv.ParseFloat(win[6], 64)
+	if preRate <= 0 {
+		t.Fatalf("no steady-state goodput: %v", pre)
+	}
+	if winRate < preRate*0.80 {
+		t.Fatalf("goodput in quarantine window %v < 80%% of steady state %v", winRate, preRate)
+	}
+}
+
+// TestE17Deterministic reruns the degradation experiment and requires the
+// whole table — latencies, shed counts, cycle timestamps — to be
+// bit-identical: admission decisions and health transitions all happen on
+// the deterministic tick/commit schedule.
+func TestE17Deterministic(t *testing.T) {
+	a := E17Degrade()
+	b := E17Degrade()
+	if a.String() != b.String() {
+		t.Fatalf("degradation run not reproducible:\n--- run1\n%s\n--- run2\n%s", a.String(), b.String())
+	}
+}

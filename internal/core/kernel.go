@@ -89,6 +89,10 @@ type AppAccel struct {
 	Rate monitor.RateLimit
 	// WantNet grants an endpoint capability for the network service.
 	WantNet bool
+	// QueueCap overrides the shell's admission-queue bound (0 keeps the
+	// default accel.InQDepth). Together with request deadlines this is the
+	// overload-control knob: a shorter queue sheds sooner.
+	QueueCap int
 }
 
 // Placement selects the tile-assignment strategy for an application.
@@ -113,6 +117,8 @@ type AppSpec struct {
 	Accels []AppAccel
 	// Exports lists services other apps may connect to.
 	Exports []msg.ServiceID
+	// Groups declares health-aware replica sets over this app's services.
+	Groups []ReplicaGroupSpec
 	// Restart requests automatic reconfigure+resume of fail-stopped tiles.
 	Restart bool
 	// Placement selects the tile-assignment strategy.
@@ -152,6 +158,11 @@ type Kernel struct {
 	grants   []grant
 	segOwner map[uint32]msg.TileID // segment ID -> owning tile
 
+	groups      map[msg.ServiceID]*replicaGroup
+	groupOrder  []msg.ServiceID // registration order (directory, determinism)
+	memberGroup map[msg.ServiceID]msg.ServiceID
+	health      map[msg.ServiceID]Health
+
 	alloc   *memseg.Allocator
 	regions []*fabric.Region
 
@@ -162,6 +173,7 @@ type Kernel struct {
 	restarts    *sim.Counter
 	quarC       *sim.Counter
 	recovC      *sim.Counter
+	failoversC  *sim.Counter
 
 	detect monitor.Detect
 }
@@ -184,12 +196,16 @@ func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 		apps:        make(map[string]*App),
 		segOwner:    make(map[uint32]msg.TileID),
 		quarantined: make(map[msg.TileID]bool),
+		groups:      make(map[msg.ServiceID]*replicaGroup),
+		memberGroup: make(map[msg.ServiceID]msg.ServiceID),
+		health:      make(map[msg.ServiceID]Health),
 		alloc:       alloc,
 		syscalls:    st.Counter("kernel.syscalls"),
 		faultsC:     st.Counter("kernel.faults"),
 		restarts:    st.Counter("kernel.restarts"),
 		quarC:       st.Counter("kernel.quarantines"),
 		recovC:      st.Counter("kernel.recoveries"),
+		failoversC:  st.Counter("kernel.failovers"),
 		detect:      detect,
 	}
 	n := net.Dims().Tiles()
@@ -288,6 +304,9 @@ func (k *Kernel) installSystemService(tile msg.TileID, svc msg.ServiceID, a acce
 	if ts.app != "" {
 		panic(fmt.Sprintf("core: service tile %d already occupied", tile))
 	}
+	if su, ok := a.(accel.StatsUser); ok {
+		su.AttachStats(k.stats)
+	}
 	shell := accel.NewShell(a, k.stats)
 	ts.shell = shell
 	ts.app = "apiary"
@@ -364,8 +383,13 @@ func (k *Kernel) handleFault(m *msg.Message) {
 	k.faults = append(k.faults, rep)
 	ts := k.tiles[rep.Tile]
 	// If the shell contained the fault per-context (preemptible), the tile
-	// is still Running and needs no reconfiguration.
+	// is still Running and needs no reconfiguration — but a replica that
+	// keeps absorbing contained faults is marked Degraded in the service
+	// directory, demoting it to failover target of last resort.
 	if ts.shell != nil && ts.shell.State() == accel.Running {
+		if ts.svc != msg.SvcInvalid {
+			k.setHealth(ts.svc, HealthDegraded)
+		}
 		return
 	}
 	if !k.quarantine(ts) {

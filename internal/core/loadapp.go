@@ -74,7 +74,13 @@ func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
 			k.rollback(app)
 			return nil, err
 		}
+		if su, ok := logic.(accel.StatsUser); ok {
+			su.AttachStats(k.stats)
+		}
 		shell := accel.NewShell(logic, k.stats)
+		if a.QueueCap > 0 {
+			shell.SetQueueCap(a.QueueCap)
+		}
 		ts.shell = shell
 		ts.app = spec.Name
 		ts.accel = a.Name
@@ -98,6 +104,15 @@ func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
 	}
 	for _, svc := range spec.Exports {
 		k.exports[svc] = spec.Name
+	}
+
+	// Replica groups register between the passes: members exist (pass 1
+	// bound them), and pass 2 Connect lists may name the group service.
+	for _, g := range spec.Groups {
+		if err := k.RegisterReplicaSet(spec.Name, g.Service, g.Members); err != nil {
+			k.rollback(app)
+			return nil, err
+		}
 	}
 
 	// Pass 2: capabilities and memory.
@@ -252,6 +267,7 @@ func (k *Kernel) freeTiles() []msg.TileID {
 
 // rollback undoes a partial load.
 func (k *Kernel) rollback(app *App) {
+	k.dropGroups(app.Spec.Name)
 	for _, p := range app.Placed {
 		ts := k.tiles[p.Tile]
 		if ts.svc != msg.SvcInvalid {

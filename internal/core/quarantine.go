@@ -53,6 +53,9 @@ func (k *Kernel) quarantine(ts *tileState) bool {
 		if t, ok := k.services[ts.svc]; ok && t == ts.id {
 			k.checker.Revoke(cap.KindEndpoint, uint32(ts.svc))
 		}
+		// A quarantined group member triggers failover when it was the
+		// primary: the group name re-binds to the next healthy member.
+		k.setHealth(ts.svc, HealthQuarantined)
 	}
 	if reg := k.region(ts.id); reg != nil {
 		reg.MarkFailed()
@@ -75,6 +78,12 @@ func (k *Kernel) recoverTile(ts *tileState) {
 	}
 	delete(k.quarantined, ts.id)
 	k.recovC.Inc()
+	if ts.svc != msg.SvcInvalid {
+		// The member is serviceable again: back to Up in the directory. The
+		// group does not fail back — the current primary keeps the binding
+		// (no flapping); the recovered member is the next failover target.
+		k.setHealth(ts.svc, HealthUp)
+	}
 	if ts.svc != msg.SvcInvalid {
 		if t, ok := k.services[ts.svc]; ok && t == ts.id {
 			fresh := k.endpointCap(ts.svc)

@@ -26,6 +26,10 @@ func (k *Kernel) UnloadApp(name string) error {
 		appTiles[p.Tile] = true
 	}
 
+	// 0. Drop the app's replica groups (their virtual services unbind and
+	// the member health records go with them).
+	k.dropGroups(name)
+
 	// 1. Unbind and revoke the app's services so stale endpoint
 	// capabilities anywhere fail closed.
 	for svc, owner := range k.svcOwner {

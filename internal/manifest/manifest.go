@@ -30,10 +30,14 @@ type AccelSpec struct {
 		BurstFlits     int `json:"burst_flits"`
 	} `json:"rate,omitempty"`
 
+	// QueueCap bounds the shell's admission queue (0 = default depth).
+	QueueCap int `json:"queue_cap,omitempty"`
+
 	// Kind-specific parameters.
 	Next       uint16   `json:"next,omitempty"`        // encoder: downstream service
 	Tenants    int      `json:"tenants,omitempty"`     // kvstore
 	Replicas   []uint16 `json:"replicas,omitempty"`    // loadbal
+	Health     string   `json:"health,omitempty"`      // loadbal: "aware" (default) or "static"
 	Flow       uint16   `json:"flow,omitempty"`        // netbridge
 	Target     uint16   `json:"target,omitempty"`      // netbridge/requester
 	Total      int      `json:"total,omitempty"`       // requester
@@ -42,8 +46,16 @@ type AccelSpec struct {
 	Retry      int      `json:"retry,omitempty"`       // requester: retransmits per request
 	Backoff    uint64   `json:"backoff,omitempty"`     // requester: backoff base cycles (0 = off)
 	BackoffMax uint64   `json:"backoff_max,omitempty"` // requester: backoff cap (default 64x base)
+	Deadline   uint64   `json:"deadline,omitempty"`    // requester: per-request queueing budget (cycles)
+	Breaker    int      `json:"breaker,omitempty"`     // requester: busy streak that opens the circuit breaker
 	Rows       int      `json:"rows,omitempty"`        // matvec
 	Cols       int      `json:"cols,omitempty"`        // matvec
+}
+
+// GroupSpec declares one health-aware replica set in a JSON manifest.
+type GroupSpec struct {
+	Service uint16   `json:"service"`
+	Members []uint16 `json:"members"`
 }
 
 // AppManifest is a JSON application manifest.
@@ -51,6 +63,7 @@ type AppManifest struct {
 	Name    string      `json:"name"`
 	Restart bool        `json:"restart,omitempty"`
 	Exports []uint16    `json:"exports,omitempty"`
+	Groups  []GroupSpec `json:"groups,omitempty"`
 	Accels  []AccelSpec `json:"accels"`
 }
 
@@ -97,7 +110,12 @@ func build(a AccelSpec) (func() accel.Accelerator, error) {
 		for i, v := range a.Replicas {
 			reps[i] = msg.ServiceID(v)
 		}
-		return mk(func() accel.Accelerator { return apps.NewLoadBalancer(reps) }), nil
+		static := a.Health == "static"
+		return mk(func() accel.Accelerator {
+			lb := apps.NewLoadBalancer(reps)
+			lb.Static = static
+			return lb
+		}), nil
 	case "requester":
 		size := a.Size
 		if size == 0 {
@@ -109,6 +127,11 @@ func build(a AccelSpec) (func() accel.Accelerator, error) {
 			r.RetryLimit = a.Retry
 			r.BackoffBase = sim.Cycle(a.Backoff)
 			r.BackoffMax = sim.Cycle(a.BackoffMax)
+			r.Budget = sim.Cycle(a.Deadline)
+			r.BreakerThreshold = a.Breaker
+			// A retry budget implies the resilient client: transient NACKs
+			// (EBusy sheds, failover-window bounces) retry instead of erroring.
+			r.RetryNacks = a.Retry > 0
 			return r
 		}), nil
 	case "netbridge":
@@ -127,11 +150,82 @@ func build(a AccelSpec) (func() accel.Accelerator, error) {
 	}
 }
 
+// validateReplicas rejects malformed replica lists at load time: duplicate
+// members, self-reference, health modes the registry does not know, and
+// service IDs that no accelerator in the manifest declares — an
+// unresolvable replica would otherwise surface only as runtime ENoService.
+func validateReplicas(m AppManifest) error {
+	declared := map[uint16]bool{}
+	for _, a := range m.Accels {
+		if a.Service != 0 {
+			declared[a.Service] = true
+		}
+	}
+	for _, a := range m.Accels {
+		if a.Kind != "loadbal" {
+			continue
+		}
+		if a.Health != "" && a.Health != "aware" && a.Health != "static" {
+			return fmt.Errorf("manifest: accel %q: unknown health mode %q (aware|static)",
+				a.Name, a.Health)
+		}
+		seen := map[uint16]bool{}
+		for _, r := range a.Replicas {
+			if r == a.Service {
+				return fmt.Errorf("manifest: accel %q lists itself as a replica (service %d)",
+					a.Name, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("manifest: accel %q lists replica %d twice", a.Name, r)
+			}
+			seen[r] = true
+			if !declared[r] {
+				return fmt.Errorf("manifest: accel %q replica %d is not a service declared in app %q",
+					a.Name, r, m.Name)
+			}
+		}
+	}
+	for _, g := range m.Groups {
+		if len(g.Members) == 0 {
+			return fmt.Errorf("manifest: group %d has no members", g.Service)
+		}
+		if declared[g.Service] {
+			return fmt.Errorf("manifest: group service %d collides with an accelerator service",
+				g.Service)
+		}
+		seen := map[uint16]bool{}
+		for _, r := range g.Members {
+			if r == g.Service {
+				return fmt.Errorf("manifest: group %d lists itself as a member", g.Service)
+			}
+			if seen[r] {
+				return fmt.Errorf("manifest: group %d lists member %d twice", g.Service, r)
+			}
+			seen[r] = true
+			if !declared[r] {
+				return fmt.Errorf("manifest: group %d member %d is not a service declared in app %q",
+					g.Service, r, m.Name)
+			}
+		}
+	}
+	return nil
+}
+
 // ToAppSpec converts a parsed manifest into a kernel AppSpec.
 func ToAppSpec(m AppManifest) (core.AppSpec, error) {
+	if err := validateReplicas(m); err != nil {
+		return core.AppSpec{}, err
+	}
 	spec := core.AppSpec{Name: m.Name, Restart: m.Restart}
 	for _, e := range m.Exports {
 		spec.Exports = append(spec.Exports, msg.ServiceID(e))
+	}
+	for _, g := range m.Groups {
+		gs := core.ReplicaGroupSpec{Service: msg.ServiceID(g.Service)}
+		for _, r := range g.Members {
+			gs.Members = append(gs.Members, msg.ServiceID(r))
+		}
+		spec.Groups = append(spec.Groups, gs)
 	}
 	for _, a := range m.Accels {
 		ctor, err := build(a)
@@ -145,6 +239,7 @@ func ToAppSpec(m AppManifest) (core.AppSpec, error) {
 			Cells:    a.Cells,
 			MemBytes: a.MemBytes,
 			WantNet:  a.WantNet,
+			QueueCap: a.QueueCap,
 		}
 		for _, c := range a.Connect {
 			aa.Connect = append(aa.Connect, msg.ServiceID(c))

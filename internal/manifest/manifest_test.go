@@ -1,8 +1,10 @@
 package manifest
 
 import (
+	"strings"
 	"testing"
 
+	"apiary/internal/accel"
 	"apiary/internal/apps"
 	"apiary/internal/core"
 	"apiary/internal/msg"
@@ -112,4 +114,158 @@ func TestAllKindsBuild(t *testing.T) {
 		}
 	}
 	_ = msg.SvcInvalid
+}
+
+func TestDegradeKnobs(t *testing.T) {
+	spec := AccelSpec{Name: "c", Kind: "requester", Target: 16,
+		Retry: 3, Deadline: 2000, Breaker: 4}
+	ctor, err := build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ctor().(*apps.Requester)
+	if r.Budget != 2000 || r.BreakerThreshold != 4 || !r.RetryNacks {
+		t.Fatalf("degrade knobs not wired: %+v", r)
+	}
+	// Without a retry budget the historical abandon-on-NACK behavior holds.
+	spec.Retry = 0
+	r = must(build(spec)).(*apps.Requester)
+	if r.RetryNacks {
+		t.Fatal("RetryNacks set without a retry budget")
+	}
+
+	lbSpec := AccelSpec{Name: "lb", Kind: "loadbal", Service: 18,
+		Replicas: []uint16{20, 21}, Health: "static"}
+	lb := must(build(lbSpec)).(*apps.LoadBalancer)
+	if !lb.Static {
+		t.Fatal("health=static not wired")
+	}
+	lbSpec.Health = ""
+	lb = must(build(lbSpec)).(*apps.LoadBalancer)
+	if lb.Static {
+		t.Fatal("default health mode should be aware")
+	}
+}
+
+func must(f func() accel.Accelerator, err error) accel.Accelerator {
+	if err != nil {
+		panic(err)
+	}
+	return f()
+}
+
+func TestQueueCapAndGroupsReachSpec(t *testing.T) {
+	specs, err := Parse([]byte(`{
+	  "name": "svc",
+	  "groups": [{"service": 30, "members": [20, 21]}],
+	  "accels": [
+	    {"name": "a", "kind": "echo", "service": 20, "queue_cap": 4},
+	    {"name": "b", "kind": "echo", "service": 21}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := specs[0]
+	if s.Accels[0].QueueCap != 4 || s.Accels[1].QueueCap != 0 {
+		t.Fatalf("queue_cap not wired: %+v", s.Accels)
+	}
+	if len(s.Groups) != 1 || s.Groups[0].Service != 30 ||
+		len(s.Groups[0].Members) != 2 || s.Groups[0].Members[1] != 21 {
+		t.Fatalf("groups not wired: %+v", s.Groups)
+	}
+}
+
+// TestReplicaValidation covers the load-time rejection matrix for replica
+// lists and groups: duplicates, self-reference, unresolvable services and
+// unknown health modes all fail closed before anything touches the kernel.
+func TestReplicaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error ("" = accept)
+	}{
+		{
+			name: "valid replicas and group",
+			json: `{"name":"x","groups":[{"service":30,"members":[20,21]}],"accels":[
+				{"name":"lb","kind":"loadbal","service":18,"replicas":[20,21]},
+				{"name":"a","kind":"echo","service":20},
+				{"name":"b","kind":"echo","service":21}]}`,
+		},
+		{
+			name: "duplicate replica",
+			json: `{"name":"x","accels":[
+				{"name":"lb","kind":"loadbal","service":18,"replicas":[20,20]},
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "twice",
+		},
+		{
+			name: "self-referencing replica",
+			json: `{"name":"x","accels":[
+				{"name":"lb","kind":"loadbal","service":18,"replicas":[18]},
+				{"name":"a","kind":"echo","service":18}]}`,
+			want: "itself",
+		},
+		{
+			name: "unresolvable replica",
+			json: `{"name":"x","accels":[
+				{"name":"lb","kind":"loadbal","service":18,"replicas":[99]}]}`,
+			want: "not a service",
+		},
+		{
+			name: "unknown health mode",
+			json: `{"name":"x","accels":[
+				{"name":"lb","kind":"loadbal","service":18,"replicas":[20],"health":"psychic"},
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "health mode",
+		},
+		{
+			name: "group duplicate member",
+			json: `{"name":"x","groups":[{"service":30,"members":[20,20]}],"accels":[
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "twice",
+		},
+		{
+			name: "group self-reference",
+			json: `{"name":"x","groups":[{"service":30,"members":[30]}],"accels":[
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "itself",
+		},
+		{
+			name: "group unresolvable member",
+			json: `{"name":"x","groups":[{"service":30,"members":[77]}],"accels":[
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "not a service",
+		},
+		{
+			name: "group with no members",
+			json: `{"name":"x","groups":[{"service":30}],"accels":[
+				{"name":"a","kind":"echo","service":20}]}`,
+			want: "no members",
+		},
+		{
+			name: "group collides with accel service",
+			json: `{"name":"x","groups":[{"service":20,"members":[21]}],"accels":[
+				{"name":"a","kind":"echo","service":20},
+				{"name":"b","kind":"echo","service":21}]}`,
+			want: "collides",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid manifest rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
 }

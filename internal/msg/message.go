@@ -142,7 +142,7 @@ func (e *SysError) Error() string { return "apiary: " + e.Code.String() }
 const MaxPayload = 4096
 
 // HeaderBytes is the encoded header size (see Encode).
-const HeaderBytes = 24
+const HeaderBytes = 28
 
 // Message is one unit of communication. SrcTile and SrcCtx are stamped by
 // the sending monitor — accelerators cannot forge them (paper §4.5). DstSvc
@@ -158,6 +158,12 @@ type Message struct {
 	DstSvc  ServiceID // logical destination service
 	Seq     uint32    // RPC sequence number, echoed in replies
 	CapRef  uint32    // capability reference accompanying the message
+	// Budget is the request's queueing deadline in cycles (0 = none): the
+	// destination shell sheds the request with EBusy when its admission
+	// queue cannot drain it within the budget, instead of queueing it to
+	// death. Carried in the header so intermediaries (load balancers,
+	// pipeline stages) can forward it unchanged.
+	Budget  uint32
 	Payload []byte
 }
 
@@ -200,8 +206,9 @@ func (m *Message) WireSize() int { return HeaderBytes + len(m.Payload) }
 //	10   DstSvc (u16)
 //	12   Seq (u32)
 //	16   CapRef (u32)
-//	20   payload length (u32)
-//	24   payload bytes
+//	20   Budget (u32)
+//	24   payload length (u32)
+//	28   payload bytes
 func (m *Message) Encode() ([]byte, error) {
 	if len(m.Payload) > MaxPayload {
 		return nil, ETooBig.Error()
@@ -216,7 +223,8 @@ func (m *Message) Encode() ([]byte, error) {
 	binary.LittleEndian.PutUint16(b[10:], uint16(m.DstSvc))
 	binary.LittleEndian.PutUint32(b[12:], m.Seq)
 	binary.LittleEndian.PutUint32(b[16:], m.CapRef)
-	binary.LittleEndian.PutUint32(b[20:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(b[20:], m.Budget)
+	binary.LittleEndian.PutUint32(b[24:], uint32(len(m.Payload)))
 	copy(b[HeaderBytes:], m.Payload)
 	return b, nil
 }
@@ -226,7 +234,7 @@ func Decode(b []byte) (*Message, error) {
 	if len(b) < HeaderBytes {
 		return nil, EBadMsg.Error()
 	}
-	n := binary.LittleEndian.Uint32(b[20:])
+	n := binary.LittleEndian.Uint32(b[24:])
 	if n > MaxPayload || int(n) != len(b)-HeaderBytes {
 		return nil, EBadMsg.Error()
 	}
@@ -240,6 +248,7 @@ func Decode(b []byte) (*Message, error) {
 		DstSvc:  ServiceID(binary.LittleEndian.Uint16(b[10:])),
 		Seq:     binary.LittleEndian.Uint32(b[12:]),
 		CapRef:  binary.LittleEndian.Uint32(b[16:]),
+		Budget:  binary.LittleEndian.Uint32(b[20:]),
 	}
 	if n > 0 {
 		m.Payload = make([]byte, n)

@@ -18,6 +18,7 @@ func sample() *Message {
 		DstSvc:  FirstUserService,
 		Seq:     77,
 		CapRef:  5,
+		Budget:  4096,
 		Payload: []byte("hello, fpga"),
 	}
 }
@@ -34,20 +35,21 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if got.Type != m.Type || got.SrcTile != m.SrcTile || got.DstTile != m.DstTile ||
 		got.SrcCtx != m.SrcCtx || got.DstCtx != m.DstCtx || got.DstSvc != m.DstSvc ||
-		got.Seq != m.Seq || got.CapRef != m.CapRef || !bytes.Equal(got.Payload, m.Payload) {
+		got.Seq != m.Seq || got.CapRef != m.CapRef || got.Budget != m.Budget ||
+		!bytes.Equal(got.Payload, m.Payload) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
 	}
 }
 
 func TestEncodeDecodeProperty(t *testing.T) {
-	f := func(typ uint8, src, dst, svc uint16, sctx, dctx uint8, seq, capRef uint32, payload []byte) bool {
+	f := func(typ uint8, src, dst, svc uint16, sctx, dctx uint8, seq, capRef, budget uint32, payload []byte) bool {
 		if len(payload) > MaxPayload {
 			payload = payload[:MaxPayload]
 		}
 		m := &Message{
 			Type: Type(typ), SrcTile: TileID(src), DstTile: TileID(dst),
 			DstSvc: ServiceID(svc), SrcCtx: sctx, DstCtx: dctx,
-			Seq: seq, CapRef: capRef, Payload: payload,
+			Seq: seq, CapRef: capRef, Budget: budget, Payload: payload,
 		}
 		b, err := m.Encode()
 		if err != nil {
@@ -63,7 +65,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		return got.Type == m.Type && got.Seq == m.Seq &&
 			got.SrcTile == m.SrcTile && got.DstTile == m.DstTile &&
 			got.DstSvc == m.DstSvc && got.CapRef == m.CapRef &&
-			bytes.Equal(got.Payload, m.Payload)
+			got.Budget == m.Budget && bytes.Equal(got.Payload, m.Payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -83,7 +85,7 @@ func TestDecodeMalformed(t *testing.T) {
 		make([]byte, HeaderBytes-1),
 		func() []byte { // length field lies
 			b, _ := sample().Encode()
-			b[20] = 0xFF
+			b[24] = 0xFF
 			return b
 		}(),
 		func() []byte { // truncated payload

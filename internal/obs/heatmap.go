@@ -37,8 +37,9 @@ func windowLinks(s *Snapshot) []noc.LinkLoad {
 // With a non-nil snapshot it shows the last window's deltas; otherwise the
 // network's cumulative counters. One glyph per tile, row 0 at the top, with
 // a legend and the hottest link called out. Quarantined tiles (nil when the
-// caller has no fault state) render as 'X' regardless of load.
-func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.TileID) {
+// caller has no fault state) render as 'X' regardless of load; degraded
+// tiles (contained faults, still serving) render as '!'.
+func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined, degraded []msg.TileID) {
 	dims := net.Dims()
 	var links []noc.LinkLoad
 	if s != nil {
@@ -52,6 +53,10 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.
 	for _, t := range quarantined {
 		quar[t] = true
 	}
+	degr := make(map[msg.TileID]bool, len(degraded))
+	for _, t := range degraded {
+		degr[t] = true
+	}
 	load := tileLoad(dims, links)
 	var max uint64
 	for _, v := range load {
@@ -62,8 +67,12 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.
 	for y := 0; y < dims.H; y++ {
 		var row strings.Builder
 		for x := 0; x < dims.W; x++ {
-			if quar[dims.TileID(noc.Coord{X: x, Y: y})] {
-				row.WriteByte('X')
+			if t := dims.TileID(noc.Coord{X: x, Y: y}); quar[t] || degr[t] {
+				if quar[t] {
+					row.WriteByte('X')
+				} else {
+					row.WriteByte('!')
+				}
 				row.WriteByte(' ')
 				continue
 			}
@@ -81,6 +90,9 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.
 	if len(quarantined) > 0 {
 		fmt.Fprintf(w, "quarantined tiles ('X'): %v\n", quarantined)
 	}
+	if len(degraded) > 0 {
+		fmt.Fprintf(w, "degraded tiles ('!'): %v\n", degraded)
+	}
 	var hottest noc.LinkLoad
 	for _, l := range links {
 		if l.Out != noc.Local && l.Flits > hottest.Flits {
@@ -91,8 +103,8 @@ func WriteHeatmap(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.
 		fmt.Fprintf(w, "hottest link: %s->%s %d flits\n", hottest.From, hottest.Out, hottest.Flits)
 	}
 	if s != nil {
-		fmt.Fprintf(w, "window: sent=%d delivered=%d denied=%d rate_drops=%d inflight=%d tiles_busy=%d/%d vc_occ=%v\n",
-			s.Sent, s.Delivered, s.Denied, s.RateDrops, s.InFlight, s.TilesBusy, s.Tiles, s.VCOcc)
+		fmt.Fprintf(w, "window: sent=%d delivered=%d denied=%d rate_drops=%d shed=%d inflight=%d tiles_busy=%d/%d vc_occ=%v\n",
+			s.Sent, s.Delivered, s.Denied, s.RateDrops, s.Shed, s.InFlight, s.TilesBusy, s.Tiles, s.VCOcc)
 	}
 }
 
@@ -104,6 +116,7 @@ type heatmapJSON struct {
 	H           int        `json:"h"`
 	TileLoad    []uint64   `json:"tile_flits"` // row-major, W*H entries
 	Quarantined []uint16   `json:"quarantined,omitempty"`
+	Degraded    []uint16   `json:"degraded,omitempty"`
 	Links       []linkJSON `json:"links"`
 }
 
@@ -115,12 +128,15 @@ type linkJSON struct {
 }
 
 // WriteHeatmapJSON is WriteHeatmap's JSON twin for dashboards.
-func WriteHeatmapJSON(w io.Writer, net *noc.Network, s *Snapshot, quarantined []msg.TileID) error {
+func WriteHeatmapJSON(w io.Writer, net *noc.Network, s *Snapshot, quarantined, degraded []msg.TileID) error {
 	dims := net.Dims()
 	var links []noc.LinkLoad
 	doc := heatmapJSON{W: dims.W, H: dims.H}
 	for _, t := range quarantined {
 		doc.Quarantined = append(doc.Quarantined, uint16(t))
+	}
+	for _, t := range degraded {
+		doc.Degraded = append(doc.Degraded, uint16(t))
 	}
 	if s != nil {
 		links = windowLinks(s)

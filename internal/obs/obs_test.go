@@ -409,7 +409,10 @@ func TestWriteProm(t *testing.T) {
 	rec := NewRecorder(4, 0)
 	_ = n
 	var buf bytes.Buffer
-	WriteProm(&buf, now, 200, st, w, rec)
+	WriteProm(&buf, now, 200, st, w, rec, []ServiceHealth{
+		{Group: 30, Svc: 20, Tile: 4, Health: 2, State: "quarantined"},
+		{Group: 30, Svc: 21, Tile: 5, Health: 0, State: "up", Primary: true},
+	})
 	out := buf.String()
 	seen := map[string]bool{}
 	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
@@ -442,7 +445,7 @@ func TestWriteProm(t *testing.T) {
 func TestHeatmap(t *testing.T) {
 	w, n, _, _ := runWindowed(t, 0)
 	var buf bytes.Buffer
-	WriteHeatmap(&buf, n, w.Latest(), nil)
+	WriteHeatmap(&buf, n, w.Latest(), nil, nil)
 	out := buf.String()
 	if !strings.Contains(out, "NoC heatmap: window of 100 cycles") {
 		t.Fatalf("missing header:\n%s", out)
@@ -452,7 +455,7 @@ func TestHeatmap(t *testing.T) {
 	}
 	// Cumulative view over the whole run must show a hottest link.
 	buf.Reset()
-	WriteHeatmap(&buf, n, nil, nil)
+	WriteHeatmap(&buf, n, nil, nil, nil)
 	out = buf.String()
 	if !strings.Contains(out, "cumulative") || !strings.Contains(out, "hottest link:") {
 		t.Fatalf("cumulative heatmap incomplete:\n%s", out)
@@ -468,7 +471,7 @@ func TestHeatmap(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := WriteHeatmapJSON(&buf, n, w.Latest(), nil); err != nil {
+	if err := WriteHeatmapJSON(&buf, n, w.Latest(), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var doc map[string]any

@@ -16,11 +16,25 @@ func promName(name string) string {
 	return "apiary_" + r.Replace(name)
 }
 
+// ServiceHealth is one replica's row in the exported service directory —
+// an obs-side mirror of the kernel's directory entry, kept free of core
+// types so the dependency points kernel→obs only.
+type ServiceHealth struct {
+	Group   uint16 // the virtual group service clients connect to
+	Svc     uint16 // this member's own service
+	Tile    uint16
+	Health  uint8 // 0 up, 1 degraded, 2 quarantined
+	State   string
+	Primary bool
+}
+
 // WriteProm renders the whole metrics surface in Prometheus text exposition
 // format (version 0.0.4): every sim.Stats counter as a counter, every
-// histogram as a summary (quantiles + _sum + _count), the engine clock, and
-// the latest window snapshot as gauges. now/clockMHz come from the engine.
-func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins *Windows, rec *Recorder) {
+// histogram as a summary (quantiles + _sum + _count), the engine clock, the
+// replica-group service directory, and the latest window snapshot as
+// gauges. now/clockMHz come from the engine; dir (may be nil) from the
+// kernel's Directory.
+func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins *Windows, rec *Recorder, dir []ServiceHealth) {
 	fmt.Fprintf(w, "# HELP apiary_cycle Current simulation cycle.\n# TYPE apiary_cycle gauge\napiary_cycle %d\n", now)
 	if clockMHz > 0 {
 		fmt.Fprintf(w, "# HELP apiary_clock_mhz Modeled fabric clock.\n# TYPE apiary_clock_mhz gauge\napiary_clock_mhz %d\n", clockMHz)
@@ -44,6 +58,17 @@ func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins 
 		fmt.Fprintf(w, "# TYPE apiary_spans_recorded_total counter\napiary_spans_recorded_total %d\n", rec.Total())
 		fmt.Fprintf(w, "# TYPE apiary_spans_correlated_total counter\napiary_spans_correlated_total %d\n", rec.Correlated())
 	}
+	if len(dir) > 0 {
+		fmt.Fprintf(w, "# HELP apiary_replica_health Replica health (0 up, 1 degraded, 2 quarantined).\n# TYPE apiary_replica_health gauge\n")
+		for _, r := range dir {
+			primary := 0
+			if r.Primary {
+				primary = 1
+			}
+			fmt.Fprintf(w, "apiary_replica_health{group=\"%d\",svc=\"%d\",tile=\"%d\",state=\"%s\",primary=\"%d\"} %d\n",
+				r.Group, r.Svc, r.Tile, r.State, primary, r.Health)
+		}
+	}
 	s := wins.Latest()
 	if s == nil {
 		return
@@ -63,6 +88,9 @@ func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins 
 		{"apiary_window_mon_forwarded", s.Forwarded},
 		{"apiary_window_mon_faults", s.Faults},
 		{"apiary_window_faults_injected", s.Injected},
+		{"apiary_window_shed", s.Shed},
+		{"apiary_window_failovers", s.Failovers},
+		{"apiary_window_breaker_opens", s.BreakerOpens},
 	} {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
 	}

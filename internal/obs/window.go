@@ -44,13 +44,16 @@ type Snapshot struct {
 	Tiles     int
 	InFlight  int
 
-	Sent      uint64 // noc.msgs_sent delta
-	Delivered uint64 // noc.msgs_delivered delta
-	Denied    uint64 // mon.denied delta
-	RateDrops uint64 // mon.rate_drops delta
-	Forwarded uint64 // mon.forwarded delta
-	Faults    uint64 // mon.faults delta
-	Injected  uint64 // fault.injected delta
+	Sent         uint64 // noc.msgs_sent delta
+	Delivered    uint64 // noc.msgs_delivered delta
+	Denied       uint64 // mon.denied delta
+	RateDrops    uint64 // mon.rate_drops delta
+	Forwarded    uint64 // mon.forwarded delta
+	Faults       uint64 // mon.faults delta
+	Injected     uint64 // fault.injected delta
+	Shed         uint64 // shell.shed delta (admission-control load sheds)
+	Failovers    uint64 // kernel.failovers delta (replica-group re-binds)
+	BreakerOpens uint64 // apps.breaker_opens delta (client circuit trips)
 }
 
 // windowCounters are the counters snapshotted as per-window deltas.
@@ -58,6 +61,7 @@ var windowCounters = []string{
 	"noc.msgs_sent", "noc.msgs_delivered",
 	"mon.denied", "mon.rate_drops", "mon.forwarded",
 	"mon.faults", "fault.injected",
+	"shell.shed", "kernel.failovers", "apps.breaker_opens",
 }
 
 // Windows samples the NoC and monitor state every N cycles into a bounded
@@ -147,6 +151,7 @@ func (w *Windows) sample(now sim.Cycle) {
 	s.Sent, s.Delivered, s.Denied, s.RateDrops, s.Forwarded =
 		deltas[0], deltas[1], deltas[2], deltas[3], deltas[4]
 	s.Faults, s.Injected = deltas[5], deltas[6]
+	s.Shed, s.Failovers, s.BreakerOpens = deltas[7], deltas[8], deltas[9]
 
 	if len(w.ring) < w.keep {
 		w.ring = append(w.ring, s)
