@@ -206,39 +206,90 @@ func BenchmarkEngineIdle(b *testing.B) {
 // (0 = auto, one row band per core); spanEvery installs the flight recorder
 // at 1-in-N sampling (0 = no recorder).
 func benchMeshSaturated(b *testing.B, w, h int, mode sim.ParallelMode, shards, spanEvery int) {
+	r := newSaturatedRig(b, w, h, mode, shards, spanEvery)
+	r.topUp()
+	b.ResetTimer()
+	r.step(b.N)
+}
+
+// saturatedRig is the shared driver behind the saturated-mesh benchmarks
+// and the steady-state allocation guard below.
+type saturatedRig struct {
+	tb    testing.TB
+	e     *sim.Engine
+	n     *noc.Network
+	rng   *sim.RNG
+	tiles int
+	// Delivered messages go back on a free list and are reused by topUp, so
+	// the steady-state loop performs zero heap allocations — the benchmark
+	// measures the NoC, not the garbage collector (and the 0 allocs/op
+	// guards below and in internal/noc rely on the same discipline).
+	free    []*msg.Message
+	payload []byte
+}
+
+func newSaturatedRig(tb testing.TB, w, h int, mode sim.ParallelMode, shards, spanEvery int) *saturatedRig {
 	e := sim.NewEngine(7)
-	b.Cleanup(e.Close)
+	tb.Cleanup(e.Close)
 	st := sim.NewStats()
 	n := noc.NewNetwork(e, st, noc.Config{Dims: noc.Dims{W: w, H: h}, Shards: shards})
 	e.SetParallel(mode)
 	if spanEvery > 0 {
 		n.SetSpanSampler(obs.NewRecorder(spanEvery, 0))
 	}
-	rng := sim.NewRNG(7)
-	payload := make([]byte, 64)
 	tiles := w * h
-	topUp := func() {
-		for t := 0; t < tiles; t++ {
-			for n.NI(msg.TileID(t)).QueuedPackets() < 4 {
-				dst := msg.TileID(rng.Intn(tiles))
-				if dst == msg.TileID(t) {
-					dst = msg.TileID((int(dst) + 1) % tiles)
-				}
-				m := &msg.Message{Type: msg.TRequest, SrcTile: msg.TileID(t),
-					DstTile: dst, Payload: payload}
-				if err := n.NI(msg.TileID(t)).Send(m); err != nil {
-					b.Fatal(err)
-				}
+	r := &saturatedRig{
+		tb: tb, e: e, n: n, rng: sim.NewRNG(7), tiles: tiles,
+		free: make([]*msg.Message, 0, tiles*8), payload: make([]byte, 64),
+	}
+	for t := 0; t < tiles; t++ {
+		n.NI(msg.TileID(t)).SetDeliver(func(m *msg.Message, _ sim.Cycle) {
+			r.free = append(r.free, m)
+		})
+	}
+	return r
+}
+
+func (r *saturatedRig) topUp() {
+	for t := 0; t < r.tiles; t++ {
+		for r.n.NI(msg.TileID(t)).QueuedPackets() < 4 {
+			dst := msg.TileID(r.rng.Intn(r.tiles))
+			if dst == msg.TileID(t) {
+				dst = msg.TileID((int(dst) + 1) % r.tiles)
+			}
+			var m *msg.Message
+			if k := len(r.free); k > 0 {
+				m, r.free = r.free[k-1], r.free[:k-1]
+				*m = msg.Message{}
+			} else {
+				m = &msg.Message{}
+			}
+			m.Type, m.SrcTile, m.DstTile, m.Payload = msg.TRequest, msg.TileID(t), dst, r.payload
+			if err := r.n.NI(msg.TileID(t)).Send(m); err != nil {
+				r.tb.Fatal(err)
 			}
 		}
 	}
-	topUp()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+}
+
+func (r *saturatedRig) step(cycles int) {
+	for i := 0; i < cycles; i++ {
 		if i%16 == 0 {
-			topUp()
+			r.topUp()
 		}
-		e.Step()
+		r.e.Step()
+	}
+}
+
+// TestMeshSaturatedAllocs is the steady-state allocation guard for the
+// saturated hot path: once the packet pools, free list, and staging slices
+// have reached their high-water marks, a full saturated 8x8 cycle — routing,
+// credit flow, ejection, re-injection — must not touch the heap at all.
+func TestMeshSaturatedAllocs(t *testing.T) {
+	r := newSaturatedRig(t, 8, 8, sim.ParallelOff, 1, 0)
+	r.step(16384) // reach every pool's high-water mark first
+	if avg := testing.AllocsPerRun(5, func() { r.step(256) }); avg != 0 {
+		t.Fatalf("saturated mesh steady state allocates: %.2f allocs per 256 cycles", avg)
 	}
 }
 
@@ -264,6 +315,14 @@ func BenchmarkMeshSaturated16Serial(b *testing.B) {
 
 func BenchmarkMeshSaturated16Parallel(b *testing.B) {
 	benchMeshSaturated(b, 16, 16, sim.ParallelOn, 0, 0)
+}
+
+// BenchmarkMeshSaturated32 scales the saturated workload to a 32x32 mesh
+// (1024 routers, 15360 port-VC states) — the size where the SoA layout's
+// cache behaviour dominates and any per-tile pointer chasing would show up
+// immediately in the per-cycle cost.
+func BenchmarkMeshSaturated32(b *testing.B) {
+	benchMeshSaturated(b, 32, 32, sim.ParallelOff, 0, 0)
 }
 
 func BenchmarkSegmentAlloc(b *testing.B) {

@@ -98,6 +98,7 @@ var All = []Experiment{
 	{"e15", "Observability: flight-recorder overhead and span accounting", E15Observability},
 	{"e16", "Blast radius of a contained fault (chaos engine)", E16BlastRadius},
 	{"e17", "Graceful degradation: load shedding and health-aware failover", E17Degrade},
+	{"e18", "Express-channel bypass: hit rate vs offered load", E18Express},
 }
 
 // ByID finds an experiment.

@@ -421,3 +421,73 @@ func TestE17Deterministic(t *testing.T) {
 		t.Fatalf("degradation run not reproducible:\n--- run1\n%s\n--- run2\n%s", a.String(), b.String())
 	}
 }
+
+func TestE18Express(t *testing.T) {
+	r := E18Express()
+	rows := map[string][]string{}
+	for _, row := range r.Rows {
+		rows[row[0]] = row
+	}
+	hitPct := func(name string) float64 {
+		row := rows[name]
+		if row == nil {
+			t.Fatalf("missing row %q: %v", name, r.Rows)
+		}
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad hit%% in %q: %v", name, row)
+		}
+		return v
+	}
+	// Hit rate must be perfect when flights never overlap, near zero when
+	// they always do, and monotone non-decreasing in the gap between.
+	sparse := []string{"sparse 8x8 gap=2", "sparse 8x8 gap=8", "sparse 8x8 gap=32", "sparse 8x8 gap=256"}
+	prev := -1.0
+	for _, name := range sparse {
+		h := hitPct(name)
+		if h < prev {
+			t.Fatalf("hit rate not monotone in gap: %q %.1f after %.1f", name, h, prev)
+		}
+		prev = h
+		// Sparse traffic is never dropped, bypass or not.
+		if row := rows[name]; row[1] != row[2] {
+			t.Fatalf("%q lost messages: sent=%s delivered=%s", name, row[1], row[2])
+		}
+	}
+	if h := hitPct("sparse 8x8 gap=256"); h != 100.0 {
+		t.Fatalf("fully spaced flights should all hit: %.1f%%", h)
+	}
+	if h := hitPct("sparse 8x8 gap=2"); h > 10.0 {
+		t.Fatalf("overlapping flights should almost never hit: %.1f%%", h)
+	}
+	// Saturation: the bypass must never engage.
+	for _, name := range []string{"saturated 16x16", "saturated 32x32"} {
+		if row := rows[name]; row == nil || row[3] != "0" {
+			t.Fatalf("bypass engaged under saturation: %v", row)
+		}
+	}
+	// The in-experiment bypass-off differential must have held.
+	for _, n := range r.Notes {
+		if strings.Contains(n, "MISMATCH") {
+			t.Fatalf("bypass changed simulated outcome: %s", n)
+		}
+	}
+}
+
+// TestE18Deterministic reruns the sweep and requires every simulated cell —
+// all columns except the host-measured ns/cycle — to be bit-identical.
+func TestE18Deterministic(t *testing.T) {
+	a := E18Express()
+	b := E18Express()
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra) != len(rb) {
+			t.Fatalf("row %d shape changed: %v vs %v", i, ra, rb)
+		}
+		for j := 0; j < len(ra)-1; j++ { // last column is host wall-clock
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d col %d not reproducible: %q vs %q", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}

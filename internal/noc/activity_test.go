@@ -100,17 +100,18 @@ func TestCreditInvariantAfterFastForward(t *testing.T) {
 		t.Fatal("network not quiescent after drain")
 	}
 	// Cross-check the O(1) inflight counter against the ground truth.
-	for i, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := Port(0); p < numPorts; p++ {
-			for v := 0; v < NumVCs; v++ {
-				if !r.in[p][v].empty() {
+			for v := VCID(0); v < NumVCs; v++ {
+				if r.bufLen(p, v) != 0 {
 					t.Fatalf("router %d port %s vc %d not empty despite Quiescent", i, p, v)
 				}
 			}
 		}
 	}
-	for _, ni := range n.nis {
-		if ni.QueuedPackets() != 0 {
+	for i := range n.nis {
+		if ni := &n.nis[i]; ni.QueuedPackets() != 0 {
 			t.Fatalf("ni %d still has queued packets despite Quiescent", ni.tile)
 		}
 	}
@@ -124,8 +125,8 @@ func TestCreditInvariantAfterFastForward(t *testing.T) {
 // under load, and an empty router must report Idle.
 func TestRouterOccupancyTracking(t *testing.T) {
 	e, n := build(t, 3, 3)
-	for _, r := range n.routers {
-		if !r.Idle() {
+	for i := range n.routers {
+		if r := &n.routers[i]; !r.Idle() {
 			t.Fatalf("fresh router %v not idle", r.Coord)
 		}
 	}
@@ -134,24 +135,21 @@ func TestRouterOccupancyTracking(t *testing.T) {
 	}
 	for cycle := 0; cycle < 200; cycle++ {
 		e.Step()
-		for _, r := range n.routers {
+		for i := range n.routers {
+			r := &n.routers[i]
 			busy := 0
+			var mask uint16
 			for p := Port(0); p < numPorts; p++ {
-				var mask uint8
-				for v := 0; v < NumVCs; v++ {
-					if !r.in[p][v].empty() {
-						mask |= 1 << uint(v)
+				for v := VCID(0); v < NumVCs; v++ {
+					if r.bufLen(p, v) != 0 {
+						mask |= 1 << uint(int(p)*NumVCs+int(v))
 						busy++
 					}
 				}
-				if mask != r.occ[p] {
-					t.Fatalf("cycle %d router %v port %s: occ=%08b fifos=%08b",
-						cycle, r.Coord, p, r.occ[p], mask)
-				}
 			}
-			if busy != r.busyIn {
-				t.Fatalf("cycle %d router %v: busyIn=%d, actual %d",
-					cycle, r.Coord, r.busyIn, busy)
+			if mask != n.soa.occ[i] {
+				t.Fatalf("cycle %d router %v: occ=%016b fifos=%016b",
+					cycle, r.Coord, n.soa.occ[i], mask)
 			}
 			if r.Idle() != (busy == 0) {
 				t.Fatalf("cycle %d router %v: Idle=%v with %d occupied VCs",

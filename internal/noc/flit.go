@@ -49,45 +49,71 @@ func FlitsFor(wireBytes int) int {
 	return n
 }
 
-// Flit is the unit of flow control.
+// Flit is the unit of flow control. Flits are plain values: they live
+// directly inside the structure-of-arrays FIFO rings (see state.go) and are
+// copied, never heap-allocated, on the hot path. Only the Packet they point
+// at is an object, pooled per shard.
+//
+// The struct is deliberately packed to 16 bytes — pointer plus one metadata
+// word — so a BufDepth(=4)-deep input VC ring occupies exactly one 64-byte
+// cache line. meta holds the buffer-arrival cycle in the high 48 bits (2^48
+// cycles ≈ 3 days at 1 GHz, far beyond any run), the flit's index within its
+// packet in bits 15..1, and the tail marker in bit 0.
 type Flit struct {
-	Pkt       *Packet
-	Idx       int
-	Tail      bool
-	arrivedAt sim.Cycle // cycle this flit entered the current buffer
+	Pkt  *Packet
+	meta uint64
+}
+
+const (
+	flitMetaTail    = 1 << 0
+	flitIdxShift    = 1
+	flitMaxIdx      = 1<<15 - 1
+	flitArriveShift = 16
+)
+
+func makeFlit(pkt *Packet, idx int, tail bool) Flit {
+	m := uint64(idx) << flitIdxShift
+	if tail {
+		m |= flitMetaTail
+	}
+	return Flit{Pkt: pkt, meta: m}
 }
 
 // Head reports whether this is the packet's head flit.
-func (f *Flit) Head() bool { return f.Idx == 0 }
+func (f *Flit) Head() bool { return f.meta&(flitMaxIdx<<flitIdxShift) == 0 }
 
-// flitPool recycles Flit and Packet objects between injection and ejection.
-// The simulator is single-threaded per engine, so a plain free list
-// suffices; live flits are bounded by total buffer capacity, which bounds
-// the pool. Pooling is invisible to simulation state: every field is
-// rewritten on allocation.
-type flitPool struct {
-	flits []*Flit
-	pkts  []*Packet
+// Idx reports the flit's index within its packet.
+func (f *Flit) Idx() int { return int(f.meta>>flitIdxShift) & flitMaxIdx }
+
+// Tail reports whether this is the packet's tail flit.
+func (f *Flit) Tail() bool { return f.meta&flitMetaTail != 0 }
+
+// arrived reports the cycle this flit entered its current buffer.
+func (f *Flit) arrived() sim.Cycle { return sim.Cycle(f.meta >> flitArriveShift) }
+
+// setArrived restamps the buffer-arrival cycle, preserving index and tail.
+func (f *Flit) setArrived(now sim.Cycle) {
+	f.meta = f.meta&(1<<flitArriveShift-1) | uint64(now)<<flitArriveShift
 }
 
-func (p *flitPool) getFlit(pkt *Packet, idx int, tail bool) *Flit {
-	n := len(p.flits)
-	if n == 0 {
-		return &Flit{Pkt: pkt, Idx: idx, Tail: tail}
+func init() {
+	// The packed meta word gives a flit index 15 bits; the largest possible
+	// message must still fit.
+	if FlitsFor(msg.MaxPayload+256) > flitMaxIdx {
+		panic("noc: maximum message exceeds packed flit index range")
 	}
-	f := p.flits[n-1]
-	p.flits[n-1] = nil
-	p.flits = p.flits[:n-1]
-	f.Pkt, f.Idx, f.Tail, f.arrivedAt = pkt, idx, tail, 0
-	return f
 }
 
-func (p *flitPool) putFlit(f *Flit) {
-	f.Pkt = nil
-	p.flits = append(p.flits, f)
+// pktPool recycles Packet objects between injection and ejection. The
+// simulator stages ejections to the commit phase, so puts and gets are
+// always shard-local or on the main goroutine; a plain free list suffices.
+// Pooling is invisible to simulation state: every field is rewritten on
+// allocation.
+type pktPool struct {
+	pkts []*Packet
 }
 
-func (p *flitPool) getPacket() *Packet {
+func (p *pktPool) getPacket() *Packet {
 	n := len(p.pkts)
 	if n == 0 {
 		return &Packet{}
@@ -98,7 +124,7 @@ func (p *flitPool) getPacket() *Packet {
 	return pk
 }
 
-func (p *flitPool) putPacket(pk *Packet) {
+func (p *pktPool) putPacket(pk *Packet) {
 	*pk = Packet{}
 	p.pkts = append(p.pkts, pk)
 }

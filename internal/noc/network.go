@@ -15,26 +15,39 @@ type Config struct {
 	Route RouteFunc // defaults to RouteXY
 
 	// Shards is the number of contiguous row bands the mesh is partitioned
-	// into for the sharded tick phase (clamped to [1, H]). 0 means auto:
-	// min(GOMAXPROCS, H), one band per core the worker pool can use. A
-	// single shard still stages effects — staging is what keeps serial and
-	// parallel runs (and any shard count) bit-identical — it just never
-	// engages the parallel scheduler.
+	// into for the sharded tick phase. It is clamped to [1, H] and must then
+	// divide H evenly (uneven bands are rejected with a clear error at
+	// construction). 0 means auto: the largest divisor of H not exceeding
+	// GOMAXPROCS, one band per core the worker pool can use. A single shard
+	// still stages effects — staging is what keeps serial and parallel runs
+	// (and any shard count) bit-identical — it just never engages the
+	// parallel scheduler.
 	Shards int
+
+	// NoExpress disables the express-channel bypass (express.go), forcing
+	// every packet through per-cycle flit simulation. The bypass is
+	// behaviour-preserving — differential tests run with it on and off —
+	// so this is an A/B knob, not a correctness switch.
+	NoExpress bool
 }
 
 // Network is a complete mesh NoC: routers, links (implicit in router
-// wiring) and one NetworkInterface per tile.
+// wiring) and one NetworkInterface per tile. All per-cycle state lives in
+// the flat structure-of-arrays soa (state.go); routers and NIs are views.
 type Network struct {
 	engine  *sim.Engine
 	dims    Dims
-	routers []*Router
-	nis     []*NetworkInterface
+	route   RouteFunc
+	routers []Router
+	nis     []NetworkInterface
+	soa     nocState
 	stats   *sim.Stats
 
-	// shards are the per-row-band staging areas and flit pools; see
-	// shard.go. Network itself is the sim.Committer that drains them.
+	// shards are the per-row-band staging areas and packet pools, bands the
+	// consolidated per-band tickers; see shard.go and state.go. Network
+	// itself is the sim.Committer that drains the staging queues.
 	shards []*nocShard
+	bands  []bandTicker
 
 	// Shared counters the commit phase merges per-shard deltas into.
 	cFlitsRouted *sim.Counter
@@ -49,15 +62,31 @@ type Network struct {
 	// O(1). Valid between cycles (staged deltas merge at commit).
 	inflight int
 
+	// Express-channel bypass state (express.go). noExpress mirrors
+	// Config.NoExpress; committedThrough is the last fully committed cycle
+	// (the cutoff a mid-flight materialization reconstructs state at);
+	// faultMaxAll / armedFlips summarize open fault windows and armed
+	// corruptions across every router, because a bypassed flight must see
+	// none. expressWakeFn is the single reusable arrival wake-up closure.
+	express          expressState
+	noExpress        bool
+	committedThrough sim.Cycle
+	faultMaxAll      sim.Cycle
+	armedFlips       int
+	expressWakeFn    func(sim.Cycle)
+	cExpressHits     *sim.Counter
+	cExpressMat      *sim.Counter
+
 	// spanner, when non-nil, is the flight recorder sampling packet
 	// lifecycles (see span.go).
 	spanner SpanSampler
 }
 
-// NewNetwork builds a W×H mesh attached to the engine. All routers and NIs
-// are registered as tickers in deterministic (row-major, routers before
-// NIs) order, and the network registers itself as the engine's Committer
-// for staged cross-shard effects.
+// NewNetwork builds a W×H mesh attached to the engine. One consolidated
+// ticker per row band is registered in ascending band order (covering the
+// band's routers then its NIs, each in tile order), and the network
+// registers itself as the engine's Committer for staged cross-shard
+// effects.
 func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 	if cfg.Dims.W < 1 || cfg.Dims.H < 1 {
 		panic(fmt.Sprintf("noc: invalid dims %dx%d", cfg.Dims.W, cfg.Dims.H))
@@ -66,53 +95,78 @@ func NewNetwork(e *sim.Engine, st *sim.Stats, cfg Config) *Network {
 	if route == nil {
 		route = RouteXY
 	}
-	n := &Network{engine: e, dims: cfg.Dims, stats: st}
+	shards, err := validShards(cfg.Shards, cfg.Dims.H, runtime.GOMAXPROCS(0))
+	if err != nil {
+		panic(err.Error())
+	}
+	tiles := cfg.Dims.Tiles()
+	n := &Network{
+		engine: e, dims: cfg.Dims, route: route, stats: st,
+		routers: make([]Router, tiles),
+		nis:     make([]NetworkInterface, tiles),
+		soa:     newState(tiles),
+	}
 	n.cFlitsRouted = st.Counter("noc.flits_routed")
 	n.cPktsRouted = st.Counter("noc.pkts_routed")
 	n.cStallNoCred = st.Counter("noc.stall_no_credit")
 	n.cStallNoVC = st.Counter("noc.stall_no_vc")
 	n.cStallFault = st.Counter("noc.stall_fault")
 	n.cCorrupted = st.Counter("noc.flits_corrupted")
-	for y := 0; y < cfg.Dims.H; y++ {
-		for x := 0; x < cfg.Dims.W; x++ {
-			c := Coord{x, y}
-			r := newRouter(c, route)
-			n.routers = append(n.routers, r)
-		}
+	for i := 0; i < tiles; i++ {
+		r := &n.routers[i]
+		r.Coord = n.dims.Coord(msg.TileID(i))
+		r.tile = int32(i)
+		r.net = n
+		r.neighbours = [numPorts]int32{-1, -1, -1, -1, -1}
 	}
 	// Wire neighbours and inter-router credit returns: a flit leaving the
 	// input buffer of router B port p frees a credit at router A's output
 	// (the link that filled it).
-	for i, r := range n.routers {
-		c := n.dims.Coord(msg.TileID(i))
+	for i := 0; i < tiles; i++ {
+		r := &n.routers[i]
 		for p := North; p < numPorts; p++ {
-			nc := neighbour(c, p)
+			nc := neighbour(r.Coord, p)
 			if !n.dims.Contains(nc) {
 				continue
 			}
-			nb := n.routers[n.dims.TileID(nc)]
+			nb := int32(n.dims.TileID(nc))
 			r.neighbours[p] = nb
 			for v := 0; v < NumVCs; v++ {
-				nb.in[p.opposite()][v].creditTo = r.out[p][v]
+				n.soa.creditTo[int(nb)*pvCount+int(p.opposite())*NumVCs+v] =
+					int32(i*pvCount + int(p)*NumVCs + v)
 			}
 		}
 	}
-	for i, r := range n.routers {
-		c := n.dims.Coord(msg.TileID(i))
-		ni := newNI(msg.TileID(i), c, n, r, st)
-		n.nis = append(n.nis, ni)
+	// NI views: injection credits live at the tail of soa.credits; the
+	// router's Local inputs return credits there directly (same tile, same
+	// shard, router ticks before its NI).
+	for i := 0; i < tiles; i++ {
+		ni := &n.nis[i]
+		ni.tile = msg.TileID(i)
+		ni.coord = n.routers[i].Coord
+		ni.net = n
+		ni.rt = &n.routers[i]
+		ni.injCred = n.injCredIdx(int32(i), 0)
+		for v := 0; v < NumVCs; v++ {
+			ivx := i*pvCount + int(Local)*NumVCs + v
+			n.soa.creditTo[ivx] = -int32(ni.injCred+v) - 2
+		}
+		ni.sent = st.Counter("noc.msgs_sent")
+		ni.delivered = st.Counter("noc.msgs_delivered")
+		ni.latency = st.Histogram("noc.msg_latency_cycles")
 	}
 	n.cSent = st.Counter("noc.msgs_sent")
-	shards := cfg.Shards
-	if shards == 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
+	n.noExpress = cfg.NoExpress
+	n.cExpressHits = st.Counter("noc.express_hits")
+	n.cExpressMat = st.Counter("noc.express_materialized")
+	// Route buffers sized for minimal (Manhattan) paths; a non-minimal
+	// custom RouteFunc just grows them once.
+	n.express.tiles = make([]int32, 0, cfg.Dims.W+cfg.Dims.H)
+	n.express.ports = make([]Port, 0, cfg.Dims.W+cfg.Dims.H)
+	n.expressWakeFn = func(sim.Cycle) {}
 	n.assignShards(shards)
-	for _, r := range n.routers {
-		e.Register(r)
-	}
-	for _, ni := range n.nis {
-		e.Register(ni)
+	for s := range n.bands {
+		e.Register(&n.bands[s])
 	}
 	e.RegisterCommitter(n)
 	return n
@@ -123,12 +177,12 @@ func (n *Network) Dims() Dims { return n.dims }
 
 // NI returns tile t's network interface.
 func (n *Network) NI(t msg.TileID) *NetworkInterface {
-	return n.nis[int(t)]
+	return &n.nis[int(t)]
 }
 
 // Router returns tile t's router (for tests and utilization accounting).
 func (n *Network) Router(t msg.TileID) *Router {
-	return n.routers[int(t)]
+	return &n.routers[int(t)]
 }
 
 // Quiescent reports whether no packets are queued or in flight anywhere.
@@ -144,15 +198,21 @@ func (n *Network) InFlight() int { return n.inflight }
 
 // VCOccupancy reports the buffered flits per virtual channel summed over
 // every router input port — the windowed-telemetry view of where traffic
-// classes are queued. O(tiles × ports); intended for periodic sampling, not
-// per-cycle paths.
+// classes are queued. One linear pass over the occupancy array; intended
+// for periodic sampling, not per-cycle paths.
 func (n *Network) VCOccupancy() [NumVCs]int {
 	var occ [NumVCs]int
-	for _, r := range n.routers {
-		for p := Port(0); p < numPorts; p++ {
-			for v := 0; v < NumVCs; v++ {
-				occ[v] += len(r.in[p][v].fifo)
-			}
+	for ivx, l := range n.soa.fifoLen {
+		if l != 0 {
+			occ[ivx%NumVCs] += int(l)
+		}
+	}
+	if x := &n.express; x.active {
+		// Virtual flits of a bypassed packet occupy exactly the buffers the
+		// per-flit simulation would have them in (one flit per router ring).
+		lo, hi := x.ringRange(n.expressCutoff())
+		if hi >= lo {
+			occ[x.vc] += hi - lo + 1
 		}
 	}
 	return occ
@@ -161,7 +221,18 @@ func (n *Network) VCOccupancy() [NumVCs]int {
 // TileActive reports whether tile t currently holds any NoC work: buffered
 // flits in its router or packets queued at its NI.
 func (n *Network) TileActive(t msg.TileID) bool {
-	return n.routers[int(t)].busyIn > 0 || n.nis[int(t)].queued > 0
+	if n.soa.occ[int(t)] != 0 || n.nis[int(t)].queued > 0 {
+		return true
+	}
+	if x := &n.express; x.active {
+		lo, hi := x.ringRange(n.expressCutoff())
+		for j := lo; j <= hi; j++ {
+			if x.tiles[j] == int32(t) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // LinkLoad is one directed link's traffic.
@@ -176,21 +247,18 @@ type LinkLoad struct {
 // and debugging decisions.
 func (n *Network) LinkUtilization() []LinkLoad {
 	cnt := 0
-	for _, r := range n.routers {
-		for p := Port(0); p < numPorts; p++ {
-			if r.linkFlits[p] != 0 {
-				cnt++
-			}
+	for _, f := range n.soa.linkFlits {
+		if f != 0 {
+			cnt++
 		}
 	}
 	out := make([]LinkLoad, 0, cnt)
-	for _, r := range n.routers {
-		for p := Port(0); p < numPorts; p++ {
-			if r.linkFlits[p] == 0 {
-				continue
-			}
-			out = append(out, LinkLoad{From: r.Coord, Out: p, Flits: r.linkFlits[p]})
+	for i, f := range n.soa.linkFlits {
+		if f == 0 {
+			continue
 		}
+		t, p := i/int(numPorts), Port(i%int(numPorts))
+		out = append(out, LinkLoad{From: n.routers[t].Coord, Out: p, Flits: f})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Flits != out[j].Flits {
@@ -206,19 +274,18 @@ func (n *Network) LinkUtilization() []LinkLoad {
 }
 
 // HottestLink returns the most-used inter-router link (zero LinkLoad if the
-// network is unused). Single O(links) max-scan; scanning routers in tile
-// order with a strict > comparison resolves equal-traffic ties to the lowest
+// network is unused). Single O(links) max-scan; scanning tiles in order
+// with a strict > comparison resolves equal-traffic ties to the lowest
 // tile ID, then the lowest port, matching LinkUtilization's sort order.
 func (n *Network) HottestLink() LinkLoad {
 	var best LinkLoad
-	for _, r := range n.routers {
-		for p := Port(0); p < numPorts; p++ {
-			if p == Local {
-				continue
-			}
-			if r.linkFlits[p] > best.Flits {
-				best = LinkLoad{From: r.Coord, Out: p, Flits: r.linkFlits[p]}
-			}
+	for i, f := range n.soa.linkFlits {
+		p := Port(i % int(numPorts))
+		if p == Local {
+			continue
+		}
+		if f > best.Flits {
+			best = LinkLoad{From: n.routers[i/int(numPorts)].Coord, Out: p, Flits: f}
 		}
 	}
 	return best
@@ -231,28 +298,28 @@ func (n *Network) CreditInvariantViolation() string {
 	if !n.Quiescent() {
 		return "network not quiescent"
 	}
-	for i, r := range n.routers {
+	for i := range n.routers {
+		r := &n.routers[i]
 		for p := Port(0); p < numPorts; p++ {
-			if r.neighbours[p] == nil && p != Local {
-				continue
+			if p == Local || r.neighbours[p] < 0 {
+				continue // local output has no credit counter
 			}
 			for v := 0; v < NumVCs; v++ {
-				if p == Local {
-					continue // local output has no credit counter
-				}
-				if got := r.out[p][v].credits; got != BufDepth {
+				ovx := i*pvCount + int(p)*NumVCs + v
+				if got := n.soa.credits[ovx]; got != BufDepth {
 					return fmt.Sprintf("router %d port %s vc %d credits=%d want %d",
 						i, p, v, got, BufDepth)
 				}
-				if r.out[p][v].owner != nil {
+				if n.soa.owner[ovx] >= 0 {
 					return fmt.Sprintf("router %d port %s vc %d still owned", i, p, v)
 				}
 			}
 		}
 	}
-	for _, ni := range n.nis {
+	for i := range n.nis {
+		ni := &n.nis[i]
 		for v := 0; v < NumVCs; v++ {
-			if got := ni.injCred[v].credits; got != BufDepth {
+			if got := n.soa.credits[ni.injCred+v]; got != BufDepth {
 				return fmt.Sprintf("ni %d vc %d inj credits=%d want %d",
 					ni.tile, v, got, BufDepth)
 			}

@@ -13,12 +13,14 @@ type DeliverFunc func(m *msg.Message, latency sim.Cycle)
 // between the accelerator and the NI. Injection segments a message into
 // flits and feeds the router's Local input port under the same credit
 // protocol routers use between themselves; ejection reassembles and invokes
-// the delivery callback.
+// the delivery callback. Like Router it is a thin view: its injection
+// credits live in the network's structure-of-arrays state, and it is ticked
+// by its row band's bandTicker.
 type NetworkInterface struct {
 	tile    msg.TileID
 	coord   Coord
 	net     *Network
-	router  *Router
+	rt      *Router
 	deliver DeliverFunc
 
 	// injection queues, one per VC, unbounded at the NI boundary; the
@@ -30,12 +32,13 @@ type NetworkInterface struct {
 	// flitsLeft tracks how many flits of the current head packet still need
 	// injecting, per VC.
 	flitsLeft [NumVCs]int
-	// injCred mirrors the router Local input buffer occupancy.
-	injCred [NumVCs]*outVC
+	// injCred is the base index of this tile's injection credits in
+	// Network.soa.credits (one per VC, mirroring the router Local input
+	// buffer occupancy).
+	injCred int
 
 	// shard is the tile's row-band staging area (shared with the tile's
-	// router); shardIdx is the sim.ShardTicker affinity. Assigned by
-	// Network.assignShards.
+	// router); shardIdx is the band index. Assigned by Network.assignShards.
 	shard    *nocShard
 	shardIdx int
 
@@ -46,23 +49,8 @@ type NetworkInterface struct {
 	latency   *sim.Histogram
 }
 
-func newNI(tile msg.TileID, c Coord, net *Network, r *Router, st *sim.Stats) *NetworkInterface {
-	ni := &NetworkInterface{tile: tile, coord: c, net: net, router: r}
-	for v := 0; v < NumVCs; v++ {
-		ni.injCred[v] = &outVC{credits: BufDepth}
-		r.in[Local][v].creditTo = ni.injCred[v]
-		r.in[Local][v].creditLocal = true
-	}
-	r.local = ni
-	ni.sent = st.Counter("noc.msgs_sent")
-	ni.delivered = st.Counter("noc.msgs_delivered")
-	ni.latency = st.Histogram("noc.msg_latency_cycles")
-	return ni
-}
-
-// Shard reports the NI's row-band index (sim.ShardTicker). The NI shares
-// its tile's shard: injection touches only the tile's own router and the
-// shard staging area.
+// Shard reports the NI's row-band index. The NI shares its tile's shard:
+// injection touches only the tile's own router and the shard staging area.
 func (ni *NetworkInterface) Shard() int { return ni.shardIdx }
 
 // Tile reports the NI's tile ID.
@@ -91,6 +79,13 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	if !ni.net.dims.Contains(dst) || m.DstTile == msg.NoTile {
 		return msg.ENoRoute.Error()
 	}
+	if ni.net.express.active && !ni.net.engine.InTickPhase() {
+		// A new packet ends the bypassed packet's provably-alone flight:
+		// rebuild the exact per-flit state before this Send becomes
+		// visible. (Tick-phase Sends are handled by Commit's invariant
+		// check instead — the flight still covers the current cycle.)
+		ni.net.materializeExpress(ni.net.expressCutoff())
+	}
 	vc := ClassVC(m.Type)
 	ni.nextPktID++
 	pkt := ni.shard.pool.getPacket()
@@ -111,11 +106,15 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	}
 	ni.injQ[vc] = append(ni.injQ[vc], pkt)
 	ni.queued++
+	if ni.queued == 1 {
+		ni.shard.queuedNIs++
+	}
 	// The queue itself is tile-local (Send during the tick phase can only
-	// come from this tile's shell/monitor, which share the NI's shard), but
-	// the in-flight count and the sent counter are network-global: stage
-	// them when inside a tick phase, mutate directly otherwise (setup code,
-	// event handlers, commit-phase delivery callbacks).
+	// come from this tile's shell/monitor, which share the NI's shard — so
+	// the queuedNIs transition above is shard-local too), but the in-flight
+	// count and the sent counter are network-global: stage them when inside
+	// a tick phase, mutate directly otherwise (setup code, event handlers,
+	// commit-phase delivery callbacks).
 	if ni.net.engine.InTickPhase() {
 		ni.shard.inflight++
 		ni.shard.sent++
@@ -126,34 +125,56 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 	return nil
 }
 
-// Tick injects up to one flit per VC per cycle, credits permitting. An NI
-// with nothing queued returns immediately.
-func (ni *NetworkInterface) Tick(now sim.Cycle) {
-	if ni.queued == 0 {
-		return
+// tick injects up to one flit per VC per cycle, credits permitting. The
+// bandTicker only calls it with packets queued.
+func (ni *NetworkInterface) tick(now sim.Cycle) {
+	credits := ni.net.soa.credits
+	skipVC := VCID(-1)
+	if x := &ni.net.express; x.active && x.ni == ni &&
+		now <= x.t0+sim.Cycle(x.F-1) {
+		// The bypassed packet's remaining flits are still (virtually)
+		// injecting on its VC: leave that queue untouched so a packet Sent
+		// behind it cannot jump ahead. Materialization prepends the
+		// remainder, preserving per-VC FIFO order.
+		skipVC = x.vc
 	}
 	for v := VCID(0); v < NumVCs; v++ {
+		if v == skipVC {
+			continue
+		}
 		q := ni.injQ[v]
 		if len(q) == 0 {
 			continue
 		}
-		if ni.injCred[v].credits == 0 {
+		if credits[ni.injCred+int(v)] == 0 {
 			continue
 		}
 		pkt := q[0]
 		if ni.flitsLeft[v] == 0 {
+			if ni.net.expressEligible(ni, now) {
+				// Stage a bypass request instead of injecting: Commit
+				// confirms the network is otherwise empty and either
+				// activates the express flight or performs exactly this
+				// head injection as the fallback.
+				ni.net.express.req = ni
+				ni.net.express.reqVC = v
+				return
+			}
 			ni.flitsLeft[v] = pkt.NumFlits
 		}
 		idx := pkt.NumFlits - ni.flitsLeft[v]
-		f := ni.shard.pool.getFlit(pkt, idx, ni.flitsLeft[v] == 1)
-		ni.injCred[v].credits--
-		ni.router.accept(Local, v, f, now)
+		credits[ni.injCred+int(v)]--
+		ni.net.acceptFlit(ni.rt, Local, v,
+			makeFlit(pkt, idx, ni.flitsLeft[v] == 1), now)
 		ni.flitsLeft[v]--
 		if ni.flitsLeft[v] == 0 {
 			copy(q, q[1:])
 			q[len(q)-1] = nil
 			ni.injQ[v] = q[:len(q)-1]
 			ni.queued--
+			if ni.queued == 0 {
+				ni.shard.queuedNIs--
+			}
 		}
 	}
 }

@@ -1,12 +1,14 @@
 package noc
 
 import (
+	"fmt"
+
 	"apiary/internal/msg"
 	"apiary/internal/sim"
 )
 
 // nocShard holds everything one spatial shard of the mesh may touch during
-// the tick phase without synchronization: a private flit/packet pool and the
+// the tick phase without synchronization: a private packet pool and the
 // staging queues for effects that cross the shard boundary (or that must be
 // ordered deterministically across shards). Network.Commit drains the
 // queues shard-by-shard in ascending shard order, which — because shards
@@ -14,15 +16,23 @@ import (
 // exactly global tile order, the same order a serial tick would have staged
 // them in. That identity is what makes parallel runs bit-exact.
 type nocShard struct {
-	pool flitPool
+	pool pktPool
 
-	// credits are inter-router credit returns staged by popIn: each entry's
-	// counter is incremented once at commit. Increments commute (≤1 per
-	// link per cycle and integer adds), so cross-shard order is irrelevant.
-	credits []*outVC
+	// busyTiles counts the band's tiles with any buffered flit; queuedNIs
+	// counts its NIs with packets queued. Together they make the band's
+	// Idle check O(1). Maintained by acceptFlit/popFlit and Send/tick, all
+	// of which run either in this shard's tick or on the main goroutine.
+	busyTiles int
+	queuedNIs int
+
+	// credits are inter-router credit returns staged by popFlit as indices
+	// into Network.soa.credits: each entry is incremented once at commit.
+	// Increments commute (≤1 per link per cycle and integer adds), so
+	// cross-shard order is irrelevant.
+	credits []int32
 
 	// handoffs are flits forwarded to a neighbour router, applied via
-	// Router.accept at commit. At most one flit crosses a given link per
+	// acceptFlit at commit. At most one flit crosses a given link per
 	// cycle and each (router, port) pair is fed by exactly one link, so no
 	// two handoffs in a cycle target the same input FIFO — commit order
 	// across shards cannot matter.
@@ -47,13 +57,18 @@ type nocShard struct {
 	corrupted   uint64
 	sent        uint64
 	inflight    int
+
+	// flipsFired counts armed corruptions consumed this cycle; the commit
+	// merge decrements Network.armedFlips (the express bypass's pending-
+	// corruption summary) by it, keeping that field main-goroutine-only.
+	flipsFired uint64
 }
 
 type handoff struct {
-	to *Router
+	to int32 // destination tile
 	p  Port
 	vc VCID
-	f  *Flit
+	f  Flit
 }
 
 type ejection struct {
@@ -61,34 +76,87 @@ type ejection struct {
 	pkt *Packet
 }
 
-// assignShards partitions the mesh into n contiguous row bands (shard s
-// covers rows [s*H/n, (s+1)*H/n)) and points every router and NI at its
-// band's staging area. Contiguity matters twice: it keeps each shard's
-// internal tile order a contiguous run of the global tile order (the
-// determinism argument above), and it puts each router next to 3 of its 4
-// neighbours, so only the band-boundary links ever stage cross-shard.
+// validShards resolves cfg.Shards against the mesh height: 0 (auto) picks
+// the largest divisor of H not exceeding GOMAXPROCS; explicit counts are
+// clamped to [1, H] and must then divide H evenly — uneven bands would make
+// band boundaries (and therefore which effects stage cross-shard) depend on
+// rounding, and are always a configuration mistake.
+func validShards(requested, h, maxProcs int) (int, error) {
+	if requested == 0 {
+		for s := maxProcs; s >= 1; s-- {
+			if s <= h && h%s == 0 {
+				return s, nil
+			}
+		}
+		return 1, nil
+	}
+	s := requested
+	if s < 1 {
+		s = 1
+	}
+	if s > h {
+		s = h
+	}
+	if h%s != 0 {
+		return 0, fmt.Errorf(
+			"noc: Shards=%d does not divide mesh height %d evenly; use a divisor of %d (e.g. %d)",
+			requested, h, h, largestDivisorLE(h, s))
+	}
+	return s, nil
+}
+
+// largestDivisorLE returns the largest divisor of h that is ≤ limit.
+func largestDivisorLE(h, limit int) int {
+	for s := limit; s > 1; s-- {
+		if h%s == 0 {
+			return s
+		}
+	}
+	return 1
+}
+
+// assignShards partitions the mesh into count contiguous row bands (count
+// divides H, so band s covers exactly H/count rows starting at s*H/count)
+// and points every router and NI at its band's staging area. Contiguity
+// matters twice: it keeps each shard's internal tile order a contiguous run
+// of the global tile order (the determinism argument above), and it puts
+// each router next to 3 of its 4 neighbours, so only the band-boundary
+// links ever stage cross-shard.
 func (n *Network) assignShards(count int) {
-	if count < 1 {
-		count = 1
-	}
-	if count > n.dims.H {
-		count = n.dims.H
-	}
 	n.shards = make([]*nocShard, count)
 	for s := range n.shards {
 		n.shards[s] = &nocShard{}
 	}
-	for i, r := range n.routers {
-		c := n.dims.Coord(msg.TileID(i))
-		s := c.Y * count / n.dims.H
+	rows := n.dims.H / count
+	for i := range n.routers {
+		r := &n.routers[i]
+		s := r.Coord.Y / rows
 		r.shard = n.shards[s]
 		r.shardIdx = s
-		r.pool = &n.shards[s].pool
 	}
-	for i, ni := range n.nis {
-		r := n.routers[i]
-		ni.shard = r.shard
-		ni.shardIdx = r.shardIdx
+	// Mark band-boundary links: only these ever need commit-phase staging
+	// for handoffs (and then only while the tick phase runs on the worker
+	// pool).
+	for i := range n.routers {
+		r := &n.routers[i]
+		for p := North; p < numPorts; p++ {
+			nb := r.neighbours[p]
+			r.stageTo[p] = nb >= 0 && n.routers[nb].shardIdx != r.shardIdx
+		}
+	}
+	for i := range n.nis {
+		ni := &n.nis[i]
+		ni.shard = n.routers[i].shard
+		ni.shardIdx = n.routers[i].shardIdx
+	}
+	n.bands = make([]bandTicker, count)
+	for s := 0; s < count; s++ {
+		n.bands[s] = bandTicker{
+			net:    n,
+			shard:  s,
+			loTile: int32(s * rows * n.dims.W),
+			hiTile: int32((s + 1) * rows * n.dims.W),
+		}
 	}
 }
 
@@ -108,14 +176,25 @@ func (n *Network) ShardOf(t msg.TileID) int { return n.routers[int(t)].shardIdx 
 // router or NI freely.
 func (n *Network) Commit(now sim.Cycle) {
 	for _, sh := range n.shards {
-		for _, ovc := range sh.credits {
-			ovc.credits++
+		for _, ci := range sh.credits {
+			n.soa.credits[ci]++
+			// A returning credit ends any parked stall streak on this
+			// output VC: settle the deferred cycles (this one included —
+			// the tick already ran and the candidate could not send) and
+			// put the candidate back in stage 2's sendable set.
+			if cs := n.soa.credBlockStart[ci]; cs != noStreak {
+				n.cStallNoCred.Add(uint64(now - cs))
+				n.soa.credBlockStart[ci] = noStreak
+				n.soa.sendable[int(ci)/pvCount] |= 1 << uint(int(ci)%pvCount)
+			}
 		}
 		sh.credits = sh.credits[:0]
 	}
 	for _, sh := range n.shards {
-		for _, h := range sh.handoffs {
-			h.to.accept(h.p, h.vc, h.f, now)
+		for i := range sh.handoffs {
+			h := &sh.handoffs[i]
+			n.acceptFlit(&n.routers[h.to], h.p, h.vc, h.f, now)
+			h.f.Pkt = nil
 		}
 		sh.handoffs = sh.handoffs[:0]
 	}
@@ -144,6 +223,10 @@ func (n *Network) Commit(now sim.Cycle) {
 			n.cCorrupted.Add(sh.corrupted)
 			sh.corrupted = 0
 		}
+		if sh.flipsFired != 0 {
+			n.armedFlips -= int(sh.flipsFired)
+			sh.flipsFired = 0
+		}
 		if sh.sent != 0 {
 			n.cSent.Add(sh.sent)
 			sh.sent = 0
@@ -151,6 +234,11 @@ func (n *Network) Commit(now sim.Cycle) {
 		n.inflight += sh.inflight
 		sh.inflight = 0
 	}
+	// Express bypass: confirm a staged activation, settle a flight's
+	// per-cycle analytic effects, or deliver its arrival — after the
+	// activity picture above is final, before the ejection pass so an
+	// express arrival ejects this cycle like any per-flit tail.
+	n.expressCommit(now)
 	for _, sh := range n.shards {
 		for i := range sh.ejections {
 			ej := sh.ejections[i]
@@ -160,4 +248,5 @@ func (n *Network) Commit(now sim.Cycle) {
 		}
 		sh.ejections = sh.ejections[:0]
 	}
+	n.committedThrough = now
 }

@@ -72,6 +72,16 @@ type ShardTicker interface {
 	Shard() int
 }
 
+// WeightedTicker is a Ticker that stands for several elementary hardware
+// blocks ticked in one call (e.g. a NoC row band covering its routers and
+// NIs). TickWeight reports how many, so ParallelAuto's size threshold keeps
+// measuring simulated-design size rather than ticker-list length. Tickers
+// without the interface weigh 1.
+type WeightedTicker interface {
+	Ticker
+	TickWeight() int
+}
+
 // Committer is implemented by subsystems that stage cross-ticker effects
 // during the tick phase and apply them afterwards. Commit runs on the main
 // goroutine after every ticker has ticked, in committer-registration order,
@@ -108,6 +118,9 @@ type Event struct {
 	seq  uint64 // tie-break for determinism
 	pos  int
 	dead bool
+	// pooled events (ScheduleNoHandle) return to the engine's free list
+	// after firing; the caller holds no reference, so reuse is safe.
+	pooled bool
 }
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired
@@ -162,12 +175,18 @@ type Engine struct {
 
 	committers []Committer
 
+	// evPool recycles fired ScheduleNoHandle events so steady-state
+	// schedulers (the NoC express bypass wakes itself once per bypassed
+	// packet) allocate nothing per flight.
+	evPool []*Event
+
 	// Parallel tick-phase state. groups[s] holds shard s's tickers in
 	// registration order; it is rebuilt lazily (groupsDirty) after Register.
 	parMode     ParallelMode
 	groups      [][]Ticker
 	groupsDirty bool
 	numShards   int
+	tickWeight  int  // sum of ticker weights (WeightedTicker, default 1)
 	shardCap    bool // every ticker declares a non-negative shard
 	pool        *workerPool
 
@@ -305,6 +324,15 @@ func (e *Engine) NumShards() int {
 // race-free.
 func (e *Engine) InTickPhase() bool { return e.inTick }
 
+// InParallelTick reports whether the engine is inside a tick phase running
+// sharded on the worker pool. Sharded subsystems with both a direct and a
+// staged path for a cross-shard effect that is provably order-independent
+// (e.g. NoC link handoffs, which only become observable next cycle) use it
+// to stage only when workers are actually concurrent. The flag is written
+// by the main goroutine before the workers are released and after they
+// finish, so workers read it race-free.
+func (e *Engine) InParallelTick() bool { return e.parTick }
+
 // Close stops the engine's worker pool, if one was ever started. An engine
 // is usable without ever calling Close (the pool is spawned lazily on first
 // parallel tick); call it from tests and benchmarks that create many
@@ -324,8 +352,14 @@ func (e *Engine) Close() {
 func (e *Engine) refreshShards() {
 	e.groupsDirty = false
 	e.shardCap = true
+	e.tickWeight = 0
 	maxShard := -1
 	for _, t := range e.tickers {
+		if wt, ok := t.(WeightedTicker); ok {
+			e.tickWeight += wt.TickWeight()
+		} else {
+			e.tickWeight++
+		}
 		st, ok := t.(ShardTicker)
 		if !ok || st.Shard() < 0 {
 			e.shardCap = false
@@ -366,7 +400,7 @@ func (e *Engine) parallelActive() bool {
 		return e.shardCap && e.numShards > 1
 	default:
 		return e.shardCap && e.numShards > 1 &&
-			len(e.tickers) >= AutoParallelMinTickers &&
+			e.tickWeight >= AutoParallelMinTickers &&
 			runtime.GOMAXPROCS(0) > 1
 	}
 }
@@ -404,6 +438,30 @@ func (e *Engine) Schedule(at Cycle, fn func(now Cycle)) *Event {
 	ev := &Event{At: at, Do: fn, seq: e.seq}
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// ScheduleNoHandle queues fn at cycle `at` like Schedule, but returns no
+// *Event handle: the event cannot be cancelled, which lets the engine pool
+// and reuse the Event object after it fires. Hot paths that schedule one
+// wake-up per unit of work (and never cancel) stay allocation-free.
+func (e *Engine) ScheduleNoHandle(at Cycle, fn func(now Cycle)) {
+	if e.parTick {
+		panic("sim: Schedule during parallel tick phase (sharded tickers must stage via a Committer)")
+	}
+	if at <= e.now && e.now != 0 {
+		panic(fmt.Sprintf("sim: Schedule at cycle %d but now is %d", at, e.now))
+	}
+	e.seq++
+	var ev *Event
+	if k := len(e.evPool); k > 0 {
+		ev = e.evPool[k-1]
+		e.evPool[k-1] = nil
+		e.evPool = e.evPool[:k-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{At: at, Do: fn, seq: e.seq, pooled: true}
+	heap.Push(&e.events, ev)
 }
 
 // After queues fn to run d cycles from now (d must be >= 1). Like Schedule
@@ -446,6 +504,10 @@ func (e *Engine) Step() {
 		ev := heap.Pop(&e.events).(*Event)
 		if !ev.dead {
 			ev.Do(e.now)
+		}
+		if ev.pooled {
+			ev.Do = nil
+			e.evPool = append(e.evPool, ev)
 		}
 	}
 	e.tickAll()
