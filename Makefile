@@ -35,12 +35,14 @@ cover:
 		{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # chaos runs the fault-injection suite the way CI's chaos job does: the
-# fault and failover differential + soak tests under the race detector, the
-# breaker/admission unit tests, plus a bounded fuzz of the plan decoder.
+# fault, failover and fleet differential + soak tests under the race
+# detector, the breaker/admission unit tests, plus a bounded fuzz of the
+# plan decoder.
 chaos:
 	$(GO) test -race -count=1 -run 'TestFault|TestParsePlan|TestValidate|TestPlanRoundTrip' ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestFailover|TestRegisterReplicaSet|TestContainedFault|TestUnloadDropsGroups' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestBreaker|TestShell|TestRequester|TestLoadBalancer' ./internal/accel/ ./internal/apps/
+	$(GO) test -race -count=1 ./internal/cluster/
 	$(GO) test -race -run TestFaultSoak -timeout 10m ./internal/fault/
 	$(GO) test -race -run TestFailoverSoak -timeout 10m ./internal/core/
 	$(GO) test -fuzz=FuzzFaultPlanParse -fuzztime=30s ./internal/fault/

@@ -8,15 +8,21 @@
 package apiary_test
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"apiary"
+	"apiary/internal/accel"
 	"apiary/internal/apps"
 	"apiary/internal/bench"
+	"apiary/internal/cluster"
+	"apiary/internal/core"
 	"apiary/internal/memseg"
 	"apiary/internal/msg"
+	"apiary/internal/netsim"
 	"apiary/internal/noc"
 	"apiary/internal/obs"
 	"apiary/internal/sim"
@@ -400,5 +406,98 @@ func BenchmarkMessageEncodeDecode(b *testing.B) {
 		if _, err := msg.Decode(w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- fleet benchmarks ---
+
+// newBenchFleet builds a 16-board fleet where every board runs a
+// never-draining local RPC loop (requester -> echo stage), so no board can
+// idle-skip and each epoch does real per-cycle work on all 16 engines —
+// the workload board-level parallelism is supposed to speed up.
+func newBenchFleet(tb testing.TB, workers int) *cluster.Fleet {
+	fl, err := cluster.New(cluster.Config{
+		Boards:  16,
+		Workers: workers,
+		Seed:    7,
+		Board: core.SystemConfig{
+			Dims: noc.Dims{W: 3, H: 3},
+			// Keep construction cheap: the DRAM model stores real bytes.
+			ManagedMemBytes: 1 << 20,
+		},
+		Link: netsim.LinkConfig{LatencyNs: 1000},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(fl.Close)
+	for i := 0; i < fl.Boards(); i++ {
+		spec := core.AppSpec{
+			Name: "churn",
+			Accels: []core.AppAccel{
+				{Name: "echo", Service: msg.FirstUserService,
+					New: func() accel.Accelerator {
+						return apps.NewStage(apps.StageConfig{
+							Name:    "echo",
+							Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
+						})
+					}},
+				{Name: "req", Connect: []msg.ServiceID{msg.FirstUserService},
+					New: func() accel.Accelerator {
+						return apps.NewRequester(msg.FirstUserService, 1<<30, 0,
+							func(int) []byte { return make([]byte, 32) }, nil)
+					}},
+			},
+		}
+		if _, err := fl.Board(i).Sys.Kernel.LoadApp(spec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return fl
+}
+
+// BenchmarkFleet16 measures simulated fleet cycles per second with board
+// parallelism on (workers = GOMAXPROCS); BenchmarkFleet16Serial is the
+// 1-worker baseline. The two runs are bit-exact (TestFleetDifferential);
+// only wall clock differs.
+func BenchmarkFleet16(b *testing.B) {
+	fl := newBenchFleet(b, 0)
+	fl.Run(10_000) // warm pools and queues
+	b.ResetTimer()
+	fl.Run(sim.Cycle(b.N))
+}
+
+func BenchmarkFleet16Serial(b *testing.B) {
+	fl := newBenchFleet(b, 1)
+	fl.Run(10_000)
+	b.ResetTimer()
+	fl.Run(sim.Cycle(b.N))
+}
+
+// TestFleetScaling asserts the headline perf claim: a 16-board fleet at
+// GOMAXPROCS >= 4 sustains at least 2x the cycles/sec of the 1-worker run.
+// Skipped on hosts without enough CPUs to honestly measure it.
+func TestFleetScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short")
+	}
+	if runtime.NumCPU() < 4 || runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >=4 CPUs for the scaling assertion (NumCPU=%d GOMAXPROCS=%d)",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	const cycles = 100_000
+	measure := func(workers int) time.Duration {
+		fl := newBenchFleet(t, workers)
+		fl.Run(10_000) // warm
+		start := time.Now()
+		fl.Run(cycles)
+		return time.Since(start)
+	}
+	serial := measure(1)
+	parallel := measure(runtime.GOMAXPROCS(0))
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("fleet 16 boards: serial %v, parallel %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 2 {
+		t.Fatalf("fleet speedup %.2fx < 2x at GOMAXPROCS=%d", speedup, runtime.GOMAXPROCS(0))
 	}
 }

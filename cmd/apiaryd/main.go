@@ -8,6 +8,13 @@
 //	curl :8091/metrics        # Prometheus text format
 //	curl :8091/spans.json     # load in Perfetto / chrome://tracing
 //	curl :8091/heatmap        # ASCII NoC heatmap (?format=json for dashboards)
+//
+// With -fleet N, apiaryd boots a whole fleet of boards instead of one,
+// ticking them concurrently under lookahead synchronization:
+//
+//	apiaryd -fleet 8 -cycles 500000             # 8-board demo fleet
+//	apiaryd -fleet 8 -fleet-kill 0 -fleet-kill-at 100000
+//	                                            # kill board 0 mid-run
 package main
 
 import (
@@ -19,10 +26,14 @@ import (
 	"os"
 	"sync"
 
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/cluster"
 	"apiary/internal/core"
 	"apiary/internal/fault"
 	"apiary/internal/manifest"
 	"apiary/internal/monitor"
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/noc"
 	"apiary/internal/obs"
@@ -47,6 +58,10 @@ func main() {
 	windowKeep := flag.Int("window-keep", obs.DefaultWindowKeep, "windowed telemetry snapshots retained")
 	faultPlan := flag.String("fault-plan", "", "chaos-engine fault plan file (text or JSON, see internal/fault)")
 	detect := flag.Bool("detect", false, "enable the monitor watchdogs (heartbeat, credit-leak, protocol-violation)")
+	fleet := flag.Int("fleet", 0, "boot a fleet of N boards instead of one (each board uses -board/-w/-h/-shards)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "goroutines ticking fleet boards (0 = GOMAXPROCS; bit-exact at any count)")
+	fleetKill := flag.Int("fleet-kill", -1, "board to kill mid-run (with -fleet)")
+	fleetKillAt := flag.Uint64("fleet-kill-at", 0, "cycle at which -fleet-kill strikes")
 	flag.Parse()
 
 	cfg := core.SystemConfig{
@@ -71,6 +86,12 @@ func main() {
 		log.Printf("apiaryd: chaos engine armed: seed=%d events=%d rates=%d",
 			plan.Seed, len(plan.Events), len(plan.Rates))
 	}
+	if *fleet > 0 {
+		runFleet(cfg, *fleet, *fleetWorkers, *manifestPath, sim.Cycle(*cycles),
+			*fleetKill, sim.Cycle(*fleetKillAt))
+		return
+	}
+
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		log.Fatalf("apiaryd: boot: %v", err)
@@ -228,6 +249,142 @@ func main() {
 	if dir := sys.Kernel.Directory(); len(dir) > 0 {
 		writeServices(os.Stdout, sys)
 	}
+}
+
+// runFleet boots a -fleet N cluster and runs it. With a manifest, the
+// orchestrator places each app on the least-loaded board; without one, it
+// runs the demo workload — a replicated echo service spanning two boards
+// with a resilient client on every remaining board.
+func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
+	cycles sim.Cycle, kill int, killAt sim.Cycle) {
+	fl, err := cluster.New(cluster.Config{
+		Boards:  boards,
+		Workers: workers,
+		Seed:    board.Seed,
+		Board:   board,
+		Link:    netsim.LinkConfig{LatencyNs: 1000},
+	})
+	if err != nil {
+		log.Fatalf("apiaryd: fleet boot: %v", err)
+	}
+	defer fl.Close()
+	log.Printf("apiaryd: fleet of %d boards, epoch (lookahead) = %d cycles", boards, fl.Epoch())
+
+	var clients []*apps.Requester
+	if manifestPath != "" {
+		data, err := os.ReadFile(manifestPath)
+		if err != nil {
+			log.Fatalf("apiaryd: %v", err)
+		}
+		placed, err := fl.Orchestrator().PlaceManifest(data)
+		if err != nil {
+			log.Fatalf("apiaryd: fleet place: %v", err)
+		}
+		for _, p := range placed {
+			log.Printf("apiaryd: placed app %q on board %d", p.App, p.Board)
+		}
+	} else {
+		clients = fleetDemo(fl)
+	}
+	if kill >= 0 {
+		if kill >= boards {
+			log.Fatalf("apiaryd: -fleet-kill %d out of range (fleet of %d)", kill, boards)
+		}
+		fl.KillBoardAt(kill, killAt)
+		log.Printf("apiaryd: board %d scheduled to die at cycle %d", kill, killAt)
+	}
+
+	fl.Run(cycles)
+
+	fmt.Printf("apiaryd: fleet finished at cycle %d\n", fl.Now())
+	fmt.Printf("fleet: relayed=%d lost=%d dropped_to_dead=%d failovers=%d rebinds=%d\n",
+		fl.Relayed(), fl.LostFrames(), fl.DroppedToDead(),
+		fl.Orchestrator().Failovers(), fl.Directory().Rebinds())
+	for _, name := range fl.Directory().Names() {
+		ep, _ := fl.Directory().Lookup(name)
+		fmt.Printf("service %q: primary board %d (node %d flow %d), %d backends\n",
+			name, ep.Board, ep.Addr.Node, ep.Addr.Flow, len(fl.Directory().Backends(name)))
+	}
+	for i := 0; i < fl.Boards(); i++ {
+		b := fl.Board(i)
+		state := "live"
+		if b.Dead() {
+			state = "dead"
+		}
+		fmt.Printf("board %d (%s): cycle %d, gw_out=%d gw_in=%d\n", i, state,
+			b.Sys.Engine.Now(),
+			b.Sys.Stats.Counter("netsim.gw_out").Value(),
+			b.Sys.Stats.Counter("netsim.gw_in").Value())
+	}
+	for i, c := range clients {
+		fmt.Printf("client %d: responses=%d errors=%d\n", i, c.Responses(), c.Errors())
+	}
+}
+
+// fleetDemo deploys the default fleet workload: an echo service with two
+// replicas on distinct boards and a retrying client on every other board.
+func fleetDemo(fl *cluster.Fleet) []*apps.Requester {
+	const (
+		svc      = msg.ServiceID(100)
+		proxySvc = msg.ServiceID(200)
+		flow     = uint16(7)
+	)
+	replicas := 2
+	if fl.Boards() < 3 {
+		replicas = 1
+	}
+	eps, err := fl.Orchestrator().DeployService(cluster.ServiceDeployment{
+		Name: "echo", Svc: svc, Flow: flow, Replicas: replicas,
+		Spec: func(r int) core.AppSpec {
+			return core.AppSpec{
+				Name: fmt.Sprintf("echo-r%d", r),
+				Accels: []core.AppAccel{{
+					Name: "stage", Service: svc,
+					New: func() accel.Accelerator {
+						return apps.NewStage(apps.StageConfig{
+							Name:    "echo",
+							Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
+						})
+					},
+				}},
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("apiaryd: fleet demo: %v", err)
+	}
+	hosts := map[int]bool{}
+	for _, ep := range eps {
+		log.Printf("apiaryd: echo replica on board %d (node %d flow %d)",
+			ep.Board, ep.Addr.Node, ep.Addr.Flow)
+		hosts[ep.Board] = true
+	}
+	var clients []*apps.Requester
+	for i := 0; i < fl.Boards(); i++ {
+		if hosts[i] {
+			continue
+		}
+		if err := fl.Orchestrator().ConnectClient(i, proxySvc, "echo"); err != nil {
+			log.Fatalf("apiaryd: fleet demo: %v", err)
+		}
+		req := apps.NewRequester(proxySvc, 1<<30, 256,
+			func(int) []byte { return []byte("fleet-demo") }, nil)
+		req.RetryNacks = true
+		req.RetryLimit = 10
+		req.TimeoutCycles = 6000
+		req.BackoffBase = 256
+		if _, err := fl.Board(i).Sys.Kernel.LoadApp(core.AppSpec{
+			Name: "client",
+			Accels: []core.AppAccel{{
+				Name: "req", Connect: []msg.ServiceID{proxySvc},
+				New: func() accel.Accelerator { return req },
+			}},
+		}); err != nil {
+			log.Fatalf("apiaryd: fleet demo: %v", err)
+		}
+		clients = append(clients, req)
+	}
+	return clients
 }
 
 // healthDir flattens the kernel's service directory into the obs export rows.

@@ -23,6 +23,13 @@ type RemoteProxy struct {
 
 	// Remote is the CPU service's network address.
 	Remote msg.NetAddr
+	// Resolve, when set, is consulted per forwarded request instead of
+	// Remote — a naming-plane hook: the cluster directory re-binds a fleet
+	// service to another board's address on failover, and the proxy picks
+	// the new backend up on its next send (including app-level retries of
+	// requests the dead board swallowed). It must be a pure read of state
+	// that only changes between epochs, so resolution stays deterministic.
+	Resolve func() msg.NetAddr
 	// Flow is the local flow replies arrive on.
 	Flow uint16
 
@@ -105,10 +112,14 @@ func (r *RemoteProxy) handle(m *msg.Message, now sim.Cycle) {
 		r.nextSeq++
 		r.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
 		r.Forwarded++
+		remote := r.Remote
+		if r.Resolve != nil {
+			remote = r.Resolve()
+		}
 		r.out.push(now, &msg.Message{
 			Type: msg.TNetSend, DstSvc: msg.SvcNet,
 			Payload: msg.EncodeNetSendReq(msg.NetSendReq{
-				Remote: r.Remote,
+				Remote: remote,
 				Data:   EncodeProxyFrame(seq, m.Payload),
 			}),
 		})

@@ -99,6 +99,7 @@ var All = []Experiment{
 	{"e16", "Blast radius of a contained fault (chaos engine)", E16BlastRadius},
 	{"e17", "Graceful degradation: load shedding and health-aware failover", E17Degrade},
 	{"e18", "Express-channel bypass: hit rate vs offered load", E18Express},
+	{"e19", "Multi-board fleet: cross-board RPC and whole-board failover", E19Fleet},
 }
 
 // ByID finds an experiment.

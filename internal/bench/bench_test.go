@@ -491,3 +491,44 @@ func TestE18Deterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestE19Fleet(t *testing.T) {
+	r := E19Fleet()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (intra, cross, kill): %s", len(r.Rows), r.String())
+	}
+	for i := range r.Rows {
+		if ok := cellF(t, r, i, "OK"); ok != 12 {
+			t.Fatalf("row %d: OK = %v, want all 12 requests answered\n%s", i, ok, r.String())
+		}
+		if errs := cellF(t, r, i, "Errs"); errs != 0 {
+			t.Fatalf("row %d: Errs = %v\n%s", i, errs, r.String())
+		}
+	}
+	intra := cellF(t, r, 0, "CompleteCy")
+	cross := cellF(t, r, 1, "CompleteCy")
+	if cross <= intra {
+		t.Fatalf("cross-board completion %v not above intra-board %v", cross, intra)
+	}
+	if cellF(t, r, 0, "XBoardFrames") != 0 {
+		t.Fatalf("intra-board run crossed boards:\n%s", r.String())
+	}
+	if cellF(t, r, 1, "XBoardFrames") == 0 {
+		t.Fatalf("cross-board run never crossed boards:\n%s", r.String())
+	}
+	if cellF(t, r, 2, "Failovers") != 1 {
+		t.Fatalf("board-kill row: failovers != 1\n%s", r.String())
+	}
+	if cellF(t, r, 2, "DroppedToDead") == 0 {
+		t.Fatalf("board-kill row: no frames hit the dead board\n%s", r.String())
+	}
+}
+
+// TestE19Deterministic requires every cell to be bit-stable across reruns —
+// the property that lets the fleet rows sit under the -compare gate.
+func TestE19Deterministic(t *testing.T) {
+	a, b := E19Fleet(), E19Fleet()
+	if a.String() != b.String() {
+		t.Fatalf("E19 not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"apiary/internal/msg"
+)
+
+// Endpoint is one backend of a fleet service: a board plus the network
+// address (board NIC node, flow) its gateway bridge listens on.
+type Endpoint struct {
+	Board int
+	Addr  msg.NetAddr
+}
+
+type dirEntry struct {
+	backends []Endpoint
+	primary  int
+}
+
+// Directory is the fleet naming plane: service name -> replica endpoints,
+// one of which is primary. Remote proxies resolve through it on every
+// forwarded request (apps.RemoteProxy.Resolve), so a re-bind takes effect
+// on the next send — including app-level retries of requests a dead board
+// swallowed.
+//
+// Concurrency/determinism contract: lookups run on board goroutines during
+// epochs; mutations (Register, SetPrimary, orchestrator failover) happen
+// only on the coordinator at barriers. The epoch WaitGroup provides the
+// happens-before edge, so no locking is needed and resolution is a pure
+// function of the epoch number.
+type Directory struct {
+	entries map[string]*dirEntry
+	rebinds uint64
+}
+
+// NewDirectory builds an empty naming plane.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]*dirEntry)}
+}
+
+// Register binds a service name to its replica endpoints; the first is
+// primary.
+func (d *Directory) Register(name string, eps ...Endpoint) error {
+	if name == "" || len(eps) == 0 {
+		return fmt.Errorf("cluster: directory: empty name or no endpoints for %q", name)
+	}
+	if _, dup := d.entries[name]; dup {
+		return fmt.Errorf("cluster: directory: %q already registered", name)
+	}
+	d.entries[name] = &dirEntry{backends: append([]Endpoint(nil), eps...)}
+	return nil
+}
+
+// Lookup resolves a name to its current primary endpoint.
+func (d *Directory) Lookup(name string) (Endpoint, bool) {
+	en, ok := d.entries[name]
+	if !ok {
+		return Endpoint{}, false
+	}
+	return en.backends[en.primary], true
+}
+
+// Backends lists a service's replica endpoints (primary first is NOT
+// guaranteed; use Primary for the index).
+func (d *Directory) Backends(name string) []Endpoint {
+	en, ok := d.entries[name]
+	if !ok {
+		return nil
+	}
+	return append([]Endpoint(nil), en.backends...)
+}
+
+// Primary reports the index of a service's current primary backend, or -1.
+func (d *Directory) Primary(name string) int {
+	if en, ok := d.entries[name]; ok {
+		return en.primary
+	}
+	return -1
+}
+
+// SetPrimary re-binds a service to backend index i. Barrier-only.
+func (d *Directory) SetPrimary(name string, i int) error {
+	en, ok := d.entries[name]
+	if !ok {
+		return fmt.Errorf("cluster: directory: unknown service %q", name)
+	}
+	if i < 0 || i >= len(en.backends) {
+		return fmt.Errorf("cluster: directory: %q has no backend %d", name, i)
+	}
+	if en.primary != i {
+		en.primary = i
+		d.rebinds++
+	}
+	return nil
+}
+
+// Rebinds counts primary changes (failovers plus manual SetPrimary moves).
+func (d *Directory) Rebinds() uint64 { return d.rebinds }
+
+// Names lists registered services in sorted order (deterministic scans).
+func (d *Directory) Names() []string {
+	out := make([]string, 0, len(d.entries))
+	for n := range d.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolver returns the apps.RemoteProxy.Resolve hook for a service: a pure
+// read of the current primary's address. Resolving an unregistered name
+// returns the zero address (node 0 is never a board, so the send is
+// dropped at the gateway rather than misdelivered).
+func (d *Directory) Resolver(name string) func() msg.NetAddr {
+	return func() msg.NetAddr {
+		ep, ok := d.Lookup(name)
+		if !ok {
+			return msg.NetAddr{}
+		}
+		return ep.Addr
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"fmt"
+
+	"apiary/internal/accel"
+	"apiary/internal/apps"
+	"apiary/internal/core"
+	"apiary/internal/manifest"
+	"apiary/internal/msg"
+)
+
+// Placement records where the orchestrator put an application.
+type Placement struct {
+	App   string
+	Board int
+}
+
+// Orchestrator places applications onto fleet boards and keeps the naming
+// plane honest: services deployed as replica groups span boards, and when
+// a board dies the orchestrator re-binds each service it was primary for
+// to a surviving replica. All methods run on the coordinator goroutine —
+// at setup time or inside a barrier (Fleet.OnEpoch) — never during an
+// epoch.
+type Orchestrator struct {
+	f      *Fleet
+	dir    *Directory
+	detect uint64 // epochs between board death and failover
+
+	placements []Placement
+	failovers  uint64
+}
+
+func newOrchestrator(f *Fleet, detectEpochs int) *Orchestrator {
+	return &Orchestrator{f: f, dir: f.dir, detect: uint64(detectEpochs)}
+}
+
+// Placements lists every app placement made so far.
+func (o *Orchestrator) Placements() []Placement {
+	return append([]Placement(nil), o.placements...)
+}
+
+// Failovers counts primary re-binds triggered by board death.
+func (o *Orchestrator) Failovers() uint64 { return o.failovers }
+
+// pickBoard chooses the live board with the most free tiles that can hold
+// need accelerators (ties: lowest board ID), skipping boards in excl. The
+// most-free rule is the load balancer: successive placements spread across
+// the fleet.
+func (o *Orchestrator) pickBoard(need int, excl map[int]bool) (int, error) {
+	best, bestFree := -1, -1
+	for _, b := range o.f.boards {
+		if b.dead || excl[b.ID] {
+			continue
+		}
+		if free := b.Sys.Kernel.FreeTileCount(); free >= need && free > bestFree {
+			best, bestFree = b.ID, free
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("cluster: no live board with %d free tiles", need)
+	}
+	return best, nil
+}
+
+// PlaceApp loads an application onto the best-fit board and reports where
+// it landed.
+func (o *Orchestrator) PlaceApp(spec core.AppSpec) (int, error) {
+	board, err := o.pickBoard(len(spec.Accels), nil)
+	if err != nil {
+		return -1, err
+	}
+	if _, err := o.f.boards[board].Sys.Kernel.LoadApp(spec); err != nil {
+		return -1, err
+	}
+	o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+	return board, nil
+}
+
+// PlaceManifest parses a JSON manifest (one app or a list) and places each
+// app independently — the fleet-level analogue of apiaryctl load.
+func (o *Orchestrator) PlaceManifest(data []byte) ([]Placement, error) {
+	specs, err := manifest.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Placement
+	for _, spec := range specs {
+		board, err := o.PlaceApp(spec)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Placement{App: spec.Name, Board: board})
+	}
+	return out, nil
+}
+
+// ServiceDeployment describes a fleet service: a per-replica app spec
+// whose service Svc is fronted by a network bridge on flow Flow, replicated
+// across Replicas distinct boards and registered in the directory under
+// Name.
+type ServiceDeployment struct {
+	Name     string
+	Svc      msg.ServiceID
+	Flow     uint16
+	Replicas int
+	// Spec builds replica r's application (without the bridge — the
+	// orchestrator appends it). App names must be unique per board; using
+	// the replica index in the name is the easy way.
+	Spec func(r int) core.AppSpec
+}
+
+// DeployService places Replicas copies of a service on distinct boards
+// (anti-affinity: a whole-board loss takes out at most one replica), each
+// fronted by a NetBridge gateway tile on the deployment flow, and registers
+// the replica endpoints in the directory with replica 0 primary.
+func (o *Orchestrator) DeployService(dep ServiceDeployment) ([]Endpoint, error) {
+	if dep.Replicas < 1 {
+		dep.Replicas = 1
+	}
+	if dep.Spec == nil {
+		return nil, fmt.Errorf("cluster: deployment %q has no spec", dep.Name)
+	}
+	used := map[int]bool{}
+	var eps []Endpoint
+	for r := 0; r < dep.Replicas; r++ {
+		spec := dep.Spec(r)
+		spec.Accels = append(spec.Accels, core.AppAccel{
+			Name:    "fleetgw",
+			WantNet: true,
+			Connect: []msg.ServiceID{dep.Svc},
+			New: func() accel.Accelerator {
+				b := apps.NewNetBridge(dep.Flow)
+				b.Target = dep.Svc
+				return b
+			},
+		})
+		board, err := o.pickBoard(len(spec.Accels), used)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
+		}
+		if _, err := o.f.boards[board].Sys.Kernel.LoadApp(spec); err != nil {
+			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
+		}
+		used[board] = true
+		o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+		eps = append(eps, Endpoint{
+			Board: board,
+			Addr:  msg.NetAddr{Node: uint32(o.f.boards[board].Node), Flow: dep.Flow},
+		})
+	}
+	if err := o.dir.Register(dep.Name, eps...); err != nil {
+		return nil, err
+	}
+	return eps, nil
+}
+
+// ConnectClient gives board's applications a local doorway to the fleet
+// service name: a RemoteProxy app exporting localSvc, resolving the
+// current primary through the directory on every forwarded request. Client
+// accelerators just Connect to localSvc — remote placement, and failover,
+// are invisible to them.
+func (o *Orchestrator) ConnectClient(board int, localSvc msg.ServiceID, name string) error {
+	ep, ok := o.dir.Lookup(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown service %q", name)
+	}
+	for _, b := range o.dir.Backends(name) {
+		if b.Board == board {
+			// The backend's bridge already listens on the deployment flow
+			// on this board; a proxy here would collide. (It would also be
+			// pointless — the service is local.)
+			return fmt.Errorf("cluster: board %d hosts a %q replica; connect a different board", board, name)
+		}
+	}
+	resolve := o.dir.Resolver(name)
+	spec := core.AppSpec{
+		Name:    fmt.Sprintf("fleet-proxy-%s", name),
+		Exports: []msg.ServiceID{localSvc},
+		Accels: []core.AppAccel{{
+			Name:    "proxy",
+			Service: localSvc,
+			WantNet: true,
+			New: func() accel.Accelerator {
+				p := apps.NewRemoteProxy(ep.Addr, dep0Flow(ep))
+				p.Resolve = resolve
+				return p
+			},
+		}},
+	}
+	if _, err := o.f.boards[board].Sys.Kernel.LoadApp(spec); err != nil {
+		return err
+	}
+	o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+	return nil
+}
+
+// dep0Flow is the reply flow a client proxy listens on: the deployment
+// flow itself. The backend bridge replies to the proxy's (node, flow) as
+// carried by the transport, so request and reply share the flow ID, each
+// on its own board.
+func dep0Flow(ep Endpoint) uint16 { return ep.Addr.Flow }
+
+// epochTick is the orchestrator's barrier scan: detect boards that died at
+// least detect epochs ago and re-bind any service whose primary they
+// hosted to the next live replica.
+func (o *Orchestrator) epochTick() {
+	if len(o.dir.entries) == 0 {
+		return
+	}
+	for _, name := range o.dir.Names() {
+		en := o.dir.entries[name]
+		cur := o.f.boards[en.backends[en.primary].Board]
+		if !cur.dead || o.f.epochN-cur.deadEpoch < o.detect {
+			continue
+		}
+		n := len(en.backends)
+		for k := 1; k <= n; k++ {
+			idx := (en.primary + k) % n
+			if !o.f.boards[en.backends[idx].Board].dead {
+				_ = o.dir.SetPrimary(name, idx)
+				o.failovers++
+				break
+			}
+		}
+	}
+}

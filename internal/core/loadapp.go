@@ -265,6 +265,10 @@ func (k *Kernel) freeTiles() []msg.TileID {
 	return out
 }
 
+// FreeTileCount reports how many tiles are unoccupied and placeable — the
+// capacity signal a fleet orchestrator scores boards by.
+func (k *Kernel) FreeTileCount() int { return len(k.freeTiles()) }
+
 // rollback undoes a partial load.
 func (k *Kernel) rollback(app *App) {
 	k.dropGroups(app.Spec.Name)

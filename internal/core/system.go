@@ -44,6 +44,10 @@ type SystemConfig struct {
 	ExtFabric *netsim.Fabric
 	// NodeID is this board's address on the datacenter network. Default 1.
 	NodeID netsim.NodeID
+	// NetSeed seeds the private fabric's loss RNG (0 keeps the netsim
+	// default). Fleets derive a distinct seed per board so drops on
+	// different boards' fabrics never correlate.
+	NetSeed uint64
 	// LinkLatencyNs is the board uplink one-way latency. Default 1000.
 	LinkLatencyNs float64
 	// TracerCap bounds the message trace ring. Default 16384.
@@ -190,7 +194,8 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		}
 		s.Fabric = cfg.ExtFabric
 		if s.Fabric == nil {
-			s.Fabric = netsim.New(s.Engine, s.Stats)
+			s.Fabric = netsim.NewWithConfig(s.Engine, s.Stats,
+				netsim.Config{LossSeed: cfg.NetSeed})
 		}
 		port := board.NewEthernet()
 		link := netsim.LinkConfig{Gbps: port.LineRateGbps(), LatencyNs: cfg.LinkLatencyNs}

@@ -8,6 +8,13 @@
 // the slower of the two plus a fixed switch latency. That is enough to make
 // the direct-attached vs host-mediated comparison (E4/E5) about *path
 // structure*, which is what the paper claims matters.
+//
+// A fabric can also be one switch of a larger cluster: frames addressed to
+// nodes that are not attached locally are handed to a Gateway (the fleet
+// interconnect in internal/cluster) after paying source-side serialization,
+// and inbound cross-fabric frames are applied with InjectAt. The gateway
+// path is what makes conservative-lookahead board parallelism possible —
+// cross-fabric propagation latency is the synchronization horizon.
 package netsim
 
 import (
@@ -25,7 +32,11 @@ type Frame struct {
 	Payload  []byte
 }
 
-// Handler receives delivered frames at a node.
+// Handler receives delivered frames at a node. The payload buffer is owned
+// by the fabric and is recycled after the handler returns: a handler that
+// needs the bytes beyond the call must copy them. (Every transport in the
+// repo either parses the frame immediately or copies it into its own
+// buffer.)
 type Handler func(f Frame)
 
 // LinkConfig describes one node's attachment.
@@ -35,10 +46,57 @@ type LinkConfig struct {
 	LossProb  float64 // iid frame loss probability
 }
 
+// DefaultLossSeed is the historical seed of the fabric's loss RNG. Config
+// keeps it as the zero-value default so every pre-Config experiment
+// reproduces its exact drop sequence.
+const DefaultLossSeed = 0xfab
+
+// Config parameterizes a fabric. The zero value reproduces the historical
+// behaviour exactly.
+type Config struct {
+	// LossSeed seeds the deterministic loss RNG. 0 means DefaultLossSeed.
+	// Multi-fabric experiments (a fleet of boards, each with its own
+	// private fabric) should derive distinct seeds so frame drops do not
+	// correlate across fabrics.
+	LossSeed uint64
+}
+
+// Gateway routes frames addressed to nodes that are not attached to this
+// fabric — the hook a cluster interconnect implements. RemoteLink reports
+// the destination's link config (so rate selection matches the local
+// slower-of-the-two rule); Forward takes ownership of the frame (its
+// payload is a fabric-pooled buffer) once the source uplink has finished
+// serializing it at cycle depart. Propagation beyond the source uplink is
+// the gateway's business.
+type Gateway interface {
+	RemoteLink(dst NodeID) (LinkConfig, bool)
+	Forward(fr Frame, depart sim.Cycle)
+}
+
 type node struct {
 	cfg       LinkConfig
 	handler   Handler
 	busyUntil sim.Cycle // egress serialization horizon
+}
+
+// delivery is a pooled in-flight frame: the closure is bound once when the
+// struct is first created, so a steady-state send-deliver cycle touches the
+// heap zero times (TestSendSteadyStateAllocs).
+type delivery struct {
+	f  *Fabric
+	n  *node
+	fr Frame
+	fn func(sim.Cycle)
+}
+
+func (d *delivery) fire(sim.Cycle) {
+	f, n, fr := d.f, d.n, d.fr
+	d.n, d.fr = nil, Frame{}
+	f.deliveries = append(f.deliveries, d) // handler may Send and reuse d
+	if n.handler != nil {
+		n.handler(fr)
+	}
+	f.putBuf(fr.Payload)
 }
 
 // Fabric is the switch domain.
@@ -46,21 +104,38 @@ type Fabric struct {
 	engine *sim.Engine
 	nodes  map[NodeID]*node
 	rng    *sim.RNG
+	gw     Gateway
 
 	sent    *sim.Counter
 	dropped *sim.Counter
 	bytes   *sim.Counter
+	gwOut   *sim.Counter
+	gwIn    *sim.Counter
+
+	deliveries []*delivery // free list
+	bufs       [][]byte    // payload free list
 }
 
-// New creates an empty fabric.
+// New creates an empty fabric with the default config.
 func New(e *sim.Engine, st *sim.Stats) *Fabric {
+	return NewWithConfig(e, st, Config{})
+}
+
+// NewWithConfig creates an empty fabric.
+func NewWithConfig(e *sim.Engine, st *sim.Stats, cfg Config) *Fabric {
+	seed := cfg.LossSeed
+	if seed == 0 {
+		seed = DefaultLossSeed
+	}
 	return &Fabric{
 		engine:  e,
 		nodes:   make(map[NodeID]*node),
-		rng:     sim.NewRNG(0xfab),
+		rng:     sim.NewRNG(seed),
 		sent:    st.Counter("netsim.frames_sent"),
 		dropped: st.Counter("netsim.frames_dropped"),
 		bytes:   st.Counter("netsim.bytes"),
+		gwOut:   st.Counter("netsim.gw_out"),
+		gwIn:    st.Counter("netsim.gw_in"),
 	}
 }
 
@@ -76,6 +151,15 @@ func (f *Fabric) Attach(id NodeID, cfg LinkConfig, h Handler) {
 	f.nodes[id] = &node{cfg: cfg, handler: h}
 }
 
+// Attached reports whether id is a local node.
+func (f *Fabric) Attached(id NodeID) bool {
+	_, ok := f.nodes[id]
+	return ok
+}
+
+// SetGateway installs the cross-fabric route for unknown destinations.
+func (f *Fabric) SetGateway(gw Gateway) { f.gw = gw }
+
 // serializationCycles converts frame bytes at the given line rate to engine
 // cycles.
 func (f *Fabric) serializationCycles(bytes int, gbps float64) sim.Cycle {
@@ -83,21 +167,69 @@ func (f *Fabric) serializationCycles(bytes int, gbps float64) sim.Cycle {
 	return f.engine.CyclesForNanos(ns)
 }
 
-// Send transmits a frame. Returns an error for unknown endpoints; loss is
-// silent (that is what loss means).
+// getBuf returns a pooled buffer of length n (copying into it is the
+// caller's business). Buffers come back via putBuf after delivery.
+func (f *Fabric) getBuf(n int) []byte {
+	if k := len(f.bufs); k > 0 {
+		b := f.bufs[k-1]
+		f.bufs[k-1] = nil
+		f.bufs = f.bufs[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (f *Fabric) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	f.bufs = append(f.bufs, b[:0])
+}
+
+// getDelivery returns a pooled delivery with its closure pre-bound.
+func (f *Fabric) getDelivery() *delivery {
+	if k := len(f.deliveries); k > 0 {
+		d := f.deliveries[k-1]
+		f.deliveries[k-1] = nil
+		f.deliveries = f.deliveries[:k-1]
+		return d
+	}
+	d := &delivery{f: f}
+	d.fn = d.fire
+	return d
+}
+
+// Send transmits a frame. The payload is copied, so the caller may reuse
+// its buffer immediately. Returns an error for unknown endpoints (unknown
+// destinations are routed through the gateway when one is installed); loss
+// is silent (that is what loss means).
 func (f *Fabric) Send(fr Frame) error {
 	src, ok := f.nodes[fr.Src]
 	if !ok {
 		return fmt.Errorf("netsim: unknown src node %d", fr.Src)
 	}
-	dst, ok := f.nodes[fr.Dst]
-	if !ok {
-		return fmt.Errorf("netsim: unknown dst node %d", fr.Dst)
+	dst, local := f.nodes[fr.Dst]
+	var dstCfg LinkConfig
+	if local {
+		dstCfg = dst.cfg
+	} else {
+		if f.gw == nil {
+			return fmt.Errorf("netsim: unknown dst node %d", fr.Dst)
+		}
+		remote, ok := f.gw.RemoteLink(fr.Dst)
+		if !ok {
+			return fmt.Errorf("netsim: unknown dst node %d", fr.Dst)
+		}
+		dstCfg = remote
 	}
 	f.sent.Inc()
 	f.bytes.Add(uint64(len(fr.Payload)))
 
-	if dst.cfg.LossProb > 0 && f.rng.Bool(dst.cfg.LossProb) {
+	// Local destination loss is drawn here; cross-fabric loss belongs to
+	// the interconnect (which draws it in deterministic exchange order).
+	if local && dstCfg.LossProb > 0 && f.rng.Bool(dstCfg.LossProb) {
 		f.dropped.Inc()
 		return nil
 	}
@@ -105,8 +237,8 @@ func (f *Fabric) Send(fr Frame) error {
 	// Serialization at the slower of the two links, occupying the source
 	// egress; then propagation.
 	gbps := src.cfg.Gbps
-	if dst.cfg.Gbps < gbps {
-		gbps = dst.cfg.Gbps
+	if dstCfg.Gbps < gbps {
+		gbps = dstCfg.Gbps
 	}
 	now := f.engine.Now()
 	start := src.busyUntil
@@ -115,17 +247,47 @@ func (f *Fabric) Send(fr Frame) error {
 	}
 	ser := f.serializationCycles(len(fr.Payload), gbps)
 	src.busyUntil = start + ser
-	prop := f.engine.CyclesForNanos(src.cfg.LatencyNs + dst.cfg.LatencyNs)
+
+	cp := fr
+	cp.Payload = f.getBuf(len(fr.Payload))
+	copy(cp.Payload, fr.Payload)
+
+	if !local {
+		f.gwOut.Inc()
+		f.gw.Forward(cp, src.busyUntil)
+		return nil
+	}
+
+	prop := f.engine.CyclesForNanos(src.cfg.LatencyNs + dstCfg.LatencyNs)
 	at := src.busyUntil + prop
 	if at <= now {
 		at = now + 1
 	}
-	cp := fr
-	cp.Payload = append([]byte(nil), fr.Payload...)
-	f.engine.Schedule(at, func(sim.Cycle) {
-		if dst.handler != nil {
-			dst.handler(cp)
-		}
-	})
+	f.scheduleDelivery(dst, cp, at)
 	return nil
+}
+
+// InjectAt delivers a frame arriving from another fabric to its locally
+// attached destination at cycle at, taking ownership of the payload (it is
+// recycled into this fabric's pool after the handler runs). The cluster
+// interconnect applies cross-board frames with it at epoch boundaries; an
+// arrival cycle not in the future is clamped to the next cycle.
+func (f *Fabric) InjectAt(fr Frame, at sim.Cycle) error {
+	dst, ok := f.nodes[fr.Dst]
+	if !ok {
+		return fmt.Errorf("netsim: inject to unknown node %d", fr.Dst)
+	}
+	f.gwIn.Inc()
+	if now := f.engine.Now(); at <= now {
+		at = now + 1
+	}
+	f.scheduleDelivery(dst, fr, at)
+	return nil
+}
+
+func (f *Fabric) scheduleDelivery(dst *node, fr Frame, at sim.Cycle) {
+	d := f.getDelivery()
+	d.n = dst
+	d.fr = fr
+	f.engine.ScheduleNoHandle(at, d.fn)
 }

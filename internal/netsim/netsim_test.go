@@ -112,3 +112,250 @@ func TestPayloadCopied(t *testing.T) {
 		t.Fatal("payload aliased sender buffer")
 	}
 }
+
+func TestZeroLengthPayload(t *testing.T) {
+	e, f := setup()
+	delivered := -1
+	f.Attach(1, LinkConfig{Gbps: 100, LatencyNs: 1000}, nil)
+	f.Attach(2, LinkConfig{Gbps: 100, LatencyNs: 1000}, func(fr Frame) {
+		delivered = len(fr.Payload)
+	})
+	if err := f.Send(Frame{Src: 1, Dst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10000)
+	if delivered != 0 {
+		t.Fatalf("zero-length frame delivered = %d, want empty payload", delivered)
+	}
+}
+
+func TestSlowerSourceGoverns(t *testing.T) {
+	// The min-rate rule is symmetric: a slow *sender* serializes just as
+	// slowly as a slow receiver (TestSlowerLinkGoverns covers that side).
+	e, f := setup()
+	var at sim.Cycle
+	f.Attach(1, LinkConfig{Gbps: 1, LatencyNs: 100}, nil)
+	f.Attach(2, LinkConfig{Gbps: 100, LatencyNs: 100}, func(Frame) { at = e.Now() })
+	_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 1250)}) // 10us at 1G = 2500cy
+	e.Run(100000)
+	if at < 2500 {
+		t.Fatalf("delivery at %d ignored the slow sender", at)
+	}
+}
+
+func TestEgressBacklog(t *testing.T) {
+	// A burst occupies the source uplink back-to-back: frame k's arrival is
+	// (k+1)*ser + prop, driven by the busyUntil egress horizon.
+	e, f := setup()
+	var times []sim.Cycle
+	f.Attach(1, LinkConfig{Gbps: 10, LatencyNs: 100}, nil)
+	f.Attach(2, LinkConfig{Gbps: 10, LatencyNs: 100}, func(Frame) { times = append(times, e.Now()) })
+	for i := 0; i < 4; i++ {
+		// 1250 B at 10 Gbps = 1000 ns = 250 cycles; 200 ns prop = 50 cycles.
+		_ = f.Send(Frame{Src: 1, Dst: 2, Payload: make([]byte, 1250)})
+	}
+	e.Run(10000)
+	want := []sim.Cycle{300, 550, 800, 1050}
+	if len(times) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("frame %d delivered at %d, want %d (times %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestLossCounters(t *testing.T) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	f := New(e, st)
+	got := 0
+	f.Attach(1, LinkConfig{}, nil)
+	f.Attach(2, LinkConfig{LossProb: 1.0}, func(Frame) { got++ })
+	for i := 0; i < 5; i++ {
+		_ = f.Send(Frame{Src: 1, Dst: 2, Payload: []byte{1, 2, 3}})
+	}
+	e.Run(100000)
+	if got != 0 {
+		t.Fatalf("LossProb=1 delivered %d frames", got)
+	}
+	if n := st.Counter("netsim.frames_sent").Value(); n != 5 {
+		t.Fatalf("frames_sent = %d, want 5", n)
+	}
+	if n := st.Counter("netsim.frames_dropped").Value(); n != 5 {
+		t.Fatalf("frames_dropped = %d, want 5", n)
+	}
+	if n := st.Counter("netsim.bytes").Value(); n != 15 {
+		t.Fatalf("bytes = %d, want 15 (loss counts after accounting)", n)
+	}
+}
+
+func TestDeliveryWakesIdleSkip(t *testing.T) {
+	// An otherwise-idle engine must fast-forward across the propagation gap
+	// and still fire the delivery at its exact cycle: netsim events bound
+	// idle-skip, they are not skipped by it.
+	e, f := setup()
+	ticks := 0
+	e.Register(idleTicker{ticks: &ticks})
+	var at sim.Cycle
+	f.Attach(1, LinkConfig{Gbps: 100, LatencyNs: 1000}, nil)
+	f.Attach(2, LinkConfig{Gbps: 100, LatencyNs: 1000}, func(Frame) { at = e.Now() })
+	_ = f.Send(Frame{Src: 1, Dst: 2}) // zero-length: no serialization, 500cy prop
+	e.Run(10000)
+	if at != 500 {
+		t.Fatalf("delivery at %d, want exactly 500", at)
+	}
+	if ticks >= 10000 {
+		t.Fatalf("engine ticked %d times: idle-skip never engaged", ticks)
+	}
+}
+
+type idleTicker struct{ ticks *int }
+
+func (it idleTicker) Idle() bool         { return true }
+func (it idleTicker) Tick(now sim.Cycle) { *it.ticks++ }
+
+func dropPattern(t *testing.T, cfg Config) string {
+	t.Helper()
+	e := sim.NewEngine(1)
+	f := NewWithConfig(e, sim.NewStats(), cfg)
+	delivered := map[byte]bool{}
+	f.Attach(1, LinkConfig{LatencyNs: 4}, nil)
+	f.Attach(2, LinkConfig{LatencyNs: 4, LossProb: 0.5}, func(fr Frame) {
+		delivered[fr.Payload[0]] = true
+	})
+	for i := 0; i < 64; i++ {
+		if err := f.Send(Frame{Src: 1, Dst: 2, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(100)
+	}
+	e.Run(10000)
+	pat := make([]byte, 64)
+	for i := range pat {
+		pat[i] = '0'
+		if delivered[byte(i)] {
+			pat[i] = '1'
+		}
+	}
+	return string(pat)
+}
+
+func TestLossSeedConfig(t *testing.T) {
+	legacy := dropPattern(t, Config{})
+	if got := dropPattern(t, Config{LossSeed: DefaultLossSeed}); got != legacy {
+		t.Fatalf("explicit default seed diverged from zero config:\n%s\n%s", got, legacy)
+	}
+	if got := dropPattern(t, Config{LossSeed: 12345}); got == legacy {
+		t.Fatalf("distinct loss seeds produced identical drop patterns: %s", got)
+	}
+	if got := dropPattern(t, Config{LossSeed: 12345}); got != dropPattern(t, Config{LossSeed: 12345}) {
+		t.Fatalf("same seed not reproducible")
+	}
+}
+
+type fakeGateway struct {
+	links  map[NodeID]LinkConfig
+	frames []Frame
+	depart []sim.Cycle
+}
+
+func (g *fakeGateway) RemoteLink(dst NodeID) (LinkConfig, bool) {
+	cfg, ok := g.links[dst]
+	return cfg, ok
+}
+
+func (g *fakeGateway) Forward(fr Frame, depart sim.Cycle) {
+	g.frames = append(g.frames, fr)
+	g.depart = append(g.depart, depart)
+}
+
+func TestGatewayRouting(t *testing.T) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	f := New(e, st)
+	f.Attach(1, LinkConfig{Gbps: 10, LatencyNs: 100}, nil)
+	gw := &fakeGateway{links: map[NodeID]LinkConfig{99: {Gbps: 1, LatencyNs: 100}}}
+
+	// Without a gateway, unknown destinations are still errors.
+	if err := f.Send(Frame{Src: 1, Dst: 99, Payload: []byte{1}}); err == nil {
+		t.Fatal("unknown dst accepted without a gateway")
+	}
+	f.SetGateway(gw)
+	// A destination the gateway does not know either.
+	if err := f.Send(Frame{Src: 1, Dst: 98, Payload: []byte{1}}); err == nil {
+		t.Fatal("dst unknown to the gateway accepted")
+	}
+
+	buf := make([]byte, 1250)
+	buf[0] = 7
+	if err := f.Send(Frame{Src: 1, Dst: 99, Payload: buf}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gw.frames) != 1 {
+		t.Fatalf("gateway saw %d frames", len(gw.frames))
+	}
+	// Serialization ran at the *remote* 1 Gbps rate: 10 us = 2500 cycles.
+	if gw.depart[0] != 2500 {
+		t.Fatalf("depart = %d, want 2500 (remote-rate serialization)", gw.depart[0])
+	}
+	buf[0] = 0
+	if gw.frames[0].Payload[0] != 7 {
+		t.Fatal("forwarded payload aliases the caller's buffer")
+	}
+	if n := st.Counter("netsim.gw_out").Value(); n != 1 {
+		t.Fatalf("gw_out = %d, want 1", n)
+	}
+	if !f.Attached(1) || f.Attached(99) {
+		t.Fatal("Attached misreports membership")
+	}
+}
+
+func TestInjectAt(t *testing.T) {
+	e := sim.NewEngine(1)
+	st := sim.NewStats()
+	f := New(e, st)
+	var times []sim.Cycle
+	f.Attach(2, LinkConfig{}, func(Frame) { times = append(times, e.Now()) })
+
+	if err := f.InjectAt(Frame{Src: 50, Dst: 7, Payload: []byte{1}}, 10); err == nil {
+		t.Fatal("inject to unknown node accepted")
+	}
+	if err := f.InjectAt(Frame{Src: 50, Dst: 2, Payload: []byte{1}}, 700); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1000) // now = 1000
+	if len(times) != 1 || times[0] != 700 {
+		t.Fatalf("times = %v, want [700]", times)
+	}
+	// A stale arrival cycle clamps to the next cycle rather than violating
+	// the engine's no-past-events rule.
+	if err := f.InjectAt(Frame{Src: 50, Dst: 2, Payload: []byte{2}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(1000)
+	if len(times) != 2 || times[1] != 1001 {
+		t.Fatalf("times = %v, want second delivery at 1001", times)
+	}
+	if n := st.Counter("netsim.gw_in").Value(); n != 2 {
+		t.Fatalf("gw_in = %d, want 2", n)
+	}
+}
+
+func TestSendSteadyStateAllocs(t *testing.T) {
+	e, f := setup()
+	f.Attach(1, LinkConfig{Gbps: 100, LatencyNs: 40}, nil)
+	f.Attach(2, LinkConfig{Gbps: 100, LatencyNs: 40}, func(Frame) {})
+	payload := make([]byte, 256)
+	send := func() {
+		_ = f.Send(Frame{Src: 1, Dst: 2, Payload: payload})
+		e.Run(200)
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm the delivery, buffer and engine event pools
+	}
+	if n := testing.AllocsPerRun(100, send); n > 0 {
+		t.Fatalf("steady-state send allocates %.1f objects per frame, want 0", n)
+	}
+}

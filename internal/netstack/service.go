@@ -74,7 +74,11 @@ func NewService(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 	}
 	inject := fabric.RawRxInject(port)
 	fab.Attach(node, linkCfg, func(f netsim.Frame) {
-		inject(fabric.MACFrame{Src: uint64(f.Src), Dst: uint64(f.Dst), Payload: f.Payload})
+		// The MAC RX queue holds the frame until the wire pump drains it,
+		// but the fabric recycles the payload buffer as soon as this
+		// handler returns (netsim.Handler contract) — so copy here.
+		inject(fabric.MACFrame{Src: uint64(f.Src), Dst: uint64(f.Dst),
+			Payload: append([]byte(nil), f.Payload...)})
 	})
 
 	// Wire pump: drain the MAC TX queue onto the simulated wire, and feed
