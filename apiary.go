@@ -90,6 +90,9 @@ type (
 	LinkConfig = netsim.LinkConfig
 	// SoftEndpoint is a software client/peer on the network.
 	SoftEndpoint = netstack.SoftEndpoint
+	// TraceCtx is the sideband distributed-tracing context delivered with
+	// datagrams (zero value when the datagram is untraced).
+	TraceCtx = msg.TraceCtx
 )
 
 // Re-exported well-known identifiers.

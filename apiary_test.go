@@ -55,7 +55,7 @@ func TestPublicAPINetworkPath(t *testing.T) {
 	}
 	client := apiary.NewSoftClient(sys, 50, apiary.LinkConfig{Gbps: 100})
 	var got []byte
-	client.OnDatagram(func(_ apiary.NetNodeID, _ uint16, data []byte) { got = data })
+	client.OnDatagram(func(_ apiary.NetNodeID, _ uint16, data []byte, _ apiary.TraceCtx) { got = data })
 	if err := client.Send(1, 8080, []byte("net")); err != nil {
 		t.Fatal(err)
 	}

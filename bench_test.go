@@ -415,7 +415,7 @@ func BenchmarkMessageEncodeDecode(b *testing.B) {
 // never-draining local RPC loop (requester -> echo stage), so no board can
 // idle-skip and each epoch does real per-cycle work on all 16 engines —
 // the workload board-level parallelism is supposed to speed up.
-func newBenchFleet(tb testing.TB, workers int) *cluster.Fleet {
+func newBenchFleet(tb testing.TB, workers, spanEvery int) *cluster.Fleet {
 	fl, err := cluster.New(cluster.Config{
 		Boards:  16,
 		Workers: workers,
@@ -424,6 +424,7 @@ func newBenchFleet(tb testing.TB, workers int) *cluster.Fleet {
 			Dims: noc.Dims{W: 3, H: 3},
 			// Keep construction cheap: the DRAM model stores real bytes.
 			ManagedMemBytes: 1 << 20,
+			SpanSampleEvery: spanEvery,
 		},
 		Link: netsim.LinkConfig{LatencyNs: 1000},
 	})
@@ -457,18 +458,28 @@ func newBenchFleet(tb testing.TB, workers int) *cluster.Fleet {
 }
 
 // BenchmarkFleet16 measures simulated fleet cycles per second with board
-// parallelism on (workers = GOMAXPROCS); BenchmarkFleet16Serial is the
-// 1-worker baseline. The two runs are bit-exact (TestFleetDifferential);
-// only wall clock differs.
+// parallelism on (workers = GOMAXPROCS) and the flight recorder at its
+// apiaryd default (1-in-64 sampling), so the headline number includes the
+// fleet observability tax; BenchmarkFleet16Unsampled is the A/B baseline
+// (the pair bounds the tracing overhead), and BenchmarkFleet16Serial is the
+// 1-worker baseline. All runs are bit-exact (TestFleetDifferential,
+// TestFleetObsDifferential); only wall clock differs.
 func BenchmarkFleet16(b *testing.B) {
-	fl := newBenchFleet(b, 0)
+	fl := newBenchFleet(b, 0, 64)
 	fl.Run(10_000) // warm pools and queues
 	b.ResetTimer()
 	fl.Run(sim.Cycle(b.N))
 }
 
+func BenchmarkFleet16Unsampled(b *testing.B) {
+	fl := newBenchFleet(b, 0, 0)
+	fl.Run(10_000)
+	b.ResetTimer()
+	fl.Run(sim.Cycle(b.N))
+}
+
 func BenchmarkFleet16Serial(b *testing.B) {
-	fl := newBenchFleet(b, 1)
+	fl := newBenchFleet(b, 1, 0)
 	fl.Run(10_000)
 	b.ResetTimer()
 	fl.Run(sim.Cycle(b.N))
@@ -487,7 +498,7 @@ func TestFleetScaling(t *testing.T) {
 	}
 	const cycles = 100_000
 	measure := func(workers int) time.Duration {
-		fl := newBenchFleet(t, workers)
+		fl := newBenchFleet(t, workers, 0)
 		fl.Run(10_000) // warm
 		start := time.Now()
 		fl.Run(cycles)

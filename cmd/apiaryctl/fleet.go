@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"apiary/internal/cluster"
+	"apiary/internal/obs"
+)
+
+// fleet live-polls a fleet-mode apiaryd's /fleet.json and renders the
+// cluster dashboard: per-board activity heat strips built from the epoch
+// pulse ring, epoch/frame rates between polls, per-service rollups and the
+// tail of the merged decision log.
+func fleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8091", "apiaryd -http address")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	iters := fs.Int("n", 0, "number of polls (0 = until interrupted)")
+	events := fs.Int("events", 10, "decision-log tail length")
+	_ = fs.Parse(args)
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	var prev *cluster.FleetStatus
+	var prevAt time.Time
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		st, err := fetchFleet(base + "/fleet.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apiaryctl fleet: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		renderFleet(os.Stdout, st, prev, now.Sub(prevAt), *events)
+		prev, prevAt = st, now
+	}
+}
+
+func fetchFleet(url string) (*cluster.FleetStatus, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var st cluster.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// heatGlyphs maps a 0..1 load fraction to a sparkline cell.
+var heatGlyphs = []rune(" ▁▂▃▄▅▆▇█")
+
+// heatStrip renders board b's recent per-epoch delivered deltas as a
+// sparkline, normalized against the hottest cell across the whole fleet so
+// strips are comparable between boards.
+func heatStrip(pulses []obs.Pulse, board int, width int, fleetMax uint64) string {
+	if len(pulses) > width {
+		pulses = pulses[len(pulses)-width:]
+	}
+	var sb strings.Builder
+	for _, p := range pulses {
+		var v uint64
+		if board < len(p.Delivered) {
+			v = p.Delivered[board]
+		}
+		g := 0
+		if fleetMax > 0 && v > 0 {
+			g = 1 + int(uint64(len(heatGlyphs)-2)*v/fleetMax)
+		}
+		sb.WriteRune(heatGlyphs[g])
+	}
+	return sb.String()
+}
+
+func renderFleet(w io.Writer, st, prev *cluster.FleetStatus, dt time.Duration, evTail int) {
+	fmt.Fprint(w, "\033[2J\033[H") // clear screen, home cursor
+	fmt.Fprintf(w, "apiary fleet — cycle %d, epoch %d (%d cycles/epoch)",
+		st.Now, st.Epochs, st.Epoch)
+	if st.ClockMHz > 0 {
+		fmt.Fprintf(w, " (%.2f ms simulated)", float64(st.Now)/float64(st.ClockMHz)/1000)
+	}
+	fmt.Fprintln(w)
+	if prev != nil && dt > 0 {
+		s := dt.Seconds()
+		fmt.Fprintf(w, "rates/s: %.0f cycles, %.1f epochs, %.0f frames relayed\n",
+			float64(st.Now-prev.Now)/s, float64(st.Epochs-prev.Epochs)/s,
+			float64(st.Relayed-prev.Relayed)/s)
+	}
+	fmt.Fprintf(w, "link:    relayed=%d lost=%d to_dead=%d rebinds=%d\n",
+		st.Relayed, st.Lost, st.ToDead, st.Rebinds)
+
+	var fleetMax uint64
+	for _, p := range st.Pulses {
+		for _, v := range p.Delivered {
+			if v > fleetMax {
+				fleetMax = v
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nboards:")
+	for _, b := range st.Boards {
+		state := "live"
+		if b.Dead {
+			state = "DEAD"
+		}
+		fmt.Fprintf(w, "  %3d %-4s |%s| delivered=%-10d quar=%-3d failover=%-3d spans=%-6d events=%d\n",
+			b.ID, state, heatStrip(st.Pulses, b.ID, 48, fleetMax),
+			b.Delivered, b.Quarantines, b.Failovers, b.Spans, b.Events)
+	}
+
+	if len(st.Services) > 0 {
+		fmt.Fprintln(w, "\nservices:")
+		for _, r := range st.Services {
+			fmt.Fprintf(w, "  %-16s served=%-8d rpcs=%-6d p50=%-7.0f p99=%-7.0f mean=%-7.0f replicas=%d\n",
+				r.Name, r.Served, r.RPCs, r.P50, r.P99, r.MeanCy, r.Replicas)
+		}
+	}
+
+	if n := len(st.Events); n > 0 {
+		if evTail > 0 && n > evTail {
+			st.Events = st.Events[n-evTail:]
+		}
+		fmt.Fprintf(w, "\ndecision log (last %d of %d):\n", len(st.Events), n)
+		for _, e := range st.Events {
+			board := fmt.Sprintf("%d", e.Board)
+			if e.Board < 0 {
+				board = "fleet"
+			}
+			fmt.Fprintf(w, "  cy=%-10d board=%-5s %-10s %s (%s)\n",
+				e.Cycle, board, e.Kind, e.Detail, e.Cause)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	apiaryctl validate apps.json         # parse + dry-run placement
 //	apiaryctl validate -board v7-10g -w 4 -h 4 apps.json
 //	apiaryctl top -addr localhost:8091   # live-poll a running apiaryd
+//	apiaryctl fleet -addr localhost:8091 # live fleet dashboard (apiaryd -fleet)
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: apiaryctl <boards|kinds|cdg|validate|top> [flags] [manifest.json]")
+	fmt.Fprintln(os.Stderr, "usage: apiaryctl <boards|kinds|cdg|validate|top|fleet> [flags] [manifest.json]")
 	os.Exit(2)
 }
 
@@ -45,6 +46,8 @@ func main() {
 		validate(os.Args[2:])
 	case "top":
 		top(os.Args[2:])
+	case "fleet":
+		fleet(os.Args[2:])
 	default:
 		usage()
 	}

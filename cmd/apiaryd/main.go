@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -88,7 +89,7 @@ func main() {
 	}
 	if *fleet > 0 {
 		runFleet(cfg, *fleet, *fleetWorkers, *manifestPath, sim.Cycle(*cycles),
-			*fleetKill, sim.Cycle(*fleetKillAt))
+			*fleetKill, sim.Cycle(*fleetKillAt), *httpAddr, sim.Cycle(*statsEvery))
 		return
 	}
 
@@ -254,9 +255,13 @@ func main() {
 // runFleet boots a -fleet N cluster and runs it. With a manifest, the
 // orchestrator places each app on the least-loaded board; without one, it
 // runs the demo workload — a replicated echo service spanning two boards
-// with a resilient client on every remaining board.
+// with a resilient client on every remaining board. The board template
+// carries the observability flags (-span-every, -window-every, ...) into
+// every board, and -http serves the federated fleet surface: /metrics,
+// /events.json, /trace.json (the stitched multi-board timeline) and
+// /fleet.json (the dashboard payload behind apiaryctl fleet).
 func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
-	cycles sim.Cycle, kill int, killAt sim.Cycle) {
+	cycles sim.Cycle, kill int, killAt sim.Cycle, httpAddr string, statsEvery sim.Cycle) {
 	fl, err := cluster.New(cluster.Config{
 		Boards:  boards,
 		Workers: workers,
@@ -294,12 +299,93 @@ func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
 		log.Printf("apiaryd: board %d scheduled to die at cycle %d", kill, killAt)
 	}
 
-	fl.Run(cycles)
+	// Chunked run under a mutex, exactly like single-board mode: handlers
+	// only ever observe the fleet between Run calls, i.e. at epoch barriers,
+	// where every aggregator read is race-free by the barrier's
+	// happens-before edge.
+	var mu sync.Mutex
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			st := fl.Status(0, 0)
+			fmt.Fprintf(rw, "cycle %d epochs %d relayed %d lost %d\n",
+				st.Now, st.Epochs, st.Relayed, st.Lost)
+			for _, b := range st.Boards {
+				fmt.Fprintf(rw, "board %d dead=%v delivered=%d quar=%d events=%d\n",
+					b.ID, b.Dead, b.Delivered, b.Quarantines, b.Events)
+			}
+		})
+		mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			fl.WriteProm(rw)
+		})
+		mux.HandleFunc("/events.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = fl.WriteEventsJSON(rw)
+		})
+		mux.HandleFunc("/trace.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = fl.WriteTraceJSON(rw)
+		})
+		mux.HandleFunc("/fleet.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(rw).Encode(fl.Status(128, 64))
+		})
+		go func() {
+			log.Printf("apiaryd: serving fleet stats on %s", httpAddr)
+			log.Fatal(http.ListenAndServe(httpAddr, mux))
+		}()
+	}
 
+	chunk := 200 * fl.Epoch()
+	nextLog := cycles + 1
+	if statsEvery > 0 {
+		nextLog = statsEvery
+	}
+	for fl.Now() < cycles {
+		mu.Lock()
+		step := chunk
+		if remaining := cycles - fl.Now(); remaining < step {
+			step = remaining
+		}
+		fl.Run(step)
+		now := fl.Now()
+		mu.Unlock()
+		if now >= nextLog {
+			log.Printf("apiaryd: fleet cycle %d, epoch %d", now, fl.Aggregator().Epochs())
+			for nextLog <= now {
+				nextLog += statsEvery
+			}
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
 	fmt.Printf("apiaryd: fleet finished at cycle %d\n", fl.Now())
-	fmt.Printf("fleet: relayed=%d lost=%d dropped_to_dead=%d failovers=%d rebinds=%d\n",
+	fmt.Printf("fleet: relayed=%d lost=%d dropped_to_dead=%d failovers=%d rebinds=%d traced_hops=%d\n",
 		fl.Relayed(), fl.LostFrames(), fl.DroppedToDead(),
-		fl.Orchestrator().Failovers(), fl.Directory().Rebinds())
+		fl.Orchestrator().Failovers(), fl.Directory().Rebinds(), fl.TracedLinkFrames())
+	for _, r := range fl.ServiceRollups() {
+		fmt.Printf("service %q: served=%d rpcs=%d p50=%.0fcy p99=%.0fcy replicas=%d\n",
+			r.Name, r.Served, r.RPCs, r.P50, r.P99, r.Replicas)
+	}
+	if evs := fl.MergedEvents(); len(evs) > 0 {
+		fmt.Printf("decision log (%d events, last %d):\n", len(evs), min(8, len(evs)))
+		for _, e := range evs[max(0, len(evs)-8):] {
+			fmt.Printf("  cy=%-10d board=%-3d %-10s %s (%s)\n",
+				e.Cycle, e.Board, e.Kind, e.Detail, e.Cause)
+		}
+	}
 	for _, name := range fl.Directory().Names() {
 		ep, _ := fl.Directory().Lookup(name)
 		fmt.Printf("service %q: primary board %d (node %d flow %d), %d backends\n",

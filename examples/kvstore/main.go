@@ -51,7 +51,7 @@ func main() {
 	client := apiary.NewSoftClient(sys, 100,
 		apiary.LinkConfig{Gbps: 100, LatencyNs: 1000, LossProb: 0.02})
 	var replies [][]byte
-	client.OnDatagram(func(_ apiary.NetNodeID, _ uint16, data []byte) {
+	client.OnDatagram(func(_ apiary.NetNodeID, _ uint16, data []byte, _ apiary.TraceCtx) {
 		replies = append(replies, data)
 	})
 

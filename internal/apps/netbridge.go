@@ -30,18 +30,29 @@ type NetBridge struct {
 	listened  bool
 	listenSeq uint32
 	nextSeq   uint32
-	pend      map[uint32]msg.NetAddr
+	pend      map[uint32]bridgePend
 	out       outQ
 	busyTil   sim.Cycle
 
 	// Served counts datagrams answered.
 	Served uint64
+	// ServedC, when set, mirrors Served into a stats counter (atomic, so
+	// tick-phase safe); the fleet wiring points it at the per-service
+	// goodput counter the aggregator rolls up.
+	ServedC *sim.Counter
+}
+
+// bridgePend remembers a forwarded datagram's reply address and trace
+// context while the on-board request is in flight.
+type bridgePend struct {
+	addr msg.NetAddr
+	tc   msg.TraceCtx
 }
 
 // NewNetBridge builds a bridge listening on flow. Configure Target or
 // Process before loading.
 func NewNetBridge(flow uint16) *NetBridge {
-	return &NetBridge{Flow: flow, pend: make(map[uint32]msg.NetAddr)}
+	return &NetBridge{Flow: flow, pend: make(map[uint32]bridgePend)}
 }
 
 // Name implements accel.Accelerator.
@@ -53,7 +64,7 @@ func (b *NetBridge) Contexts() int { return 1 }
 // Reset implements accel.Accelerator.
 func (b *NetBridge) Reset() {
 	b.listened = false
-	b.pend = make(map[uint32]msg.NetAddr)
+	b.pend = make(map[uint32]bridgePend)
 	b.out = outQ{}
 	b.busyTil = 0
 }
@@ -98,9 +109,10 @@ func (b *NetBridge) handle(m *msg.Message, now sim.Cycle) {
 		if b.Target != 0 {
 			seq := b.nextSeq
 			b.nextSeq++
-			b.pend[seq] = ind.Remote
+			b.pend[seq] = bridgePend{addr: ind.Remote, tc: m.Trace}
 			b.out.push(now, &msg.Message{
 				Type: msg.TRequest, DstSvc: b.Target, Seq: seq, Payload: ind.Data,
+				Trace: m.Trace,
 			})
 			return
 		}
@@ -119,27 +131,39 @@ func (b *NetBridge) handle(m *msg.Message, now sim.Cycle) {
 			b.busyTil += b.BaseCycles
 			at = b.busyTil
 		}
-		b.Served++
-		b.out.push(at, b.netReply(ind.Remote, reply))
+		b.serve()
+		b.out.push(at, b.netReply(ind.Remote, reply, m.Trace))
 	case msg.TReply:
 		// The listen ack carries listenSeq, which is never in pend, so it
 		// falls through harmlessly.
-		if addr, ok := b.pend[m.Seq]; ok {
+		if pe, ok := b.pend[m.Seq]; ok {
 			delete(b.pend, m.Seq)
-			b.Served++
-			b.out.push(now, b.netReply(addr, m.Payload))
+			b.serve()
+			tc := m.Trace
+			if !tc.Valid() {
+				tc = pe.tc
+			}
+			b.out.push(now, b.netReply(pe.addr, m.Payload, tc))
 		}
 	case msg.TError:
-		if addr, ok := b.pend[m.Seq]; ok {
+		if pe, ok := b.pend[m.Seq]; ok {
 			delete(b.pend, m.Seq)
-			b.out.push(now, b.netReply(addr, []byte{0xFF, byte(m.Err)}))
+			b.out.push(now, b.netReply(pe.addr, []byte{0xFF, byte(m.Err)}, pe.tc))
 		}
 	}
 }
 
-func (b *NetBridge) netReply(addr msg.NetAddr, data []byte) *msg.Message {
+func (b *NetBridge) serve() {
+	b.Served++
+	if b.ServedC != nil {
+		b.ServedC.Inc()
+	}
+}
+
+func (b *NetBridge) netReply(addr msg.NetAddr, data []byte, tc msg.TraceCtx) *msg.Message {
 	return &msg.Message{
 		Type: msg.TNetSend, DstSvc: msg.SvcNet,
 		Payload: msg.EncodeNetSendReq(msg.NetSendReq{Remote: addr, Data: data}),
+		Trace:   tc,
 	}
 }

@@ -50,7 +50,7 @@ func TestDirectAttachedRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []byte
-	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { got = data })
 	req := []byte("direct-attached request")
 	if err := client.Send(1, 80, req); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestNetBridgeForwardsToService(t *testing.T) {
 		t.Fatal(err)
 	}
 	var replies [][]byte
-	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) {
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) {
 		replies = append(replies, data)
 	})
 	_ = client.Send(1, 81, EncodeKVReq(KVPut, "city", "banff"))
@@ -126,7 +126,7 @@ func TestNetBridgeErrorsSurfaceToClient(t *testing.T) {
 	s.Run(1000)
 	s.Kernel.Monitor(app.Placed[1].Tile).ForceFault(0, accel.FaultExplicit)
 	var got []byte
-	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { got = data })
 	_ = client.Send(1, 82, EncodeKVReq(KVGet, "k", ""))
 	if !s.RunUntil(func() bool { return got != nil }, 5_000_000) {
 		t.Fatal("client hung on fail-stopped backend")

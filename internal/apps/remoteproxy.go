@@ -33,6 +33,29 @@ type RemoteProxy struct {
 	// Flow is the local flow replies arrive on.
 	Flow uint16
 
+	// TraceEvery, when > 0, originates a distributed-trace context on
+	// 1-in-TraceEvery forwarded requests (by the proxy's own deterministic
+	// request counter — never the simulation RNG, so runs are bit-exact with
+	// tracing off or on). The context propagates across the cluster link and
+	// back, producing one stitched multi-board span tree per traced request.
+	TraceEvery int
+	// TraceOrigin is the board ID stamped into originated contexts.
+	TraceOrigin uint16
+	// TraceSalt makes trace IDs fleet-unique across proxies (the cluster
+	// wiring derives it from board and service identity).
+	TraceSalt uint64
+
+	// ForwardedC, when set, mirrors Forwarded into a stats counter
+	// (tick-phase safe: sim.Counter is atomic).
+	ForwardedC *sim.Counter
+	// Lat, when set, observes request→reply round-trip cycles. Histogram is
+	// normally commit-phase only; this one is a documented exception: it is
+	// EXCLUSIVE to this proxy (one writer, the tile's shard worker), so
+	// observation order equals the tile's deterministic event order, and
+	// readers only look at epoch barriers where the cluster's WaitGroup edge
+	// orders the memory — race-free and order-deterministic.
+	Lat *sim.Histogram
+
 	listened bool
 	nextSeq  uint32
 	pend     map[uint32]pendEntry
@@ -46,6 +69,15 @@ type RemoteProxy struct {
 // received on replyFlow.
 func NewRemoteProxy(remote msg.NetAddr, replyFlow uint16) *RemoteProxy {
 	return &RemoteProxy{Remote: remote, Flow: replyFlow, pend: make(map[uint32]pendEntry)}
+}
+
+// traceHash is one splitmix64 mixing step: well-distributed trace/span IDs
+// from the proxy's deterministic counters, independent of simulation RNG.
+func traceHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // EncodeProxyFrame frames a proxied request/reply datagram.
@@ -110,8 +142,22 @@ func (r *RemoteProxy) handle(m *msg.Message, now sim.Cycle) {
 	case msg.TRequest:
 		seq := r.nextSeq
 		r.nextSeq++
-		r.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
+		tc := m.Trace
+		if !tc.Valid() && r.TraceEvery > 0 && seq%uint32(r.TraceEvery) == 0 {
+			id := traceHash(r.TraceSalt ^ (uint64(seq) + 1))
+			if id == 0 {
+				id = 1
+			}
+			tc = msg.TraceCtx{ID: id, Origin: r.TraceOrigin}
+		}
+		if tc.Valid() {
+			tc.Span = traceHash(tc.ID ^ uint64(seq))
+		}
+		r.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq, tc: tc, sentAt: now}
 		r.Forwarded++
+		if r.ForwardedC != nil {
+			r.ForwardedC.Inc()
+		}
 		remote := r.Remote
 		if r.Resolve != nil {
 			remote = r.Resolve()
@@ -122,6 +168,7 @@ func (r *RemoteProxy) handle(m *msg.Message, now sim.Cycle) {
 				Remote: remote,
 				Data:   EncodeProxyFrame(seq, m.Payload),
 			}),
+			Trace: tc,
 		})
 	case msg.TNetRecv:
 		ind, err := msg.DecodeNetRecvInd(m.Payload)
@@ -137,9 +184,17 @@ func (r *RemoteProxy) handle(m *msg.Message, now sim.Cycle) {
 			return
 		}
 		delete(r.pend, seq)
+		if r.Lat != nil {
+			r.Lat.Observe(float64(now - pe.sentAt))
+		}
+		tc := m.Trace
+		if !tc.Valid() {
+			tc = pe.tc
+		}
 		r.out.push(now, &msg.Message{
 			Type: msg.TReply, DstTile: pe.tile, DstCtx: pe.ctx, Seq: pe.seq,
 			Payload: append([]byte(nil), payload...),
+			Trace:   tc,
 		})
 	case msg.TReply, msg.TError:
 		// Listen ack or netstack error; nothing to correlate.

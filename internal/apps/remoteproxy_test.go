@@ -64,7 +64,7 @@ func newCPUService(t *testing.T, s *core.System) netsim.NodeID {
 	t.Helper()
 	const node = netsim.NodeID(77)
 	ep := newSoft(t, s, node)
-	ep.OnDatagram(func(remote netsim.NodeID, flow uint16, data []byte) {
+	ep.OnDatagram(func(remote netsim.NodeID, flow uint16, data []byte, _ msg.TraceCtx) {
 		seq, payload, ok := DecodeProxyFrame(data)
 		if !ok {
 			return

@@ -30,11 +30,14 @@ type StageConfig struct {
 }
 
 // pendEntry remembers the original requester while a downstream call is in
-// flight.
+// flight, plus the request's sideband trace context and send cycle (for
+// proxy RTT observation).
 type pendEntry struct {
-	tile msg.TileID
-	ctx  uint8
-	seq  uint32
+	tile   msg.TileID
+	ctx    uint8
+	seq    uint32
+	tc     msg.TraceCtx
+	sentAt sim.Cycle
 }
 
 // timedMsg is a message that becomes sendable at a given cycle.
@@ -153,9 +156,10 @@ func (s *Stage) handle(p accel.Port, m *msg.Message, now sim.Cycle) {
 		// Forward downstream; remember who asked.
 		seq := s.nextSeq
 		s.nextSeq++
-		s.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq}
+		s.pend[seq] = pendEntry{tile: m.SrcTile, ctx: m.SrcCtx, seq: m.Seq, tc: m.Trace}
 		s.out.push(done, &msg.Message{
 			Type: msg.TRequest, DstSvc: s.cfg.Next, Seq: seq, Payload: out,
+			Trace: m.Trace,
 		})
 	case msg.TReply, msg.TError:
 		pe, ok := s.pend[m.Seq]
@@ -165,7 +169,10 @@ func (s *Stage) handle(p accel.Port, m *msg.Message, now sim.Cycle) {
 		delete(s.pend, m.Seq)
 		r := &msg.Message{
 			Type: m.Type, Err: m.Err, DstTile: pe.tile, DstCtx: pe.ctx,
-			Seq: pe.seq, Payload: m.Payload,
+			Seq: pe.seq, Payload: m.Payload, Trace: m.Trace,
+		}
+		if !r.Trace.Valid() {
+			r.Trace = pe.tc
 		}
 		s.out.push(now, r)
 	}

@@ -100,6 +100,7 @@ var All = []Experiment{
 	{"e17", "Graceful degradation: load shedding and health-aware failover", E17Degrade},
 	{"e18", "Express-channel bypass: hit rate vs offered load", E18Express},
 	{"e19", "Multi-board fleet: cross-board RPC and whole-board failover", E19Fleet},
+	{"e20", "Fleet observability: distributed tracing as pure observation", E20FleetObs},
 }
 
 // ByID finds an experiment.

@@ -532,3 +532,43 @@ func TestE19Deterministic(t *testing.T) {
 		t.Fatalf("E19 not deterministic:\n%s\n---\n%s", a.String(), b.String())
 	}
 }
+
+func TestE20FleetObs(t *testing.T) {
+	r := E20FleetObs()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (off, 1-in-64, every): %s", len(r.Rows), r.String())
+	}
+	base := cellF(t, r, 0, "CompleteCy")
+	for i := range r.Rows {
+		if ok := cellF(t, r, i, "OK"); ok != 24 {
+			t.Fatalf("row %d: OK = %v, want 24\n%s", i, ok, r.String())
+		}
+		if cy := cellF(t, r, i, "CompleteCy"); cy != base {
+			t.Fatalf("row %d: CompleteCy %v != %v — tracing perturbed the simulation\n%s",
+				i, cy, base, r.String())
+		}
+	}
+	if cellF(t, r, 0, "TracedHops") != 0 || cellF(t, r, 0, "Spans") != 0 {
+		t.Fatalf("tracing-off row recorded telemetry:\n%s", r.String())
+	}
+	if cellF(t, r, 2, "TracedHops") == 0 || cellF(t, r, 2, "Spans") == 0 {
+		t.Fatalf("every-packet row recorded nothing:\n%s", r.String())
+	}
+	if cellF(t, r, 2, "TracedHops") <= cellF(t, r, 1, "TracedHops") {
+		t.Fatalf("traced hops did not grow with sampling rate:\n%s", r.String())
+	}
+	if cellF(t, r, 1, "echo-p50cy") <= 0 || cellF(t, r, 1, "echo-p99cy") <= 0 {
+		t.Fatalf("service rollup quantiles missing:\n%s", r.String())
+	}
+	joined := strings.Join(r.Notes, "\n")
+	if strings.Contains(joined, "DETERMINISM VIOLATION") {
+		t.Fatalf("determinism violation:\n%s", r.String())
+	}
+}
+
+func TestE20Deterministic(t *testing.T) {
+	a, b := E20FleetObs(), E20FleetObs()
+	if a.String() != b.String() {
+		t.Fatalf("E20 not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

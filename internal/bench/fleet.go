@@ -36,26 +36,29 @@ func e19Fleet(replicas int) (*cluster.Fleet, []cluster.Endpoint, error) {
 	}
 	eps, err := fl.Orchestrator().DeployService(cluster.ServiceDeployment{
 		Name: "echo", Svc: e19Svc, Flow: e19Flow, Replicas: replicas,
-		Spec: func(r int) core.AppSpec {
-			return core.AppSpec{
-				Name: fmt.Sprintf("echo-r%d", r),
-				Accels: []core.AppAccel{{
-					Name: "stage", Service: e19Svc,
-					New: func() accel.Accelerator {
-						return apps.NewStage(apps.StageConfig{
-							Name:    "echo",
-							Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
-						})
-					},
-				}},
-			}
-		},
+		Spec: e19ReplicaSpec,
 	})
 	if err != nil {
 		fl.Close()
 		return nil, nil, err
 	}
 	return fl, eps, nil
+}
+
+// e19ReplicaSpec builds one echo replica app (shared with E20).
+func e19ReplicaSpec(r int) core.AppSpec {
+	return core.AppSpec{
+		Name: fmt.Sprintf("echo-r%d", r),
+		Accels: []core.AppAccel{{
+			Name: "stage", Service: e19Svc,
+			New: func() accel.Accelerator {
+				return apps.NewStage(apps.StageConfig{
+					Name:    "echo",
+					Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK },
+				})
+			},
+		}},
+	}
 }
 
 // e19Client is a resilient requester: app-level retries cover both the

@@ -51,7 +51,7 @@ func closedLoop(e *sim.Engine, ep *netstack.SoftEndpoint, size, n int) *sim.Hist
 	}
 	var t0 sim.Cycle
 	done := 0
-	ep.OnDatagram(func(_ netsim.NodeID, _ uint16, _ []byte) {
+	ep.OnDatagram(func(_ netsim.NodeID, _ uint16, _ []byte, _ msg.TraceCtx) {
 		h.Observe(float64(e.Now() - t0))
 		done++
 		if done < n {

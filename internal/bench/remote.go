@@ -67,7 +67,7 @@ func E14RemoteService() Result {
 		const cpuNode = netsim.NodeID(77)
 		cpu := netstack.NewSoftEndpoint(sys.Engine, sys.Stats, sys.Fabric, cpuNode,
 			netsim.LinkConfig{Gbps: 100, LatencyNs: linkLatNs})
-		cpu.OnDatagram(func(remote netsim.NodeID, _ uint16, data []byte) {
+		cpu.OnDatagram(func(remote netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) {
 			seq, payload, ok := apps.DecodeProxyFrame(data)
 			if !ok {
 				return

@@ -35,6 +35,7 @@ import (
 
 	"apiary/internal/core"
 	"apiary/internal/netsim"
+	"apiary/internal/obs"
 	"apiary/internal/sim"
 )
 
@@ -127,6 +128,14 @@ type Fleet struct {
 	dir       *Directory
 	orch      *Orchestrator
 	kills     []scheduledKill
+	agg       *obs.Aggregator
+
+	// linkLog records traced frames' cluster-link traversals, written by the
+	// coordinator during exchange (deterministic order). Bounded: the first
+	// linkCap hops are kept, later ones only counted.
+	linkLog   []obs.LinkHop
+	linkCap   int
+	linkTotal uint64
 
 	// OnEpoch, when set, runs on the coordinator after every barrier
 	// (exchange + orchestrator scan) — the deterministic place for
@@ -173,6 +182,8 @@ func New(cfg Config) (*Fleet, error) {
 		nodeBoard: make(map[netsim.NodeID]int),
 		rng:       sim.NewRNG(mix64(cfg.Seed ^ 0xF1EE7)),
 		dir:       NewDirectory(),
+		agg:       obs.NewAggregator(),
+		linkCap:   defaultLinkLogCap,
 	}
 	for i := 0; i < cfg.Boards; i++ {
 		bc := cfg.Board
@@ -189,6 +200,10 @@ func New(cfg Config) (*Fleet, error) {
 		b := &Board{ID: i, Sys: sys, Node: bc.NodeID, fleet: f}
 		f.boards = append(f.boards, b)
 		f.nodeBoard[b.Node] = i
+		f.agg.AddSource(obs.Source{
+			Board: i, Stats: sys.Stats, Wins: sys.Windows,
+			Rec: sys.Obs, Events: sys.Events,
+		})
 	}
 	if f.cfg.Link.Gbps == 0 {
 		f.cfg.Link.Gbps = f.boards[0].Sys.Board.NewEthernet().LineRateGbps()
@@ -264,6 +279,11 @@ func (f *Fleet) KillBoard(board int) {
 	if !b.dead {
 		b.dead = true
 		b.deadEpoch = f.epochN
+		f.agg.FleetEvents().Add(obs.Event{
+			Cycle: f.now, Board: board, Kind: obs.EvBoardKill,
+			Cause:  "injected whole-board loss",
+			Detail: fmt.Sprintf("board %d stopped ticking at epoch %d", board, f.epochN),
+		})
 	}
 }
 
@@ -327,6 +347,10 @@ func (f *Fleet) runEpoch(step sim.Cycle) {
 	f.applyKills()
 	f.exchange()
 	f.orch.epochTick()
+	// The barrier pulse: every board goroutine is parked (the WaitGroup
+	// above is the happens-before edge), so the aggregator's reads of board
+	// counters are race-free and see exactly the epoch's end state.
+	f.agg.Pulse(f.now)
 	if f.OnEpoch != nil {
 		f.OnEpoch(f.now)
 	}
@@ -349,6 +373,18 @@ func (f *Fleet) exchange() {
 				continue
 			}
 			f.relayed++
+			if rf.fr.Trace.Valid() {
+				// Trace the cluster hop: the frame left src at the send
+				// cycle (arrival minus propagation) and lands at rf.at.
+				// Pure observation — recorded after the delivery decision.
+				f.linkTotal++
+				if len(f.linkLog) < f.linkCap {
+					f.linkLog = append(f.linkLog, obs.LinkHop{
+						Trace: rf.fr.Trace, SrcBoard: src.ID, DstBoard: rf.dst,
+						Depart: rf.at - f.prop, Arrive: rf.at,
+					})
+				}
+			}
 			_ = dst.Sys.Fabric.InjectAt(rf.fr, rf.at)
 		}
 		src.outbox = src.outbox[:0]

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"io"
+
+	"apiary/internal/obs"
+	"apiary/internal/sim"
+)
+
+// This file is the fleet's observability surface: the metrics federation
+// glue between per-board telemetry (sim.Stats, obs.Recorder, obs.EventLog)
+// and the fleet-level views (merged Prometheus text, the stitched
+// multi-board trace, the merged decision log, the dashboard payload).
+//
+// Everything here is coordinator-side and barrier-synchronized: callers
+// must only invoke these methods between epochs (or after the fleet is
+// done), where the epoch WaitGroup gives the happens-before edge over every
+// board goroutine. That is the same edge the frame exchange relies on, so
+// observation adds no locks and cannot perturb the simulation.
+
+// defaultLinkLogCap bounds the traced cluster-hop log.
+const defaultLinkLogCap = 4096
+
+// Aggregator returns the fleet metrics federation point.
+func (f *Fleet) Aggregator() *obs.Aggregator { return f.agg }
+
+// LinkHops returns the retained traced cluster-link traversals, in exchange
+// order (deterministic).
+func (f *Fleet) LinkHops() []obs.LinkHop {
+	return append([]obs.LinkHop(nil), f.linkLog...)
+}
+
+// TracedLinkFrames reports how many cross-board frames carried a trace
+// context (including hops past the log cap).
+func (f *Fleet) TracedLinkFrames() uint64 { return f.linkTotal }
+
+// Barriers lists the epoch-barrier cycles retained by the pulse ring.
+func (f *Fleet) Barriers() []sim.Cycle {
+	ps := f.agg.Pulses()
+	out := make([]sim.Cycle, len(ps))
+	for i, p := range ps {
+		out[i] = p.Cycle
+	}
+	return out
+}
+
+// ClusterGauges are the fleet-level counters no single board owns: frame
+// exchange volume, cluster-link drops, and naming-plane churn.
+func (f *Fleet) ClusterGauges() []obs.FleetGauge {
+	return []obs.FleetGauge{
+		{Name: "fleet.frames_relayed", Value: f.relayed},
+		{Name: "fleet.frames_lost", Value: f.lost},
+		{Name: "fleet.frames_to_dead", Value: f.toDead},
+		{Name: "fleet.traced_link_frames", Value: f.linkTotal},
+		{Name: "fleet.failovers", Value: f.orch.Failovers()},
+		{Name: "fleet.rebinds", Value: f.dir.Rebinds()},
+	}
+}
+
+// ServiceRollups computes the per-service fleet summary for every directory
+// name: goodput from the replicas' gateway bridges, client-observed RPC
+// latency from the connected proxies.
+func (f *Fleet) ServiceRollups() []obs.ServiceRollup {
+	names := f.dir.Names()
+	replicas := make(map[string]int, len(names))
+	for _, n := range names {
+		replicas[n] = len(f.dir.Backends(n))
+	}
+	return f.agg.ServiceRollups(names, replicas)
+}
+
+// WriteProm renders the federated Prometheus text for the whole fleet.
+func (f *Fleet) WriteProm(w io.Writer) {
+	f.agg.WriteFleetProm(w, f.now, f.boards[0].Sys.Engine.ClockMHz(),
+		f.ClusterGauges(), f.ServiceRollups())
+}
+
+// MergedEvents is the fleet decision log: every board's kernel log plus the
+// orchestrator's, on one (cycle, board)-sorted timeline.
+func (f *Fleet) MergedEvents() []obs.Event { return f.agg.MergedEvents() }
+
+// WriteEventsJSON renders the merged decision log (the /events.json body).
+func (f *Fleet) WriteEventsJSON(w io.Writer) error {
+	return obs.WriteEventsJSON(w, f.MergedEvents())
+}
+
+// WriteTraceJSON renders the stitched multi-board Chrome/Perfetto timeline:
+// per-board process rows of trace-carrying spans, the cluster-link row, and
+// epoch-barrier markers (the /trace.json body).
+func (f *Fleet) WriteTraceJSON(w io.Writer) error {
+	boards := make([]obs.BoardSpans, 0, len(f.boards))
+	for _, b := range f.boards {
+		boards = append(boards, obs.BoardSpans{
+			Board: b.ID, Entries: b.Sys.Obs.Entries(),
+		})
+	}
+	return obs.ExportFleetChrome(w, boards, f.linkLog, f.Barriers(),
+		float64(f.boards[0].Sys.Engine.ClockMHz()))
+}
+
+// BoardStatus is one board's row in the fleet dashboard.
+type BoardStatus struct {
+	ID          int    `json:"id"`
+	Dead        bool   `json:"dead"`
+	Delivered   uint64 `json:"delivered"`
+	Quarantines uint64 `json:"quarantines"`
+	Recoveries  uint64 `json:"recoveries"`
+	Failovers   uint64 `json:"failovers"`
+	Spans       uint64 `json:"spans"`
+	Events      uint64 `json:"events"`
+}
+
+// FleetStatus is the dashboard payload behind /fleet.json and the
+// `apiaryctl fleet` view: fleet shape, per-board health/goodput, the recent
+// pulse tail (the heatmap strip), the decision-log tail, and the
+// per-service rollups.
+type FleetStatus struct {
+	Now      sim.Cycle           `json:"now"`
+	ClockMHz uint64              `json:"clock_mhz"`
+	Epoch    sim.Cycle           `json:"epoch_cycles"`
+	Epochs   uint64              `json:"epochs"`
+	Relayed  uint64              `json:"relayed"`
+	Lost     uint64              `json:"lost"`
+	ToDead   uint64              `json:"to_dead"`
+	Rebinds  uint64              `json:"rebinds"`
+	Boards   []BoardStatus       `json:"boards"`
+	Pulses   []obs.Pulse         `json:"pulses"`
+	Events   []obs.Event         `json:"events"`
+	Services []obs.ServiceRollup `json:"services"`
+}
+
+// Status assembles the dashboard payload, retaining at most pulseTail
+// pulses and eventTail events (0 keeps everything retained).
+func (f *Fleet) Status(pulseTail, eventTail int) FleetStatus {
+	st := FleetStatus{
+		Now:      f.now,
+		ClockMHz: f.boards[0].Sys.Engine.ClockMHz(),
+		Epoch:    f.epoch,
+		Epochs:   f.agg.Epochs(),
+		Relayed:  f.relayed,
+		Lost:     f.lost,
+		ToDead:   f.toDead,
+		Rebinds:  f.dir.Rebinds(),
+		Services: f.ServiceRollups(),
+	}
+	for _, b := range f.boards {
+		k := b.Sys.Kernel
+		st.Boards = append(st.Boards, BoardStatus{
+			ID: b.ID, Dead: b.dead,
+			Delivered:   b.Sys.Stats.Counter("noc.msgs_delivered").Value(),
+			Quarantines: k.Quarantines(),
+			Recoveries:  k.Recoveries(),
+			Failovers:   k.Failovers(),
+			Spans:       b.Sys.Obs.Total(),
+			Events:      b.Sys.Events.Total(),
+		})
+	}
+	st.Pulses = tail(f.agg.Pulses(), pulseTail)
+	st.Events = tail(f.MergedEvents(), eventTail)
+	return st
+}
+
+// tail keeps the last n elements (0 = all).
+func tail[T any](s []T, n int) []T {
+	if n > 0 && len(s) > n {
+		s = s[len(s)-n:]
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 	"apiary/internal/core"
 	"apiary/internal/manifest"
 	"apiary/internal/msg"
+	"apiary/internal/obs"
 )
 
 // Placement records where the orchestrator put an application.
@@ -74,7 +75,27 @@ func (o *Orchestrator) PlaceApp(spec core.AppSpec) (int, error) {
 		return -1, err
 	}
 	o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+	o.event(board, obs.EvPlacement, "best-fit",
+		fmt.Sprintf("app %q placed on board %d", spec.Name, board))
 	return board, nil
+}
+
+// event records one orchestrator decision in the fleet log.
+func (o *Orchestrator) event(board int, kind obs.EventKind, cause, detail string) {
+	o.f.agg.FleetEvents().Add(obs.Event{
+		Cycle: o.f.now, Board: board, Kind: kind, Cause: cause, Detail: detail,
+	})
+}
+
+// hashName is FNV-1a over the service name — the deterministic ingredient
+// that makes per-service trace-ID salts fleet-unique.
+func hashName(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 // PlaceManifest parses a JSON manifest (one app or a list) and places each
@@ -125,6 +146,14 @@ func (o *Orchestrator) DeployService(dep ServiceDeployment) ([]Endpoint, error) 
 	var eps []Endpoint
 	for r := 0; r < dep.Replicas; r++ {
 		spec := dep.Spec(r)
+		// Pick the board before building the bridge closure so the gateway
+		// can mirror its serve count into that board's stats under the
+		// fleet-wide per-service name (the rollup's goodput source).
+		board, err := o.pickBoard(len(spec.Accels)+1, used)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
+		}
+		served := o.f.boards[board].Sys.Stats.Counter(obs.ServiceServedCounter(dep.Name))
 		spec.Accels = append(spec.Accels, core.AppAccel{
 			Name:    "fleetgw",
 			WantNet: true,
@@ -132,18 +161,18 @@ func (o *Orchestrator) DeployService(dep ServiceDeployment) ([]Endpoint, error) 
 			New: func() accel.Accelerator {
 				b := apps.NewNetBridge(dep.Flow)
 				b.Target = dep.Svc
+				b.ServedC = served
 				return b
 			},
 		})
-		board, err := o.pickBoard(len(spec.Accels), used)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
-		}
 		if _, err := o.f.boards[board].Sys.Kernel.LoadApp(spec); err != nil {
 			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
 		}
 		used[board] = true
 		o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+		o.event(board, obs.EvDeploy, "anti-affinity spread",
+			fmt.Sprintf("service %q replica %d on board %d flow %d",
+				dep.Name, r, board, dep.Flow))
 		eps = append(eps, Endpoint{
 			Board: board,
 			Addr:  msg.NetAddr{Node: uint32(o.f.boards[board].Node), Flow: dep.Flow},
@@ -174,6 +203,9 @@ func (o *Orchestrator) ConnectClient(board int, localSvc msg.ServiceID, name str
 		}
 	}
 	resolve := o.dir.Resolver(name)
+	bsys := o.f.boards[board].Sys
+	traceEvery := o.f.cfg.Board.SpanSampleEvery
+	salt := mix64(o.f.cfg.Seed ^ mix64(uint64(board)+1) ^ hashName(name))
 	spec := core.AppSpec{
 		Name:    fmt.Sprintf("fleet-proxy-%s", name),
 		Exports: []msg.ServiceID{localSvc},
@@ -184,6 +216,17 @@ func (o *Orchestrator) ConnectClient(board int, localSvc msg.ServiceID, name str
 			New: func() accel.Accelerator {
 				p := apps.NewRemoteProxy(ep.Addr, dep0Flow(ep))
 				p.Resolve = resolve
+				// Distributed tracing originates here, at the same 1-in-N
+				// rate as the board's span sampler, salted so trace IDs are
+				// unique across (board, service) proxies. Lat mirrors the
+				// client-observed RPC round trip into this board's stats
+				// under the fleet per-service name (the rollup's latency
+				// source; see the field docs for the safety argument).
+				p.TraceEvery = traceEvery
+				p.TraceOrigin = uint16(board)
+				p.TraceSalt = salt
+				p.ForwardedC = bsys.Stats.Counter("fleet.proxy.forwarded")
+				p.Lat = bsys.Stats.Histogram(obs.ServiceRPCHist(name))
 				return p
 			},
 		}},
@@ -192,6 +235,8 @@ func (o *Orchestrator) ConnectClient(board int, localSvc msg.ServiceID, name str
 		return err
 	}
 	o.placements = append(o.placements, Placement{App: spec.Name, Board: board})
+	o.event(board, obs.EvConnect, "client doorway",
+		fmt.Sprintf("proxy for %q on board %d (svc %d)", name, board, localSvc))
 	return nil
 }
 
@@ -218,8 +263,13 @@ func (o *Orchestrator) epochTick() {
 		for k := 1; k <= n; k++ {
 			idx := (en.primary + k) % n
 			if !o.f.boards[en.backends[idx].Board].dead {
+				old := en.backends[en.primary].Board
 				_ = o.dir.SetPrimary(name, idx)
 				o.failovers++
+				o.event(en.backends[idx].Board, obs.EvRebind,
+					fmt.Sprintf("board %d dead", old),
+					fmt.Sprintf("service %q primary board %d -> %d",
+						name, old, en.backends[idx].Board))
 				break
 			}
 		}

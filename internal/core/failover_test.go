@@ -161,12 +161,12 @@ func TestFailoverPreference(t *testing.T) {
 		t.Fatalf("group bound to tile %d, want %d", tile, tileC)
 	}
 
-	k.quarantine(k.tiles[tileC])
+	k.quarantine(k.tiles[tileC], "test")
 	if p, _ := k.GroupPrimary(svcGroup); p != svcRepB {
 		t.Fatalf("primary after C died = %d, want degraded B (%d) as last resort", p, svcRepB)
 	}
 
-	k.quarantine(k.tiles[tileB])
+	k.quarantine(k.tiles[tileB], "test")
 	if p, _ := k.GroupPrimary(svcGroup); p != svcRepB {
 		t.Fatal("no-survivor failover moved the binding")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"apiary/internal/cap"
 	"apiary/internal/msg"
+	"apiary/internal/obs"
 )
 
 // This file implements health-aware replica groups: a virtual service name
@@ -176,8 +177,13 @@ func (k *Kernel) failover(g *replicaGroup) {
 	if next < 0 {
 		return
 	}
+	old := g.members[g.primary]
 	g.primary = next
 	tile := k.services[g.members[next]]
+	k.events.Record(k.engine.Now(), obs.EvFailover,
+		fmt.Sprintf("primary %d %s", old, k.health[old]),
+		fmt.Sprintf("group %d re-bound %d -> %d (tile %d)",
+			g.svc, old, g.members[next], tile))
 	// Fence in-flight sends against the old primary: the generation bump
 	// bounces them with ERevoked at the sender's monitor (retryable, budget
 	// exempt), then the fresh capability lands in the same granted slots.

@@ -11,6 +11,7 @@ import (
 	"apiary/internal/monitor"
 	"apiary/internal/msg"
 	"apiary/internal/noc"
+	"apiary/internal/obs"
 	"apiary/internal/sim"
 	"apiary/internal/trace"
 )
@@ -174,6 +175,12 @@ type Kernel struct {
 	quarC       *sim.Counter
 	recovC      *sim.Counter
 	failoversC  *sim.Counter
+
+	// events, when set, is the board's kernel decision log: every
+	// quarantine, recovery, failover and rebind is recorded with its cycle
+	// and cause. Decision sites run in the commit phase on the board
+	// goroutine (single writer), so a plain ring is race-free.
+	events *obs.EventLog
 
 	detect monitor.Detect
 }
@@ -392,7 +399,7 @@ func (k *Kernel) handleFault(m *msg.Message) {
 		}
 		return
 	}
-	if !k.quarantine(ts) {
+	if !k.quarantine(ts, accel.FaultReason(rep.Reason).String()) {
 		// Already quarantined (a recovery is pending or the tile is parked)
 		// or a trusted system tile: nothing further to schedule.
 		return

@@ -10,6 +10,7 @@ import (
 	"apiary/internal/monitor"
 	"apiary/internal/msg"
 	"apiary/internal/noc"
+	"apiary/internal/obs"
 )
 
 // defaultCells is the synthetic bitstream size when a manifest omits it.
@@ -101,6 +102,8 @@ func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
 			})
 		}
 		app.Placed = append(app.Placed, PlacedAccel{Name: a.Name, Tile: tile})
+		k.events.Record(k.engine.Now(), obs.EvPlacement, "load-app",
+			fmt.Sprintf("%s/%s placed on tile %d", spec.Name, a.Name, tile))
 	}
 	for _, svc := range spec.Exports {
 		k.exports[svc] = spec.Name

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"apiary/internal/cap"
 	"apiary/internal/fabric"
 	"apiary/internal/msg"
+	"apiary/internal/obs"
 )
 
 // This file implements fail-stop quarantine and recovery (paper §4.4): when
@@ -27,7 +29,7 @@ func (k *Kernel) region(t msg.TileID) *fabric.Region {
 // quarantined; trusted system tiles ("apiary") are never quarantined — their
 // monitors fail-stop them locally, but the kernel does not revoke system
 // service endpoints out from under every client.
-func (k *Kernel) quarantine(ts *tileState) bool {
+func (k *Kernel) quarantine(ts *tileState, cause string) bool {
 	if ts.app == "" || ts.app == "apiary" {
 		return false
 	}
@@ -36,6 +38,8 @@ func (k *Kernel) quarantine(ts *tileState) bool {
 	}
 	k.quarantined[ts.id] = true
 	k.quarC.Inc()
+	k.events.Record(k.engine.Now(), obs.EvQuarantine, cause,
+		fmt.Sprintf("tile %d (%s) fenced", ts.id, ts.app))
 	// Belt and braces: order the monitor to drain even if it already
 	// fail-stopped itself (idempotent; covers kernel-initiated quarantine).
 	k.sendCtl(ts.id, msg.TCtlDrain, nil)
@@ -78,6 +82,8 @@ func (k *Kernel) recoverTile(ts *tileState) {
 	}
 	delete(k.quarantined, ts.id)
 	k.recovC.Inc()
+	k.events.Record(k.engine.Now(), obs.EvRecover, "pr-reload",
+		fmt.Sprintf("tile %d (%s) re-admitted", ts.id, ts.app))
 	if ts.svc != msg.SvcInvalid {
 		// The member is serviceable again: back to Up in the directory. The
 		// group does not fail back — the current primary keeps the binding

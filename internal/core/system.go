@@ -69,6 +69,9 @@ type SystemConfig struct {
 	WindowCycles sim.Cycle
 	// WindowKeep bounds the snapshot ring. Default obs.DefaultWindowKeep.
 	WindowKeep int
+	// EventCap bounds the kernel decision log (always on). Default
+	// obs.DefaultEventCap.
+	EventCap int
 
 	// Detect configures the per-tile monitor watchdogs (heartbeat,
 	// credit-leak, protocol-violation). The zero value leaves every
@@ -97,6 +100,7 @@ type System struct {
 	NodeID  netsim.NodeID
 	Obs     *obs.Recorder   // nil unless SpanSampleEvery > 0
 	Windows *obs.Windows    // nil unless WindowCycles > 0
+	Events  *obs.EventLog   // kernel decision log, always on
 	Fault   *fault.Injector // nil unless FaultPlan set
 }
 
@@ -172,8 +176,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		BytesPerCycle: bytesPerCycle,
 	})
 
+	s.Events = obs.NewEventLog(cfg.EventCap)
 	s.Kernel = NewKernel(s.Engine, s.Stats, s.Noc, s.Checker, s.Tracer,
 		s.Alloc, !cfg.DisableCaps, cfg.Detect)
+	s.Kernel.events = s.Events
 	if s.Regions != nil {
 		s.Kernel.SetRegions(s.Regions)
 	}

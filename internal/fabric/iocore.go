@@ -2,6 +2,8 @@ package fabric
 
 import (
 	"fmt"
+
+	"apiary/internal/msg"
 )
 
 // This file reproduces the paper's §2 portability problem: vendor IP cores
@@ -17,6 +19,10 @@ import (
 type MACFrame struct {
 	Dst, Src uint64 // 48-bit MAC addresses
 	Payload  []byte
+	// Trace is sideband tracing context; not part of the frame bytes. It
+	// rides through the vendor-core queues untouched so a traced datagram
+	// keeps its identity across the HAL boundary.
+	Trace msg.TraceCtx
 }
 
 // TenGbEthCore mimics a 10G Ethernet subsystem: two-step reset

@@ -11,6 +11,7 @@ package hostos
 
 import (
 	"apiary/internal/energy"
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/netstack"
 	"apiary/internal/sim"
@@ -127,7 +128,7 @@ func (n *Node) pcieCycles(bytes int) sim.Cycle {
 // NIC -> CPU(rx) -> PCIe(to FPGA) -> accel -> PCIe(back) -> CPU(tx) -> NIC.
 // Each stage is a shared resource with its own queue horizon, so the model
 // exhibits real queueing under load, not just fixed latency.
-func (n *Node) onRequest(remote netsim.NodeID, flow uint16, data []byte) {
+func (n *Node) onRequest(remote netsim.NodeID, flow uint16, data []byte, _ msg.TraceCtx) {
 	now := n.engine.Now()
 	n.meter.MACBytes(uint64(len(data)))
 

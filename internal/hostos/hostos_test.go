@@ -3,6 +3,7 @@ package hostos
 import (
 	"testing"
 
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/netstack"
 	"apiary/internal/sim"
@@ -23,7 +24,7 @@ func TestHostedRoundTrip(t *testing.T) {
 		Compute: echoCompute,
 	})
 	var got []byte
-	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	client.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { got = data })
 	start := e.Now()
 	_ = client.Send(1, 7, []byte("hosted request"))
 	if !e.RunUntil(func() bool { return got != nil }, 2_000_000) {
@@ -47,7 +48,7 @@ func TestHostedEnergyCharged(t *testing.T) {
 	client := netstack.NewSoftEndpoint(e, st, fab, 100, netsim.LinkConfig{})
 	n := New(e, st, fab, Config{Node: 1, Compute: echoCompute})
 	done := false
-	client.OnDatagram(func(netsim.NodeID, uint16, []byte) { done = true })
+	client.OnDatagram(func(netsim.NodeID, uint16, []byte, msg.TraceCtx) { done = true })
 	_ = client.Send(1, 1, make([]byte, 256))
 	e.RunUntil(func() bool { return done }, 2_000_000)
 	m := n.Meter()
@@ -74,7 +75,7 @@ func TestCPUQueueingUnderLoad(t *testing.T) {
 		Compute: func(b []byte) ([]byte, sim.Cycle) { return b, 1 },
 	})
 	var arrivals []sim.Cycle
-	client.OnDatagram(func(netsim.NodeID, uint16, []byte) {
+	client.OnDatagram(func(netsim.NodeID, uint16, []byte, msg.TraceCtx) {
 		arrivals = append(arrivals, e.Now())
 	})
 	const N = 16
@@ -98,7 +99,7 @@ func TestCPUQueueingUnderLoad(t *testing.T) {
 		Compute: func(b []byte) ([]byte, sim.Cycle) { return b, 1 },
 	})
 	var arrivals2 []sim.Cycle
-	client2.OnDatagram(func(netsim.NodeID, uint16, []byte) {
+	client2.OnDatagram(func(netsim.NodeID, uint16, []byte, msg.TraceCtx) {
 		arrivals2 = append(arrivals2, e2.Now())
 	})
 	for i := 0; i < N; i++ {

@@ -136,6 +136,23 @@ type SysError struct{ Code ErrCode }
 
 func (e *SysError) Error() string { return "apiary: " + e.Code.String() }
 
+// TraceCtx is the distributed-tracing context a message carries across
+// boards: a fleet-unique trace ID, the span ID of the hop that emitted the
+// message, and the board the trace originated on. It is a sideband field —
+// deliberately NOT part of the wire encoding (Encode/Decode), so enabling
+// tracing cannot change a single wire byte, queue occupancy, or timing. A
+// hardware implementation would carry it in reserved header bits; here the
+// pure-observation invariant (bit-exact runs with tracing off vs on) is the
+// load-bearing property, so the context rides alongside the message instead.
+type TraceCtx struct {
+	ID     uint64 // trace identity; 0 means "not traced"
+	Span   uint64 // span ID of the emitting hop (parent of the next hop)
+	Origin uint16 // board the trace started on
+}
+
+// Valid reports whether the context names a live trace.
+func (t TraceCtx) Valid() bool { return t.ID != 0 }
+
 // MaxPayload bounds a single message's payload. Larger transfers use the
 // memory service or multiple messages; the bound keeps NoC buffering and
 // worst-case head-of-line blocking small, as a hardware design would.
@@ -165,6 +182,10 @@ type Message struct {
 	// pipeline stages) can forward it unchanged.
 	Budget  uint32
 	Payload []byte
+	// Trace is the sideband distributed-tracing context (see TraceCtx). It
+	// is excluded from Encode/Decode on purpose: observation must not alter
+	// the wire. Propagated by Reply and by services that forward requests.
+	Trace TraceCtx
 }
 
 // Reply constructs a reply to m with the given type, swapping the
@@ -179,6 +200,7 @@ func (m *Message) Reply(t Type, payload []byte) *Message {
 		DstCtx:  m.SrcCtx,
 		Seq:     m.Seq,
 		Payload: payload,
+		Trace:   m.Trace,
 	}
 }
 

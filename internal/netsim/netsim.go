@@ -20,6 +20,7 @@ package netsim
 import (
 	"fmt"
 
+	"apiary/internal/msg"
 	"apiary/internal/sim"
 )
 
@@ -30,6 +31,11 @@ type NodeID uint32
 type Frame struct {
 	Src, Dst NodeID
 	Payload  []byte
+	// Trace is sideband observability context (see msg.TraceCtx): it rides
+	// with the frame but is not part of the simulated wire bytes, so frame
+	// sizes, serialization delay and drop decisions are identical with
+	// tracing on or off.
+	Trace msg.TraceCtx
 }
 
 // Handler receives delivered frames at a node. The payload buffer is owned

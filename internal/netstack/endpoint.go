@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/sim"
 )
@@ -20,12 +21,12 @@ func NewSoftEndpoint(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 	node netsim.NodeID, cfg netsim.LinkConfig) *SoftEndpoint {
 	s := &SoftEndpoint{node: node}
 	s.tr = NewTransport(node,
-		func(dst netsim.NodeID, payload []byte) error {
-			return fab.Send(netsim.Frame{Src: node, Dst: dst, Payload: payload})
+		func(dst netsim.NodeID, payload []byte, tc msg.TraceCtx) error {
+			return fab.Send(netsim.Frame{Src: node, Dst: dst, Payload: payload, Trace: tc})
 		},
-		func(remote netsim.NodeID, flow uint16, data []byte) {
+		func(remote netsim.NodeID, flow uint16, data []byte, tc msg.TraceCtx) {
 			if s.onRx != nil {
-				s.onRx(remote, flow, data)
+				s.onRx(remote, flow, data, tc)
 			}
 		}, st)
 	fab.Attach(node, cfg, s.tr.HandleFrame)

@@ -62,9 +62,9 @@ func NewService(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 		noListener:  st.Counter("netsvc.no_listener"),
 	}
 	s.tr = NewTransport(node,
-		func(dst netsim.NodeID, payload []byte) error {
+		func(dst netsim.NodeID, payload []byte, tc msg.TraceCtx) error {
 			return port.Transmit(fabric.MACFrame{
-				Src: uint64(node), Dst: uint64(dst), Payload: payload,
+				Src: uint64(node), Dst: uint64(dst), Payload: payload, Trace: tc,
 			})
 		},
 		s.onDatagram, st)
@@ -78,7 +78,7 @@ func NewService(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 		// but the fabric recycles the payload buffer as soon as this
 		// handler returns (netsim.Handler contract) — so copy here.
 		inject(fabric.MACFrame{Src: uint64(f.Src), Dst: uint64(f.Dst),
-			Payload: append([]byte(nil), f.Payload...)})
+			Payload: append([]byte(nil), f.Payload...), Trace: f.Trace})
 	})
 
 	// Wire pump: drain the MAC TX queue onto the simulated wire, and feed
@@ -92,12 +92,14 @@ func NewService(e *sim.Engine, st *sim.Stats, fab *netsim.Fabric,
 		receive: port.Receive,
 		toWire: func(mf fabric.MACFrame) {
 			_ = fab.Send(netsim.Frame{
-				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst), Payload: mf.Payload,
+				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst),
+				Payload: mf.Payload, Trace: mf.Trace,
 			})
 		},
 		toTransport: func(mf fabric.MACFrame) {
 			s.tr.HandleFrame(netsim.Frame{
-				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst), Payload: mf.Payload,
+				Src: netsim.NodeID(mf.Src), Dst: netsim.NodeID(mf.Dst),
+				Payload: mf.Payload, Trace: mf.Trace,
 			})
 		},
 	})
@@ -134,7 +136,10 @@ func (w *wirePump) Tick(now sim.Cycle) {
 }
 
 // onDatagram queues an inbound datagram for delivery to its flow listener.
-func (s *Service) onDatagram(remote netsim.NodeID, flow uint16, data []byte) {
+// tc is the sideband trace context carried by the frame that completed the
+// datagram; it is stamped onto every TNetRecv chunk so the listener sees
+// the originating trace.
+func (s *Service) onDatagram(remote netsim.NodeID, flow uint16, data []byte, tc msg.TraceCtx) {
 	s.rxDatagrams.Inc()
 	reg, ok := s.flows[flow]
 	if !ok {
@@ -158,6 +163,7 @@ func (s *Service) onDatagram(remote netsim.NodeID, flow uint16, data []byte) {
 			DstTile: reg.tile,
 			DstCtx:  reg.ctx,
 			Payload: msg.EncodeNetRecvInd(ind),
+			Trace:   tc,
 		})
 		if end == len(data) {
 			break
@@ -217,7 +223,7 @@ func (s *Service) handle(p accel.Port, m *msg.Message) {
 			p.Send(m.ErrorReply(msg.EBadMsg))
 			return
 		}
-		if err := s.tr.Send(netsim.NodeID(req.Remote.Node), req.Remote.Flow, req.Data); err != nil {
+		if err := s.tr.SendCtx(netsim.NodeID(req.Remote.Node), req.Remote.Flow, req.Data, m.Trace); err != nil {
 			p.Send(m.ErrorReply(msg.ETooBig))
 			return
 		}

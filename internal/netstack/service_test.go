@@ -88,7 +88,7 @@ func TestServiceBadPayloads(t *testing.T) {
 func TestServiceSendReachesPeer(t *testing.T) {
 	e, svc, peer := svcRig(t)
 	var got []byte
-	peer.OnDatagram(func(_ netsim.NodeID, flow uint16, data []byte) {
+	peer.OnDatagram(func(_ netsim.NodeID, flow uint16, data []byte, _ msg.TraceCtx) {
 		if flow == 9 {
 			got = data
 		}
@@ -129,7 +129,7 @@ func TestServiceInboundChunking(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i)
 	}
-	svc.onDatagram(2, 80, big)
+	svc.onDatagram(2, 80, big, msg.TraceCtx{})
 	p.now = 2
 	svc.Tick(p)
 	total := 0
@@ -162,7 +162,7 @@ func TestServiceInboundChunking(t *testing.T) {
 func TestServiceNoListenerDropped(t *testing.T) {
 	e, svc, _ := svcRig(t)
 	_ = e
-	svc.onDatagram(2, 9999, []byte("nobody home"))
+	svc.onDatagram(2, 9999, []byte("nobody home"), msg.TraceCtx{})
 	p := &fakePort{now: 1}
 	svc.Tick(p)
 	if len(p.sent) != 0 {
@@ -178,7 +178,7 @@ func TestServiceOutboxBackpressure(t *testing.T) {
 		Payload: msg.EncodeNetListenReq(msg.NetListenReq{Flow: 80}),
 	})
 	svc.Tick(p)
-	svc.onDatagram(2, 80, []byte("x"))
+	svc.onDatagram(2, 80, []byte("x"), msg.TraceCtx{})
 	p.code = msg.EBusy // monitor pushes back
 	p.now = 2
 	svc.Tick(p)

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/sim"
 )
@@ -49,15 +50,26 @@ const (
 // record header inside the byte stream: flow(2) len(4).
 const recHeader = 6
 
-// SendFrame is the lower-layer transmit hook (HAL port or raw fabric).
-type SendFrame func(dst netsim.NodeID, payload []byte) error
+// SendFrame is the lower-layer transmit hook (HAL port or raw fabric). The
+// trace context is sideband (not frame bytes): it tags the frame with the
+// traced datagram it carries, if any.
+type SendFrame func(dst netsim.NodeID, payload []byte, tc msg.TraceCtx) error
 
-// DeliverFunc receives one reassembled datagram.
-type DeliverFunc func(remote netsim.NodeID, flow uint16, data []byte)
+// DeliverFunc receives one reassembled datagram plus the sideband trace
+// context of the frame that completed it.
+type DeliverFunc func(remote netsim.NodeID, flow uint16, data []byte, tc msg.TraceCtx)
 
 type sendSeg struct {
 	seq     uint32
 	payload []byte
+	tc      msg.TraceCtx
+}
+
+// pendingRec is one application record awaiting segmentation, with the
+// sideband trace context every segment of it will carry.
+type pendingRec struct {
+	bytes []byte
+	tc    msg.TraceCtx
 }
 
 type conn struct {
@@ -66,10 +78,10 @@ type conn struct {
 	// sender state
 	base     uint32 // oldest unacked
 	nextSeq  uint32
-	inflight []sendSeg // segments [base, nextSeq)
-	pending  [][]byte  // record bytes not yet segmented
-	lastSend sim.Cycle // for RTO
-	rto      sim.Cycle // current backed-off RTO (0 = RTOCycles)
+	inflight []sendSeg    // segments [base, nextSeq)
+	pending  []pendingRec // records not yet segmented
+	lastSend sim.Cycle    // for RTO
+	rto      sim.Cycle    // current backed-off RTO (0 = RTOCycles)
 
 	// receiver state
 	expected uint32
@@ -116,6 +128,14 @@ func (t *Transport) conn(remote netsim.NodeID) *conn {
 
 // Send queues one datagram for reliable delivery to (dst, flow).
 func (t *Transport) Send(dst netsim.NodeID, flow uint16, data []byte) error {
+	return t.SendCtx(dst, flow, data, msg.TraceCtx{})
+}
+
+// SendCtx is Send with a sideband trace context: every segment carrying
+// bytes of this datagram is tagged with tc, so the receiver can reattach
+// the context to the reassembled datagram. Timing, segmentation and wire
+// bytes are identical to an untraced Send.
+func (t *Transport) SendCtx(dst netsim.NodeID, flow uint16, data []byte, tc msg.TraceCtx) error {
 	if len(data) > MaxDatagram {
 		return fmt.Errorf("netstack: datagram of %d bytes exceeds %d", len(data), MaxDatagram)
 	}
@@ -124,7 +144,7 @@ func (t *Transport) Send(dst netsim.NodeID, flow uint16, data []byte) error {
 	binary.LittleEndian.PutUint32(rec[2:], uint32(len(data)))
 	copy(rec[recHeader:], data)
 	c := t.conn(dst)
-	c.pending = append(c.pending, rec)
+	c.pending = append(c.pending, pendingRec{bytes: rec, tc: tc})
 	return nil
 }
 
@@ -179,7 +199,7 @@ func (t *Transport) Tick(now sim.Cycle) {
 			for _, s := range c.inflight {
 				t.retx.Inc()
 				t.txSegs.Inc()
-				_ = t.send(c.remote, encodeSeg(segData, s.seq, c.expected, s.payload))
+				_ = t.send(c.remote, encodeSeg(segData, s.seq, c.expected, s.payload), s.tc)
 			}
 		}
 	}
@@ -189,22 +209,22 @@ func (t *Transport) Tick(now sim.Cycle) {
 func (t *Transport) pump(c *conn, now sim.Cycle) {
 	for len(c.pending) > 0 && len(c.inflight) < Window {
 		rec := c.pending[0]
-		n := len(rec)
+		n := len(rec.bytes)
 		if n > MSS {
 			n = MSS
 		}
-		chunk := rec[:n]
-		if n == len(rec) {
+		chunk := rec.bytes[:n]
+		if n == len(rec.bytes) {
 			c.pending = c.pending[1:]
 		} else {
-			c.pending[0] = rec[n:]
+			c.pending[0].bytes = rec.bytes[n:]
 		}
-		seg := sendSeg{seq: c.nextSeq, payload: append([]byte(nil), chunk...)}
+		seg := sendSeg{seq: c.nextSeq, payload: append([]byte(nil), chunk...), tc: rec.tc}
 		c.nextSeq++
 		c.inflight = append(c.inflight, seg)
 		c.lastSend = now
 		t.txSegs.Inc()
-		_ = t.send(c.remote, encodeSeg(segData, seg.seq, c.expected, seg.payload))
+		_ = t.send(c.remote, encodeSeg(segData, seg.seq, c.expected, seg.payload), seg.tc)
 	}
 }
 
@@ -237,17 +257,21 @@ func (t *Transport) HandleFrame(f netsim.Frame) {
 	if seq != c.expected {
 		// Out of order under go-back-N: drop and re-ack.
 		t.dupDropped.Inc()
-		_ = t.send(c.remote, encodeSeg(segAck, 0, c.expected, nil))
+		_ = t.send(c.remote, encodeSeg(segAck, 0, c.expected, nil), msg.TraceCtx{})
 		return
 	}
 	c.expected++
 	c.stream = append(c.stream, f.Payload[segHeader:segHeader+dlen]...)
-	t.parseRecords(c)
-	_ = t.send(c.remote, encodeSeg(segAck, 0, c.expected, nil))
+	// pump() segments exactly one record per data segment, so any record
+	// completed by this append was completed by this frame's bytes — the
+	// frame's sideband trace context is that record's context.
+	t.parseRecords(c, f.Trace)
+	_ = t.send(c.remote, encodeSeg(segAck, 0, c.expected, nil), msg.TraceCtx{})
 }
 
-// parseRecords extracts complete datagrams from the connection stream.
-func (t *Transport) parseRecords(c *conn) {
+// parseRecords extracts complete datagrams from the connection stream. tc is
+// the trace context of the frame whose bytes were just appended.
+func (t *Transport) parseRecords(c *conn, tc msg.TraceCtx) {
 	for len(c.stream) >= recHeader {
 		flow := binary.LittleEndian.Uint16(c.stream[0:])
 		n := int(binary.LittleEndian.Uint32(c.stream[2:]))
@@ -264,7 +288,7 @@ func (t *Transport) parseRecords(c *conn) {
 		c.stream = c.stream[recHeader+n:]
 		t.datagrams.Inc()
 		if t.deliver != nil {
-			t.deliver(c.remote, flow, data)
+			t.deliver(c.remote, flow, data, tc)
 		}
 	}
 }

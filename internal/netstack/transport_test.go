@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"apiary/internal/msg"
 	"apiary/internal/netsim"
 	"apiary/internal/sim"
 )
@@ -22,7 +23,7 @@ func TestDatagramDelivery(t *testing.T) {
 	e, a, b := pair(0)
 	var got []byte
 	var gotFlow uint16
-	b.OnDatagram(func(_ netsim.NodeID, flow uint16, data []byte) {
+	b.OnDatagram(func(_ netsim.NodeID, flow uint16, data []byte, _ msg.TraceCtx) {
 		gotFlow, got = flow, data
 	})
 	if err := a.Send(2, 80, []byte("hello transport")); err != nil {
@@ -43,7 +44,7 @@ func TestLargeDatagramSegmented(t *testing.T) {
 		want[i] = byte(i * 7)
 	}
 	var got []byte
-	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = data })
+	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { got = data })
 	if err := a.Send(2, 1, want); err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestOversizedDatagramRejected(t *testing.T) {
 func TestOrderingPreserved(t *testing.T) {
 	e, a, b := pair(0)
 	var got []byte
-	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { got = append(got, data[0]) })
+	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { got = append(got, data[0]) })
 	for i := 0; i < 50; i++ {
 		if err := a.Send(2, 1, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
@@ -84,7 +85,7 @@ func TestOrderingPreserved(t *testing.T) {
 func TestReliabilityUnderLoss(t *testing.T) {
 	e, a, b := pair(0.2) // 20% loss toward b
 	var got [][]byte
-	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) {
+	b.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) {
 		got = append(got, data)
 	})
 	const N = 40
@@ -110,11 +111,11 @@ func TestReliabilityUnderLoss(t *testing.T) {
 func TestBidirectional(t *testing.T) {
 	e, a, b := pair(0)
 	var atB, atA []byte
-	b.OnDatagram(func(remote netsim.NodeID, flow uint16, data []byte) {
+	b.OnDatagram(func(remote netsim.NodeID, flow uint16, data []byte, _ msg.TraceCtx) {
 		atB = data
 		_ = b.Send(remote, flow, []byte("pong"))
 	})
-	a.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte) { atA = data })
+	a.OnDatagram(func(_ netsim.NodeID, _ uint16, data []byte, _ msg.TraceCtx) { atA = data })
 	_ = a.Send(2, 9, []byte("ping"))
 	if !e.RunUntil(func() bool { return atA != nil }, 200000) {
 		t.Fatal("no pong")
@@ -127,7 +128,7 @@ func TestBidirectional(t *testing.T) {
 func TestFlowsMultiplexed(t *testing.T) {
 	e, a, b := pair(0)
 	perFlow := map[uint16]int{}
-	b.OnDatagram(func(_ netsim.NodeID, flow uint16, _ []byte) { perFlow[flow]++ })
+	b.OnDatagram(func(_ netsim.NodeID, flow uint16, _ []byte, _ msg.TraceCtx) { perFlow[flow]++ })
 	for i := 0; i < 10; i++ {
 		_ = a.Send(2, 1, []byte{1})
 		_ = a.Send(2, 2, []byte{2})
@@ -144,7 +145,7 @@ func TestMalformedFramesIgnored(t *testing.T) {
 	b := NewSoftEndpoint(e, st, fab, 2, netsim.LinkConfig{})
 	fab.Attach(1, netsim.LinkConfig{}, nil)
 	crashed := false
-	b.OnDatagram(func(netsim.NodeID, uint16, []byte) { crashed = true })
+	b.OnDatagram(func(netsim.NodeID, uint16, []byte, msg.TraceCtx) { crashed = true })
 	// Truncated header and lying dlen.
 	_ = fab.Send(netsim.Frame{Src: 1, Dst: 2, Payload: []byte{0, 1}})
 	_ = fab.Send(netsim.Frame{Src: 1, Dst: 2, Payload: []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF}})
@@ -161,7 +162,7 @@ func TestRetransmitCounted(t *testing.T) {
 	a := NewSoftEndpoint(e, st, fab, 1, netsim.LinkConfig{Gbps: 100, LatencyNs: 500})
 	b := NewSoftEndpoint(e, st, fab, 2, netsim.LinkConfig{Gbps: 100, LatencyNs: 500, LossProb: 0.5})
 	done := 0
-	b.OnDatagram(func(netsim.NodeID, uint16, []byte) { done++ })
+	b.OnDatagram(func(netsim.NodeID, uint16, []byte, msg.TraceCtx) { done++ })
 	for i := 0; i < 10; i++ {
 		_ = a.Send(2, 1, make([]byte, 100))
 	}

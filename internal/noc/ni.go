@@ -102,6 +102,7 @@ func (ni *NetworkInterface) Send(m *msg.Message) error {
 		pkt.span = &Span{
 			Src: ni.tile, Dst: m.DstTile, Type: m.Type, Seq: m.Seq, VC: vc,
 			Bytes: len(m.Payload), Flits: pkt.NumFlits, Queued: pkt.Injected,
+			Trace: m.Trace,
 		}
 	}
 	ni.injQ[vc] = append(ni.injQ[vc], pkt)

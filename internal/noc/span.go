@@ -48,6 +48,10 @@ type Span struct {
 	Queued   sim.Cycle
 	Eject    sim.Cycle
 	Hops     []SpanHop
+	// Trace is the distributed-trace context the message carried when it was
+	// injected (zero for untraced messages). Pure sideband: it never affects
+	// routing, arbitration or timing.
+	Trace msg.TraceCtx
 }
 
 // Latency reports the end-to-end cycles from Send to delivery.

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"apiary/internal/sim"
+)
+
+// Source is one board's observability surface as seen by the fleet
+// Aggregator. The aggregator only ever reads these at epoch barriers (or
+// after the fleet is closed), where the cluster's WaitGroup barrier gives a
+// happens-before edge over every board goroutine — the same edge the frame
+// exchange itself relies on — so no locking is needed and reads are
+// race-free and deterministic.
+type Source struct {
+	Board  int
+	Stats  *sim.Stats
+	Wins   *Windows
+	Rec    *Recorder
+	Events *EventLog
+}
+
+// Pulse is the aggregator's cheap per-epoch sample: per-board delivered
+// deltas (the dashboard heat strip) and the barrier cycle. Heavy work
+// (histogram merging, Prometheus rendering) happens on demand, not per
+// epoch, so the pulse is what bounds the aggregator's steady-state cost.
+type Pulse struct {
+	Cycle     sim.Cycle `json:"cycle"`
+	Delivered []uint64  `json:"delivered"` // per-board delta this epoch
+}
+
+// DefaultPulseKeep bounds the pulse ring.
+const DefaultPulseKeep = 4096
+
+// Aggregator federates per-board metrics into fleet-level views: summed
+// counters, order-stable merged histograms, a merged decision log, and
+// Prometheus text for the whole fleet. It holds no locks; see Source for
+// the synchronization argument.
+type Aggregator struct {
+	sources []Source
+	fleet   *EventLog // orchestrator-level decisions (board -1)
+
+	pulses    []Pulse
+	pulseKeep int
+	pulseNext int
+	pulseFull bool
+	epochs    uint64
+	prevDeliv []uint64
+}
+
+// NewAggregator returns an empty aggregator with a fleet-level event log.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		fleet:     NewEventLog(0),
+		pulseKeep: DefaultPulseKeep,
+	}
+}
+
+// AddSource registers one board. Call during fleet construction, before any
+// epoch runs.
+func (a *Aggregator) AddSource(s Source) {
+	a.sources = append(a.sources, s)
+	a.prevDeliv = append(a.prevDeliv, 0)
+}
+
+// Sources reports the registered boards in registration order.
+func (a *Aggregator) Sources() []Source { return a.sources }
+
+// FleetEvents is the orchestrator-level decision log.
+func (a *Aggregator) FleetEvents() *EventLog { return a.fleet }
+
+// Pulse takes the cheap per-epoch sample. Called by the fleet coordinator
+// at each epoch barrier (between epochs, all board goroutines parked).
+func (a *Aggregator) Pulse(now sim.Cycle) {
+	a.epochs++
+	p := Pulse{Cycle: now, Delivered: make([]uint64, len(a.sources))}
+	for i, s := range a.sources {
+		v := s.Stats.Counter("noc.msgs_delivered").Value()
+		p.Delivered[i] = v - a.prevDeliv[i]
+		a.prevDeliv[i] = v
+	}
+	if len(a.pulses) < a.pulseKeep {
+		a.pulses = append(a.pulses, p)
+		return
+	}
+	a.pulseFull = true
+	a.pulses[a.pulseNext] = p
+	a.pulseNext = (a.pulseNext + 1) % a.pulseKeep
+}
+
+// Epochs reports how many barrier pulses have fired.
+func (a *Aggregator) Epochs() uint64 { return a.epochs }
+
+// Pulses returns the retained pulses oldest-first.
+func (a *Aggregator) Pulses() []Pulse {
+	if !a.pulseFull {
+		return append([]Pulse(nil), a.pulses...)
+	}
+	out := make([]Pulse, 0, a.pulseKeep)
+	out = append(out, a.pulses[a.pulseNext:]...)
+	out = append(out, a.pulses[:a.pulseNext]...)
+	return out
+}
+
+// MergedCounter is one fleet-wide counter: the sum across boards.
+type MergedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// MergedCounters sums every counter name across boards. Order is
+// deterministic: first-seen creation order walking boards 0..N-1.
+func (a *Aggregator) MergedCounters() []MergedCounter {
+	idx := make(map[string]int)
+	var out []MergedCounter
+	for _, s := range a.sources {
+		for _, c := range s.Stats.Counters() {
+			i, ok := idx[c.Name]
+			if !ok {
+				i = len(out)
+				idx[c.Name] = i
+				out = append(out, MergedCounter{Name: c.Name})
+			}
+			out[i].Value += c.Value()
+		}
+	}
+	return out
+}
+
+// MergedHistograms merges every histogram name across boards, always in
+// board order 0..N-1 so the one order-sensitive reduction (the float sum)
+// is bit-stable run to run. Returned in first-seen creation order.
+func (a *Aggregator) MergedHistograms() []*sim.Histogram {
+	idx := make(map[string]int)
+	var out []*sim.Histogram
+	for _, s := range a.sources {
+		for _, h := range s.Stats.Histograms() {
+			i, ok := idx[h.Name]
+			if !ok {
+				i = len(out)
+				idx[h.Name] = i
+				out = append(out, &sim.Histogram{Name: h.Name})
+			}
+			out[i].Merge(h)
+		}
+	}
+	return out
+}
+
+// MergedHistogram merges one histogram name across boards (nil if no board
+// has it).
+func (a *Aggregator) MergedHistogram(name string) *sim.Histogram {
+	var out *sim.Histogram
+	for _, s := range a.sources {
+		for _, h := range s.Stats.Histograms() {
+			if h.Name != name {
+				continue
+			}
+			if out == nil {
+				out = &sim.Histogram{Name: name}
+			}
+			out.Merge(h)
+		}
+	}
+	return out
+}
+
+// MergedEvents interleaves every board's decision log with the fleet-level
+// log into one (cycle, board)-sorted timeline.
+func (a *Aggregator) MergedEvents() []Event {
+	logs := []*EventLog{a.fleet}
+	boards := []int{-1}
+	for _, s := range a.sources {
+		logs = append(logs, s.Events)
+		boards = append(boards, s.Board)
+	}
+	return MergeEvents(logs, boards)
+}
+
+// ServiceRollup is a per-service fleet-level summary: goodput (replies
+// served by the service's bridges) and client-observed RPC latency
+// quantiles, both summed/merged across every board hosting a replica.
+type ServiceRollup struct {
+	Name     string  `json:"name"`
+	Served   uint64  `json:"served"`
+	RPCs     int     `json:"rpcs"`
+	P50      float64 `json:"p50_cy"`
+	P99      float64 `json:"p99_cy"`
+	MeanCy   float64 `json:"mean_cy"`
+	Replicas int     `json:"replicas"`
+}
+
+// Per-service metric naming convention shared between the cluster wiring
+// (which creates the counters/histograms) and the rollup (which reads
+// them): ServiceServedCounter counts replies a service's gateway bridges
+// returned; ServiceRPCHist is the client-proxy round-trip latency.
+func ServiceServedCounter(name string) string { return "fleet.svc." + name + ".served" }
+
+// ServiceRPCHist is the histogram name for a service's proxy RTT in cycles.
+func ServiceRPCHist(name string) string { return "fleet.svc." + name + ".rpc_cycles" }
+
+// ServiceRollups computes fleet-level rollups for the named services
+// (typically the Directory's name list), sorted by name.
+func (a *Aggregator) ServiceRollups(names []string, replicas map[string]int) []ServiceRollup {
+	out := make([]ServiceRollup, 0, len(names))
+	for _, name := range names {
+		r := ServiceRollup{Name: name, Replicas: replicas[name]}
+		for _, mc := range a.MergedCounters() {
+			if mc.Name == ServiceServedCounter(name) {
+				r.Served = mc.Value
+			}
+		}
+		if h := a.MergedHistogram(ServiceRPCHist(name)); h != nil && h.Count() > 0 {
+			r.RPCs = h.Count()
+			r.P50, r.P99, r.MeanCy = h.Median(), h.P99(), h.Mean()
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FleetGauge is one extra fleet-level gauge (cluster counters the boards
+// don't own: epochs, frames exchanged, cluster-link drops, failovers).
+type FleetGauge struct {
+	Name  string
+	Value uint64
+}
+
+// WriteFleetProm renders the federated metrics surface in Prometheus text
+// format: fleet shape, cluster-level gauges, every counter summed across
+// boards, every histogram merged across boards, per-board delivered
+// breakdown, decision-log depth, and per-service rollups.
+func (a *Aggregator) WriteFleetProm(w io.Writer, now sim.Cycle, clockMHz uint64,
+	extra []FleetGauge, rollups []ServiceRollup) {
+	fmt.Fprintf(w, "# HELP apiary_fleet_boards Boards in the fleet.\n# TYPE apiary_fleet_boards gauge\napiary_fleet_boards %d\n", len(a.sources))
+	fmt.Fprintf(w, "# HELP apiary_cycle Current simulation cycle.\n# TYPE apiary_cycle gauge\napiary_cycle %d\n", now)
+	if clockMHz > 0 {
+		fmt.Fprintf(w, "# TYPE apiary_clock_mhz gauge\napiary_clock_mhz %d\n", clockMHz)
+	}
+	fmt.Fprintf(w, "# TYPE apiary_fleet_epochs_total counter\napiary_fleet_epochs_total %d\n", a.epochs)
+	for _, g := range extra {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", n, n, g.Value)
+	}
+	for _, c := range a.MergedCounters() {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", n, n, c.Value)
+	}
+	for _, h := range a.MergedHistograms() {
+		if h.Count() == 0 {
+			continue
+		}
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", n)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", n, q, h.Quantile(q))
+		}
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+	}
+	var spans, correlated, events uint64
+	fmt.Fprintf(w, "# HELP apiary_board_delivered NoC messages delivered per board.\n# TYPE apiary_board_delivered gauge\n")
+	for _, s := range a.sources {
+		fmt.Fprintf(w, "apiary_board_delivered{board=\"%d\"} %d\n",
+			s.Board, s.Stats.Counter("noc.msgs_delivered").Value())
+		spans += s.Rec.Total()
+		correlated += s.Rec.Correlated()
+		events += s.Events.Total()
+	}
+	fmt.Fprintf(w, "# TYPE apiary_fleet_spans_recorded_total counter\napiary_fleet_spans_recorded_total %d\n", spans)
+	fmt.Fprintf(w, "# TYPE apiary_fleet_spans_correlated_total counter\napiary_fleet_spans_correlated_total %d\n", correlated)
+	fmt.Fprintf(w, "# TYPE apiary_fleet_events_total counter\napiary_fleet_events_total %d\n", events+a.fleet.Total())
+	if len(rollups) > 0 {
+		fmt.Fprintf(w, "# HELP apiary_service_served_total Replies served per service across the fleet.\n# TYPE apiary_service_served_total counter\n")
+		for _, r := range rollups {
+			fmt.Fprintf(w, "apiary_service_served_total{service=%q} %d\n", r.Name, r.Served)
+		}
+		fmt.Fprintf(w, "# HELP apiary_service_rpc_cycles Client-observed RPC latency per service.\n# TYPE apiary_service_rpc_cycles summary\n")
+		for _, r := range rollups {
+			if r.RPCs == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "apiary_service_rpc_cycles{service=%q,quantile=\"0.5\"} %g\n", r.Name, r.P50)
+			fmt.Fprintf(w, "apiary_service_rpc_cycles{service=%q,quantile=\"0.99\"} %g\n", r.Name, r.P99)
+			fmt.Fprintf(w, "apiary_service_rpc_cycles_count{service=%q} %d\n", r.Name, r.RPCs)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"apiary/internal/sim"
+)
+
+// EventKind classifies a kernel/orchestrator decision worth keeping a
+// record of. The decision log is the answer to "why is the fleet shaped
+// like this": every quarantine, failover, re-bind, placement and board
+// kill lands here with its cycle timestamp and cause.
+type EventKind string
+
+// Decision kinds recorded by the kernel (per board) and the orchestrator
+// (fleet level).
+const (
+	EvQuarantine EventKind = "quarantine" // tile fail-stopped and drained
+	EvRecover    EventKind = "recover"    // quarantined tile reloaded
+	EvFailover   EventKind = "failover"   // replica group primary moved
+	EvRebind     EventKind = "rebind"     // directory primary re-bound
+	EvPlacement  EventKind = "placement"  // app/accelerator placed
+	EvDeploy     EventKind = "deploy"     // service replica deployed
+	EvConnect    EventKind = "connect"    // client proxy connected
+	EvBoardKill  EventKind = "board-kill" // whole board declared dead
+)
+
+// Event is one structured decision-log record.
+type Event struct {
+	Cycle  sim.Cycle `json:"cycle"`
+	Board  int       `json:"board"` // -1 for fleet-level (orchestrator) events
+	Kind   EventKind `json:"kind"`
+	Cause  string    `json:"cause"`  // why the decision fired
+	Detail string    `json:"detail"` // what it did, human-readable
+}
+
+// EventLog is a bounded ring of decision events. It is observation only —
+// writers record decisions already taken; nothing reads the log to make
+// one. Per-board logs are written single-threaded (kernel commit phase on
+// the board's goroutine); the fleet log is written by the coordinator
+// between epochs. Reads happen at barriers or after Close, under the same
+// happens-before edge as every other fleet snapshot.
+type EventLog struct {
+	ring  []Event
+	cap   int
+	next  int
+	full  bool
+	total uint64
+}
+
+// DefaultEventCap bounds a decision log by default. Decisions are rare
+// (per-fault, per-deploy), so a small ring covers long runs.
+const DefaultEventCap = 512
+
+// NewEventLog returns a log retaining at most capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Add appends one event, evicting the oldest past capacity.
+func (l *EventLog) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.total++
+	if len(l.ring) < l.cap {
+		l.ring = append(l.ring, e)
+		return
+	}
+	l.full = true
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// Record is the convenience writer used at decision sites.
+func (l *EventLog) Record(cycle sim.Cycle, kind EventKind, cause, detail string) {
+	l.Add(Event{Cycle: cycle, Board: -1, Kind: kind, Cause: cause, Detail: detail})
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Events returns retained events oldest-first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.full {
+		return append([]Event(nil), l.ring...)
+	}
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// MergeEvents interleaves per-source event slices into one timeline sorted
+// by (cycle, board, arrival order). Board IDs are stamped during the merge:
+// events from logs[i] get board ID boards[i] unless they already carry one
+// (fleet-level logs pass board -1 and keep it).
+func MergeEvents(logs []*EventLog, boards []int) []Event {
+	var out []Event
+	for i, l := range logs {
+		for _, e := range l.Events() {
+			if e.Board < 0 && i < len(boards) && boards[i] >= 0 {
+				e.Board = boards[i]
+			}
+			out = append(out, e)
+		}
+	}
+	// Stable insertion keeps same-cycle events in source order; sort by
+	// (cycle, board) for a deterministic merged timeline.
+	stableSortEvents(out)
+	return out
+}
+
+func stableSortEvents(evs []Event) {
+	// Insertion-stable merge: the slices are already time-ordered per
+	// source, so a simple stable sort is cheap at decision-log scale.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &evs[j-1], &evs[j]
+			if a.Cycle < b.Cycle || (a.Cycle == b.Cycle && a.Board <= b.Board) {
+				break
+			}
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+}
+
+// WriteEventsJSON renders events as a JSON array (the /events.json body).
+func WriteEventsJSON(w io.Writer, evs []Event) error {
+	if evs == nil {
+		evs = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(evs)
+}

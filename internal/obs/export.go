@@ -18,7 +18,13 @@ type chromeSpan struct {
 	Dur  float64        `json:"dur"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("p"/"t"/"g")
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// writeChrome encodes a trace-event array.
+func writeChrome(w io.Writer, spans []chromeSpan) error {
+	return json.NewEncoder(w).Encode(spans)
 }
 
 // ExportChromeSpans writes the recorder entries as Chrome trace-event

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// LinkHop is one traced frame's traversal of the cluster link, recorded by
+// the fleet coordinator during the epoch-barrier frame exchange. It is the
+// cross-board edge of a stitched trace: the span tree shows the request
+// leaving one board, spending Depart..Arrive on the inter-board link, and
+// continuing on the destination board.
+type LinkHop struct {
+	Trace    msg.TraceCtx
+	SrcBoard int
+	DstBoard int
+	Depart   sim.Cycle // when the frame left the source board (send cycle)
+	Arrive   sim.Cycle // when it is injected into the destination fabric
+}
+
+// BoardSpans is one board's recorder entries tagged with its board ID, the
+// per-board input to the merged fleet export.
+type BoardSpans struct {
+	Board   int
+	Entries []Entry
+}
+
+// clusterPID is the synthetic "process" row the merged timeline uses for
+// cluster-link hops and epoch markers, kept clear of real board IDs.
+const clusterPID = 1 << 16
+
+// ExportFleetChrome writes a merged multi-board Chrome/Perfetto timeline:
+// one process row per board (named via metadata events), a dedicated
+// cluster-link row, and epoch-barrier instant markers. Only spans that
+// carry a trace context are exported — the merged view is the distributed
+// story; per-board hop detail stays in ExportChromeSpans. Spans of one
+// trace share a tid lane, so a stitched request reads top-to-bottom across
+// the boards it visited. cyclesPerUs is the engine clock in MHz.
+func ExportFleetChrome(w io.Writer, boards []BoardSpans, links []LinkHop,
+	barriers []sim.Cycle, cyclesPerUs float64) error {
+	if cyclesPerUs <= 0 {
+		cyclesPerUs = 1
+	}
+	us := func(cy float64) float64 { return cy / cyclesPerUs }
+
+	// Stable lane assignment: one tid per trace ID, first seen wins. Inputs
+	// are deterministic (recorder rings in board order, link log in exchange
+	// order), so lanes are too.
+	lanes := make(map[uint64]int)
+	lane := func(id uint64) int {
+		if l, ok := lanes[id]; ok {
+			return l
+		}
+		l := len(lanes)
+		lanes[id] = l
+		return l
+	}
+
+	spans := []chromeSpan{} // non-nil so an empty fleet still emits []
+	for _, b := range boards {
+		spans = append(spans, chromeSpan{
+			Name: "process_name", Ph: "M", PID: b.Board,
+			Args: map[string]any{"name": fmt.Sprintf("board %d", b.Board)},
+		})
+	}
+	spans = append(spans, chromeSpan{
+		Name: "process_name", Ph: "M", PID: clusterPID,
+		Args: map[string]any{"name": "cluster link"},
+	})
+
+	for _, b := range boards {
+		for _, e := range b.Entries {
+			sp := e.Span
+			if !sp.Trace.Valid() {
+				continue
+			}
+			kind := "req"
+			if e.Reply {
+				kind = "reply"
+			}
+			bd := SpanBreakdown(sp)
+			args := map[string]any{
+				"trace":        fmt.Sprintf("%016x", sp.Trace.ID),
+				"origin_board": int(sp.Trace.Origin),
+				"type":         sp.Type.String(),
+				"latency_cy":   float64(bd.Total),
+				"ni_queue_cy":  float64(bd.NIQueue),
+			}
+			spans = append(spans, chromeSpan{
+				Name: fmt.Sprintf("%s %d→%d seq=%d", kind, sp.Src, sp.Dst, sp.Seq),
+				Cat:  "fleet", Ph: "X",
+				TS: us(float64(sp.Queued)), Dur: us(float64(sp.Eject - sp.Queued)),
+				PID: b.Board, TID: lane(sp.Trace.ID), Args: args,
+			})
+		}
+	}
+
+	for _, lh := range links {
+		spans = append(spans, chromeSpan{
+			Name: fmt.Sprintf("cluster-link b%d→b%d", lh.SrcBoard, lh.DstBoard),
+			Cat:  "cluster", Ph: "X",
+			TS: us(float64(lh.Depart)), Dur: us(float64(lh.Arrive - lh.Depart)),
+			PID: clusterPID, TID: lane(lh.Trace.ID),
+			Args: map[string]any{
+				"trace":      fmt.Sprintf("%016x", lh.Trace.ID),
+				"src_board":  lh.SrcBoard,
+				"dst_board":  lh.DstBoard,
+				"latency_cy": float64(lh.Arrive - lh.Depart),
+			},
+		})
+	}
+
+	for _, bc := range barriers {
+		spans = append(spans, chromeSpan{
+			Name: "epoch-barrier", Cat: "cluster", Ph: "i",
+			TS: us(float64(bc)), PID: clusterPID, TID: 0, S: "p",
+		})
+	}
+	return writeChrome(w, spans)
+}

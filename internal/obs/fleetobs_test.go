@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+	"apiary/internal/sim"
+)
+
+func TestEventLogBoundedAndOrdered(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(sim.Cycle(i), EvQuarantine, "c", "d")
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Cycle != 6 || evs[3].Cycle != 9 {
+		t.Fatalf("ring not oldest-first: %d..%d", evs[0].Cycle, evs[3].Cycle)
+	}
+	var nilLog *EventLog
+	nilLog.Record(1, EvRecover, "", "") // must not panic
+	if nilLog.Total() != 0 || nilLog.Events() != nil {
+		t.Fatal("nil log should be inert")
+	}
+}
+
+func TestMergeEventsStampsBoardsAndSorts(t *testing.T) {
+	a, b, fleet := NewEventLog(0), NewEventLog(0), NewEventLog(0)
+	a.Record(100, EvQuarantine, "panic", "tile 3")
+	a.Record(300, EvRecover, "pr-reload", "tile 3")
+	b.Record(100, EvFailover, "primary down", "group 9")
+	fleet.Add(Event{Cycle: 200, Board: 1, Kind: EvRebind, Cause: "board 0 dead", Detail: "kv"})
+	merged := MergeEvents([]*EventLog{fleet, a, b}, []int{-1, 0, 1})
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4", len(merged))
+	}
+	// Sorted by (cycle, board); board IDs stamped from the log index.
+	want := []struct {
+		cy    sim.Cycle
+		board int
+		kind  EventKind
+	}{
+		{100, 0, EvQuarantine}, {100, 1, EvFailover},
+		{200, 1, EvRebind}, {300, 0, EvRecover},
+	}
+	for i, w := range want {
+		if merged[i].Cycle != w.cy || merged[i].Board != w.board || merged[i].Kind != w.kind {
+			t.Fatalf("merged[%d] = %+v, want cy=%d board=%d kind=%s",
+				i, merged[i], w.cy, w.board, w.kind)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsJSON(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	var back []Event
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("events JSON round trip: %v", err)
+	}
+	if len(back) != 4 || back[2].Kind != EvRebind {
+		t.Fatalf("round-tripped %d events: %+v", len(back), back)
+	}
+}
+
+// boardStats builds a Source with a few counters and a histogram.
+func boardStats(board int, delivered uint64, latencies []float64) Source {
+	st := sim.NewStats()
+	st.Counter("noc.msgs_delivered").Add(delivered)
+	st.Counter("mon.denied").Add(uint64(board))
+	h := st.Histogram("fleet.svc.kv.rpc_cycles")
+	for _, v := range latencies {
+		h.Observe(v)
+	}
+	ev := NewEventLog(0)
+	ev.Record(sim.Cycle(board), EvPlacement, "load-app", "x")
+	return Source{Board: board, Stats: st, Events: ev}
+}
+
+func TestAggregatorMergesAcrossBoards(t *testing.T) {
+	a := NewAggregator()
+	a.AddSource(boardStats(0, 100, []float64{10, 20}))
+	a.AddSource(boardStats(1, 50, []float64{30, 40}))
+
+	var deliv, denied uint64
+	for _, c := range a.MergedCounters() {
+		switch c.Name {
+		case "noc.msgs_delivered":
+			deliv = c.Value
+		case "mon.denied":
+			denied = c.Value
+		}
+	}
+	if deliv != 150 || denied != 1 {
+		t.Fatalf("merged counters delivered=%d denied=%d, want 150/1", deliv, denied)
+	}
+	h := a.MergedHistogram("fleet.svc.kv.rpc_cycles")
+	if h == nil || h.Count() != 4 || h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if a.MergedHistogram("nope") != nil {
+		t.Fatal("merging a missing histogram should return nil")
+	}
+
+	// Pulses: two epochs of deltas.
+	a.Pulse(500)
+	a.sources[0].Stats.Counter("noc.msgs_delivered").Add(7)
+	a.Pulse(1000)
+	ps := a.Pulses()
+	if len(ps) != 2 || a.Epochs() != 2 {
+		t.Fatalf("pulses=%d epochs=%d", len(ps), a.Epochs())
+	}
+	if ps[0].Delivered[0] != 100 || ps[1].Delivered[0] != 7 || ps[1].Delivered[1] != 0 {
+		t.Fatalf("pulse deltas wrong: %+v", ps)
+	}
+
+	evs := a.MergedEvents()
+	if len(evs) != 2 || evs[0].Board != 0 || evs[1].Board != 1 {
+		t.Fatalf("merged events: %+v", evs)
+	}
+}
+
+func TestServiceRollupsAndFleetProm(t *testing.T) {
+	a := NewAggregator()
+	s0 := boardStats(0, 10, nil)
+	s0.Stats.Counter(ServiceServedCounter("kv")).Add(42)
+	s1 := boardStats(1, 20, []float64{100, 200, 300, 400})
+	a.AddSource(s0)
+	a.AddSource(s1)
+	a.FleetEvents().Add(Event{Cycle: 9, Board: -1, Kind: EvBoardKill, Cause: "c", Detail: "d"})
+
+	rs := a.ServiceRollups([]string{"kv"}, map[string]int{"kv": 2})
+	if len(rs) != 1 {
+		t.Fatalf("rollups = %+v", rs)
+	}
+	r := rs[0]
+	if r.Served != 42 || r.RPCs != 4 || r.Replicas != 2 {
+		t.Fatalf("rollup = %+v", r)
+	}
+	if r.P50 < 100 || r.P99 > 400+1 || r.MeanCy != 250 {
+		t.Fatalf("rollup quantiles = %+v", r)
+	}
+
+	var buf bytes.Buffer
+	a.WriteFleetProm(&buf, 12345, 250,
+		[]FleetGauge{{Name: "fleet.frames_relayed", Value: 77}}, rs)
+	text := buf.String()
+	for _, want := range []string{
+		"apiary_fleet_boards 2",
+		"apiary_cycle 12345",
+		"apiary_fleet_epochs_total 0",
+		"apiary_fleet_frames_relayed_total 77",
+		"apiary_noc_msgs_delivered_total 30",
+		"apiary_board_delivered{board=\"0\"} 10",
+		"apiary_board_delivered{board=\"1\"} 20",
+		"apiary_fleet_events_total 3",
+		"apiary_service_served_total{service=\"kv\"} 42",
+		"apiary_service_rpc_cycles{service=\"kv\",quantile=\"0.99\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("fleet prom missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRecorderForcedSamplingForTraces(t *testing.T) {
+	rec := NewRecorder(1_000_000, 16) // effectively never samples by counter
+	m := &msg.Message{Type: msg.TRequest}
+	if rec.Sample(1, 2, m) {
+		t.Fatal("untraced message sampled at 1-in-1e6")
+	}
+	m.Trace = msg.TraceCtx{ID: 0xABCD, Span: 1, Origin: 3}
+	if !rec.Sample(1, 2, m) {
+		t.Fatal("traced message must always be sampled")
+	}
+	// Disabled recorder still never samples: tracing is tied to span
+	// recording being on.
+	off := NewRecorder(0, 16)
+	if off.Sample(1, 2, m) {
+		t.Fatal("disabled recorder sampled a message")
+	}
+}
+
+func TestSummaryEmptyAndSingleSpan(t *testing.T) {
+	rec := NewRecorder(4, 16)
+	s := rec.Summary()
+	if !strings.Contains(s, "0 spans") || strings.Contains(s, "p50 breakdown") {
+		t.Fatalf("empty summary = %q", s)
+	}
+
+	sp := &noc.Span{
+		Src: 1, Dst: 2, Type: msg.TRequest, Seq: 7,
+		Queued: 100, Eject: 130,
+		Hops: []noc.SpanHop{{Arrive: 104, Grant: 106, Depart: 109}},
+	}
+	rec.Complete(sp)
+	s = rec.Summary()
+	if !strings.Contains(s, "p50 breakdown") || !strings.Contains(s, "p99 breakdown") {
+		t.Fatalf("single-span summary missing breakdowns:\n%s", s)
+	}
+	bd := SpanBreakdown(sp)
+	if bd.Total != 30 || bd.NIQueue != 4 || bd.VCWait != 2 || bd.SwitchWait != 3 || bd.Hops != 1 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	empty := SpanBreakdown(&noc.Span{Queued: 5, Eject: 5})
+	if empty.Total != 0 || empty.NIQueue != 0 || empty.Hops != 0 {
+		t.Fatalf("hopless breakdown = %+v", empty)
+	}
+}
+
+func TestExportFleetChrome(t *testing.T) {
+	tc := msg.TraceCtx{ID: 0xBEEF, Span: 1, Origin: 0}
+	boards := []BoardSpans{
+		{Board: 0, Entries: []Entry{
+			{Span: &noc.Span{Src: 3, Dst: 2, Type: msg.TNetSend, Seq: 0,
+				Queued: 10, Eject: 20, Trace: tc}},
+			{Span: &noc.Span{Src: 1, Dst: 2, Type: msg.TRequest, Seq: 5,
+				Queued: 1, Eject: 4}}, // untraced: must not appear
+		}},
+		{Board: 1, Entries: []Entry{
+			{Span: &noc.Span{Src: 2, Dst: 4, Type: msg.TNetRecv, Seq: 0,
+				Queued: 530, Eject: 540, Trace: tc}},
+		}},
+	}
+	links := []LinkHop{{Trace: tc, SrcBoard: 0, DstBoard: 1, Depart: 20, Arrive: 520}}
+	var buf bytes.Buffer
+	if err := ExportFleetChrome(&buf, boards, links, []sim.Cycle{500, 1000}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatalf("fleet chrome not valid JSON: %v", err)
+	}
+	var metaRows, traced, linkSpans, instants int
+	pids := map[float64]bool{}
+	for _, sp := range spans {
+		switch sp["ph"] {
+		case "M":
+			metaRows++
+		case "i":
+			instants++
+			if sp["s"] != "p" {
+				t.Fatalf("epoch instant scope = %v, want p", sp["s"])
+			}
+		case "X":
+			args, _ := sp["args"].(map[string]any)
+			if args["trace"] == "000000000000beef" {
+				if sp["cat"] == "cluster" {
+					linkSpans++
+				} else {
+					traced++
+					pids[sp["pid"].(float64)] = true
+				}
+			}
+		}
+	}
+	if metaRows != 3 { // 2 boards + cluster row
+		t.Fatalf("metadata rows = %d, want 3", metaRows)
+	}
+	if traced != 2 || len(pids) != 2 {
+		t.Fatalf("traced spans = %d across %d boards, want 2 across 2", traced, len(pids))
+	}
+	if linkSpans != 1 {
+		t.Fatalf("cluster-link spans = %d, want 1", linkSpans)
+	}
+	if instants != 2 {
+		t.Fatalf("epoch instants = %d, want 2", instants)
+	}
+}

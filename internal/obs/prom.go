@@ -91,6 +91,8 @@ func WriteProm(w io.Writer, now sim.Cycle, clockMHz uint64, st *sim.Stats, wins 
 		{"apiary_window_shed", s.Shed},
 		{"apiary_window_failovers", s.Failovers},
 		{"apiary_window_breaker_opens", s.BreakerOpens},
+		{"apiary_window_express_hits", s.ExpressHits},
+		{"apiary_window_express_materialized", s.ExpressMaterialized},
 	} {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
 	}

@@ -87,6 +87,14 @@ func (r *Recorder) Sample(src msg.TileID, pktID uint64, m *msg.Message) bool {
 	if r == nil || r.every <= 0 {
 		return false
 	}
+	// Messages carrying a distributed-trace context are always sampled: a
+	// fleet trace is stitched from per-board recorder entries, so every hop
+	// of a traced request must produce a span. The check is read-only and
+	// deterministic (the context is assigned by the originating proxy's own
+	// counter), so it preserves the tick-phase contract.
+	if m.Trace.Valid() {
+		return true
+	}
 	if noc.ClassVC(m.Type) == noc.VCReply {
 		_, ok := r.pending[corrKey{m.DstTile, m.Seq}]
 		return ok

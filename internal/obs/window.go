@@ -54,6 +54,9 @@ type Snapshot struct {
 	Shed         uint64 // shell.shed delta (admission-control load sheds)
 	Failovers    uint64 // kernel.failovers delta (replica-group re-binds)
 	BreakerOpens uint64 // apps.breaker_opens delta (client circuit trips)
+
+	ExpressHits         uint64 // noc.express_hits delta (bypass-scheduled packets)
+	ExpressMaterialized uint64 // noc.express_materialized delta (bypasses forced back)
 }
 
 // windowCounters are the counters snapshotted as per-window deltas.
@@ -62,6 +65,7 @@ var windowCounters = []string{
 	"mon.denied", "mon.rate_drops", "mon.forwarded",
 	"mon.faults", "fault.injected",
 	"shell.shed", "kernel.failovers", "apps.breaker_opens",
+	"noc.express_hits", "noc.express_materialized",
 }
 
 // Windows samples the NoC and monitor state every N cycles into a bounded
@@ -152,6 +156,7 @@ func (w *Windows) sample(now sim.Cycle) {
 		deltas[0], deltas[1], deltas[2], deltas[3], deltas[4]
 	s.Faults, s.Injected = deltas[5], deltas[6]
 	s.Shed, s.Failovers, s.BreakerOpens = deltas[7], deltas[8], deltas[9]
+	s.ExpressHits, s.ExpressMaterialized = deltas[10], deltas[11]
 
 	if len(w.ring) < w.keep {
 		w.ring = append(w.ring, s)

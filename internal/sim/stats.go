@@ -205,6 +205,51 @@ func (h *Histogram) Median() float64 { return h.Quantile(0.5) }
 // P99 is Quantile(0.99).
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
+// Merge folds all of o's samples into h. It is the aggregation primitive for
+// fleet-level metrics federation: per-board histograms merged at an epoch
+// barrier must agree regardless of board order, so Merge is commutative and
+// associative up to the usual caveats — bucket counts and n/min/max are
+// exactly order-independent; the float sum is the one order-sensitive
+// reduction (callers that need bit-stable sums must merge in a fixed order,
+// which the fleet aggregator does: board 0..N-1).
+//
+// Merge is collapse-aware: while both sides are exact and the combined
+// sample count fits HistExactCap the result stays exact (quantiles
+// bit-for-bit); otherwise the result collapses to log-linear buckets,
+// exactly as Observe would past the cap. o is not modified.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	// Decide the regime for the merged result: exact only if both sides are
+	// exact and the union fits the cap.
+	if h.buckets == nil && o.buckets == nil && len(h.samples)+len(o.samples) <= HistExactCap {
+		h.samples = append(h.samples, o.samples...)
+		h.sorted = false
+		return
+	}
+	if h.buckets == nil {
+		h.collapse()
+	}
+	if o.buckets != nil {
+		for k, c := range o.buckets {
+			h.buckets[k] += c
+		}
+	} else {
+		for _, v := range o.samples {
+			h.buckets[bucketKey(v)]++
+		}
+	}
+}
+
 // Reset discards all samples and returns to the exact regime.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// histOf builds a histogram from values.
+func histOf(vals ...float64) *Histogram {
+	h := &Histogram{Name: "t"}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h
+}
+
+func TestHistogramMergeExact(t *testing.T) {
+	a := histOf(1, 5, 9)
+	b := histOf(2, 4, 100)
+	a.Merge(b)
+	if a.Count() != 6 {
+		t.Fatalf("count = %d, want 6", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 100 {
+		t.Fatalf("min/max = %v/%v, want 1/100", a.Min(), a.Max())
+	}
+	if got, want := a.Sum(), 121.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// Exact regime: quantiles are identical to observing the union directly.
+	u := histOf(1, 5, 9, 2, 4, 100)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != u.Quantile(q) {
+			t.Fatalf("q%.2f = %v, union says %v", q, a.Quantile(q), u.Quantile(q))
+		}
+	}
+	// b must be untouched.
+	if b.Count() != 3 || b.Max() != 100 {
+		t.Fatalf("merge mutated its argument: %d samples, max %v", b.Count(), b.Max())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := histOf(3, 7)
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if a.Count() != 2 || a.Min() != 3 || a.Max() != 7 {
+		t.Fatalf("merge with empty changed a: n=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	empty := &Histogram{}
+	empty.Merge(a)
+	if empty.Count() != 2 || empty.Min() != 3 || empty.Max() != 7 || empty.Median() != a.Median() {
+		t.Fatalf("empty.Merge(a) != a: n=%d min=%v max=%v", empty.Count(), empty.Min(), empty.Max())
+	}
+}
+
+// TestHistogramMergeOrderIndependent is the property the fleet aggregator
+// leans on: merging per-board histograms must give the same quantiles
+// regardless of merge order, in both the exact and the collapsed regime.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	for _, n := range []int{100, HistExactCap} { // exact and collapsed regimes
+		rng := rand.New(rand.NewSource(42))
+		parts := make([][]float64, 4)
+		for i := 0; i < 4*n; i++ {
+			parts[i%4] = append(parts[i%4], math.Floor(rng.Float64()*1e6)+1)
+		}
+		merge := func(order []int) *Histogram {
+			h := &Histogram{}
+			for _, idx := range order {
+				h.Merge(histOf(parts[idx]...))
+			}
+			return h
+		}
+		fwd := merge([]int{0, 1, 2, 3})
+		rev := merge([]int{3, 2, 1, 0})
+		if fwd.Count() != rev.Count() || fwd.Min() != rev.Min() || fwd.Max() != rev.Max() {
+			t.Fatalf("n=%d: count/min/max differ across merge orders", n)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if fwd.Quantile(q) != rev.Quantile(q) {
+				t.Fatalf("n=%d q%v: %v vs %v across merge orders", n, q, fwd.Quantile(q), rev.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestHistogramMergeCollapse checks every regime combination around the
+// exact cap: the merged histogram must collapse exactly when the union
+// exceeds HistExactCap, and collapsed quantiles must stay within the
+// documented <1% of exact.
+func TestHistogramMergeCollapse(t *testing.T) {
+	big := func(n int, base float64) *Histogram {
+		h := &Histogram{}
+		for i := 0; i < n; i++ {
+			h.Observe(base + float64(i))
+		}
+		return h
+	}
+
+	// exact + exact staying under the cap: stays exact.
+	a := big(10, 0)
+	a.Merge(big(20, 100))
+	if a.buckets != nil {
+		t.Fatal("under-cap merge collapsed")
+	}
+
+	// exact + exact crossing the cap: collapses.
+	b := big(HistExactCap/2+10, 0)
+	b.Merge(big(HistExactCap/2+10, 1e6))
+	if b.buckets == nil {
+		t.Fatal("over-cap merge did not collapse")
+	}
+	if b.Count() != HistExactCap+20 {
+		t.Fatalf("count = %d", b.Count())
+	}
+
+	// collapsed + exact and collapsed + collapsed.
+	c := big(HistExactCap+1, 0) // already collapsed by Observe
+	if c.buckets == nil {
+		t.Fatal("setup: expected collapsed histogram")
+	}
+	c.Merge(big(100, 5e5))
+	c.Merge(b)
+	wantN := (HistExactCap + 1) + 100 + (HistExactCap + 20)
+	if c.Count() != wantN {
+		t.Fatalf("count = %d, want %d", c.Count(), wantN)
+	}
+	// Check the approximation bound against the exact union distribution.
+	var all []float64
+	for i := 0; i < HistExactCap+1; i++ {
+		all = append(all, float64(i))
+	}
+	for i := 0; i < 100; i++ {
+		all = append(all, 5e5+float64(i))
+	}
+	for i := 0; i < HistExactCap/2+10; i++ {
+		all = append(all, float64(i))
+	}
+	for i := 0; i < HistExactCap/2+10; i++ {
+		all = append(all, 1e6+float64(i))
+	}
+	sort.Float64s(all)
+	exactQ := func(q float64) float64 {
+		idx := int(q * float64(len(all)))
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return all[idx]
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		got, want := c.Quantile(q), exactQ(q)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / math.Max(want, 1); rel > 0.01 {
+			t.Fatalf("q%v = %v, exact %v (rel err %.3f > 1%%)", q, got, want, rel)
+		}
+	}
+}
