@@ -7,7 +7,7 @@ GO ?= go
 # pass.
 COVER_FLOOR ?= 88.0
 
-.PHONY: all build test check cover chaos bench clean
+.PHONY: all build test check cover chaos bench scenario scenario-golden clean
 
 all: build
 
@@ -53,6 +53,21 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=100x -benchmem .
 	$(GO) run ./cmd/apiary-bench -json BENCH_PR.json
+
+# scenario runs the open-loop load-harness gates the way CI's scenario job
+# does: the committed smoke scenario vs its golden fingerprint, the
+# serial-vs-sharded-vs-fleet differential, record/replay equality, and a
+# bounded fuzz of the scenario decoder.
+scenario:
+	$(GO) test -race -count=1 -run 'TestScenarioGolden|TestScenarioDifferential|TestReplayFingerprint' ./internal/load/
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=30s ./internal/load/
+
+# scenario-golden regenerates the committed smoke-scenario fingerprint.
+# Commit the refreshed internal/load/testdata/smoke.golden and include
+# `scenario-baseline-refresh` in the commit message so CI skips the stale
+# diff for that push (see .github/workflows/ci.yml).
+scenario-golden:
+	UPDATE_SCENARIO_GOLDEN=1 $(GO) test -count=1 -run TestScenarioGolden ./internal/load/
 
 clean:
 	rm -f BENCH_NEW.json BENCH_PAR.json cover.out

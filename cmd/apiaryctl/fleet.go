@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"apiary/internal/cluster"
+	"apiary/internal/load"
 	"apiary/internal/obs"
 )
 
@@ -31,6 +32,7 @@ func fleet(args []string) {
 	}
 
 	var prev *cluster.FleetStatus
+	var prevScn *load.Status
 	var prevAt time.Time
 	for i := 0; *iters == 0 || i < *iters; i++ {
 		if i > 0 {
@@ -42,8 +44,10 @@ func fleet(args []string) {
 			os.Exit(1)
 		}
 		now := time.Now()
+		scn := fetchScenario(base)
 		renderFleet(os.Stdout, st, prev, now.Sub(prevAt), *events)
-		prev, prevAt = st, now
+		renderScenario(os.Stdout, scn, prevScn, now.Sub(prevAt))
+		prev, prevScn, prevAt = st, scn, now
 	}
 }
 

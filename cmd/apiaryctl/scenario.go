@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"apiary/internal/load"
+)
+
+// fetchScenario polls apiaryd's /scenario.json. It returns nil when the
+// daemon is not running a scenario (the endpoint only exists under
+// -scenario), so top/fleet render the panel purely opportunistically.
+func fetchScenario(base string) *load.Status {
+	resp, err := http.Get(base + "/scenario.json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st load.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	if st.Scenario == "" {
+		return nil
+	}
+	return &st
+}
+
+// renderScenario appends the live scenario panel: current phase and offered
+// rate, cumulative client-visible outcomes with an arrivals/s rate between
+// polls, and the current phase's arrival-stamped latency quantiles.
+func renderScenario(w io.Writer, st, prev *load.Status, dt time.Duration) {
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nscenario %q: phase %s (%d/%d), cycle %d/%d, offered %d rpMc\n",
+		st.Scenario, st.Phase, st.PhaseIdx+1, st.PhaseCount, st.Now, st.End, st.RateNow)
+	fmt.Fprintf(w, "  offered=%d ok=%d denied=%d timeout=%d shed=%d  sessions %d/%d",
+		st.Offered, st.OK, st.Denied, st.Timeout, st.Shed, st.Touched, st.Sessions)
+	if prev != nil && dt > 0 && st.Offered >= prev.Offered {
+		fmt.Fprintf(w, "  (%.0f arrivals/s)", float64(st.Offered-prev.Offered)/dt.Seconds())
+	}
+	fmt.Fprintln(w)
+	if st.P50 > 0 || st.P99 > 0 {
+		fmt.Fprintf(w, "  phase latency (arrival-stamped): p50=%.0fcy p99=%.0fcy\n", st.P50, st.P99)
+	}
+	if st.Generators > 1 {
+		fmt.Fprintf(w, "  %d generators across %d boards\n", st.Generators, st.Boards)
+	}
+}

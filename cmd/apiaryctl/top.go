@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"apiary/internal/load"
 )
 
 // top live-polls a running apiaryd's /metrics and /heatmap endpoints and
@@ -27,6 +29,7 @@ func top(args []string) {
 	}
 
 	var prev map[string]float64
+	var prevScn *load.Status
 	var prevAt time.Time
 	for i := 0; *iters == 0 || i < *iters; i++ {
 		if i > 0 {
@@ -40,8 +43,10 @@ func top(args []string) {
 		now := time.Now()
 		heat, _ := fetchBody(base + "/heatmap")
 		services, _ := fetchBody(base + "/services")
+		scn := fetchScenario(base)
 		render(os.Stdout, cur, prev, now.Sub(prevAt), heat, services)
-		prev, prevAt = cur, now
+		renderScenario(os.Stdout, scn, prevScn, now.Sub(prevAt))
+		prev, prevScn, prevAt = cur, scn, now
 	}
 }
 

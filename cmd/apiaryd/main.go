@@ -15,6 +15,18 @@
 //	apiaryd -fleet 8 -cycles 500000             # 8-board demo fleet
 //	apiaryd -fleet 8 -fleet-kill 0 -fleet-kill-at 100000
 //	                                            # kill board 0 mid-run
+//
+// With -scenario FILE, apiaryd compiles an open-loop load scenario (see
+// internal/load) and drives it instead of a manifest workload — on one
+// board, or on the fleet the scenario's own `fleet` stanza sizes. The run
+// advances in chunks aligned to scenario phase boundaries, serves the live
+// per-phase view on /scenario.json, and prints the per-phase
+// goodput/latency table plus the client-visible fingerprint at exit:
+//
+//	apiaryd -w 4 -h 4 -scenario rush.scn -http :8091
+//	apiaryd -scenario internal/load/testdata/smoke.scn   # 4-board fleet + kill
+//	apiaryd -w 4 -h 4 -scenario rush.scn -scenario-record run.rec
+//	apiaryd -w 4 -h 4 -scenario rush.scn -scenario-replay run.rec
 package main
 
 import (
@@ -32,6 +44,7 @@ import (
 	"apiary/internal/cluster"
 	"apiary/internal/core"
 	"apiary/internal/fault"
+	"apiary/internal/load"
 	"apiary/internal/manifest"
 	"apiary/internal/monitor"
 	"apiary/internal/msg"
@@ -58,6 +71,9 @@ func main() {
 	windowEvery := flag.Uint64("window-every", 10_000, "windowed telemetry period in cycles (0 = off)")
 	windowKeep := flag.Int("window-keep", obs.DefaultWindowKeep, "windowed telemetry snapshots retained")
 	faultPlan := flag.String("fault-plan", "", "chaos-engine fault plan file (text or JSON, see internal/fault)")
+	scenario := flag.String("scenario", "", "open-loop load scenario file (text or JSON, see internal/load)")
+	scnRecord := flag.String("scenario-record", "", "write the scenario's client-visible recording to this file (single-board)")
+	scnReplay := flag.String("scenario-replay", "", "replay arrivals from a recording instead of generating them (single-board)")
 	detect := flag.Bool("detect", false, "enable the monitor watchdogs (heartbeat, credit-leak, protocol-violation)")
 	fleet := flag.Int("fleet", 0, "boot a fleet of N boards instead of one (each board uses -board/-w/-h/-shards)")
 	fleetWorkers := flag.Int("fleet-workers", 0, "goroutines ticking fleet boards (0 = GOMAXPROCS; bit-exact at any count)")
@@ -87,13 +103,52 @@ func main() {
 		log.Printf("apiaryd: chaos engine armed: seed=%d events=%d rates=%d",
 			plan.Seed, len(plan.Events), len(plan.Rates))
 	}
-	if *fleet > 0 {
+	var scn *load.Scenario
+	if *scenario != "" {
+		data, err := os.ReadFile(*scenario)
+		if err != nil {
+			log.Fatalf("apiaryd: %v", err)
+		}
+		scn, err = load.ParseScenario(data)
+		if err != nil {
+			log.Fatalf("apiaryd: scenario: %v", err)
+		}
+		log.Printf("apiaryd: scenario %q: %d sessions, %d phases, %d cycles, seed=%d",
+			scn.Name, scn.Sessions, len(scn.Phases), scn.Dur(), scn.Seed)
+	}
+	if *fleet > 0 || (scn != nil && scn.Fleet != nil) {
+		if *scnRecord != "" || *scnReplay != "" {
+			log.Fatalf("apiaryd: -scenario-record/-scenario-replay are single-board only")
+		}
 		runFleet(cfg, *fleet, *fleetWorkers, *manifestPath, sim.Cycle(*cycles),
-			*fleetKill, sim.Cycle(*fleetKillAt), *httpAddr, sim.Cycle(*statsEvery))
+			*fleetKill, sim.Cycle(*fleetKillAt), *httpAddr, sim.Cycle(*statsEvery), scn)
 		return
 	}
 
-	sys, err := core.NewSystem(cfg)
+	var sys *core.System
+	var br *load.BoardRun
+	var err error
+	if scn != nil {
+		br, err = load.NewBoardRun(scn, cfg)
+		if err != nil {
+			log.Fatalf("apiaryd: scenario boot: %v", err)
+		}
+		sys = br.Sys
+		if *scnReplay != "" {
+			data, err := os.ReadFile(*scnReplay)
+			if err != nil {
+				log.Fatalf("apiaryd: %v", err)
+			}
+			rec, err := load.ParseRecording(data)
+			if err != nil {
+				log.Fatalf("apiaryd: replay: %v", err)
+			}
+			br.Gen.SetReplay(rec)
+			log.Printf("apiaryd: replaying %d recorded arrivals", len(rec.Arrivals))
+		}
+	} else {
+		sys, err = core.NewSystem(cfg)
+	}
 	if err != nil {
 		log.Fatalf("apiaryd: boot: %v", err)
 	}
@@ -178,6 +233,14 @@ func main() {
 			obs.WriteHeatmap(rw, sys.Noc, sys.Windows.Latest(),
 				sys.Kernel.QuarantinedTiles(), sys.Kernel.DegradedTiles())
 		})
+		if br != nil {
+			mux.HandleFunc("/scenario.json", func(rw http.ResponseWriter, _ *http.Request) {
+				mu.Lock()
+				defer mu.Unlock()
+				rw.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(rw).Encode(br.Status())
+			})
+		}
 		go func() {
 			log.Printf("apiaryd: serving stats on %s", *httpAddr)
 			log.Fatal(http.ListenAndServe(*httpAddr, mux))
@@ -186,7 +249,10 @@ func main() {
 
 	// Run in chunks so HTTP handlers get the lock regularly, shrinking the
 	// chunk when the next -stats-every report would land inside it so each
-	// interval logs exactly once.
+	// interval logs exactly once. A scenario also clamps chunks to the next
+	// phase boundary, so HTTP observers never see a torn phase: every
+	// /scenario.json snapshot is taken with the phase counters either fully
+	// before or fully after each boundary.
 	const chunk = sim.Cycle(100_000)
 	end := sim.Cycle(*cycles)
 	nextLog := end + 1
@@ -196,7 +262,7 @@ func main() {
 	for {
 		mu.Lock()
 		now := sys.Engine.Now()
-		if now >= end {
+		if now >= end || (br != nil && br.Done()) {
 			mu.Unlock()
 			break
 		}
@@ -206,6 +272,11 @@ func main() {
 		}
 		if now < nextLog && nextLog-now < step {
 			step = nextLog - now
+		}
+		if br != nil {
+			if edge := br.Scn.NextBoundary(now); edge > now && edge-now < step {
+				step = edge - now
+			}
 		}
 		sys.Run(step)
 		now = sys.Engine.Now()
@@ -250,6 +321,38 @@ func main() {
 	if dir := sys.Kernel.Directory(); len(dir) > 0 {
 		writeServices(os.Stdout, sys)
 	}
+	if br != nil {
+		printScenarioReport(br.Scn, br.Report(), br.Fingerprint())
+		if *scnRecord != "" {
+			f, err := os.Create(*scnRecord)
+			if err != nil {
+				log.Fatalf("apiaryd: record: %v", err)
+			}
+			if _, err := br.Gen.Recording().WriteTo(f); err != nil {
+				log.Fatalf("apiaryd: record: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("apiaryd: record: %v", err)
+			}
+			log.Printf("apiaryd: recording written to %s", *scnRecord)
+		}
+	}
+}
+
+// printScenarioReport renders the per-phase goodput/latency table and the
+// run's client-visible fingerprint — the value the CI scenario gate diffs
+// against its committed golden.
+func printScenarioReport(scn *load.Scenario, reps []load.PhaseReport, fp uint64) {
+	fmt.Printf("scenario %q (%d sessions):\n", scn.Name, scn.Sessions)
+	fmt.Printf("  %-12s %10s %12s %12s %8s %8s %8s %8s %8s %9s %9s\n",
+		"phase", "dur", "offered_rpMc", "goodput_rpMc",
+		"offered", "ok", "denied", "timeout", "shed", "p50cy", "p99cy")
+	for _, pr := range reps {
+		fmt.Printf("  %-12s %10d %12d %12d %8d %8d %8d %8d %8d %9.1f %9.1f\n",
+			pr.Name, pr.Dur, pr.OfferedRpMc, pr.GoodputRpMc,
+			pr.Offered, pr.OK, pr.Denied, pr.Timeout, pr.Shed, pr.P50, pr.P99)
+	}
+	fmt.Printf("scenario fingerprint: 0x%016x\n", fp)
 }
 
 // runFleet boots a -fleet N cluster and runs it. With a manifest, the
@@ -261,22 +364,41 @@ func main() {
 // /events.json, /trace.json (the stitched multi-board timeline) and
 // /fleet.json (the dashboard payload behind apiaryctl fleet).
 func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
-	cycles sim.Cycle, kill int, killAt sim.Cycle, httpAddr string, statsEvery sim.Cycle) {
-	fl, err := cluster.New(cluster.Config{
+	cycles sim.Cycle, kill int, killAt sim.Cycle, httpAddr string, statsEvery sim.Cycle,
+	scn *load.Scenario) {
+	fcfg := cluster.Config{
 		Boards:  boards,
 		Workers: workers,
 		Seed:    board.Seed,
 		Board:   board,
 		Link:    netsim.LinkConfig{LatencyNs: 1000},
-	})
-	if err != nil {
-		log.Fatalf("apiaryd: fleet boot: %v", err)
+	}
+	var fl *cluster.Fleet
+	var fr *load.FleetRun
+	var err error
+	if scn != nil {
+		// The scenario's fleet stanza sizes the fleet; its kill directives
+		// replace the -fleet-kill flags; its chaos plan arms every board.
+		fr, err = load.NewFleetRun(scn, fcfg)
+		if err != nil {
+			log.Fatalf("apiaryd: fleet scenario boot: %v", err)
+		}
+		fl = fr.Fl
+		kill = -1
+	} else {
+		fl, err = cluster.New(fcfg)
+		if err != nil {
+			log.Fatalf("apiaryd: fleet boot: %v", err)
+		}
 	}
 	defer fl.Close()
-	log.Printf("apiaryd: fleet of %d boards, epoch (lookahead) = %d cycles", boards, fl.Epoch())
+	log.Printf("apiaryd: fleet of %d boards, epoch (lookahead) = %d cycles", fl.Boards(), fl.Epoch())
 
 	var clients []*apps.Requester
-	if manifestPath != "" {
+	if fr != nil {
+		// Scenario mode deploys its own service + generators; manifest and
+		// demo workloads stay out of the way.
+	} else if manifestPath != "" {
 		data, err := os.ReadFile(manifestPath)
 		if err != nil {
 			log.Fatalf("apiaryd: %v", err)
@@ -341,6 +463,14 @@ func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
 			rw.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(rw).Encode(fl.Status(128, 64))
 		})
+		if fr != nil {
+			mux.HandleFunc("/scenario.json", func(rw http.ResponseWriter, _ *http.Request) {
+				mu.Lock()
+				defer mu.Unlock()
+				rw.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(rw).Encode(fr.Status())
+			})
+		}
 		go func() {
 			log.Printf("apiaryd: serving fleet stats on %s", httpAddr)
 			log.Fatal(http.ListenAndServe(httpAddr, mux))
@@ -354,9 +484,23 @@ func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
 	}
 	for fl.Now() < cycles {
 		mu.Lock()
+		if fr != nil && fr.Done() {
+			mu.Unlock()
+			break
+		}
 		step := chunk
 		if remaining := cycles - fl.Now(); remaining < step {
 			step = remaining
+		}
+		// Phase boundaries clamp the chunk exactly like single-board mode;
+		// the fleet re-chunks the step into epochs internally, so both
+		// alignments hold at once.
+		if fr != nil {
+			if now := fl.Now(); now < fr.Scn.Dur() {
+				if edge := fr.Scn.NextBoundary(now); edge > now && edge-now < step {
+					step = edge - now
+				}
+			}
 		}
 		fl.Run(step)
 		now := fl.Now()
@@ -404,6 +548,9 @@ func runFleet(board core.SystemConfig, boards, workers int, manifestPath string,
 	}
 	for i, c := range clients {
 		fmt.Printf("client %d: responses=%d errors=%d\n", i, c.Responses(), c.Errors())
+	}
+	if fr != nil {
+		printScenarioReport(fr.Scn, fr.Report(), fr.Fingerprint())
 	}
 }
 

@@ -101,6 +101,7 @@ var All = []Experiment{
 	{"e18", "Express-channel bypass: hit rate vs offered load", E18Express},
 	{"e19", "Multi-board fleet: cross-board RPC and whole-board failover", E19Fleet},
 	{"e20", "Fleet observability: distributed tracing as pure observation", E20FleetObs},
+	{"e21", "Open-loop scenarios: goodput and tail latency vs offered rate", E21Load},
 }
 
 // ByID finds an experiment.

@@ -572,3 +572,49 @@ func TestE20Deterministic(t *testing.T) {
 		t.Fatalf("E20 not deterministic:\n%s\n---\n%s", a.String(), b.String())
 	}
 }
+
+func TestE21Load(t *testing.T) {
+	r := E21Load()
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (3 board rates, 3 fleet rates, 1 fleet kill):\n%s",
+			len(r.Rows), r.String())
+	}
+	// Under capacity the open-loop harness must deliver everything it
+	// offers; past capacity goodput has to fall below the offered rate and
+	// the arrival-stamped p99 has to blow up — the coordinated-omission
+	// check: a closed-loop generator would show neither.
+	for _, i := range []int{0, 3} { // board-r6000, fleet16-r6000
+		if cellF(t, r, i, "GoodputRpMc") != cellF(t, r, i, "OfferedRpMc") {
+			t.Fatalf("row %d under capacity but lossy:\n%s", i, r.String())
+		}
+	}
+	for _, i := range []int{2, 5} { // board-r36000, fleet16-r36000
+		if cellF(t, r, i, "GoodputRpMc") >= cellF(t, r, i, "OfferedRpMc") {
+			t.Fatalf("row %d past capacity but lossless:\n%s", i, r.String())
+		}
+		if cellF(t, r, i, "Denied")+cellF(t, r, i, "Timeout")+cellF(t, r, i, "Shed") == 0 {
+			t.Fatalf("row %d saturated with no client-visible failures:\n%s", i, r.String())
+		}
+	}
+	if cellF(t, r, 2, "P99cy") <= cellF(t, r, 0, "P99cy") {
+		t.Fatalf("board p99 did not grow with offered rate:\n%s", r.String())
+	}
+	if cellF(t, r, 5, "P99cy") <= cellF(t, r, 3, "P99cy") {
+		t.Fatalf("fleet p99 did not grow with offered rate:\n%s", r.String())
+	}
+	// The mid-run primary kill must cost something the no-kill run at the
+	// same rate does not: timeouts, and with them goodput.
+	if cellF(t, r, 6, "Timeout") <= cellF(t, r, 4, "Timeout") {
+		t.Fatalf("board kill produced no extra timeouts:\n%s", r.String())
+	}
+	if cellF(t, r, 6, "GoodputRpMc") >= cellF(t, r, 4, "GoodputRpMc") {
+		t.Fatalf("board kill did not dent goodput:\n%s", r.String())
+	}
+}
+
+func TestE21Deterministic(t *testing.T) {
+	a, b := E21Load(), E21Load()
+	if a.String() != b.String() {
+		t.Fatalf("E21 not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

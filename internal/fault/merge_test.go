@@ -1,0 +1,42 @@
+package fault
+
+import "testing"
+
+func TestMerge(t *testing.T) {
+	a := &Plan{
+		Seed:   5,
+		Events: []Event{{Kind: KindHang, At: 100, Tile: 1, Dur: 10}},
+		Rates:  []Rate{{Event: Event{Kind: KindFalsePos, Tile: 2}, MeanEvery: 1000}},
+	}
+	b := &Plan{
+		Seed:   9,
+		Events: []Event{{Kind: KindLinkFlip, At: 200, Tile: 3}},
+	}
+	m := Merge(a, b)
+	if m.Seed != 5^9 {
+		t.Fatalf("merged seed %d, want %d", m.Seed, 5^9)
+	}
+	if len(m.Events) != 2 || len(m.Rates) != 1 {
+		t.Fatalf("merged plan shape: %d events, %d rates", len(m.Events), len(m.Rates))
+	}
+	if m.Events[0].Kind != KindHang || m.Events[1].Kind != KindLinkFlip {
+		t.Fatalf("merged events out of order: %+v", m.Events)
+	}
+
+	// Zero seeds defer to the other side; nil inputs are empty plans.
+	if Merge(&Plan{Seed: 0}, b).Seed != 9 {
+		t.Fatal("zero seed should defer to b")
+	}
+	if Merge(a, nil).Seed != 5 || len(Merge(a, nil).Events) != 1 {
+		t.Fatal("merge with nil lost a's schedule")
+	}
+	if m := Merge(nil, nil); m == nil || len(m.Events) != 0 {
+		t.Fatal("merge of nils should be an empty plan")
+	}
+
+	// Merge copies: mutating the result must not alias the inputs.
+	m.Events[0].At = 999
+	if a.Events[0].At != 100 {
+		t.Fatal("merge aliased input event slice")
+	}
+}

@@ -1,0 +1,50 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"apiary/internal/noc"
+)
+
+// FuzzScenarioParse asserts the scenario decoder never panics, and that
+// anything it accepts survives the String round trip (parse ∘ render is a
+// fixed point — the same contract FuzzFaultPlanParse keeps for chaos
+// plans). Seeded with the valid DSL corpus in testdata.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add([]byte(diffScn))
+	f.Add([]byte(fleetScn))
+	if raw, err := os.ReadFile(filepath.Join("testdata", "smoke.scn")); err == nil {
+		f.Add(raw)
+	}
+	if raw, err := os.ReadFile(filepath.Join("testdata", "example.scn")); err == nil {
+		f.Add(raw)
+	}
+	f.Add([]byte(`{"scenario":"j","seed":3,"sessions":10,"target":40,` +
+		`"classes":[{"name":"a","weight":1,"bytes":4}],` +
+		`"phases":[{"name":"p","dur":100,"rate_from":10,"rate_to":20}]}`))
+	f.Add([]byte("scenario x\nphase p dur=10 rate=1\n"))
+	f.Add([]byte("chaos hang at=5 tile=1 dur=2\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scn, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must render and re-parse to the same text.
+		text := scn.String()
+		again, err := ParseScenario([]byte(text))
+		if err != nil {
+			t.Fatalf("render of accepted input does not re-parse: %v\n%s", err, text)
+		}
+		if again.String() != text {
+			t.Fatalf("render/parse not a fixed point:\n%q\nvs\n%q", text, again.String())
+		}
+		// Validate must never panic either, whatever the input shape.
+		_ = scn.Validate(noc.Dims{W: 4, H: 4})
+		_ = scn.RateAt(0)
+		_ = scn.RateAt(scn.Dur() / 2)
+		_ = scn.NextBoundary(0)
+	})
+}

@@ -1,0 +1,506 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apiary/internal/fault"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// ParseScenario decodes a scenario from either the line-oriented text
+// format or JSON (autodetected on the first non-space byte, exactly like
+// fault.ParsePlan). The text grammar is one directive per line, '#'
+// comments:
+//
+//	scenario smoke
+//	seed 7
+//	sessions 200000
+//	target svc=100
+//	timeout 20000
+//	fleet boards=4 replicas=2 clients=2
+//	class get weight=8 bytes=16
+//	class put weight=2 bytes=96
+//	phase ramp dur=60000 rate=500..4000
+//	phase rush dur=80000 rate=4000 burst=3000@20000x4000 diurnal=40000:1000
+//	phase drain dur=30000 rate=1000
+//	kill board=2 at=90000
+//	chaos stall at=50000 tile=4 port=E dur=2000
+//
+// `rate=A..B` ramps linearly across the phase; `burst=R@PxD` adds R rpMc
+// for the first D cycles of every P; `diurnal=P:S` superimposes a triangle
+// wave of period P and amplitude S. `chaos ` lines are stripped of the
+// prefix, gathered, and compiled with fault.ParsePlan — the full chaos
+// grammar rides along unchanged, which is what makes scenario × fault-plan
+// cross-products one file. ParseScenario never panics; malformed input
+// returns an error (FuzzScenarioParse enforces this).
+func ParseScenario(data []byte) (*Scenario, error) {
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return parseScenarioJSON(data)
+		}
+		break
+	}
+	return parseScenarioText(data)
+}
+
+func parseScenarioText(data []byte) (*Scenario, error) {
+	s := &Scenario{}
+	var chaos []string
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("load: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "scenario":
+			if len(fields) != 2 {
+				return nil, errf("scenario takes one name")
+			}
+			s.Name = fields[1]
+		case "seed":
+			v, err := oneUint(fields, 64)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Seed = v
+		case "sessions":
+			v, err := oneUint(fields, 31)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Sessions = int(v)
+		case "timeout":
+			v, err := oneUint(fields, 63)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Timeout = sim.Cycle(v)
+		case "target":
+			kv, err := keyVals(fields[1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			v, err := reqUint(kv, "svc", 16)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			s.Target = msg.ServiceID(v)
+		case "fleet":
+			kv, err := keyVals(fields[1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			f := &FleetSpec{}
+			if v, err := reqUint(kv, "boards", 16); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				f.Boards = int(v)
+			}
+			if v, err := reqUint(kv, "replicas", 16); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				f.Replicas = int(v)
+			}
+			if v, err := reqUint(kv, "clients", 16); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				f.Clients = int(v)
+			}
+			s.Fleet = f
+		case "class":
+			if len(fields) < 2 {
+				return nil, errf("class needs a name")
+			}
+			kv, err := keyVals(fields[2:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			c := Class{Name: fields[1]}
+			if v, err := reqUint(kv, "weight", 31); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				c.Weight = int(v)
+			}
+			if v, err := reqUint(kv, "bytes", 31); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				c.Bytes = int(v)
+			}
+			s.Classes = append(s.Classes, c)
+		case "phase":
+			if len(fields) < 2 {
+				return nil, errf("phase needs a name")
+			}
+			kv, err := keyVals(fields[2:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			p := Phase{Name: fields[1]}
+			if v, err := reqUint(kv, "dur", 63); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				p.Dur = sim.Cycle(v)
+			}
+			rate, ok := kv["rate"]
+			if !ok {
+				return nil, errf("phase needs rate=")
+			}
+			from, to, found := strings.Cut(rate, "..")
+			a, err := strconv.ParseUint(from, 10, rateBits)
+			if err != nil {
+				return nil, errf("bad rate %q: %v", rate, err)
+			}
+			p.RateFrom, p.RateTo = a, a
+			if found {
+				b, err := strconv.ParseUint(to, 10, rateBits)
+				if err != nil {
+					return nil, errf("bad rate %q: %v", rate, err)
+				}
+				p.RateTo = b
+			}
+			if bs, ok := kv["burst"]; ok {
+				bu, err := parseBurst(bs)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				p.Burst = bu
+			}
+			if ds, ok := kv["diurnal"]; ok {
+				di, err := parseDiurnal(ds)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				p.Diurnal = di
+			}
+			for k := range kv {
+				switch k {
+				case "dur", "rate", "burst", "diurnal":
+				default:
+					return nil, errf("unknown phase key %q", k)
+				}
+			}
+			s.Phases = append(s.Phases, p)
+		case "kill":
+			kv, err := keyVals(fields[1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			k := Kill{}
+			if v, err := reqUint(kv, "board", 16); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				k.Board = int(v)
+			}
+			if v, err := reqUint(kv, "at", 63); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				k.At = sim.Cycle(v)
+			}
+			s.Kills = append(s.Kills, k)
+		case "chaos":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "chaos"))
+			chaos = append(chaos, rest)
+		default:
+			return nil, errf("unknown directive %q", fields[0])
+		}
+	}
+	if len(chaos) > 0 {
+		plan, err := fault.ParsePlan([]byte(strings.Join(chaos, "\n")))
+		if err != nil {
+			return nil, fmt.Errorf("load: chaos lines: %w", err)
+		}
+		s.Chaos = plan
+	}
+	return s, nil
+}
+
+// oneUint parses directives of the form `name value`.
+func oneUint(fields []string, bits int) (uint64, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("%s takes one value", fields[0])
+	}
+	v, err := strconv.ParseUint(fields[1], 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", fields[0], err)
+	}
+	return v, nil
+}
+
+// keyVals splits `key=value` fields into a map.
+func keyVals(fields []string) (map[string]string, error) {
+	kv := make(map[string]string, len(fields))
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+// reqUint fetches a required numeric key.
+func reqUint(kv map[string]string, key string, bits int) (uint64, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	n, err := strconv.ParseUint(v, 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", key, err)
+	}
+	return n, nil
+}
+
+// rateBits bounds every rate field (rpMc) to 31 bits: far above any
+// meaningful offered load (2^31 rpMc is two requests per cycle), and small
+// enough that the Q32 increment conversion can never overflow.
+const rateBits = 31
+
+// parseBurst decodes R@PxD.
+func parseBurst(s string) (*Burst, error) {
+	r, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("burst wants R@PERIODxDUR, got %q", s)
+	}
+	p, d, ok := strings.Cut(rest, "x")
+	if !ok {
+		return nil, fmt.Errorf("burst wants R@PERIODxDUR, got %q", s)
+	}
+	rv, err1 := strconv.ParseUint(r, 10, rateBits)
+	pv, err2 := strconv.ParseUint(p, 10, 63)
+	dv, err3 := strconv.ParseUint(d, 10, 63)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return nil, fmt.Errorf("bad burst %q", s)
+	}
+	return &Burst{Rate: rv, Period: sim.Cycle(pv), Dur: sim.Cycle(dv)}, nil
+}
+
+// parseDiurnal decodes P:S.
+func parseDiurnal(s string) (*Diurnal, error) {
+	p, sw, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("diurnal wants PERIOD:SWING, got %q", s)
+	}
+	pv, err1 := strconv.ParseUint(p, 10, 63)
+	sv, err2 := strconv.ParseUint(sw, 10, rateBits)
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("bad diurnal %q", s)
+	}
+	return &Diurnal{Period: sim.Cycle(pv), Swing: sv}, nil
+}
+
+// JSON wire form. Kinds match the text directives; the chaos plan embeds
+// the fault package's own JSON form verbatim.
+type jsonScenario struct {
+	Scenario string          `json:"scenario"`
+	Seed     uint64          `json:"seed"`
+	Sessions int             `json:"sessions"`
+	Target   uint16          `json:"target"`
+	Timeout  sim.Cycle       `json:"timeout,omitempty"`
+	Fleet    *jsonFleet      `json:"fleet,omitempty"`
+	Classes  []jsonClass     `json:"classes"`
+	Phases   []jsonPhase     `json:"phases"`
+	Kills    []jsonKill      `json:"kills,omitempty"`
+	Chaos    json.RawMessage `json:"chaos,omitempty"`
+}
+
+type jsonFleet struct {
+	Boards   int `json:"boards"`
+	Replicas int `json:"replicas"`
+	Clients  int `json:"clients"`
+}
+
+type jsonClass struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	Bytes  int    `json:"bytes"`
+}
+
+type jsonPhase struct {
+	Name     string       `json:"name"`
+	Dur      sim.Cycle    `json:"dur"`
+	RateFrom uint64       `json:"rate_from"`
+	RateTo   uint64       `json:"rate_to"`
+	Burst    *jsonBurst   `json:"burst,omitempty"`
+	Diurnal  *jsonDiurnal `json:"diurnal,omitempty"`
+}
+
+type jsonBurst struct {
+	Rate   uint64    `json:"rate"`
+	Period sim.Cycle `json:"period"`
+	Dur    sim.Cycle `json:"dur"`
+}
+
+type jsonDiurnal struct {
+	Period sim.Cycle `json:"period"`
+	Swing  uint64    `json:"swing"`
+}
+
+type jsonKill struct {
+	Board int       `json:"board"`
+	At    sim.Cycle `json:"at"`
+}
+
+// textName rejects names the line grammar cannot render back: whitespace
+// or control characters would split into extra fields, '#' would start a
+// comment. The text parser produces safe names by construction; this guard
+// keeps JSON input inside the same round-trippable domain.
+func textName(kind, name string) error {
+	for i := 0; i < len(name); i++ {
+		if name[i] <= ' ' || name[i] == '#' || name[i] == 0x7f {
+			return fmt.Errorf("load: %s name %q not renderable", kind, name)
+		}
+	}
+	return nil
+}
+
+// The JSON form accepts the same numeric domain as the text grammar, so
+// every accepted scenario renders back losslessly: 63-bit cycles, 31-bit
+// counts, 16-bit board indices.
+const (
+	maxCycleJSON = sim.Cycle(1)<<63 - 1
+	maxCountJSON = int(1)<<31 - 1
+	maxBoardJSON = 1<<16 - 1
+)
+
+func parseScenarioJSON(data []byte) (*Scenario, error) {
+	var js jsonScenario
+	if err := json.Unmarshal(data, &js); err != nil {
+		return nil, fmt.Errorf("load: bad JSON scenario: %v", err)
+	}
+	s := &Scenario{
+		Name:     js.Scenario,
+		Seed:     js.Seed,
+		Sessions: js.Sessions,
+		Target:   msg.ServiceID(js.Target),
+		Timeout:  js.Timeout,
+	}
+	if err := textName("scenario", js.Scenario); err != nil {
+		return nil, err
+	}
+	if s.Sessions < 0 || s.Sessions > maxCountJSON {
+		return nil, fmt.Errorf("load: sessions out of range")
+	}
+	if s.Timeout > maxCycleJSON {
+		return nil, fmt.Errorf("load: timeout out of range")
+	}
+	maxRate := uint64(1)<<rateBits - 1
+	if f := js.Fleet; f != nil {
+		if f.Boards < 0 || f.Replicas < 0 || f.Clients < 0 ||
+			f.Boards > maxBoardJSON || f.Replicas > maxBoardJSON || f.Clients > maxBoardJSON {
+			return nil, fmt.Errorf("load: fleet field out of range")
+		}
+		s.Fleet = &FleetSpec{Boards: f.Boards, Replicas: f.Replicas, Clients: f.Clients}
+	}
+	for _, c := range js.Classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("load: class needs a name")
+		}
+		if err := textName("class", c.Name); err != nil {
+			return nil, err
+		}
+		if c.Weight < 0 || c.Bytes < 0 || c.Weight > maxCountJSON || c.Bytes > maxCountJSON {
+			return nil, fmt.Errorf("load: class %q field out of range", c.Name)
+		}
+		s.Classes = append(s.Classes, Class{Name: c.Name, Weight: c.Weight, Bytes: c.Bytes})
+	}
+	for _, p := range js.Phases {
+		if p.Name == "" {
+			return nil, fmt.Errorf("load: phase needs a name")
+		}
+		if err := textName("phase", p.Name); err != nil {
+			return nil, err
+		}
+		if p.RateFrom > maxRate || p.RateTo > maxRate || p.Dur > maxCycleJSON {
+			return nil, fmt.Errorf("load: phase %q field out of range", p.Name)
+		}
+		ph := Phase{Name: p.Name, Dur: p.Dur, RateFrom: p.RateFrom, RateTo: p.RateTo}
+		if b := p.Burst; b != nil {
+			if b.Rate > maxRate || b.Period > maxCycleJSON || b.Dur > maxCycleJSON {
+				return nil, fmt.Errorf("load: phase %q burst field out of range", p.Name)
+			}
+			ph.Burst = &Burst{Rate: b.Rate, Period: b.Period, Dur: b.Dur}
+		}
+		if d := p.Diurnal; d != nil {
+			if d.Swing > maxRate || d.Period > maxCycleJSON {
+				return nil, fmt.Errorf("load: phase %q diurnal field out of range", p.Name)
+			}
+			ph.Diurnal = &Diurnal{Period: d.Period, Swing: d.Swing}
+		}
+		s.Phases = append(s.Phases, ph)
+	}
+	for _, k := range js.Kills {
+		if k.Board < 0 || k.Board > maxBoardJSON || k.At > maxCycleJSON {
+			return nil, fmt.Errorf("load: kill field out of range")
+		}
+		s.Kills = append(s.Kills, Kill{Board: k.Board, At: k.At})
+	}
+	if len(js.Chaos) > 0 {
+		plan, err := fault.ParsePlan(js.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("load: chaos plan: %w", err)
+		}
+		// The chaos plan must survive the text render the scenario's own
+		// String performs — JSON accepts a wider numeric/port domain than
+		// the line grammar, and a scenario holding an unrenderable plan
+		// would break the parse/render fixed point.
+		if _, err := fault.ParsePlan([]byte(plan.String())); err != nil {
+			return nil, fmt.Errorf("load: chaos plan not renderable as text: %v", err)
+		}
+		s.Chaos = plan
+	}
+	return s, nil
+}
+
+// MarshalJSON renders the scenario in the JSON wire form ParseScenario
+// accepts.
+func (s *Scenario) MarshalJSON() ([]byte, error) {
+	js := jsonScenario{
+		Scenario: s.Name,
+		Seed:     s.Seed,
+		Sessions: s.Sessions,
+		Target:   uint16(s.Target),
+		Timeout:  s.Timeout,
+	}
+	if f := s.Fleet; f != nil {
+		js.Fleet = &jsonFleet{Boards: f.Boards, Replicas: f.Replicas, Clients: f.Clients}
+	}
+	for _, c := range s.Classes {
+		js.Classes = append(js.Classes, jsonClass{Name: c.Name, Weight: c.Weight, Bytes: c.Bytes})
+	}
+	for _, p := range s.Phases {
+		jp := jsonPhase{Name: p.Name, Dur: p.Dur, RateFrom: p.RateFrom, RateTo: p.RateTo}
+		if b := p.Burst; b != nil {
+			jp.Burst = &jsonBurst{Rate: b.Rate, Period: b.Period, Dur: b.Dur}
+		}
+		if d := p.Diurnal; d != nil {
+			jp.Diurnal = &jsonDiurnal{Period: d.Period, Swing: d.Swing}
+		}
+		js.Phases = append(js.Phases, jp)
+	}
+	for _, k := range s.Kills {
+		js.Kills = append(js.Kills, jsonKill{Board: k.Board, At: k.At})
+	}
+	if s.Chaos != nil {
+		raw, err := json.Marshal(s.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		js.Chaos = raw
+	}
+	return json.Marshal(js)
+}

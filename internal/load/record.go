@@ -1,0 +1,186 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"apiary/internal/sim"
+)
+
+// Outcome classifies how one arrival's lifetime ended, as the client saw
+// it. Outcomes beyond OutcomeOK carry the error class, not the raw code:
+// the fingerprint is a *client-visible* contract, and clients see
+// success/denial/failure/timeout/shed, not router internals.
+type Outcome uint8
+
+// Arrival outcomes.
+const (
+	OutcomeOK      Outcome = iota // TReply received
+	OutcomeDenied                 // server replied TError (EBusy shed, rate limit...)
+	OutcomeTimeout                // no reply within the scenario timeout
+	OutcomeShed                   // generator backlog overflowed; never sent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeDenied:
+		return "denied"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeShed:
+		return "shed"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Arrival is one client request as the open-loop clock emitted it.
+type Arrival struct {
+	Seq     uint32
+	Session uint32
+	Class   uint8
+	At      sim.Cycle // scheduled arrival cycle (the latency origin)
+}
+
+// Completion is the client-visible end of one arrival.
+type Completion struct {
+	Seq     uint32
+	Outcome Outcome
+	At      sim.Cycle // cycle the outcome was observed
+}
+
+// Recording is the delivered request/response stream of one generator, in
+// emission/observation order — the replayable, fingerprintable artifact of
+// a scenario run.
+type Recording struct {
+	Arrivals    []Arrival
+	Completions []Completion
+}
+
+// fnvOffset/fnvPrime are FNV-1a 64 parameters.
+const (
+	fnvOffset = uint64(0xcbf29ce484222325)
+	fnvPrime  = uint64(0x100000001b3)
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint hashes the full client-visible stream: every arrival (seq,
+// session, class, cycle) and every completion (seq, outcome, cycle) in
+// order. Two runs with equal fingerprints delivered the same requests and
+// observed the same outcomes at the same cycles — the bit-exactness
+// contract the differential and replay tests assert.
+func (r *Recording) Fingerprint() uint64 {
+	h := fnvOffset
+	for _, a := range r.Arrivals {
+		h = fnvU64(h, uint64(a.Seq))
+		h = fnvU64(h, uint64(a.Session)<<8|uint64(a.Class))
+		h = fnvU64(h, uint64(a.At))
+	}
+	h = fnvU64(h, 0xA11C0DE) // domain separator: arrivals | completions
+	for _, c := range r.Completions {
+		h = fnvU64(h, uint64(c.Seq)<<8|uint64(c.Outcome))
+		h = fnvU64(h, uint64(c.At))
+	}
+	return h
+}
+
+// CombineFingerprints folds per-generator fingerprints (in board-ID order)
+// into one fleet fingerprint.
+func CombineFingerprints(fps []uint64) uint64 {
+	h := fnvOffset
+	for _, fp := range fps {
+		h = fnvU64(h, fp)
+	}
+	return h
+}
+
+// WriteTo serializes the recording as a compact line-oriented log:
+//
+//	a seq session class at
+//	c seq outcome at
+//
+// readable enough to diff, small enough to commit.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, a := range r.Arrivals {
+		k, err := fmt.Fprintf(bw, "a %d %d %d %d\n", a.Seq, a.Session, a.Class, a.At)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	for _, c := range r.Completions {
+		k, err := fmt.Fprintf(bw, "c %d %d %d\n", c.Seq, c.Outcome, c.At)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ParseRecording decodes the WriteTo format. It never panics; malformed
+// input returns an error.
+func ParseRecording(data []byte) (*Recording, error) {
+	r := &Recording{}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		nums := func(want int) ([]uint64, error) {
+			if len(fields) != want+1 {
+				return nil, fmt.Errorf("load: recording line %d: want %d fields", lineNo+1, want)
+			}
+			out := make([]uint64, want)
+			for i := 0; i < want; i++ {
+				v, err := strconv.ParseUint(fields[i+1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("load: recording line %d: %v", lineNo+1, err)
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		switch fields[0] {
+		case "a":
+			v, err := nums(4)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] > 1<<32-1 || v[1] > 1<<32-1 || v[2] > 255 {
+				return nil, fmt.Errorf("load: recording line %d: field out of range", lineNo+1)
+			}
+			r.Arrivals = append(r.Arrivals, Arrival{
+				Seq: uint32(v[0]), Session: uint32(v[1]), Class: uint8(v[2]), At: sim.Cycle(v[3]),
+			})
+		case "c":
+			v, err := nums(3)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] > 1<<32-1 || v[1] > 255 {
+				return nil, fmt.Errorf("load: recording line %d: field out of range", lineNo+1)
+			}
+			r.Completions = append(r.Completions, Completion{
+				Seq: uint32(v[0]), Outcome: Outcome(v[1]), At: sim.Cycle(v[2]),
+			})
+		default:
+			return nil, fmt.Errorf("load: recording line %d: unknown record %q", lineNo+1, fields[0])
+		}
+	}
+	return r, nil
+}

@@ -24,6 +24,10 @@ const (
 	EvDeploy     EventKind = "deploy"     // service replica deployed
 	EvConnect    EventKind = "connect"    // client proxy connected
 	EvBoardKill  EventKind = "board-kill" // whole board declared dead
+	// EvScenarioPhase marks a load-scenario phase boundary (internal/load):
+	// the open-loop generator records each transition so latency shifts in
+	// the decision log line up with the offered-rate curve that caused them.
+	EvScenarioPhase EventKind = "scenario-phase"
 )
 
 // Event is one structured decision-log record.
