@@ -7,7 +7,7 @@ GO ?= go
 # pass.
 COVER_FLOOR ?= 88.0
 
-.PHONY: all build test check cover chaos bench scenario scenario-golden clean
+.PHONY: all build test check cover chaos migrate bench scenario scenario-golden clean
 
 all: build
 
@@ -46,6 +46,22 @@ chaos:
 	$(GO) test -race -run TestFaultSoak -timeout 10m ./internal/fault/
 	$(GO) test -race -run TestFailoverSoak -timeout 10m ./internal/core/
 	$(GO) test -fuzz=FuzzFaultPlanParse -fuzztime=30s ./internal/fault/
+	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=30s ./internal/core/
+
+# migrate runs the live-migration gates the way CI's chaos job does: the
+# kernel checkpoint/restore and chaos-migrate unit tests, the on-board and
+# cross-board migration differentials (client-visible outcomes identical to
+# an unmigrated control outside the bounded window, bit-exact across shard
+# and worker counts), the mid-transfer abort, the orchestrator directive
+# tests, the checkpointable-app contract tests, and a bounded fuzz of the
+# snapshot decoder.
+migrate:
+	$(GO) test -race -count=1 -run 'TestSnapshot|TestCheckpoint|TestMigrate|TestRestoreRejects|TestChaosMigrateFault' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestMigrate|TestDrainBoard|TestScheduledDirectives' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestMigrate' -timeout 10m ./internal/load/
+	$(GO) test -race -count=1 -run 'TestRequesterQuiescing|TestKVStoreSaveRestore|TestStageSaveRestore' ./internal/apps/
+	$(GO) test -race -count=1 -run 'TestParsePlanMigrate|TestInjector' ./internal/fault/
+	$(GO) test -fuzz=FuzzSnapshotRestore -fuzztime=30s ./internal/core/
 
 # bench runs a short microbenchmark sweep (for quick before/after deltas)
 # and regenerates the experiment tables into BENCH_PR.json — the committed

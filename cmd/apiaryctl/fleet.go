@@ -108,6 +108,14 @@ func renderFleet(w io.Writer, st, prev *cluster.FleetStatus, dt time.Duration, e
 	}
 	fmt.Fprintf(w, "link:    relayed=%d lost=%d to_dead=%d rebinds=%d\n",
 		st.Relayed, st.Lost, st.ToDead, st.Rebinds)
+	if len(st.Migrations) > 0 || st.MigDone > 0 || st.MigAbort > 0 {
+		fmt.Fprintf(w, "migrate: done=%d aborted=%d", st.MigDone, st.MigAbort)
+		for _, m := range st.Migrations {
+			fmt.Fprintf(w, "  [%s/%d board %d→%d %s %d/%dB]",
+				m.Service, m.Replica, m.Src, m.Dst, m.Phase, m.Sent, m.Bytes)
+		}
+		fmt.Fprintln(w)
+	}
 
 	var fleetMax uint64
 	for _, p := range st.Pulses {

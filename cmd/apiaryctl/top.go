@@ -123,6 +123,9 @@ func render(w io.Writer, cur, prev map[string]float64, dt time.Duration, heat, s
 			cur["apiary_kernel_quarantines_total"], cur["apiary_kernel_recoveries_total"],
 			cur["apiary_kernel_quarantines_total"]-cur["apiary_kernel_recoveries_total"])
 	}
+	if mig, ab := cur["apiary_kernel_migrations_total"], cur["apiary_kernel_migration_aborts_total"]; mig > 0 || ab > 0 {
+		fmt.Fprintf(w, "migrate: %.0f live migrations done, %.0f aborted\n", mig, ab)
+	}
 	shed := cur["apiary_shell_shed_total"]
 	opens := cur["apiary_apps_breaker_opens_total"]
 	failovers := cur["apiary_kernel_failovers_total"]

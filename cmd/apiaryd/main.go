@@ -221,6 +221,12 @@ func main() {
 			rw.Header().Set("Content-Type", "application/json")
 			_ = obs.ExportChromeSpans(rw, sys.Obs.Entries(), float64(sys.Engine.ClockMHz()))
 		})
+		mux.HandleFunc("/events.json", func(rw http.ResponseWriter, _ *http.Request) {
+			mu.Lock()
+			defer mu.Unlock()
+			rw.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteEventsJSON(rw, sys.Events.Events())
+		})
 		mux.HandleFunc("/heatmap", func(rw http.ResponseWriter, r *http.Request) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -311,6 +317,9 @@ func main() {
 		fmt.Printf("chaos: injected=%d quarantines=%d recoveries=%d still_quarantined=%v\n",
 			injected, sys.Kernel.Quarantines(), sys.Kernel.Recoveries(),
 			sys.Kernel.QuarantinedTiles())
+	}
+	if done, ab := sys.Kernel.MigrationsDone(), sys.Kernel.MigrationAborts(); done > 0 || ab > 0 {
+		fmt.Printf("migrate: done=%d aborted=%d\n", done, ab)
 	}
 	shed := sys.Stats.Counter("shell.shed").Value()
 	opens := sys.Stats.Counter("apps.breaker_opens").Value()

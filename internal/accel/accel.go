@@ -115,19 +115,43 @@ type TileLocalMarker struct{}
 
 func (TileLocalMarker) tileLocal() {}
 
-// Preemptible is implemented by accelerators that externalize per-context
-// architectural state (paper §4.4: SYNERGY-style). A preemptible
-// accelerator lets the monitor kill or swap a single faulting context while
-// the others keep running.
+// Checkpointable is implemented by accelerators that externalize
+// per-context architectural state for checkpoint/restore. A quiescent
+// checkpointable accelerator can be serialized, torn down, and reinstated
+// in a different region (or on a different board) without its clients
+// observing anything beyond a bounded retry window — the substrate of live
+// migration (ROADMAP item 5, Funky-style).
+type Checkpointable interface {
+	// SaveContext serializes one context's state. The encoding must be
+	// deterministic (sorted iteration over any map state) so snapshots are
+	// bit-exact across serial and sharded runs.
+	SaveContext(ctx uint8) ([]byte, error)
+	// RestoreContext reinstates previously saved state. It must validate
+	// bounds before mutating anything: a malformed blob returns an error
+	// and leaves the context untouched (never partially applied).
+	RestoreContext(ctx uint8, state []byte) error
+}
+
+// Preemptible extends Checkpointable with per-context kill (paper §4.4:
+// SYNERGY-style). A preemptible accelerator lets the monitor kill or swap a
+// single faulting context while the others keep running. Accelerators that
+// can checkpoint but whose contexts are not fault-isolated from each other
+// implement only Checkpointable and keep the fail-stop containment model.
 type Preemptible interface {
 	Accelerator
-	// SaveContext serializes one context's state.
-	SaveContext(ctx uint8) ([]byte, error)
-	// RestoreContext reinstates previously saved state.
-	RestoreContext(ctx uint8, state []byte) error
+	Checkpointable
 	// KillContext resets one context to a dead state without touching the
 	// others.
 	KillContext(ctx uint8)
+}
+
+// Quiescer is optionally implemented by accelerators that can report when
+// they hold no in-flight work: no parked output, no outstanding RPCs to
+// system services, no pending client requests. The shell consults it while
+// Quiescing; without it, quiescence falls back to Idler (conservative for
+// pipelines whose Idle already covers in-flight state).
+type Quiescer interface {
+	Quiescent() bool
 }
 
 // State is the shell's lifecycle state.
@@ -136,10 +160,15 @@ type State uint8
 // Shell states. Draining and Stopped together implement the fail-stop model:
 // a Draining tile's monitor discards its outgoing messages and NACKs
 // incoming ones; once quiet it is Stopped until the kernel resumes it.
+// Quiescing is the healthy variant used by checkpoint/migration: the shell
+// keeps ticking, in-flight replies are delivered and sent, but new requests
+// bounce with the retryable EQuiescing so clients ride out the window on
+// their normal backoff machinery.
 const (
 	Running State = iota
 	Draining
 	Stopped
+	Quiescing
 )
 
 func (s State) String() string {
@@ -150,6 +179,8 @@ func (s State) String() string {
 		return "draining"
 	case Stopped:
 		return "stopped"
+	case Quiescing:
+		return "quiescing"
 	}
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
@@ -230,6 +261,27 @@ type Shell struct {
 	// is attached to a tile; -1 (the default) keeps the shell opaque.
 	shard int
 }
+
+// Blank is the power-on placeholder occupying a shell before any
+// application logic is configured into its region: one context, no
+// behavior, always idle. Tiles boot with a Blank-wrapped shell parked in
+// Stopped state; placement swaps real logic in with Adopt.
+type Blank struct{ TileLocalMarker }
+
+// Name identifies the placeholder.
+func (Blank) Name() string { return "blank" }
+
+// Reset is a no-op: there is no state to clear.
+func (Blank) Reset() {}
+
+// Contexts reports the single (vacant) context.
+func (Blank) Contexts() int { return 1 }
+
+// Tick does nothing.
+func (Blank) Tick(Port) {}
+
+// Idle reports true: a blank region never generates work.
+func (Blank) Idle() bool { return true }
 
 // NewShell wraps acc. The monitor installs its hooks with Bind before the
 // first tick.
@@ -351,6 +403,31 @@ func (s *Shell) Reset() {
 	}
 }
 
+// Adopt replaces the wrapped accelerator with freshly configured logic and
+// returns the shell to a clean Running state — the software analogue of
+// partially reconfiguring the region inside a shell that stays resident in
+// the static fabric. Because the shell (and its engine registration)
+// survives unload/reload cycles, applications can be placed mid-run without
+// growing the engine's ticker list: the tick order frozen at registration
+// never changes. The queue bound resets to the default; callers reapply any
+// manifest override.
+func (s *Shell) Adopt(acc Accelerator) {
+	if acc.Contexts() < 1 {
+		panic("accel: accelerator with zero contexts")
+	}
+	s.acc = acc
+	s.ctxDead = make([]bool, acc.Contexts())
+	s.inq = nil
+	s.state = Running
+	s.wasFull = false
+	s.hbArmed = false
+	s.hangUntil = 0
+	s.babbleUntil = 0
+	s.svcGap = 0
+	s.deqArmed = false
+	s.qcap = InQDepth
+}
+
 // SetHeartbeat configures the heartbeat detector (0 disables it). The
 // monitor sets this from its Detect config when attaching the shell.
 func (s *Shell) SetHeartbeat(cycles sim.Cycle) { s.hbCycles = cycles }
@@ -393,7 +470,16 @@ func (s *Shell) EstWait() sim.Cycle {
 // monitor turns that into a NACK, so the client learns immediately instead
 // of timing out (deadline-aware load shedding).
 func (s *Shell) Deliver(m *msg.Message) msg.ErrCode {
-	if s.state != Running {
+	if s.state == Quiescing {
+		// Healthy drain: replies to the accelerator's own in-flight work
+		// still land (that is what lets it reach quiescence), but new work
+		// bounces with the retryable quiescing code.
+		switch m.Type {
+		case msg.TReply, msg.TError, msg.TMemReply:
+		default:
+			return msg.EQuiescing
+		}
+	} else if s.state != Running {
 		return msg.EFailStopped
 	}
 	if int(m.DstCtx) >= len(s.ctxDead) {
@@ -424,7 +510,7 @@ func (s *Shell) QueueLen() int { return len(s.inq) }
 // Tick advances the accelerator one cycle with panic containment and the
 // watchdog.
 func (s *Shell) Tick(now sim.Cycle) {
-	if s.state != Running {
+	if s.state != Running && s.state != Quiescing {
 		return
 	}
 	s.now = now
@@ -496,7 +582,7 @@ func (s *Shell) Tick(now sim.Cycle) {
 // accelerator that does not implement Idler is never considered idle — the
 // conservative default for logic that may generate work spontaneously.
 func (s *Shell) Idle() bool {
-	if s.state != Running {
+	if s.state != Running && s.state != Quiescing {
 		return true
 	}
 	if len(s.inq) > 0 || s.wasFull || s.hbArmed {
@@ -510,6 +596,25 @@ func (s *Shell) Idle() bool {
 	}
 	ih, ok := s.acc.(Idler)
 	return ok && ih.Idle()
+}
+
+// Quiescent reports whether a Quiescing shell has fully drained: the
+// inbound queue is empty and the accelerator holds no in-flight work. The
+// kernel polls this before snapshotting. Accelerators report in-flight
+// state via Quiescer; Idler is the fallback, and an accelerator exposing
+// neither is considered drained once its queue is (it has no way to hold
+// hidden work the checkpoint could miss).
+func (s *Shell) Quiescent() bool {
+	if s.state != Quiescing || len(s.inq) > 0 {
+		return false
+	}
+	if q, ok := s.acc.(Quiescer); ok {
+		return q.Quiescent()
+	}
+	if ih, ok := s.acc.(Idler); ok {
+		return ih.Idle()
+	}
+	return true
 }
 
 // Port implementation (the shell is the accelerator's Port).
@@ -544,9 +649,10 @@ func (s *Shell) Recv() (*msg.Message, bool) {
 	return m, true
 }
 
-// Send implements Port.
+// Send implements Port. A Quiescing shell may still send: delivering the
+// replies it owes is exactly how it drains to quiescence.
 func (s *Shell) Send(m *msg.Message) msg.ErrCode {
-	if s.state != Running {
+	if s.state != Running && s.state != Quiescing {
 		return msg.EFailStopped
 	}
 	if s.send == nil {

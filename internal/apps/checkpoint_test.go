@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/msg"
+	"apiary/internal/sim"
+)
+
+// Checkpoint/restore contract tests for the two checkpointable services,
+// plus the client-side guarantee that makes a migration window survivable:
+// EQuiescing bounces are retryable and exempt from the breaker trip budget.
+
+func TestRequesterQuiescingExemptFromBreaker(t *testing.T) {
+	r, p := newRetryClient(1)
+	r.RetryNacks = true
+	r.RetryLimit = 8
+	r.BreakerThreshold = 1 // a single breaker failure would open it
+
+	tickAt(r, p, 0)
+	seq := p.sends[0].Seq
+	// The target is quiescing for a migration: every request bounces with
+	// the retryable EQuiescing. Unlike EBusy, these must NOT count toward
+	// the breaker trip budget — a client rides the window out on backoff
+	// alone.
+	var at sim.Cycle
+	for i := 0; i < 4; i++ {
+		p.inbox = append(p.inbox, &msg.Message{Type: msg.TError,
+			Err: msg.EQuiescing, Seq: seq})
+		tickAt(r, p, at+1)
+		at += 65 // parked resend delay
+		tickAt(r, p, at)
+	}
+	if got := r.Breaker().Opens(); got != 0 {
+		t.Fatalf("breaker opened %d times on EQuiescing bounces", got)
+	}
+	if r.Errors() != 0 {
+		t.Fatalf("errs = %d, want 0 (EQuiescing is transient)", r.Errors())
+	}
+	if len(p.sends) != 5 {
+		t.Fatalf("sends = %d, want 5 (initial + 4 retries)", len(p.sends))
+	}
+	// Migration done, the re-minted endpoint answers: zero lost.
+	p.inbox = append(p.inbox, &msg.Message{Type: msg.TReply, Seq: seq})
+	tickAt(r, p, at+1)
+	if r.Responses() != 1 || r.Errors() != 0 {
+		t.Fatalf("resp=%d errs=%d after migration window", r.Responses(), r.Errors())
+	}
+}
+
+func TestKVStoreSaveRestoreFixedPoint(t *testing.T) {
+	kv := NewKVStore(2)
+	// Populate tenant 0 through the request path and tenant 1 directly via
+	// restore, then check Save(Restore(Save(x))) == Save(x) per context.
+	port := &stubPort{}
+	for _, kvp := range [][2]string{{"alpha", "1"}, {"beta", "two"}, {"k", ""}} {
+		port.inbox = append(port.inbox, &msg.Message{Type: msg.TRequest,
+			Payload: EncodeKVReq(KVPut, kvp[0], kvp[1])})
+	}
+	for i := 0; i < 8; i++ {
+		port.now = sim.Cycle(i * 10) // ride out the hash-probe busy window
+		kv.Tick(port)
+	}
+	if kv.Len(0) != 3 {
+		t.Fatalf("tenant 0 has %d keys, want 3", kv.Len(0))
+	}
+
+	for ctx := uint8(0); ctx < 2; ctx++ {
+		blob, err := kv.SaveContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := NewKVStore(2)
+		if err := other.RestoreContext(ctx, blob); err != nil {
+			t.Fatal(err)
+		}
+		again, err := other.SaveContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, again) {
+			t.Fatalf("ctx %d: save-restore-save not a fixed point:\n%x\n%x",
+				ctx, blob, again)
+		}
+		if other.Len(ctx) != kv.Len(ctx) {
+			t.Fatalf("ctx %d: restored %d keys, want %d",
+				ctx, other.Len(ctx), kv.Len(ctx))
+		}
+	}
+	// Contexts restore independently: tenant 1 stayed empty.
+	if kv.Len(1) != 0 {
+		t.Fatal("tenant isolation broken")
+	}
+	if err := kv.RestoreContext(5, nil); err == nil {
+		t.Fatal("restore into missing context accepted")
+	}
+}
+
+func TestStageSaveRestoreFixedPoint(t *testing.T) {
+	st := NewStage(StageConfig{Name: "xf", Next: 77,
+		Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK }})
+	// Drive a couple of requests through a port that swallows the
+	// downstream sends, leaving pend entries in flight — exactly the state
+	// a mid-pipeline checkpoint must carry.
+	port := &stubPort{}
+	port.inbox = append(port.inbox,
+		&msg.Message{Type: msg.TRequest, Seq: 11, SrcTile: 3, Payload: []byte{1}},
+		&msg.Message{Type: msg.TRequest, Seq: 12, SrcTile: 4, Payload: []byte{2}},
+	)
+	for i := 0; i < 6; i++ {
+		port.now = sim.Cycle(i + 1)
+		st.Tick(port)
+	}
+	if st.Quiescent() {
+		t.Fatal("stage should have in-flight downstream calls")
+	}
+
+	blob, err := st.SaveContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStage(StageConfig{Name: "xf", Next: 77,
+		Process: func(in []byte) ([]byte, msg.ErrCode) { return in, msg.EOK }})
+	if err := fresh.RestoreContext(0, blob); err != nil {
+		t.Fatal(err)
+	}
+	again, err := fresh.SaveContext(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("save-restore-save not a fixed point:\n%x\n%x", blob, again)
+	}
+	if fresh.Quiescent() {
+		t.Fatal("restored stage lost its pend table")
+	}
+	// Malformed blobs bounce with the stage untouched.
+	if err := fresh.RestoreContext(0, blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if err := fresh.RestoreContext(1, blob); err == nil {
+		t.Fatal("restore into missing context accepted")
+	}
+	if got, _ := fresh.SaveContext(0); !bytes.Equal(got, blob) {
+		t.Fatal("failed restore mutated the stage")
+	}
+}
+
+var _ accel.Checkpointable = (*KVStore)(nil)
+var _ accel.Checkpointable = (*Stage)(nil)

@@ -124,6 +124,17 @@ func (k *KVStore) Reset() {
 // when their TMemReply is delivered.
 func (k *KVStore) Idle() bool { return k.out.empty() }
 
+// Quiescent implements accel.Quiescer: the store holds no in-flight work
+// once its send queue is empty AND no memory-service op is outstanding —
+// Idle alone would let a checkpoint race an in-flight KVSnap/KVRestore.
+func (k *KVStore) Quiescent() bool { return k.out.empty() && len(k.pendMem) == 0 }
+
+// SetSegRef re-points the store at its snapshot segment reference. The
+// kernel calls this after migration: the app lands in a new region whose
+// segment capability may occupy a different table slot, and the reference
+// is architectural state the snapshot deliberately does not carry.
+func (k *KVStore) SetSegRef(ref uint32) { k.SegRef = ref }
+
 // Tick implements accel.Accelerator. While a snapshot/restore is in flight
 // the store stops accepting new requests: memory-service completions are
 // asynchronous, and serving reads against a half-restored keyspace would

@@ -155,10 +155,16 @@ func (r *Requester) Idle() bool {
 
 // transientErr reports whether a NACK/denial code is worth retrying: the
 // condition clears on its own (overload drains, a fenced service fails
-// over, a revoked endpoint is re-minted after recovery).
+// over, a revoked endpoint is re-minted after recovery, a quiescing tile
+// resumes or its replacement comes up). EQuiescing mirrors the ERevoked
+// treatment from the quarantine path: the bounce is the system doing its
+// job, so it is retryable AND — because only EBusy feeds the breaker via
+// onBusy — exempt from the circuit-breaker trip budget. A client rides out
+// a migration window on backoff alone, without its breaker opening.
 func transientErr(e msg.ErrCode) bool {
 	switch e {
-	case msg.EBusy, msg.EFailStopped, msg.ERevoked, msg.ERateLimited, msg.ENoService:
+	case msg.EBusy, msg.EFailStopped, msg.ERevoked, msg.ERateLimited,
+		msg.ENoService, msg.EQuiescing:
 		return true
 	}
 	return false

@@ -1,6 +1,9 @@
 package apps
 
 import (
+	"encoding/binary"
+	"sort"
+
 	"apiary/internal/accel"
 	"apiary/internal/msg"
 	"apiary/internal/sim"
@@ -115,6 +118,94 @@ func (s *Stage) Reset() {
 // nothing. Replies the stage is still waiting for arrive through the shell
 // queue, which wakes the tile.
 func (s *Stage) Idle() bool { return s.out.empty() }
+
+// Quiescent implements accel.Quiescer: drained means nothing parked in the
+// send queue and no downstream call still awaiting its reply.
+func (s *Stage) Quiescent() bool { return s.out.empty() && len(s.pend) == 0 }
+
+// Stage checkpoint layout (little-endian): nextSeq u32, processed u64,
+// errors u64, pend count u32, then per entry (ascending downstream seq):
+// dseq u32, tile u16, ctx u8, seq u32, sentAt u64, trace id/span u64 u64,
+// trace origin u16.
+const stageHdrBytes = 4 + 8 + 8 + 4
+const stagePendBytes = 4 + 2 + 1 + 4 + 8 + 8 + 8 + 2
+
+// SaveContext implements accel.Checkpointable (deterministic: the pend
+// table serializes in ascending downstream-sequence order). Stage is
+// deliberately NOT Preemptible — its single context has no isolation to
+// offer, so a fault keeps fail-stopping the tile — but a quiescent stage
+// checkpoints completely: counters, the sequence cursor, and any pend
+// entries a non-quiescent save catches in flight.
+func (s *Stage) SaveContext(ctx uint8) ([]byte, error) {
+	if ctx != 0 {
+		return nil, msg.ENoContext.Error()
+	}
+	seqs := make([]uint32, 0, len(s.pend))
+	for seq := range s.pend {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]byte, stageHdrBytes, stageHdrBytes+len(seqs)*stagePendBytes)
+	binary.LittleEndian.PutUint32(out[0:], s.nextSeq)
+	binary.LittleEndian.PutUint64(out[4:], s.processed)
+	binary.LittleEndian.PutUint64(out[12:], s.errors)
+	binary.LittleEndian.PutUint32(out[20:], uint32(len(seqs)))
+	var e [stagePendBytes]byte
+	for _, dseq := range seqs {
+		pe := s.pend[dseq]
+		binary.LittleEndian.PutUint32(e[0:], dseq)
+		binary.LittleEndian.PutUint16(e[4:], uint16(pe.tile))
+		e[6] = pe.ctx
+		binary.LittleEndian.PutUint32(e[7:], pe.seq)
+		binary.LittleEndian.PutUint64(e[11:], uint64(pe.sentAt))
+		binary.LittleEndian.PutUint64(e[19:], pe.tc.ID)
+		binary.LittleEndian.PutUint64(e[27:], pe.tc.Span)
+		binary.LittleEndian.PutUint16(e[35:], pe.tc.Origin)
+		out = append(out, e[:]...)
+	}
+	return out, nil
+}
+
+// RestoreContext implements accel.Checkpointable. Bounds are validated
+// before any mutation: a malformed blob returns an error with the stage
+// untouched.
+func (s *Stage) RestoreContext(ctx uint8, state []byte) error {
+	if ctx != 0 {
+		return msg.ENoContext.Error()
+	}
+	if len(state) < stageHdrBytes {
+		return msg.EBadMsg.Error()
+	}
+	n := binary.LittleEndian.Uint32(state[20:])
+	if uint64(len(state)) != uint64(stageHdrBytes)+uint64(n)*stagePendBytes {
+		return msg.EBadMsg.Error()
+	}
+	pend := make(map[uint32]pendEntry, n)
+	for i := uint32(0); i < n; i++ {
+		e := state[stageHdrBytes+int(i)*stagePendBytes:]
+		dseq := binary.LittleEndian.Uint32(e[0:])
+		if _, dup := pend[dseq]; dup {
+			return msg.EBadMsg.Error()
+		}
+		pend[dseq] = pendEntry{
+			tile:   msg.TileID(binary.LittleEndian.Uint16(e[4:])),
+			ctx:    e[6],
+			seq:    binary.LittleEndian.Uint32(e[7:]),
+			sentAt: sim.Cycle(binary.LittleEndian.Uint64(e[11:])),
+			tc: msg.TraceCtx{
+				ID:     binary.LittleEndian.Uint64(e[19:]),
+				Span:   binary.LittleEndian.Uint64(e[27:]),
+				Origin: binary.LittleEndian.Uint16(e[35:]),
+			},
+		}
+	}
+	s.nextSeq = binary.LittleEndian.Uint32(state[0:])
+	s.processed = binary.LittleEndian.Uint64(state[4:])
+	s.errors = binary.LittleEndian.Uint64(state[12:])
+	s.pend = pend
+	s.busyTil = 0 // occupancy is wall-clock state; a restored stage is free
+	return nil
+}
 
 // cost models pipeline occupancy for n payload bytes.
 func (s *Stage) cost(n int) sim.Cycle {

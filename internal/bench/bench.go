@@ -102,6 +102,7 @@ var All = []Experiment{
 	{"e19", "Multi-board fleet: cross-board RPC and whole-board failover", E19Fleet},
 	{"e20", "Fleet observability: distributed tracing as pure observation", E20FleetObs},
 	{"e21", "Open-loop scenarios: goodput and tail latency vs offered rate", E21Load},
+	{"e22", "Live migration under load: goodput dip, recovery, and abort", E22Migrate},
 }
 
 // ByID finds an experiment.

@@ -618,3 +618,46 @@ func TestE21Deterministic(t *testing.T) {
 		t.Fatalf("E21 not deterministic:\n%s\n---\n%s", a.String(), b.String())
 	}
 }
+
+func TestE22Migrate(t *testing.T) {
+	r := E22Migrate()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (board ctl/mig/fire, fleet ctl/mig/abort):\n%s",
+			len(r.Rows), r.String())
+	}
+	// On-board the app is a single instance, so the migration window costs
+	// goodput during the move phase — a dip of client-visible retryable
+	// denials — and the cool phase proves the re-minted endpoint recovered
+	// to exactly the control run's steady service.
+	for _, mig := range []int{1, 2} {
+		if cellF(t, r, mig, "MoveGoodputRpMc") >= cellF(t, r, 0, "MoveGoodputRpMc") {
+			t.Fatalf("row %d shows no migration dip vs control:\n%s", mig, r.String())
+		}
+		if cellF(t, r, mig, "Denied") == 0 {
+			t.Fatalf("row %d window produced no retryable denials:\n%s", mig, r.String())
+		}
+		if cellF(t, r, mig, "CoolGoodputRpMc") != cellF(t, r, 0, "CoolGoodputRpMc") {
+			t.Fatalf("row %d did not recover to control goodput:\n%s", mig, r.String())
+		}
+	}
+	// Cross-board the directory shifts the primary to the live sibling
+	// before the move, so the migration (and even its abort) is invisible
+	// to clients: the move phase stays lossless.
+	for _, i := range []int{4, 5} {
+		if cellF(t, r, i, "MoveGoodputRpMc") != cellF(t, r, i, "MoveOfferedRpMc") {
+			t.Fatalf("fleet row %d lossy despite sibling cover:\n%s", i, r.String())
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if cellF(t, r, i, "CoolGoodputRpMc") == 0 {
+			t.Fatalf("row %d never recovered post-window:\n%s", i, r.String())
+		}
+	}
+}
+
+func TestE22Deterministic(t *testing.T) {
+	a, b := E22Migrate(), E22Migrate()
+	if a.String() != b.String() {
+		t.Fatalf("E22 not deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

@@ -96,6 +96,25 @@ func (d *Directory) SetPrimary(name string, i int) error {
 	return nil
 }
 
+// UpdateBackend re-points a service's backend index i at a new endpoint —
+// the directory half of a replica migration, applied at the epoch barrier
+// so every proxy's next resolve sees the new board atomically. Counts as a
+// rebind when i is the current primary (client-visible routing changed).
+func (d *Directory) UpdateBackend(name string, i int, ep Endpoint) error {
+	en, ok := d.entries[name]
+	if !ok {
+		return fmt.Errorf("cluster: directory: unknown service %q", name)
+	}
+	if i < 0 || i >= len(en.backends) {
+		return fmt.Errorf("cluster: directory: %q has no backend %d", name, i)
+	}
+	en.backends[i] = ep
+	if i == en.primary {
+		d.rebinds++
+	}
+	return nil
+}
+
 // Rebinds counts primary changes (failovers plus manual SetPrimary moves).
 func (d *Directory) Rebinds() uint64 { return d.rebinds }
 

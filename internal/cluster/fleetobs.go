@@ -115,18 +115,23 @@ type BoardStatus struct {
 // pulse tail (the heatmap strip), the decision-log tail, and the
 // per-service rollups.
 type FleetStatus struct {
-	Now      sim.Cycle           `json:"now"`
-	ClockMHz uint64              `json:"clock_mhz"`
-	Epoch    sim.Cycle           `json:"epoch_cycles"`
-	Epochs   uint64              `json:"epochs"`
-	Relayed  uint64              `json:"relayed"`
-	Lost     uint64              `json:"lost"`
-	ToDead   uint64              `json:"to_dead"`
-	Rebinds  uint64              `json:"rebinds"`
-	Boards   []BoardStatus       `json:"boards"`
-	Pulses   []obs.Pulse         `json:"pulses"`
-	Events   []obs.Event         `json:"events"`
-	Services []obs.ServiceRollup `json:"services"`
+	Now      sim.Cycle `json:"now"`
+	ClockMHz uint64    `json:"clock_mhz"`
+	Epoch    sim.Cycle `json:"epoch_cycles"`
+	Epochs   uint64    `json:"epochs"`
+	Relayed  uint64    `json:"relayed"`
+	Lost     uint64    `json:"lost"`
+	ToDead   uint64    `json:"to_dead"`
+	Rebinds  uint64    `json:"rebinds"`
+	MigDone  uint64    `json:"migrations_done"`
+	MigAbort uint64    `json:"migration_aborts"`
+	// Migrations lists in-flight cross-board moves (phase, bytes sent) —
+	// the rows behind the apiaryctl fleet migrate: line.
+	Migrations []MigrationStatus   `json:"migrations,omitempty"`
+	Boards     []BoardStatus       `json:"boards"`
+	Pulses     []obs.Pulse         `json:"pulses"`
+	Events     []obs.Event         `json:"events"`
+	Services   []obs.ServiceRollup `json:"services"`
 }
 
 // Status assembles the dashboard payload, retaining at most pulseTail
@@ -142,6 +147,11 @@ func (f *Fleet) Status(pulseTail, eventTail int) FleetStatus {
 		ToDead:   f.toDead,
 		Rebinds:  f.dir.Rebinds(),
 		Services: f.ServiceRollups(),
+	}
+	if f.orch != nil {
+		st.MigDone = f.orch.MigrationsDone()
+		st.MigAbort = f.orch.MigrationAborts()
+		st.Migrations = f.orch.Migrations()
 	}
 	for _, b := range f.boards {
 		k := b.Sys.Kernel

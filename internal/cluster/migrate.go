@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"fmt"
+
+	"apiary/internal/core"
+	"apiary/internal/msg"
+	"apiary/internal/obs"
+	"apiary/internal/sim"
+)
+
+// Cross-board live migration: the orchestrator quiesces a service replica
+// on its source board (the kernel's healthy-drain path — in-flight replies
+// delivered, new requests bounced retryable), checkpoints it into the
+// versioned snapshot blob, streams the blob across the cluster link over
+// successive epochs under the link's byte budget, and at an epoch barrier
+// activates the replica on the destination board: decode + restore, re-bind
+// the directory backend, unload the source. The source stays authoritative
+// until activation — a destination board killed mid-transfer aborts the
+// move by simply resuming the source in place, with zero state loss.
+//
+// All phase transitions run on the coordinator at barriers, in job schedule
+// order, so a migrated fleet run is bit-exact at any worker count.
+
+// migration job phases.
+const (
+	migQuiesce  = iota // waiting for the source app to drain
+	migTransfer        // snapshot taken; blob crossing the link
+)
+
+// migQuiesceBudget bounds the drain window in cycles, mirroring the
+// on-board kernel timeout.
+const migQuiesceBudget sim.Cycle = 200_000
+
+// migrationJob is one in-flight cross-board replica move.
+type migrationJob struct {
+	name    string // directory service name
+	replica int    // backend index being moved
+	src     int    // source board
+	dst     int    // destination board
+	app     string // app name on the source board
+	startAt sim.Cycle
+
+	phase    int
+	deadline sim.Cycle
+	blob     []byte
+	sent     int
+	done     bool
+}
+
+// MigrationStatus is one job's externally visible progress row.
+type MigrationStatus struct {
+	Service string `json:"service"`
+	Replica int    `json:"replica"`
+	Src     int    `json:"src"`
+	Dst     int    `json:"dst"`
+	Phase   string `json:"phase"`
+	Bytes   int    `json:"bytes"`
+	Sent    int    `json:"sent"`
+}
+
+// Migrations lists in-flight cross-board migrations (barrier-consistent).
+func (o *Orchestrator) Migrations() []MigrationStatus {
+	var out []MigrationStatus
+	for _, j := range o.migrations {
+		if j.done {
+			continue
+		}
+		st := MigrationStatus{
+			Service: j.name, Replica: j.replica, Src: j.src, Dst: j.dst,
+			Bytes: len(j.blob), Sent: j.sent, Phase: "quiesce",
+		}
+		if j.phase == migTransfer {
+			st.Phase = "transfer"
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// MigrationsDone and MigrationAborts report lifetime cross-board counts.
+func (o *Orchestrator) MigrationsDone() uint64  { return o.migDone }
+func (o *Orchestrator) MigrationAborts() uint64 { return o.migAborted }
+
+// schedCmd is a deferred orchestrator directive — a scenario's migrate or
+// drain line — fired at the first epoch barrier at or after its cycle.
+type schedCmd struct {
+	at      sim.Cycle
+	drain   bool
+	name    string
+	replica int
+	board   int
+}
+
+// MigrateReplicaAt schedules MigrateReplica(name, replica, auto-pick) at
+// the first epoch barrier at or after cycle at.
+func (o *Orchestrator) MigrateReplicaAt(name string, replica int, at sim.Cycle) {
+	o.sched = append(o.sched, schedCmd{at: at, name: name, replica: replica})
+}
+
+// DrainBoardAt schedules DrainBoard(board) at the first epoch barrier at or
+// after cycle at.
+func (o *Orchestrator) DrainBoardAt(board int, at sim.Cycle) {
+	o.sched = append(o.sched, schedCmd{at: at, drain: true, board: board})
+}
+
+// runSched fires due deferred directives in schedule order. A directive that
+// cannot start (service gone, no capacity, replica already moving) is logged
+// rather than retried: the decision log is the audit trail, and the fleet's
+// failure paths own whatever made it unstartable.
+func (o *Orchestrator) runSched() {
+	kept := o.sched[:0]
+	for _, c := range o.sched {
+		if c.at > o.f.now {
+			kept = append(kept, c)
+			continue
+		}
+		var err error
+		if c.drain {
+			err = o.DrainBoard(c.board)
+		} else {
+			err = o.MigrateReplica(c.name, c.replica, -1)
+		}
+		if err != nil {
+			o.event(c.board, obs.EvMigrateAbort, "scheduled directive", err.Error())
+		}
+	}
+	o.sched = kept
+}
+
+// MigrateReplica starts moving a service replica to another board. dst < 0
+// auto-picks the live board with the most free tiles, excluding every board
+// already hosting a replica of the service (anti-affinity is preserved
+// through the move). The call schedules the job; phases advance at epoch
+// barriers. When the moving replica is the current primary and the service
+// has a live sibling, the primary is re-bound away first, so clients keep a
+// served endpoint through the whole window.
+func (o *Orchestrator) MigrateReplica(name string, replica, dst int) error {
+	rec, ok := o.deployed[name]
+	if !ok {
+		return fmt.Errorf("cluster: service %q was not deployed", name)
+	}
+	backends := o.dir.Backends(name)
+	if replica < 0 || replica >= len(backends) {
+		return fmt.Errorf("cluster: service %q has no replica %d", name, replica)
+	}
+	src := backends[replica].Board
+	if o.f.boards[src].dead {
+		return fmt.Errorf("cluster: replica %d of %q is on dead board %d", replica, name, src)
+	}
+	for _, j := range o.migrations {
+		if !j.done && j.name == name && j.replica == replica {
+			return fmt.Errorf("cluster: replica %d of %q is already migrating", replica, name)
+		}
+	}
+	if dst < 0 {
+		excl := map[int]bool{}
+		for _, b := range backends {
+			excl[b.Board] = true
+		}
+		need := len(rec.dep.Spec(replica).Accels) + 1
+		picked, err := o.pickBoard(need, excl)
+		if err != nil {
+			return fmt.Errorf("cluster: migrating replica %d of %q: %w", replica, name, err)
+		}
+		dst = picked
+	}
+	if dst == src {
+		return fmt.Errorf("cluster: replica %d of %q is already on board %d", replica, name, dst)
+	}
+	if dst >= len(o.f.boards) || o.f.boards[dst].dead {
+		return fmt.Errorf("cluster: destination board %d is dead or unknown", dst)
+	}
+
+	// Shift the primary off the moving replica while a live sibling exists:
+	// clients resolve per send, so they follow at the next epoch.
+	if o.dir.Primary(name) == replica && len(backends) > 1 {
+		for k := 1; k < len(backends); k++ {
+			idx := (replica + k) % len(backends)
+			if !o.f.boards[backends[idx].Board].dead {
+				_ = o.dir.SetPrimary(name, idx)
+				o.event(backends[idx].Board, obs.EvRebind, "migration",
+					fmt.Sprintf("service %q primary %d -> %d for replica move",
+						name, replica, idx))
+				break
+			}
+		}
+	}
+
+	j := &migrationJob{
+		name: name, replica: replica, src: src, dst: dst,
+		app: rec.apps[replica], startAt: o.f.now,
+		phase: migQuiesce, deadline: o.f.now + migQuiesceBudget,
+	}
+	o.migrations = append(o.migrations, j)
+	o.event(src, obs.EvMigrateStart, "orchestrator",
+		fmt.Sprintf("service %q replica %d board %d -> %d quiescing",
+			name, replica, src, dst))
+	if err := o.srcKernel(j).QuiesceApp(j.app); err != nil {
+		o.abortJob(j, "quiesce: "+err.Error(), true)
+		return err
+	}
+	return nil
+}
+
+// DrainBoard migrates every deployed replica off a board (maintenance
+// drain): each replica hosted there is scheduled onto an auto-picked
+// destination. Replicas that cannot be placed are reported; the rest move.
+func (o *Orchestrator) DrainBoard(board int) error {
+	if board < 0 || board >= len(o.f.boards) {
+		return fmt.Errorf("cluster: no board %d", board)
+	}
+	var firstErr error
+	for _, name := range o.dir.Names() {
+		for r, b := range o.dir.Backends(name) {
+			if b.Board != board {
+				continue
+			}
+			if err := o.MigrateReplica(name, r, -1); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func (o *Orchestrator) srcKernel(j *migrationJob) *core.Kernel {
+	return o.f.boards[j.src].Sys.Kernel
+}
+
+// linkBytesPerEpoch is the cluster-link byte budget per epoch: line rate
+// over the epoch's wall-clock duration.
+func (o *Orchestrator) linkBytesPerEpoch() int {
+	mhz := o.f.boards[0].Sys.Engine.ClockMHz()
+	epochNs := float64(o.f.epoch) * 1000.0 / float64(mhz)
+	n := int(o.f.cfg.Link.Gbps * epochNs / 8.0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// abortJob resumes the source in place (when it is still alive) and
+// retires the job. The source never stopped holding the authoritative
+// state, so an abort is just "un-pause".
+func (o *Orchestrator) abortJob(j *migrationJob, cause string, resume bool) {
+	j.done = true
+	o.migAborted++
+	if resume && !o.f.boards[j.src].dead {
+		_ = o.srcKernel(j).ResumeApp(j.app)
+	}
+	o.event(j.src, obs.EvMigrateAbort, cause,
+		fmt.Sprintf("service %q replica %d stays on board %d, source authoritative",
+			j.name, j.replica, j.src))
+}
+
+// stepMigrations advances every live job one barrier step, in schedule
+// order. Runs on the coordinator inside the epoch barrier.
+func (o *Orchestrator) stepMigrations() {
+	for _, j := range o.migrations {
+		if j.done {
+			continue
+		}
+		if o.f.boards[j.src].dead {
+			// The source died mid-move: there is nothing to resume and the
+			// snapshot (if any) is not activated — the board-kill failover
+			// path owns recovery, exactly as if no migration were running.
+			o.abortJob(j, fmt.Sprintf("source board %d died", j.src), false)
+			continue
+		}
+		if o.f.boards[j.dst].dead {
+			o.abortJob(j, fmt.Sprintf("destination board %d died", j.dst), true)
+			continue
+		}
+		switch j.phase {
+		case migQuiesce:
+			if !o.srcKernel(j).AppQuiescent(j.app) {
+				if o.f.now >= j.deadline {
+					o.abortJob(j, "quiesce-timeout", true)
+				}
+				continue
+			}
+			snap, err := o.srcKernel(j).Checkpoint(j.app)
+			if err != nil {
+				o.abortJob(j, "checkpoint: "+err.Error(), true)
+				continue
+			}
+			j.blob = core.EncodeSnapshot(snap)
+			j.phase = migTransfer
+			o.event(j.src, obs.EvMigrateSnapshot, "quiescent",
+				fmt.Sprintf("service %q replica %d snapshot %d bytes",
+					j.name, j.replica, len(j.blob)))
+		case migTransfer:
+			j.sent += o.linkBytesPerEpoch()
+			if j.sent < len(j.blob) {
+				o.event(j.src, obs.EvMigrateTransfer, "link budget",
+					fmt.Sprintf("service %q replica %d: %d/%d bytes to board %d",
+						j.name, j.replica, j.sent, len(j.blob), j.dst))
+				continue
+			}
+			j.sent = len(j.blob)
+			o.activate(j)
+		}
+	}
+	// Compact retired jobs so long runs do not accumulate them.
+	kept := o.migrations[:0]
+	for _, j := range o.migrations {
+		if !j.done {
+			kept = append(kept, j)
+		}
+	}
+	o.migrations = kept
+}
+
+// activate lands the replica on the destination at this barrier: decode the
+// transferred blob (the wire path is exercised on every move), rebuild the
+// replica spec with the bridge bound to the destination board, restore,
+// re-point the directory backend, and only then unload the source.
+func (o *Orchestrator) activate(j *migrationJob) {
+	rec := o.deployed[j.name]
+	snap, err := core.DecodeSnapshot(j.blob)
+	if err != nil {
+		o.abortJob(j, "decode: "+err.Error(), true)
+		return
+	}
+	spec := o.replicaSpec(rec.dep, j.replica, j.dst)
+	if _, err := o.f.boards[j.dst].Sys.Kernel.RestoreApp(spec, snap); err != nil {
+		o.abortJob(j, "restore: "+err.Error(), true)
+		return
+	}
+	ep := Endpoint{
+		Board: j.dst,
+		Addr:  msg.NetAddr{Node: uint32(o.f.boards[j.dst].Node), Flow: rec.dep.Flow},
+	}
+	if err := o.dir.UpdateBackend(j.name, j.replica, ep); err != nil {
+		// Unreachable with a registered service; fail safe toward the new
+		// copy being unreachable rather than double-served.
+		_ = o.f.boards[j.dst].Sys.Kernel.UnloadApp(spec.Name)
+		o.abortJob(j, "rebind: "+err.Error(), true)
+		return
+	}
+	_ = o.srcKernel(j).UnloadApp(j.app)
+	j.done = true
+	o.migDone++
+	o.placements = append(o.placements, Placement{App: spec.Name, Board: j.dst})
+	o.event(j.dst, obs.EvMigrateDone, "transfer complete",
+		fmt.Sprintf("service %q replica %d resumed on board %d (%d bytes, %d cycles)",
+			j.name, j.replica, j.dst, len(j.blob), o.f.now-j.startAt))
+}

@@ -30,10 +30,30 @@ type Orchestrator struct {
 
 	placements []Placement
 	failovers  uint64
+
+	// deployed remembers each DeployService call so replicas can be rebuilt
+	// on another board during migration (specs are code, not snapshot state).
+	deployed map[string]*deployedSvc
+
+	// migrations are in-flight cross-board replica moves, stepped at epoch
+	// barriers in schedule order; sched holds migrate/drain directives not
+	// yet due.
+	migrations []*migrationJob
+	sched      []schedCmd
+	migDone    uint64
+	migAborted uint64
+}
+
+// deployedSvc records one deployed fleet service and its per-replica app
+// names (the handle migration uses to quiesce/unload on the source board).
+type deployedSvc struct {
+	dep  ServiceDeployment
+	apps []string
 }
 
 func newOrchestrator(f *Fleet, detectEpochs int) *Orchestrator {
-	return &Orchestrator{f: f, dir: f.dir, detect: uint64(detectEpochs)}
+	return &Orchestrator{f: f, dir: f.dir, detect: uint64(detectEpochs),
+		deployed: make(map[string]*deployedSvc)}
 }
 
 // Placements lists every app placement made so far.
@@ -144,27 +164,17 @@ func (o *Orchestrator) DeployService(dep ServiceDeployment) ([]Endpoint, error) 
 	}
 	used := map[int]bool{}
 	var eps []Endpoint
+	rec := &deployedSvc{dep: dep}
 	for r := 0; r < dep.Replicas; r++ {
-		spec := dep.Spec(r)
+		need := len(dep.Spec(r).Accels) + 1
 		// Pick the board before building the bridge closure so the gateway
 		// can mirror its serve count into that board's stats under the
 		// fleet-wide per-service name (the rollup's goodput source).
-		board, err := o.pickBoard(len(spec.Accels)+1, used)
+		board, err := o.pickBoard(need, used)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
 		}
-		served := o.f.boards[board].Sys.Stats.Counter(obs.ServiceServedCounter(dep.Name))
-		spec.Accels = append(spec.Accels, core.AppAccel{
-			Name:    "fleetgw",
-			WantNet: true,
-			Connect: []msg.ServiceID{dep.Svc},
-			New: func() accel.Accelerator {
-				b := apps.NewNetBridge(dep.Flow)
-				b.Target = dep.Svc
-				b.ServedC = served
-				return b
-			},
-		})
+		spec := o.replicaSpec(dep, r, board)
 		if _, err := o.f.boards[board].Sys.Kernel.LoadApp(spec); err != nil {
 			return nil, fmt.Errorf("cluster: replica %d of %q: %w", r, dep.Name, err)
 		}
@@ -177,11 +187,34 @@ func (o *Orchestrator) DeployService(dep ServiceDeployment) ([]Endpoint, error) 
 			Board: board,
 			Addr:  msg.NetAddr{Node: uint32(o.f.boards[board].Node), Flow: dep.Flow},
 		})
+		rec.apps = append(rec.apps, spec.Name)
 	}
 	if err := o.dir.Register(dep.Name, eps...); err != nil {
 		return nil, err
 	}
+	o.deployed[dep.Name] = rec
 	return eps, nil
+}
+
+// replicaSpec rebuilds replica r's full application manifest — the declared
+// spec plus the fleet gateway bridge — with the bridge's closures bound to
+// the given board's stats. Deployment and migration both go through this,
+// so a migrated replica's serve counts land on its *new* board.
+func (o *Orchestrator) replicaSpec(dep ServiceDeployment, r, board int) core.AppSpec {
+	spec := dep.Spec(r)
+	served := o.f.boards[board].Sys.Stats.Counter(obs.ServiceServedCounter(dep.Name))
+	spec.Accels = append(spec.Accels, core.AppAccel{
+		Name:    "fleetgw",
+		WantNet: true,
+		Connect: []msg.ServiceID{dep.Svc},
+		New: func() accel.Accelerator {
+			b := apps.NewNetBridge(dep.Flow)
+			b.Target = dep.Svc
+			b.ServedC = served
+			return b
+		},
+	})
+	return spec
 }
 
 // ConnectClient gives board's applications a local doorway to the fleet
@@ -250,6 +283,8 @@ func dep0Flow(ep Endpoint) uint16 { return ep.Addr.Flow }
 // least detect epochs ago and re-bind any service whose primary they
 // hosted to the next live replica.
 func (o *Orchestrator) epochTick() {
+	o.runSched()
+	o.stepMigrations()
 	if len(o.dir.entries) == 0 {
 		return
 	}

@@ -58,3 +58,15 @@ func (c *chaosTarget) FalsePositive(t msg.TileID) {
 		ts.mon.ForceFault(0, accel.FaultSpurious)
 	}
 }
+
+// Migrate live-migrates whatever app owns tile t to a new region
+// (fault.MigrateTarget): the chaos engine's way of putting checkpoint/
+// restore under fire mid-scenario. System tiles and free tiles are skipped;
+// an already-migrating app is left alone.
+func (c *chaosTarget) Migrate(t msg.TileID) {
+	ts := c.tile(t)
+	if ts == nil || ts.app == "" || ts.app == "apiary" || ts.app == migrHold {
+		return
+	}
+	_ = c.k.MigrateApp(ts.app)
+}

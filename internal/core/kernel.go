@@ -166,6 +166,10 @@ type Kernel struct {
 
 	alloc   *memseg.Allocator
 	regions []*fabric.Region
+	dram    *memseg.DRAM
+
+	// migrations tracks in-flight on-board live migrations by app name.
+	migrations map[string]*migration
 
 	faults      []msg.FaultReport
 	quarantined map[msg.TileID]bool
@@ -175,6 +179,8 @@ type Kernel struct {
 	quarC       *sim.Counter
 	recovC      *sim.Counter
 	failoversC  *sim.Counter
+	migDoneC    *sim.Counter
+	migAbortC   *sim.Counter
 
 	// events, when set, is the board's kernel decision log: every
 	// quarantine, recovery, failover and rebind is recorded with its cycle
@@ -203,6 +209,7 @@ func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 		apps:        make(map[string]*App),
 		segOwner:    make(map[uint32]msg.TileID),
 		quarantined: make(map[msg.TileID]bool),
+		migrations:  make(map[string]*migration),
 		groups:      make(map[msg.ServiceID]*replicaGroup),
 		memberGroup: make(map[msg.ServiceID]msg.ServiceID),
 		health:      make(map[msg.ServiceID]Health),
@@ -213,6 +220,8 @@ func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 		quarC:       st.Counter("kernel.quarantines"),
 		recovC:      st.Counter("kernel.recoveries"),
 		failoversC:  st.Counter("kernel.failovers"),
+		migDoneC:    st.Counter("kernel.migrations"),
+		migAbortC:   st.Counter("kernel.migration_aborts"),
 		detect:      detect,
 	}
 	n := net.Dims().Tiles()
@@ -227,6 +236,15 @@ func NewKernel(e *sim.Engine, st *sim.Stats, net *noc.Network,
 				Tile: id, Kernel: KernelTile, EnforceCaps: enforceCaps,
 				Detect: detect,
 			}, e, net.NI(id), nil, checker, tracer, st)
+			// The shell is static fabric: every tile boots with one, parked
+			// Stopped around placeholder logic, registered with the engine
+			// here — in tile-ID order, once, before the first cycle. The
+			// ticker list never grows again, so placement (including a live
+			// migration's reload) is legal mid-run: LoadApp swaps logic into
+			// the resident shell with Adopt instead of registering anew.
+			ts.shell = accel.NewShell(accel.Blank{}, st)
+			ts.shell.SetState(accel.Stopped)
+			e.Register(ts.shell)
 		}
 		k.tiles = append(k.tiles, ts)
 	}
@@ -284,7 +302,9 @@ func (k *Kernel) replyErr(m *msg.Message, code msg.ErrCode) {
 // Monitor returns tile t's monitor (nil for the kernel tile).
 func (k *Kernel) Monitor(t msg.TileID) *monitor.Monitor { return k.tiles[t].mon }
 
-// Shell returns tile t's shell (nil when the tile is empty).
+// Shell returns tile t's shell. Shells are static fabric: once a tile has
+// hosted an accelerator its shell stays resident (Stopped) across unloads,
+// so nil means the tile has never been placed on.
 func (k *Kernel) Shell(t msg.TileID) *accel.Shell { return k.tiles[t].shell }
 
 // App returns a loaded application by name.
@@ -314,13 +334,12 @@ func (k *Kernel) installSystemService(tile msg.TileID, svc msg.ServiceID, a acce
 	if su, ok := a.(accel.StatsUser); ok {
 		su.AttachStats(k.stats)
 	}
-	shell := accel.NewShell(a, k.stats)
-	ts.shell = shell
+	shell := ts.shell
+	shell.Adopt(a)
 	ts.app = "apiary"
 	ts.accel = a.Name()
 	ts.svc = svc
 	ts.mon.AttachShell(shell)
-	k.engine.Register(shell)
 	if svc != msg.SvcInvalid {
 		k.services[svc] = tile
 		k.bindAll(svc, tile)

@@ -78,7 +78,18 @@ func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
 		if su, ok := logic.(accel.StatsUser); ok {
 			su.AttachStats(k.stats)
 		}
-		shell := accel.NewShell(logic, k.stats)
+		// The shell is static fabric: created (and engine-registered) once
+		// per tile, resident across unload/reload cycles. A tile that has
+		// hosted an app before adopts the new logic into its existing shell,
+		// so mid-run placement never grows the engine's ticker list — the
+		// tick order frozen at first registration is the determinism anchor.
+		shell := ts.shell
+		if shell != nil {
+			shell.Adopt(logic)
+		} else {
+			shell = accel.NewShell(logic, k.stats)
+			k.engine.Register(shell)
+		}
 		if a.QueueCap > 0 {
 			shell.SetQueueCap(a.QueueCap)
 		}
@@ -90,7 +101,6 @@ func (k *Kernel) LoadApp(spec AppSpec) (*App, error) {
 		if a.Rate != (monitor.RateLimit{}) {
 			ts.mon.SetRate(a.Rate)
 		}
-		k.engine.Register(shell)
 		if a.Service != msg.SvcInvalid {
 			k.services[a.Service] = tile
 			k.svcOwner[a.Service] = spec.Name
@@ -282,8 +292,10 @@ func (k *Kernel) rollback(app *App) {
 			delete(k.svcOwner, ts.svc)
 			k.bindAll(ts.svc, msg.NoTile)
 		}
+		if ts.shell != nil {
+			ts.shell.SetState(accel.Stopped)
+		}
 		ts.mon.DetachShell()
-		ts.shell = nil
 		ts.app, ts.accel, ts.svc = "", "", msg.SvcInvalid
 		if k.regions != nil {
 			k.regions[p.Tile].Clear()

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"apiary/internal/accel"
+	"apiary/internal/fault"
+	"apiary/internal/msg"
+	"apiary/internal/noc"
+)
+
+// ckptAccel is a minimal checkpointable service: counts requests, echoes a
+// reply carrying the count, and externalizes the counter through the
+// Checkpointable contract. stuck makes it refuse to quiesce forever (the
+// quiesce-timeout abort case).
+type ckptAccel struct {
+	name     string
+	val      uint32
+	out      []*msg.Message
+	stuck    bool
+	restored int
+}
+
+func (c *ckptAccel) Name() string  { return c.name }
+func (c *ckptAccel) Contexts() int { return 1 }
+func (c *ckptAccel) Reset()        { c.val = 0; c.out = nil }
+func (c *ckptAccel) Tick(p accel.Port) {
+	if m, ok := p.Recv(); ok && m.Type == msg.TRequest {
+		c.val++
+		var u [4]byte
+		binary.LittleEndian.PutUint32(u[:], c.val)
+		c.out = append(c.out, m.Reply(msg.TReply, u[:]))
+	}
+	if len(c.out) > 0 && p.Send(c.out[0]) == msg.EOK {
+		c.out = c.out[1:]
+	}
+}
+func (c *ckptAccel) Quiescent() bool { return !c.stuck && len(c.out) == 0 }
+func (c *ckptAccel) SaveContext(ctx uint8) ([]byte, error) {
+	if ctx != 0 {
+		return nil, msg.ENoContext.Error()
+	}
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], c.val)
+	return u[:], nil
+}
+func (c *ckptAccel) RestoreContext(ctx uint8, state []byte) error {
+	if ctx != 0 {
+		return msg.ENoContext.Error()
+	}
+	if len(state) != 4 {
+		return msg.EBadMsg.Error()
+	}
+	c.val = binary.LittleEndian.Uint32(state)
+	c.restored++
+	return nil
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := &Snapshot{
+		App: "demo",
+		Accels: []AccelSnapshot{
+			{Name: "a", Contexts: [][]byte{{1, 2, 3}, nil, {}}, SegBytes: []byte{9, 9}},
+			{Name: "b"}, // stateless accel: no contexts, no segment
+		},
+	}
+	blob := EncodeSnapshot(snap)
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "demo" || len(got.Accels) != 2 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	a := got.Accels[0]
+	// Nil and empty contexts both normalize to absent — and back to nil.
+	if a.Name != "a" || len(a.Contexts) != 3 ||
+		!bytes.Equal(a.Contexts[0], []byte{1, 2, 3}) ||
+		a.Contexts[1] != nil || a.Contexts[2] != nil ||
+		!bytes.Equal(a.SegBytes, []byte{9, 9}) {
+		t.Fatalf("accel a = %+v", a)
+	}
+	if b := got.Accels[1]; b.Contexts != nil || b.SegBytes != nil {
+		t.Fatalf("accel b = %+v", b)
+	}
+	// Encode(Decode(blob)) is a fixed point — the wire format is canonical.
+	if !bytes.Equal(EncodeSnapshot(got), blob) {
+		t.Fatal("re-encode is not a fixed point")
+	}
+}
+
+func TestSnapshotDecoderRejects(t *testing.T) {
+	valid := EncodeSnapshot(&Snapshot{
+		App:    "x",
+		Accels: []AccelSnapshot{{Name: "a", Contexts: [][]byte{{7}}}},
+	})
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("AP"),
+		"bad magic":   []byte("NOPE\x01\x00"),
+		"bad version": append([]byte(snapMagic), 0xFF, 0xFF),
+		"truncated":   valid[:len(valid)-1],
+		"trailing":    append(append([]byte(nil), valid...), 0),
+	}
+	// Corrupt the accel count up to the max+1 (offset: magic + ver + "x").
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(huge[len(snapMagic)+2+2+1:], maxSnapAccels+1)
+	cases["accel count over cap"] = huge
+	// Presence byte outside {0,1}.
+	bad := append([]byte(nil), valid...)
+	bad[len(bad)-7] = 2 // context blob presence byte
+	cases["bad presence byte"] = bad
+	for name, blob := range cases {
+		if _, err := DecodeSnapshot(blob); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("%s: err = %v, want ErrSnapshot", name, err)
+		}
+	}
+}
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	s := boot(t)
+	ck := &ckptAccel{name: "ck"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "svc",
+		Accels: []AppAccel{
+			{Name: "ck", New: func() accel.Accelerator { return ck }, Service: 40},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel.Checkpoint("svc"); err == nil {
+		t.Fatal("checkpoint of a running app accepted")
+	}
+	if err := s.Kernel.QuiesceApp("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(func() bool { return s.Kernel.AppQuiescent("svc") }, 100_000) {
+		t.Fatal("app never quiesced")
+	}
+	ck.val = 77
+	snap, err := s.Kernel.Checkpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Accels) != 1 || len(snap.Accels[0].Contexts) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := binary.LittleEndian.Uint32(snap.Accels[0].Contexts[0]); got != 77 {
+		t.Fatalf("captured val = %d, want 77", got)
+	}
+	// ResumeApp returns the shells to Running without a Reset.
+	if err := s.Kernel.ResumeApp("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(func() bool {
+		for _, p := range s.Kernel.App("svc").Placed {
+			if s.Kernel.Shell(p.Tile).State() != accel.Running {
+				return false
+			}
+		}
+		return true
+	}, 10_000) {
+		t.Fatal("app never resumed")
+	}
+	if ck.val != 77 {
+		t.Fatal("resume lost state")
+	}
+}
+
+func TestMigrateAppOnBoard(t *testing.T) {
+	s := boot(t)
+	var cur *ckptAccel
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name:    "svc",
+		Exports: []msg.ServiceID{40},
+		Accels: []AppAccel{
+			{Name: "ck", Service: 40, MemBytes: 4096,
+				New: func() accel.Accelerator {
+					cur = &ckptAccel{name: "ck"}
+					return cur
+				}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first := cur
+	oldTile := s.Kernel.App("svc").Placed[0].Tile
+	driver := &progAccel{name: "drv"}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "client",
+		Accels: []AppAccel{
+			{Name: "drv", New: func() accel.Accelerator { return driver },
+				Connect: []msg.ServiceID{40}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		driver.push(&msg.Message{Type: msg.TRequest, DstSvc: 40, Seq: uint32(i)})
+	}
+	if !s.RunUntil(func() bool { return len(driver.inbox) >= 3 }, 200_000) {
+		t.Fatalf("warmup incomplete: %d replies", len(driver.inbox))
+	}
+
+	if err := s.Kernel.MigrateApp("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Kernel.MigrateApp("svc"); err == nil {
+		t.Fatal("concurrent migration of the same app accepted")
+	}
+	if !s.RunUntil(func() bool { return s.Kernel.MigrationsDone() == 1 }, 2_000_000) {
+		t.Fatalf("migration incomplete: done=%d aborts=%d",
+			s.Kernel.MigrationsDone(), s.Kernel.MigrationAborts())
+	}
+	if s.Kernel.MigrationAborts() != 0 || s.Kernel.Migrating("svc") {
+		t.Fatalf("aborts=%d migrating=%v", s.Kernel.MigrationAborts(), s.Kernel.Migrating("svc"))
+	}
+	// The reload built a fresh accelerator in a fresh region and restored
+	// the counter into it through the snapshot.
+	if cur == first {
+		t.Fatal("accelerator instance not rebuilt")
+	}
+	if cur.val != 3 || cur.restored != 1 {
+		t.Fatalf("restored val=%d restored=%d, want 3/1", cur.val, cur.restored)
+	}
+	if newTile := s.Kernel.App("svc").Placed[0].Tile; newTile == oldTile {
+		t.Fatalf("migration reused tile %d", newTile)
+	}
+	// The re-minted endpoint serves post-migration traffic: the counter
+	// continues from the restored value, not from zero. (Run a little
+	// first: the TCtlInstallCap carrying the fresh capability is still on
+	// the management plane when the migration is declared done; a real
+	// client's ERevoked bounce is retryable and rides the gap out.)
+	s.Run(1_000)
+	driver.push(&msg.Message{Type: msg.TRequest, DstSvc: 40, Seq: 9})
+	if !s.RunUntil(func() bool { return len(driver.inbox) >= 4 }, 200_000) {
+		t.Fatalf("post-migration request unanswered (codes=%v)", driver.codes)
+	}
+	last := driver.inbox[len(driver.inbox)-1]
+	if last.Type != msg.TReply || binary.LittleEndian.Uint32(last.Payload) != 4 {
+		t.Fatalf("post-migration reply = %+v", last)
+	}
+}
+
+func TestMigrateQuiesceTimeoutAborts(t *testing.T) {
+	s := boot(t)
+	ck := &ckptAccel{name: "ck", stuck: true}
+	if _, err := s.Kernel.LoadApp(AppSpec{
+		Name: "svc",
+		Accels: []AppAccel{
+			{Name: "ck", New: func() accel.Accelerator { return ck }, Service: 40},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck.val = 55
+	if err := s.Kernel.MigrateApp("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntil(func() bool { return s.Kernel.MigrationAborts() == 1 }, 400_000) {
+		t.Fatal("quiesce timeout never fired")
+	}
+	if s.Kernel.MigrationsDone() != 0 || s.Kernel.Migrating("svc") {
+		t.Fatal("aborted migration still accounted as live or done")
+	}
+	// Source authoritative: same instance, same state, back to Running.
+	tile := s.Kernel.App("svc").Placed[0].Tile
+	if !s.RunUntil(func() bool {
+		return s.Kernel.Shell(tile).State() == accel.Running
+	}, 10_000) {
+		t.Fatal("source never resumed")
+	}
+	if ck.val != 55 {
+		t.Fatalf("val = %d after abort, want 55", ck.val)
+	}
+}
+
+func TestRestoreRejectsOversizedSegment(t *testing.T) {
+	s := boot(t)
+	snap := &Snapshot{App: "svc", Accels: []AccelSnapshot{
+		{Name: "ck", SegBytes: make([]byte, 8192)},
+	}}
+	spec := AppSpec{
+		Name: "svc",
+		Accels: []AppAccel{
+			{Name: "ck", MemBytes: 4096, Service: 40,
+				New: func() accel.Accelerator { return &ckptAccel{name: "ck"} }},
+		},
+	}
+	_, err := s.Kernel.RestoreApp(spec, snap)
+	if err == nil || !strings.Contains(err.Error(), "snapshot segment is 8192 bytes") {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing partially applied stays live.
+	if s.Kernel.App("svc") != nil {
+		t.Fatal("half-restored app left loaded")
+	}
+	if _, ok := s.Kernel.ServiceTile(40); ok {
+		t.Fatal("service of failed restore left registered")
+	}
+}
+
+func TestRestoreRejectsContextOverflow(t *testing.T) {
+	s := boot(t)
+	snap := &Snapshot{App: "svc", Accels: []AccelSnapshot{
+		{Name: "ck", Contexts: [][]byte{{0, 0, 0, 0}, {1, 0, 0, 0}}},
+	}}
+	spec := AppSpec{
+		Name: "svc",
+		Accels: []AppAccel{
+			{Name: "ck", Service: 40,
+				New: func() accel.Accelerator { return &ckptAccel{name: "ck"} }},
+		},
+	}
+	if _, err := s.Kernel.RestoreApp(spec, snap); err == nil ||
+		!strings.Contains(err.Error(), "snapshot has 2 contexts") {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Kernel.App("svc") != nil {
+		t.Fatal("half-restored app left loaded")
+	}
+}
+
+func TestChaosMigrateFault(t *testing.T) {
+	// A chaos plan can fire live migration as a fault event — checkpoint/
+	// restore under fire. The plan targets tile 2: the first placeable tile
+	// (kernel=0, memory=1), where the app below deterministically lands.
+	plan, err := fault.ParsePlan([]byte("migrate at=5000 tile=2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(SystemConfig{Dims: noc.Dims{W: 3, H: 3}, FaultPlan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &ckptAccel{name: "ck"}
+	app, err := s.Kernel.LoadApp(AppSpec{
+		Name: "svc",
+		Accels: []AppAccel{
+			{Name: "ck", New: func() accel.Accelerator { return ck }, Service: 40},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Placed[0].Tile != 2 {
+		t.Fatalf("app landed on tile %d, plan targets 2", app.Placed[0].Tile)
+	}
+	if !s.RunUntil(func() bool { return s.Kernel.MigrationsDone() == 1 }, 2_000_000) {
+		t.Fatalf("chaos migrate never completed: injected=%d aborts=%d",
+			s.Fault.Injected(), s.Kernel.MigrationAborts())
+	}
+	if newTile := s.Kernel.App("svc").Placed[0].Tile; newTile == 2 {
+		t.Fatal("migration reused the faulted region")
+	}
+}

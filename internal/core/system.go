@@ -180,6 +180,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	s.Kernel = NewKernel(s.Engine, s.Stats, s.Noc, s.Checker, s.Tracer,
 		s.Alloc, !cfg.DisableCaps, cfg.Detect)
 	s.Kernel.events = s.Events
+	s.Kernel.SetDRAM(s.DRAM)
 	if s.Regions != nil {
 		s.Kernel.SetRegions(s.Regions)
 	}

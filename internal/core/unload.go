@@ -79,7 +79,6 @@ func (k *Kernel) UnloadApp(name string) error {
 		for i := 0; i < ts.mon.Table().Slots(); i++ {
 			ts.mon.Table().Remove(cap.Ref(i))
 		}
-		ts.shell = nil
 		ts.app, ts.accel, ts.svc = "", "", msg.SvcInvalid
 		ts.slotNo = firstDynamicSlot
 		if k.regions != nil {

@@ -27,8 +27,10 @@ func TestUnloadAppFreesEverything(t *testing.T) {
 	if s.Kernel.App("victim") != nil {
 		t.Fatal("app still registered")
 	}
-	if s.Kernel.Shell(tile) != nil {
-		t.Fatal("tile not cleared")
+	// The shell is static fabric: it stays resident (and engine-registered)
+	// across unloads, parked in Stopped state so it is inert.
+	if sh := s.Kernel.Shell(tile); sh == nil || sh.State() != accel.Stopped {
+		t.Fatal("shell not parked in Stopped state")
 	}
 	if _, ok := s.Kernel.ServiceTile(40); ok {
 		t.Fatal("service still registered")

@@ -27,6 +27,15 @@ type Target interface {
 	FalsePositive(tile msg.TileID)
 }
 
+// MigrateTarget is optionally implemented by targets that can live-migrate
+// the application owning a tile (core.System's kernel adapter does; bare
+// test harnesses need not). KindMigrate events on a target without it are
+// counted but do nothing, keeping old harnesses working unchanged.
+type MigrateTarget interface {
+	// Migrate checkpoints and relocates the app owning tile to a new region.
+	Migrate(tile msg.TileID)
+}
+
 // Injector compiles a Plan into engine events. Every injection runs on the
 // main goroutine between tick phases (the sim.Engine event contract), so an
 // injected run perturbs simulation state at cycle boundaries only — which is
@@ -119,6 +128,10 @@ func (in *Injector) apply(ev Event, now sim.Cycle) {
 	case KindFalsePos:
 		if in.target != nil {
 			in.target.FalsePositive(ev.Tile)
+		}
+	case KindMigrate:
+		if mt, ok := in.target.(MigrateTarget); ok {
+			mt.Migrate(ev.Tile)
 		}
 	case KindLinkStall:
 		in.net.StallLink(ev.Tile, ev.Port, now+ev.Dur)

@@ -22,6 +22,7 @@ import (
 //	flip at=5000 tile=6 port=W
 //	stuckvc at=6000 tile=6 port=N vc=1 dur=300
 //	falsepos at=7000 tile=5
+//	migrate at=8000 tile=5
 //	hang every=100000 tile=7 dur=5000
 //
 // `at=` schedules a one-shot event; `every=` declares a probabilistic

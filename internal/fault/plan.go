@@ -31,6 +31,7 @@ const (
 	KindLinkFlip       // corrupt the next message crossing (Tile, Port)
 	KindStuckVC        // output VC (Tile, Port, VC) grants nothing for Dur cycles
 	KindFalsePos       // tile's monitor raises a spurious fault
+	KindMigrate        // live-migrate the app owning Tile to a new region
 )
 
 var kindNames = map[Kind]string{
@@ -41,6 +42,7 @@ var kindNames = map[Kind]string{
 	KindLinkFlip:  "flip",
 	KindStuckVC:   "stuckvc",
 	KindFalsePos:  "falsepos",
+	KindMigrate:   "migrate",
 }
 
 func (k Kind) String() string {

@@ -28,6 +28,8 @@ import (
 //	phase rush dur=80000 rate=4000 burst=3000@20000x4000 diurnal=40000:1000
 //	phase drain dur=30000 rate=1000
 //	kill board=2 at=90000
+//	migrate at=70000 replica=1
+//	drain board=3 at=110000
 //	chaos stall at=50000 tile=4 port=E dur=2000
 //
 // `rate=A..B` ramps linearly across the phase; `burst=R@PxD` adds R rpMc
@@ -98,6 +100,20 @@ func parseScenarioText(data []byte) (*Scenario, error) {
 				return nil, errf("%v", err)
 			}
 			s.Target = msg.ServiceID(v)
+			if _, ok := kv["mem"]; ok {
+				m, err := reqUint(kv, "mem", 31)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				s.TgtMem = int(m)
+			}
+			for k := range kv {
+				switch k {
+				case "svc", "mem":
+				default:
+					return nil, errf("unknown target key %q", k)
+				}
+			}
 		case "fleet":
 			kv, err := keyVals(fields[1:])
 			if err != nil {
@@ -210,6 +226,49 @@ func parseScenarioText(data []byte) (*Scenario, error) {
 				k.At = sim.Cycle(v)
 			}
 			s.Kills = append(s.Kills, k)
+		case "migrate":
+			kv, err := keyVals(fields[1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			m := Migration{}
+			if v, err := reqUint(kv, "at", 63); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				m.At = sim.Cycle(v)
+			}
+			if _, ok := kv["replica"]; ok {
+				v, err := reqUint(kv, "replica", 16)
+				if err != nil {
+					return nil, errf("%v", err)
+				}
+				m.Replica = int(v)
+			}
+			for k := range kv {
+				switch k {
+				case "at", "replica":
+				default:
+					return nil, errf("unknown migrate key %q", k)
+				}
+			}
+			s.Migrate = append(s.Migrate, m)
+		case "drain":
+			kv, err := keyVals(fields[1:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			d := Drain{}
+			if v, err := reqUint(kv, "board", 16); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				d.Board = int(v)
+			}
+			if v, err := reqUint(kv, "at", 63); err != nil {
+				return nil, errf("%v", err)
+			} else {
+				d.At = sim.Cycle(v)
+			}
+			s.Drains = append(s.Drains, d)
 		case "chaos":
 			rest := strings.TrimSpace(strings.TrimPrefix(line, "chaos"))
 			chaos = append(chaos, rest)
@@ -310,11 +369,14 @@ type jsonScenario struct {
 	Seed     uint64          `json:"seed"`
 	Sessions int             `json:"sessions"`
 	Target   uint16          `json:"target"`
+	TgtMem   int             `json:"target_mem,omitempty"`
 	Timeout  sim.Cycle       `json:"timeout,omitempty"`
 	Fleet    *jsonFleet      `json:"fleet,omitempty"`
 	Classes  []jsonClass     `json:"classes"`
 	Phases   []jsonPhase     `json:"phases"`
 	Kills    []jsonKill      `json:"kills,omitempty"`
+	Migrate  []jsonMigration `json:"migrate,omitempty"`
+	Drains   []jsonDrain     `json:"drains,omitempty"`
 	Chaos    json.RawMessage `json:"chaos,omitempty"`
 }
 
@@ -355,6 +417,16 @@ type jsonKill struct {
 	At    sim.Cycle `json:"at"`
 }
 
+type jsonMigration struct {
+	At      sim.Cycle `json:"at"`
+	Replica int       `json:"replica,omitempty"`
+}
+
+type jsonDrain struct {
+	Board int       `json:"board"`
+	At    sim.Cycle `json:"at"`
+}
+
 // textName rejects names the line grammar cannot render back: whitespace
 // or control characters would split into extra fields, '#' would start a
 // comment. The text parser produces safe names by construction; this guard
@@ -387,6 +459,7 @@ func parseScenarioJSON(data []byte) (*Scenario, error) {
 		Seed:     js.Seed,
 		Sessions: js.Sessions,
 		Target:   msg.ServiceID(js.Target),
+		TgtMem:   js.TgtMem,
 		Timeout:  js.Timeout,
 	}
 	if err := textName("scenario", js.Scenario); err != nil {
@@ -394,6 +467,9 @@ func parseScenarioJSON(data []byte) (*Scenario, error) {
 	}
 	if s.Sessions < 0 || s.Sessions > maxCountJSON {
 		return nil, fmt.Errorf("load: sessions out of range")
+	}
+	if s.TgtMem < 0 || s.TgtMem > maxCountJSON {
+		return nil, fmt.Errorf("load: target mem out of range")
 	}
 	if s.Timeout > maxCycleJSON {
 		return nil, fmt.Errorf("load: timeout out of range")
@@ -449,6 +525,18 @@ func parseScenarioJSON(data []byte) (*Scenario, error) {
 		}
 		s.Kills = append(s.Kills, Kill{Board: k.Board, At: k.At})
 	}
+	for _, m := range js.Migrate {
+		if m.Replica < 0 || m.Replica > maxBoardJSON || m.At > maxCycleJSON {
+			return nil, fmt.Errorf("load: migrate field out of range")
+		}
+		s.Migrate = append(s.Migrate, Migration{At: m.At, Replica: m.Replica})
+	}
+	for _, d := range js.Drains {
+		if d.Board < 0 || d.Board > maxBoardJSON || d.At > maxCycleJSON {
+			return nil, fmt.Errorf("load: drain field out of range")
+		}
+		s.Drains = append(s.Drains, Drain{Board: d.Board, At: d.At})
+	}
 	if len(js.Chaos) > 0 {
 		plan, err := fault.ParsePlan(js.Chaos)
 		if err != nil {
@@ -474,6 +562,7 @@ func (s *Scenario) MarshalJSON() ([]byte, error) {
 		Seed:     s.Seed,
 		Sessions: s.Sessions,
 		Target:   uint16(s.Target),
+		TgtMem:   s.TgtMem,
 		Timeout:  s.Timeout,
 	}
 	if f := s.Fleet; f != nil {
@@ -494,6 +583,12 @@ func (s *Scenario) MarshalJSON() ([]byte, error) {
 	}
 	for _, k := range s.Kills {
 		js.Kills = append(js.Kills, jsonKill{Board: k.Board, At: k.At})
+	}
+	for _, m := range s.Migrate {
+		js.Migrate = append(js.Migrate, jsonMigration{At: m.At, Replica: m.Replica})
+	}
+	for _, d := range s.Drains {
+		js.Drains = append(js.Drains, jsonDrain{Board: d.Board, At: d.At})
 	}
 	if s.Chaos != nil {
 		raw, err := json.Marshal(s.Chaos)

@@ -35,13 +35,16 @@ func mixSeed(seed uint64, idx int) uint64 {
 	return x ^ (x >> 31)
 }
 
-// backendSpec builds the scenario's echo backend app for service svc.
-func backendSpec(name string, svc msg.ServiceID) core.AppSpec {
+// backendSpec builds the scenario's echo backend app for service svc. mem,
+// when nonzero, attaches a managed-memory segment the backend never touches
+// but the checkpoint path must carry — the knob that gives a migration's
+// snapshot transfer real weight on the cluster link.
+func backendSpec(name string, svc msg.ServiceID, mem int) core.AppSpec {
 	return core.AppSpec{
 		Name:    name,
 		Exports: []msg.ServiceID{svc},
 		Accels: []core.AppAccel{{
-			Name: "stage", Service: svc,
+			Name: "stage", Service: svc, MemBytes: uint64(mem),
 			New: func() accel.Accelerator {
 				return apps.NewStage(apps.StageConfig{
 					Name:          "scn-echo",
@@ -84,7 +87,7 @@ func NewBoardRun(scn *Scenario, cfg core.SystemConfig) (*BoardRun, error) {
 	if err := scn.Validate(sys.Noc.Dims()); err != nil {
 		return nil, err
 	}
-	if _, err := sys.Kernel.LoadApp(backendSpec("scn-backend", scn.Target)); err != nil {
+	if _, err := sys.Kernel.LoadApp(backendSpec("scn-backend", scn.Target, scn.TgtMem)); err != nil {
 		return nil, err
 	}
 	gen := NewGenerator(scn, scn.Target, mixSeed(scn.Seed, 0), 0, 1)
@@ -97,6 +100,15 @@ func NewBoardRun(scn *Scenario, cfg core.SystemConfig) (*BoardRun, error) {
 		}},
 	}); err != nil {
 		return nil, err
+	}
+	// migrate directives: the kernel live-migrates the backend to a fresh
+	// region at the scheduled cycle. A start that fails (e.g. a previous
+	// move still in flight) is a no-op; the kernel's decision log carries
+	// the abort trail for moves that do start.
+	for _, m := range scn.Migrate {
+		sys.Engine.ScheduleNoHandle(m.At, func(sim.Cycle) {
+			_ = sys.Kernel.MigrateApp("scn-backend")
+		})
 	}
 	return &BoardRun{Scn: scn, Sys: sys, Gen: gen}, nil
 }
@@ -182,7 +194,7 @@ func NewFleetRun(scn *Scenario, cfg cluster.Config) (*FleetRun, error) {
 	eps, err := fl.Orchestrator().DeployService(cluster.ServiceDeployment{
 		Name: "scn-" + scn.Name, Svc: scn.Target, Flow: scnFlow, Replicas: fs.Replicas,
 		Spec: func(r int) core.AppSpec {
-			return backendSpec(fmt.Sprintf("scn-backend-r%d", r), scn.Target)
+			return backendSpec(fmt.Sprintf("scn-backend-r%d", r), scn.Target, scn.TgtMem)
 		},
 	})
 	if err != nil {
@@ -226,6 +238,12 @@ func NewFleetRun(scn *Scenario, cfg cluster.Config) (*FleetRun, error) {
 	}
 	for _, k := range scn.Kills {
 		fl.KillBoardAt(k.Board, k.At)
+	}
+	for _, m := range scn.Migrate {
+		fl.Orchestrator().MigrateReplicaAt("scn-"+scn.Name, m.Replica, m.At)
+	}
+	for _, d := range scn.Drains {
+		fl.Orchestrator().DrainBoardAt(d.Board, d.At)
 	}
 	return r, nil
 }

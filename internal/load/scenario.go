@@ -81,6 +81,24 @@ type Kill struct {
 	At    sim.Cycle
 }
 
+// Migration schedules a live migration of the scenario's backend while the
+// load is offered. On a single board the kernel moves the backend app to a
+// new region; in a fleet the orchestrator moves replica Replica to an
+// auto-picked board. Requests caught in the quiesce window bounce with the
+// retryable EQuiescing and ride client backoff — the goodput dip, not a
+// loss, is the measurement.
+type Migration struct {
+	At      sim.Cycle
+	Replica int // fleet: backend index to move (single-board runs require 0)
+}
+
+// Drain schedules a whole-board maintenance drain (fleet scenarios only):
+// every deployed replica on the board live-migrates off it.
+type Drain struct {
+	Board int
+	At    sim.Cycle
+}
+
 // FleetSpec sizes the fleet a scenario asks for: Boards total, the target
 // service replicated Replicas times (anti-affinity spread), and Clients
 // generator boards, each carrying an equal share of the offered rate and of
@@ -100,10 +118,13 @@ type Scenario struct {
 	Seed     uint64
 	Sessions int           // synthetic session population (records, not goroutines)
 	Target   msg.ServiceID // service requests address (generator-local doorway in fleets)
+	TgtMem   int           // backend managed-memory segment bytes (0 = none); sets snapshot weight
 	Timeout  sim.Cycle     // per-request timeout from send (0 = default)
 	Classes  []Class
 	Phases   []Phase
 	Kills    []Kill
+	Migrate  []Migration
+	Drains   []Drain
 	Fleet    *FleetSpec
 	Chaos    *fault.Plan // optional chaos cross-product, fault-plan grammar
 }
@@ -210,6 +231,9 @@ func (s *Scenario) Validate(dims noc.Dims) error {
 	if s.Target == msg.SvcInvalid {
 		return fmt.Errorf("load: scenario needs a target service")
 	}
+	if s.TgtMem < 0 {
+		return fmt.Errorf("load: target mem must be >= 0")
+	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("load: scenario needs at least one phase")
 	}
@@ -254,6 +278,26 @@ func (s *Scenario) Validate(dims noc.Dims) error {
 			return fmt.Errorf("load: kill board %d outside %d-board fleet", k.Board, s.Fleet.Boards)
 		}
 	}
+	for _, m := range s.Migrate {
+		if m.Replica < 0 {
+			return fmt.Errorf("load: migrate replica %d out of range", m.Replica)
+		}
+		if s.Fleet == nil && m.Replica != 0 {
+			return fmt.Errorf("load: migrate replica %d needs a fleet stanza", m.Replica)
+		}
+		if s.Fleet != nil && m.Replica >= s.Fleet.Replicas {
+			return fmt.Errorf("load: migrate replica %d outside %d replicas",
+				m.Replica, s.Fleet.Replicas)
+		}
+	}
+	for _, d := range s.Drains {
+		if s.Fleet == nil {
+			return fmt.Errorf("load: drain directives need a fleet stanza")
+		}
+		if d.Board < 0 || d.Board >= s.Fleet.Boards {
+			return fmt.Errorf("load: drain board %d outside %d-board fleet", d.Board, s.Fleet.Boards)
+		}
+	}
 	if f := s.Fleet; f != nil {
 		if f.Boards < 2 {
 			return fmt.Errorf("load: fleet needs boards >= 2")
@@ -283,7 +327,11 @@ func (s *Scenario) String() string {
 	}
 	fmt.Fprintf(&b, "seed %d\n", s.Seed)
 	fmt.Fprintf(&b, "sessions %d\n", s.Sessions)
-	fmt.Fprintf(&b, "target svc=%d\n", s.Target)
+	fmt.Fprintf(&b, "target svc=%d", s.Target)
+	if s.TgtMem != 0 {
+		fmt.Fprintf(&b, " mem=%d", s.TgtMem)
+	}
+	b.WriteByte('\n')
 	if s.Timeout > 0 {
 		fmt.Fprintf(&b, "timeout %d\n", s.Timeout)
 	}
@@ -313,6 +361,20 @@ func (s *Scenario) String() string {
 	sort.SliceStable(kills, func(i, j int) bool { return kills[i].At < kills[j].At })
 	for _, k := range kills {
 		fmt.Fprintf(&b, "kill board=%d at=%d\n", k.Board, k.At)
+	}
+	migs := append([]Migration(nil), s.Migrate...)
+	sort.SliceStable(migs, func(i, j int) bool { return migs[i].At < migs[j].At })
+	for _, m := range migs {
+		fmt.Fprintf(&b, "migrate at=%d", m.At)
+		if m.Replica != 0 {
+			fmt.Fprintf(&b, " replica=%d", m.Replica)
+		}
+		b.WriteByte('\n')
+	}
+	drains := append([]Drain(nil), s.Drains...)
+	sort.SliceStable(drains, func(i, j int) bool { return drains[i].At < drains[j].At })
+	for _, d := range drains {
+		fmt.Fprintf(&b, "drain board=%d at=%d\n", d.Board, d.At)
 	}
 	if s.Chaos != nil {
 		for _, line := range strings.Split(strings.TrimRight(s.Chaos.String(), "\n"), "\n") {

@@ -116,6 +116,27 @@ func (d *DRAM) Read(addr uint64, n int, cb func(data []byte)) bool {
 	return true
 }
 
+// Peek copies data[addr : addr+n) synchronously, bypassing the timing
+// model. Checkpoint/migration uses it to capture segment contents at a
+// quiescent point; the transfer cost is charged by the migration state
+// machine (PR delay, cross-board link budget), not by the channel.
+func (d *DRAM) Peek(addr uint64, n int) []byte {
+	if addr+uint64(n) > uint64(len(d.data)) {
+		panic("memseg: physical peek out of range")
+	}
+	out := make([]byte, n)
+	copy(out, d.data[addr:])
+	return out
+}
+
+// Poke stores p at addr synchronously (the restore half of Peek).
+func (d *DRAM) Poke(addr uint64, p []byte) {
+	if addr+uint64(len(p)) > uint64(len(d.data)) {
+		panic("memseg: physical poke out of range")
+	}
+	copy(d.data[addr:], p)
+}
+
 // Write stores p at addr and calls cb on completion. Returns false if the
 // queue is full.
 func (d *DRAM) Write(addr uint64, p []byte, cb func()) bool {

@@ -253,7 +253,9 @@ func isReplyClass(t msg.Type) bool { return noc.ClassVC(t) == noc.VCReply }
 // SendFunc). It performs stamping, name resolution, capability checks and
 // rate limiting, then injects into the NoC.
 func (m *Monitor) Egress(mm *msg.Message) msg.ErrCode {
-	if m.State() != accel.Running {
+	// Quiescing is a healthy drain: the accelerator may still emit the
+	// replies (and system-service traffic) it needs to reach quiescence.
+	if st := m.State(); st != accel.Running && st != accel.Quiescing {
 		return msg.EFailStopped
 	}
 	// Stamp the true source; accelerators cannot spoof (paper §4.5).
@@ -476,7 +478,7 @@ func (m *Monitor) ingress(mm *msg.Message, lat sim.Cycle) {
 		m.lastReplyAt = m.engine.Now()
 	}
 
-	if m.State() != accel.Running {
+	if st := m.State(); st != accel.Running && st != accel.Quiescing {
 		m.trace(trace.Ingress, trace.DeniedFailStop, mm, mm.SrcTile)
 		// Fail-stop: NACK requests so callers unblock with an error
 		// instead of timing out (paper §4.4: "returning an error to any
@@ -547,8 +549,22 @@ func (m *Monitor) handleCtl(mm *msg.Message) {
 		m.BindName(req.Svc, req.Tile)
 	case msg.TCtlDrain:
 		m.failStop()
+	case msg.TCtlQuiesce:
+		// Healthy drain for checkpoint/migration: keep ticking, deliver
+		// replies, bounce new requests with the retryable EQuiescing.
+		if m.shell != nil && m.shell.State() == accel.Running {
+			m.shell.SetState(accel.Quiescing)
+		}
 	case msg.TCtlResume:
-		if m.shell != nil {
+		if m.shell == nil {
+			break
+		}
+		if m.shell.State() == accel.Quiescing {
+			// Migration abort: un-quiesce WITHOUT a reset — the app state
+			// must survive exactly as it was, the source stays
+			// authoritative.
+			m.shell.SetState(accel.Running)
+		} else {
 			m.shell.Reset()
 		}
 	case msg.TCtlPing:

@@ -71,6 +71,8 @@ const (
 	TCtlStats      // stats snapshot request
 
 	TMemCopy // memory service: DMA copy between two segments
+
+	TCtlQuiesce // kernel->monitor: healthy drain for checkpoint/migration
 )
 
 // String returns a short mnemonic for the type.
@@ -81,7 +83,7 @@ func (t Type) String() string {
 		"net.send", "net.recv", "net.listen",
 		"ctl.installcap", "ctl.revokecap", "ctl.setname",
 		"ctl.fault", "ctl.drain", "ctl.resume", "ctl.ping", "ctl.stats",
-		"mem.copy",
+		"mem.copy", "ctl.quiesce",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -108,6 +110,7 @@ const (
 	ENoContext   ErrCode = 11 // no such process context on the tile
 	EBusy        ErrCode = 12 // service queue full; retry
 	ENoRoute     ErrCode = 13 // unreachable destination tile
+	EQuiescing   ErrCode = 14 // destination draining for checkpoint; retry
 )
 
 func (e ErrCode) String() string {
@@ -115,7 +118,7 @@ func (e ErrCode) String() string {
 		"ok", "no-capability", "revoked", "insufficient-rights",
 		"no-service", "fail-stopped", "rate-limited", "out-of-bounds",
 		"no-memory", "bad-message", "too-big", "no-context", "busy",
-		"no-route",
+		"no-route", "quiescing",
 	}
 	if int(e) < len(names) {
 		return names[e]

@@ -136,7 +136,7 @@ func ClassVC(t msg.Type) VCID {
 	switch t {
 	case msg.TCtlInstallCap, msg.TCtlRevokeCap, msg.TCtlSetName,
 		msg.TCtlFault, msg.TCtlDrain, msg.TCtlResume, msg.TCtlPing,
-		msg.TCtlStats:
+		msg.TCtlStats, msg.TCtlQuiesce:
 		return VCMgmt
 	case msg.TReply, msg.TError, msg.TMemReply, msg.TNetRecv:
 		return VCReply

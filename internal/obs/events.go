@@ -28,6 +28,17 @@ const (
 	// the open-loop generator records each transition so latency shifts in
 	// the decision log line up with the offered-rate curve that caused them.
 	EvScenarioPhase EventKind = "scenario-phase"
+
+	// Migration lifecycle (kernel for on-board moves, orchestrator for
+	// cross-board): quiesce started, snapshot taken (detail carries the blob
+	// size), transfer progress at epoch barriers (cross-board only), clean
+	// abort with the source left authoritative, and completed resume in the
+	// new region.
+	EvMigrateStart    EventKind = "migrate-start"
+	EvMigrateSnapshot EventKind = "migrate-snapshot"
+	EvMigrateTransfer EventKind = "migrate-transfer"
+	EvMigrateAbort    EventKind = "migrate-abort"
+	EvMigrateDone     EventKind = "migrate-done"
 )
 
 // Event is one structured decision-log record.
